@@ -1,0 +1,85 @@
+// Shared setup for the physical-activity experiment binaries (Figure 4
+// lower row, Table 1, Table 2 columns): simulate each participant group
+// once, estimate the group chain, and compute every mechanism's noise
+// scale for the aggregate and individual tasks.
+#ifndef PUFFERFISH_BENCH_ACTIVITY_EXPERIMENT_H_
+#define PUFFERFISH_BENCH_ACTIVITY_EXPERIMENT_H_
+
+#include <chrono>
+#include <map>
+
+#include "baselines/gk16.h"
+#include "baselines/group_dp.h"
+#include "data/activity.h"
+#include "pufferfish/mqm_approx.h"
+#include "pufferfish/mqm_exact.h"
+
+namespace pf {
+namespace bench {
+
+struct ActivityExperiment {
+  ActivityGroupData data;
+  MarkovChain chain;          // Empirical group chain (stationary initial).
+  double sigma_exact = 0.0;   // MQMExact noise multiplier at epsilon = 1.
+  double sigma_approx = 0.0;  // MQMApprox noise multiplier at epsilon = 1.
+  bool gk16_applicable = false;
+  double seconds_exact = 0.0;
+  double seconds_approx = 0.0;
+
+  ActivityExperiment(ActivityGroupData d, MarkovChain c)
+      : data(std::move(d)), chain(std::move(c)) {}
+};
+
+/// Simulates (once per process) and analyzes the given group at epsilon = 1.
+/// MQMApprox uses the Lemma 4.9 automatic width; MQMExact uses the length of
+/// MQMApprox's optimal quilt as its search cap (the paper's protocol).
+inline const ActivityExperiment& GetActivityExperiment(ActivityGroup group) {
+  static auto* cache = new std::map<int, ActivityExperiment>();
+  const int key = static_cast<int>(group);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  Rng rng(0xAC71117 + key);
+  ActivitySimOptions sim;
+  ActivityGroupData data = SimulateActivityGroup(group, sim, &rng).ValueOrDie();
+  MarkovChain chain =
+      MarkovChain::Estimate(data.AllChains(), kNumActivityStates).ValueOrDie();
+  ActivityExperiment exp(std::move(data), std::move(chain));
+
+  const double epsilon = 1.0;
+  const std::size_t longest = exp.data.LongestChain();
+  using Clock = std::chrono::steady_clock;
+
+  ChainMqmOptions approx_options;
+  approx_options.epsilon = epsilon;
+  approx_options.max_nearby = 0;
+  auto t0 = Clock::now();
+  const ChainMqmResult approx =
+      MqmApproxAnalyze({exp.chain}, longest, approx_options).ValueOrDie();
+  auto t1 = Clock::now();
+  exp.sigma_approx = approx.sigma_max;
+  exp.seconds_approx = std::chrono::duration<double>(t1 - t0).count();
+
+  ChainMqmOptions exact_options;
+  exact_options.epsilon = epsilon;
+  exact_options.max_nearby = approx.active_quilt.NearbyCount() + 2;
+  auto t2 = Clock::now();
+  const ChainMqmResult exact =
+      MqmExactAnalyze({exp.chain}, longest, exact_options).ValueOrDie();
+  auto t3 = Clock::now();
+  exp.sigma_exact = exact.sigma_max;
+  exp.seconds_exact = std::chrono::duration<double>(t3 - t2).count();
+
+  exp.gk16_applicable =
+      Gk16Analyze({exp.chain}, longest, epsilon).ValueOrDie().applicable;
+  return cache->emplace(key, std::move(exp)).first->second;
+}
+
+inline constexpr ActivityGroup kAllGroups[] = {
+    ActivityGroup::kCyclist, ActivityGroup::kOlderWoman,
+    ActivityGroup::kOverweightWoman};
+
+}  // namespace bench
+}  // namespace pf
+
+#endif  // PUFFERFISH_BENCH_ACTIVITY_EXPERIMENT_H_

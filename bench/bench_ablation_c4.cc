@@ -1,0 +1,69 @@
+// Ablation (DESIGN.md §6): the Appendix C.4 closed-form optimization over
+// initial distributions versus gridding the simplex. The closed form
+// (max over matrix-power rows) covers *every* initial distribution at the
+// cost of a single analysis; gridding with G points multiplies the analysis
+// cost by G and in general only lower-bounds the class sigma (for binary
+// chains the worst case sits at a simplex vertex, so a grid containing the
+// endpoints happens to recover it — higher-order chains would not).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "pufferfish/framework.h"
+#include "pufferfish/mqm_exact.h"
+
+namespace pf {
+namespace {
+
+constexpr std::size_t kLength = 100;
+
+const Matrix& Transition() {
+  static auto* p = new Matrix(BinaryChainIntervalClass::TransitionFor(0.8, 0.7));
+  return *p;
+}
+
+void BM_C4ClosedForm(benchmark::State& state) {
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 90;
+  double sigma = 0.0;
+  for (auto _ : state) {
+    sigma = MqmExactAnalyzeFreeInitial({Transition()}, kLength, options)
+                .ValueOrDie()
+                .sigma_max;
+    benchmark::DoNotOptimize(sigma);
+  }
+  state.counters["sigma"] = sigma;
+}
+BENCHMARK(BM_C4ClosedForm)->Unit(benchmark::kMillisecond);
+
+void BM_C4GridInitials(benchmark::State& state) {
+  const int grid_points = static_cast<int>(state.range(0));
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 90;
+  options.allow_stationary_shortcut = false;
+  double sigma = 0.0;
+  for (auto _ : state) {
+    sigma = 0.0;
+    for (int g = 0; g <= grid_points; ++g) {
+      const double q0 = static_cast<double>(g) / grid_points;
+      const MarkovChain chain =
+          MarkovChain::Make({q0, 1.0 - q0}, Transition()).ValueOrDie();
+      const double s =
+          MqmExactAnalyze({chain}, kLength, options).ValueOrDie().sigma_max;
+      sigma = std::max(sigma, s);
+    }
+    benchmark::DoNotOptimize(sigma);
+  }
+  // The gridded sigma under-estimates the closed-form class sigma (it only
+  // sees finitely many initial distributions).
+  state.counters["sigma_grid"] = sigma;
+  state.counters["grid_points"] = static_cast<double>(grid_points + 1);
+}
+BENCHMARK(BM_C4GridInitials)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Ablation (DESIGN.md §6): the MQMApprox/MQMExact noise gap as a function of
+// chain mixing. MQMApprox's Lemma 4.8 bound is driven by (pi_min, g) only.
+// Both sigmas fall as mixing speeds up, but the exact Eq. (5) influence
+// falls faster: the *relative* approx/exact overhead grows with the switch
+// probability (the bound's slack is proportionally largest exactly when
+// little noise is needed). This quantifies the paper's recommendation:
+// MQMExact when its cost is affordable, MQMApprox when data is plentiful
+// enough to absorb the constant-factor extra noise.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "pufferfish/framework.h"
+#include "pufferfish/mqm_approx.h"
+#include "pufferfish/mqm_exact.h"
+
+namespace pf {
+namespace {
+
+constexpr std::size_t kLength = 500;
+
+void BM_ExactVsApprox(benchmark::State& state) {
+  const double alpha = static_cast<double>(state.range(0)) / 100.0;
+  const double p_stay = 1.0 - alpha;  // Sticky chain: diagonal 1 - alpha.
+  const Matrix p = BinaryChainIntervalClass::TransitionFor(p_stay, p_stay);
+  const MarkovChain chain =
+      MarkovChain::Make({0.5, 0.5}, p).ValueOrDie();
+  ChainMqmOptions exact_options;
+  exact_options.epsilon = 1.0;
+  exact_options.max_nearby = 220;
+  ChainMqmOptions approx_options;
+  approx_options.epsilon = 1.0;
+  approx_options.max_nearby = 0;
+  double sigma_exact = 0.0, sigma_approx = 0.0;
+  for (auto _ : state) {
+    sigma_exact =
+        MqmExactAnalyze({chain}, kLength, exact_options).ValueOrDie().sigma_max;
+    sigma_approx =
+        MqmApproxAnalyze({chain}, kLength, approx_options).ValueOrDie().sigma_max;
+    benchmark::DoNotOptimize(sigma_exact);
+  }
+  state.counters["switch_prob"] = alpha;
+  state.counters["sigma_exact"] = sigma_exact;
+  state.counters["sigma_approx"] = sigma_approx;
+  state.counters["approx_over_exact"] = sigma_approx / sigma_exact;
+}
+
+BENCHMARK(BM_ExactVsApprox)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pf
+
+BENCHMARK_MAIN();

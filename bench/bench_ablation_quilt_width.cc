@@ -1,0 +1,51 @@
+// Ablation (DESIGN.md §6): the quilt search width ell (cap on card(X_N))
+// trades noise against search time in MQMExact. Small ell misses the
+// optimal quilt and inflates sigma toward the trivial-quilt fallback; large
+// ell pays quadratically in search cost for no further noise reduction once
+// the optimum is inside the cap.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "pufferfish/mqm_exact.h"
+
+namespace pf {
+namespace {
+
+const MarkovChain& SlowChain() {
+  // A slowly mixing chain (diagonal 0.97) on a T = 2000 horizon: the optimal
+  // quilt is wide, so the width cap matters.
+  static auto* chain = new MarkovChain(
+      MarkovChain::Make({0.75, 0.25}, Matrix{{0.97, 0.03}, {0.09, 0.91}})
+          .ValueOrDie());
+  return *chain;
+}
+
+void BM_QuiltWidth(benchmark::State& state) {
+  const std::size_t ell = static_cast<std::size_t>(state.range(0));
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = ell;
+  double sigma = 0.0;
+  for (auto _ : state) {
+    const ChainMqmResult r = MqmExactAnalyze({SlowChain()}, 2000, options).ValueOrDie();
+    sigma = r.sigma_max;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["ell"] = static_cast<double>(ell);
+  state.counters["sigma"] = sigma;
+}
+
+BENCHMARK(BM_QuiltWidth)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Regenerates Figure 4, upper row: L1 error of the released frequency of
+// state 1 vs. alpha for epsilon in {0.2, 1, 5} on synthetic binary chains of
+// length T = 100 with Theta = [alpha, 1 - alpha] (all initial distributions,
+// Appendix C.4). Mechanisms: GK16, MQMApprox, MQMExact; GroupDP's error
+// (~1/epsilon, not plotted in the paper's figure) is reported alongside.
+//
+// Expected shape (paper): errors fall as alpha grows (Theta narrows); GK16
+// is inapplicable left of a threshold alpha (independent of epsilon); in the
+// applicable region GK16 loses to MQM first and wins for the narrowest
+// classes; MQMExact <= MQMApprox everywhere.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+
+#include "baselines/gk16.h"
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+#include "pufferfish/mqm_approx.h"
+#include "pufferfish/mqm_exact.h"
+
+namespace pf {
+namespace {
+
+constexpr std::size_t kLength = 100;
+constexpr int kTrials = 500;
+const double kEpsilons[] = {0.2, 1.0, 5.0};
+const double kAlphas[] = {0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4};
+
+struct ComboResult {
+  double sigma_exact = 0.0;
+  double sigma_approx = 0.0;
+  double sigma_gk16 = 0.0;  // Infinite when GK16 is inapplicable.
+  double err_exact = 0.0;
+  double err_approx = 0.0;
+  double err_gk16 = 0.0;
+  double err_group = 0.0;
+};
+
+std::map<std::pair<int, int>, ComboResult>& Results() {
+  static auto* results = new std::map<std::pair<int, int>, ComboResult>();
+  return *results;
+}
+
+// Noise scales are computed once per (epsilon, alpha) point; the benchmark
+// iterations then run the 500-trial release experiment of Section 5.2.
+const ComboResult& Analyze(int eps_idx, int alpha_idx) {
+  const auto key = std::make_pair(eps_idx, alpha_idx);
+  auto it = Results().find(key);
+  if (it != Results().end()) return it->second;
+  const double epsilon = kEpsilons[eps_idx];
+  const double alpha = kAlphas[alpha_idx];
+  const auto cls =
+      BinaryChainIntervalClass::Make(alpha, 1.0 - alpha).ValueOrDie();
+  ComboResult r;
+  ChainMqmOptions exact_options;
+  exact_options.epsilon = epsilon;
+  exact_options.max_nearby = 90;
+  r.sigma_exact = MqmExactAnalyzeFreeInitial(cls.TransitionGrid(0.1), kLength,
+                                             exact_options)
+                      .ValueOrDie()
+                      .sigma_max;
+  ChainMqmOptions approx_options;
+  approx_options.epsilon = epsilon;
+  approx_options.max_nearby = 0;
+  r.sigma_approx =
+      MqmApproxAnalyze(cls.Summary(), kLength, approx_options).ValueOrDie().sigma_max;
+  r.sigma_gk16 =
+      Gk16Analyze(cls.TransitionGrid(0.1), kLength, epsilon).ValueOrDie().sigma;
+  return Results().emplace(key, r).first->second;
+}
+
+void BM_Fig4Synthetic(benchmark::State& state) {
+  const int eps_idx = static_cast<int>(state.range(0));
+  const int alpha_idx = static_cast<int>(state.range(1));
+  const double epsilon = kEpsilons[eps_idx];
+  const double alpha = kAlphas[alpha_idx];
+  const auto cls =
+      BinaryChainIntervalClass::Make(alpha, 1.0 - alpha).ValueOrDie();
+  ComboResult r = Analyze(eps_idx, alpha_idx);
+  // Section 5.2 protocol: draw theta and a dataset per trial, release the
+  // frequency of state 1 (1/T-Lipschitz), average |error| over trials.
+  Rng rng(10007 * (eps_idx + 1) + alpha_idx);
+  const double lipschitz = 1.0 / static_cast<double>(kLength);
+  for (auto _ : state) {
+    double sum_exact = 0.0, sum_approx = 0.0, sum_gk = 0.0, sum_group = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      benchmark::DoNotOptimize(
+          SampleBinaryChainDataset(cls, kLength, &rng).ValueOrDie());
+      sum_exact += std::fabs(rng.Laplace(lipschitz * r.sigma_exact));
+      sum_approx += std::fabs(rng.Laplace(lipschitz * r.sigma_approx));
+      if (std::isfinite(r.sigma_gk16)) {
+        sum_gk += std::fabs(rng.Laplace(lipschitz * r.sigma_gk16));
+      }
+      sum_group += std::fabs(rng.Laplace(1.0 / epsilon));
+    }
+    r.err_exact = sum_exact / kTrials;
+    r.err_approx = sum_approx / kTrials;
+    r.err_gk16 = std::isfinite(r.sigma_gk16) ? sum_gk / kTrials : -1.0;
+    r.err_group = sum_group / kTrials;
+  }
+  Results()[std::make_pair(eps_idx, alpha_idx)] = r;
+  state.counters["alpha"] = alpha;
+  state.counters["epsilon"] = epsilon;
+  state.counters["err_MQMExact"] = r.err_exact;
+  state.counters["err_MQMApprox"] = r.err_approx;
+  state.counters["err_GK16"] = r.err_gk16;  // -1 marks "not applicable".
+  state.counters["err_GroupDP"] = r.err_group;
+}
+
+BENCHMARK(BM_Fig4Synthetic)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4, 5, 6}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pf
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Paper-style series (Figure 4 upper row).
+  for (int e = 0; e < 3; ++e) {
+    pf::bench::PrintHeader(
+        "Figure 4(" + std::string(1, static_cast<char>('a' + e)) +
+            "): synthetic binary chain, epsilon = " +
+            std::to_string(pf::kEpsilons[e]),
+        {"alpha", "GK16", "MQMApprox", "MQMExact", "GroupDP"});
+    for (int a = 0; a < 7; ++a) {
+      const auto& r = pf::Results()[{e, a}];
+      pf::bench::PrintRow("", {pf::kAlphas[a], r.err_gk16, r.err_approx,
+                               r.err_exact, r.err_group});
+    }
+  }
+  std::printf("\n(GK16 = -1 marks the inapplicable region: influence-matrix "
+              "spectral norm >= 1, left of the paper's dashed line.)\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Regenerates Table 3: L1 error of the 51-bin relative-frequency histogram
+// of household power levels (T ~ 10^6, one chain), for epsilon in
+// {0.2, 1, 5}, averaged over 20 random trials.
+//
+// Expected shape (paper): GroupDP is catastrophic (~ 2*51/epsilon: 516, 103,
+// 20); GK16 is N/A (zero transitions make its influence infinite); MQMApprox
+// and MQMExact achieve sub-1 errors, with MQMExact a few times better.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "baselines/gk16.h"
+#include "baselines/group_dp.h"
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "data/electricity.h"
+#include "pufferfish/mqm_approx.h"
+#include "pufferfish/mqm_exact.h"
+
+namespace pf {
+namespace {
+
+constexpr int kTrials = 20;
+const double kEpsilons[] = {0.2, 1.0, 5.0};
+
+struct Setup {
+  StateSequence sequence;
+  MarkovChain chain;
+  Setup(StateSequence s, MarkovChain c)
+      : sequence(std::move(s)), chain(std::move(c)) {}
+};
+
+const Setup& GetSetup() {
+  static auto* setup = new Setup([] {
+    ElectricitySimOptions sim;
+    Rng rng(0xE1EC);
+    StateSequence seq = SimulateElectricity(sim, &rng).ValueOrDie();
+    MarkovChain chain = MarkovChain::Estimate({seq}, kNumPowerLevels).ValueOrDie();
+    return Setup(std::move(seq), std::move(chain));
+  }());
+  return *setup;
+}
+
+struct Table3Row {
+  double group = 0.0, approx = 0.0, exact = 0.0;
+  bool gk16_applicable = false;
+};
+Table3Row g_rows[3];
+
+void BM_Table3Electricity(benchmark::State& state) {
+  const int eps_idx = static_cast<int>(state.range(0));
+  const double epsilon = kEpsilons[eps_idx];
+  const Setup& setup = GetSetup();
+  const std::size_t length = setup.sequence.size();
+  const double lipschitz = 2.0 / static_cast<double>(length);
+
+  ChainMqmOptions approx_options;
+  approx_options.epsilon = epsilon;
+  approx_options.max_nearby = 0;
+  const ChainMqmResult approx =
+      MqmApproxAnalyze({setup.chain}, length, approx_options).ValueOrDie();
+  ChainMqmOptions exact_options;
+  exact_options.epsilon = epsilon;
+  exact_options.max_nearby = approx.active_quilt.NearbyCount() + 2;
+  const ChainMqmResult exact =
+      MqmExactAnalyze({setup.chain}, length, exact_options).ValueOrDie();
+
+  Table3Row row;
+  row.gk16_applicable =
+      Gk16Analyze({setup.chain}, length, epsilon).ValueOrDie().applicable;
+  Rng rng(31337 + eps_idx);
+  for (auto _ : state) {
+    double g = 0.0, a = 0.0, e = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      for (std::size_t j = 0; j < kNumPowerLevels; ++j) {
+        g += std::fabs(rng.Laplace(2.0 / epsilon));  // Single-chain GroupDP.
+        a += std::fabs(rng.Laplace(lipschitz * approx.sigma_max));
+        e += std::fabs(rng.Laplace(lipschitz * exact.sigma_max));
+      }
+    }
+    row.group = g / kTrials;
+    row.approx = a / kTrials;
+    row.exact = e / kTrials;
+  }
+  g_rows[eps_idx] = row;
+  state.counters["epsilon"] = epsilon;
+  state.counters["err_GroupDP"] = row.group;
+  state.counters["err_MQMApprox"] = row.approx;
+  state.counters["err_MQMExact"] = row.exact;
+}
+
+BENCHMARK(BM_Table3Electricity)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pf
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pf::bench::PrintHeader(
+      "Table 3: L1 error, electricity histogram (51 bins, 20 trials)",
+      {"eps=0.2", "eps=1", "eps=5"});
+  pf::bench::PrintRow("GroupDP", {pf::g_rows[0].group, pf::g_rows[1].group,
+                                  pf::g_rows[2].group});
+  pf::bench::PrintRow("GK16 (N/A)", {-1.0, -1.0, -1.0});
+  pf::bench::PrintRow("MQMApprox", {pf::g_rows[0].approx, pf::g_rows[1].approx,
+                                    pf::g_rows[2].approx});
+  pf::bench::PrintRow("MQMExact", {pf::g_rows[0].exact, pf::g_rows[1].exact,
+                                   pf::g_rows[2].exact});
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared helpers for the benchmark/experiment binaries. Each binary
+// regenerates one table or figure of the paper (see DESIGN.md §3): the
+// google-benchmark timing machinery measures the noise-scale computations
+// (Table 2's quantity), and custom counters report the utility numbers
+// (L1 errors) that the paper's figures and tables plot.
+#ifndef PUFFERFISH_BENCH_BENCH_UTIL_H_
+#define PUFFERFISH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/matrix.h"
+#include "common/random.h"
+
+namespace pf {
+namespace bench {
+
+/// Mean L1 error of `trials` noisy releases of `truth` with i.i.d.
+/// Laplace(scale) noise per coordinate (the quantity every utility table in
+/// the paper reports).
+inline double MeanL1Error(const Vector& truth, double scale, int trials,
+                          Rng* rng) {
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    double err = 0.0;
+    for (std::size_t j = 0; j < truth.size(); ++j) {
+      err += std::abs(rng->Laplace(scale));
+    }
+    total += err;
+  }
+  return total / trials;
+}
+
+/// Mean absolute error of a scalar release with Laplace(scale) noise.
+inline double MeanAbsError(double scale, int trials, Rng* rng) {
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) total += std::abs(rng->Laplace(scale));
+  return total / trials;
+}
+
+/// Prints one row of a paper-style table to stdout (the benchmark console
+/// reporter covers the counters; these rows give the exact paper layout).
+inline void PrintRow(const std::string& label, const std::vector<double>& cells) {
+  std::printf("%-28s", label.c_str());
+  for (double c : cells) std::printf("  %12.6g", c);
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& cols) {
+  std::printf("\n== %s ==\n%-28s", title.c_str(), "");
+  for (const std::string& c : cols) std::printf("  %12s", c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace pf
+
+#endif  // PUFFERFISH_BENCH_BENCH_UTIL_H_

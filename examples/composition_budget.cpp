@@ -1,0 +1,65 @@
+// Theorem 4.4 in practice: a weekly reporting pipeline that publishes the
+// same subject's activity statistics every day. Pufferfish does not compose
+// in general, but the Markov Quilt Mechanism with fixed quilt sets does:
+// K releases at epsilon each cost exactly K * epsilon. The accountant
+// tracks the budget and verifies the active-quilt condition.
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "graphical/markov_chain.h"
+#include "pufferfish/composition.h"
+#include "pufferfish/mqm_exact.h"
+#include "pufferfish/query.h"
+
+int main() {
+  // Subject model: a 3-state chain (rest, light, active) per minute, in
+  // steady state (stationary initial distribution), so the Section 4.4.1
+  // stationary shortcut applies and the analysis is length-independent.
+  const pf::Matrix transition{
+      {0.82, 0.12, 0.06}, {0.15, 0.70, 0.15}, {0.05, 0.20, 0.75}};
+  const pf::Vector stationary =
+      pf::MarkovChain::Make({1.0 / 3, 1.0 / 3, 1.0 / 3}, transition)
+          .ValueOrDie()
+          .StationaryDistribution()
+          .ValueOrDie();
+  const pf::MarkovChain theta =
+      pf::MarkovChain::Make(stationary, transition).ValueOrDie();
+  const std::size_t kWindow = 10080;  // One week of minutes per release.
+  pf::Rng rng(12);
+
+  const double per_release_epsilon = 0.5;
+  pf::ChainMqmOptions options;
+  options.epsilon = per_release_epsilon;
+  options.max_nearby = 128;
+
+  // The model, query, epsilon and quilt sets are identical across releases,
+  // so the analysis (and hence the active quilt, Definition 4.5) is computed
+  // once — exactly the setting in which Theorem 4.4 composes linearly.
+  const pf::ChainMqmResult analysis =
+      pf::MqmExactAnalyze({theta}, kWindow, options).ValueOrDie();
+  const pf::VectorQuery query = pf::RelativeFrequencyQuery(3, kWindow);
+
+  pf::CompositionAccountant accountant;
+  std::printf("weekly releases at epsilon = %.2f each (same quilt sets):\n\n",
+              per_release_epsilon);
+  for (int day = 1; day <= 7; ++day) {
+    const pf::StateSequence data = theta.Sample(kWindow, &rng);
+    const pf::Vector noisy = pf::ClampToUnit(pf::MqmReleaseVector(
+        query.fn(data), query.lipschitz, analysis.sigma_max, &rng));
+    if (!accountant.RecordRelease(per_release_epsilon, analysis.active_quilt)
+             .ok()) {
+      std::fprintf(stderr, "accounting failed\n");
+      return 1;
+    }
+    std::printf(
+        "week %d: released (%.3f, %.3f, %.3f); cumulative budget %.2f "
+        "(quilts consistent: %s)\n",
+        day, noisy[0], noisy[1], noisy[2], accountant.TotalEpsilon(),
+        accountant.ActiveQuiltsConsistent() ? "yes" : "NO");
+  }
+  std::printf(
+      "\nafter %zu releases: total guarantee %.2f-Pufferfish "
+      "(Theorem 4.4: K * max_k epsilon_k).\n",
+      accountant.num_releases(), accountant.TotalEpsilon());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Example 2 of the paper end to end: flu status over a social network of
+// cliques (workplaces/schools). Within each clique, infection counts follow
+// a known contagion model; participation is decided at the group level, so
+// hiding one person's *status* — not just their participation — is the
+// privacy goal. The Wasserstein Mechanism (Algorithm 1) calibrates noise to
+// the infinity-Wasserstein distance between the conditional distributions of
+// the released count given "Alice is healthy" vs "Alice has flu".
+#include <cstdio>
+
+#include "baselines/group_dp.h"
+#include "baselines/laplace_dp.h"
+#include "data/flu.h"
+#include "pufferfish/wasserstein_mechanism.h"
+
+int main() {
+  // A network of 12 cliques of varying sizes and contagiousness.
+  std::vector<pf::FluCliqueModel> cliques;
+  for (std::size_t size = 4; size <= 15; ++size) {
+    const double contagion = 0.1 + 0.05 * static_cast<double>(size % 5);
+    cliques.push_back(
+        pf::FluCliqueModel::Contagion(size, contagion).ValueOrDie());
+  }
+  const pf::FluNetwork network(std::move(cliques));
+  std::printf("population %zu in %zu cliques; largest clique %g\n",
+              network.population(), network.cliques().size(),
+              network.GroupSensitivity());
+
+  // Sensitivity of the total-infected-count query under each notion.
+  const double w = network.CountQuerySensitivity().ValueOrDie();
+  std::printf("Wasserstein sensitivity W   : %.3f\n", w);
+  std::printf("group-DP sensitivity        : %.3f (largest clique)\n",
+              network.GroupSensitivity());
+  std::printf("entry-DP sensitivity        : 1 (hides participation only, "
+              "NOT flu status under contagion)\n");
+
+  const double epsilon = 1.0;
+  pf::Rng rng(99);
+  const std::vector<int> status = network.Sample(&rng);
+  double count = 0.0;
+  for (int s : status) count += s;
+
+  // Release with each mechanism.
+  std::vector<pf::ConditionalOutputPair> pairs;
+  for (const pf::FluCliqueModel& clique : network.cliques()) {
+    pairs.push_back(clique.CountQueryOutputPair().ValueOrDie());
+  }
+  const auto wasserstein =
+      pf::WassersteinMechanism::Make(pairs, epsilon).ValueOrDie();
+  const auto group =
+      pf::GroupDpMechanism::Make(network.GroupSensitivity(), epsilon)
+          .ValueOrDie();
+
+  std::printf("\ntrue infected count         : %.0f\n", count);
+  std::printf("Wasserstein Mechanism       : %.2f  (scale %.2f)\n",
+              wasserstein.Release(count, &rng), wasserstein.noise_scale());
+  std::printf("GroupDP Laplace             : %.2f  (scale %.2f)\n",
+              group.ReleaseScalar(count, &rng), group.noise_scale());
+  std::printf("\nThe Wasserstein Mechanism hides each person's flu status "
+              "against the contagion\nmodel with %.1fx less noise than "
+              "group-DP (Theorem 3.3 guarantees it is never worse).\n",
+              group.noise_scale() / wasserstein.noise_scale());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: release a private statistic of a correlated time series with
+// the Markov Quilt Mechanism in ~40 lines.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Scenario: a length-1000 binary time series (e.g. device on/off per
+// minute) whose dynamics are one of two plausible Markov chains. We release
+// the fraction of time spent "on" with 1-Pufferfish privacy.
+#include <cstdio>
+
+#include "graphical/markov_chain.h"
+#include "pufferfish/mqm_exact.h"
+#include "pufferfish/query.h"
+
+int main() {
+  // 1. The distribution class Theta: two plausible models of the data.
+  const pf::MarkovChain theta1 =
+      pf::MarkovChain::Make({0.8, 0.2}, pf::Matrix{{0.9, 0.1}, {0.4, 0.6}})
+          .ValueOrDie();
+  const pf::MarkovChain theta2 =
+      pf::MarkovChain::Make({0.6, 0.4}, pf::Matrix{{0.8, 0.2}, {0.3, 0.7}})
+          .ValueOrDie();
+
+  // 2. The data: a trajectory drawn from one of the models.
+  pf::Rng rng(42);
+  const std::size_t kLength = 1000;
+  const pf::StateSequence data = theta1.Sample(kLength, &rng);
+
+  // 3. The query: fraction of time in state 1 (1/T-Lipschitz).
+  const pf::ScalarQuery query = pf::StateFrequencyQuery(1, kLength);
+  const double truth = query.fn(data);
+
+  // 4. Calibrate the Markov Quilt Mechanism at epsilon = 1.
+  pf::ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 64;
+  const pf::Result<pf::ChainMqmResult> analysis =
+      pf::MqmExactAnalyze({theta1, theta2}, kLength, options);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 analysis.status().ToString().c_str());
+    return 1;
+  }
+
+  // 5. Release.
+  const double noisy = pf::MqmReleaseScalar(
+      truth, query.lipschitz, analysis.value().sigma_max, &rng);
+
+  std::printf("true frequency of state 1 : %.4f\n", truth);
+  std::printf("private release (eps = 1) : %.4f\n", noisy);
+  std::printf("noise scale               : %.5f  (sigma_max = %.2f, worst "
+              "node X%d, active %s)\n",
+              query.lipschitz * analysis.value().sigma_max,
+              analysis.value().sigma_max, analysis.value().worst_node,
+              analysis.value().active_quilt.ToString().c_str());
+  std::printf("group-DP would need scale : %.5f (the whole chain is one "
+              "group)\n",
+              1.0 / options.epsilon);
+  return 0;
+}

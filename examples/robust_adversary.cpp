@@ -1,0 +1,57 @@
+// Theorem 2.4 in action: what happens when the adversary's belief lies
+// *outside* the distribution class Theta used to calibrate the mechanism?
+// The privacy guarantee degrades gracefully from epsilon to
+// epsilon + 2*Delta, where Delta is the conditional max-divergence distance
+// from the belief to the class.
+//
+// Scenario: a two-person household where the modeler believes the residents'
+// "home/away" states are positively correlated with strength in a range; the
+// adversary believes in a slightly stronger correlation than any model in
+// Theta.
+#include <cstdio>
+
+#include "pufferfish/robustness.h"
+
+namespace {
+
+// Joint distribution over (X1, X2) in {0,1}^2 with P(X1=1) = P(X2=1) = 1/2
+// and correlation parameter c in [0, 1): P(equal) = (1+c)/2.
+// Configurations enumerated as 00, 01, 10, 11.
+pf::Vector CorrelatedPair(double c) {
+  const double eq = (1.0 + c) / 4.0;
+  const double ne = (1.0 - c) / 4.0;
+  return {eq, ne, ne, eq};
+}
+
+}  // namespace
+
+int main() {
+  // Theta: correlation strength 0.2..0.5. Secrets: each person's value.
+  std::vector<pf::Vector> theta_class;
+  for (double c = 0.2; c <= 0.501; c += 0.05) {
+    theta_class.push_back(CorrelatedPair(c));
+  }
+  // Secrets: X1 = 0 -> configs {00, 01}; X1 = 1 -> {10, 11}; same for X2.
+  const std::vector<std::vector<int>> secrets = {
+      {0, 1}, {2, 3}, {0, 2}, {1, 3}};
+
+  std::printf("mechanism calibrated at epsilon = 1 for Theta = "
+              "{correlation 0.20..0.50}\n\n");
+  std::printf("%-28s %12s %18s\n", "adversary belief", "Delta",
+              "effective epsilon");
+  for (double c : {0.3, 0.55, 0.6, 0.7, 0.8, 0.9}) {
+    const pf::Result<double> delta =
+        pf::CloseAdversaryDelta(theta_class, CorrelatedPair(c), secrets);
+    if (!delta.ok()) {
+      std::printf("correlation %.2f: %s\n", c, delta.status().ToString().c_str());
+      continue;
+    }
+    std::printf("correlation %.2f %22.4f %18.4f%s\n", c, delta.value(),
+                pf::EffectiveEpsilon(1.0, delta.value()),
+                c <= 0.5 ? "   (inside Theta)" : "");
+  }
+  std::printf("\nBeliefs inside Theta cost nothing (Delta = 0); privacy decays "
+              "smoothly with the\nadversary's distance from the class "
+              "(Theorem 2.4).\n");
+  return 0;
+}

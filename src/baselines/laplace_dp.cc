@@ -1,0 +1,28 @@
+#include "baselines/laplace_dp.h"
+
+#include <cmath>
+
+#include "pufferfish/framework.h"
+
+namespace pf {
+
+Result<LaplaceDpMechanism> LaplaceDpMechanism::Make(double sensitivity,
+                                                    double epsilon) {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({epsilon}));
+  if (!(sensitivity >= 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument("sensitivity must be nonnegative and finite");
+  }
+  return LaplaceDpMechanism(sensitivity, epsilon);
+}
+
+double LaplaceDpMechanism::ReleaseScalar(double value, Rng* rng) const {
+  return value + rng->Laplace(noise_scale());
+}
+
+Vector LaplaceDpMechanism::ReleaseVector(const Vector& value, Rng* rng) const {
+  Vector out = value;
+  for (double& v : out) v += rng->Laplace(noise_scale());
+  return out;
+}
+
+}  // namespace pf

@@ -1,0 +1,39 @@
+// The classic Laplace mechanism for (entry-) differential privacy [Dwork et
+// al. 2006]: noise scale = sensitivity / epsilon per coordinate. Used as the
+// "DP" baseline of Table 1 (aggregate task) and as the degenerate case the
+// Wasserstein Mechanism reduces to when Pufferfish specializes to DP.
+#ifndef PUFFERFISH_BASELINES_LAPLACE_DP_H_
+#define PUFFERFISH_BASELINES_LAPLACE_DP_H_
+
+#include "common/matrix.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace pf {
+
+/// \brief Laplace mechanism with explicit L1 sensitivity.
+class LaplaceDpMechanism {
+ public:
+  /// `sensitivity` is the global L1 sensitivity of the released quantity
+  /// with respect to one entry change; must be nonnegative, epsilon > 0.
+  static Result<LaplaceDpMechanism> Make(double sensitivity, double epsilon);
+
+  double noise_scale() const { return sensitivity_ / epsilon_; }
+
+  /// Releases value + Lap(sensitivity/epsilon).
+  double ReleaseScalar(double value, Rng* rng) const;
+
+  /// Releases each coordinate with independent Lap(sensitivity/epsilon)
+  /// noise (correct for L1 sensitivity over the whole vector).
+  Vector ReleaseVector(const Vector& value, Rng* rng) const;
+
+ private:
+  LaplaceDpMechanism(double sensitivity, double epsilon)
+      : sensitivity_(sensitivity), epsilon_(epsilon) {}
+  double sensitivity_;
+  double epsilon_;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_BASELINES_LAPLACE_DP_H_

@@ -1,0 +1,100 @@
+#include "common/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pf {
+
+Result<Vector> SymmetricEigenvalues(const Matrix& m, double symmetry_tol,
+                                    int max_sweeps) {
+  if (m.rows() != m.cols()) {
+    return Status::InvalidArgument("SymmetricEigenvalues requires square matrix");
+  }
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(m(i, j) - m(j, i)) > symmetry_tol) {
+        return Status::InvalidArgument("matrix is not symmetric");
+      }
+    }
+  }
+  Matrix a = m;
+  // Symmetrize exactly to avoid drift.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = a(j, i) = avg;
+    }
+  }
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    if (off < 1e-24) {
+      Vector eig(n);
+      for (std::size_t i = 0; i < n; ++i) eig[i] = a(i, i);
+      std::sort(eig.begin(), eig.end(), std::greater<double>());
+      return eig;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(a(p, q)) < 1e-18) continue;
+        const double app = a(p, p), aqq = a(q, q), apq = a(p, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        // Stable rotation parameter t = sign(theta) / (|theta| + sqrt(theta^2+1)).
+        double t;
+        if (std::fabs(theta) > 1e12) {
+          t = 0.5 / theta;
+        } else {
+          t = ((theta >= 0) ? 1.0 : -1.0) /
+              (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        }
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation J(p, q, theta) on both sides.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  return Status::NumericalError("Jacobi eigensolver failed to converge");
+}
+
+Result<double> SpectralRadius(const Matrix& m, int iters, double tol) {
+  if (m.rows() != m.cols()) {
+    return Status::InvalidArgument("SpectralRadius requires square matrix");
+  }
+  const std::size_t n = m.rows();
+  if (n == 0) return Status::InvalidArgument("empty matrix");
+  Vector v(n, 1.0);
+  double lambda = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    Vector w = m.Apply(v);
+    const double norm = NormL2(w);
+    if (norm < 1e-300) return 0.0;  // Nilpotent-ish; radius ~ 0.
+    for (double& x : w) x /= norm;
+    const double new_lambda = Dot(w, m.Apply(w)) / Dot(w, w);
+    if (it > 5 && std::fabs(new_lambda - lambda) < tol) {
+      return std::fabs(new_lambda);
+    }
+    lambda = new_lambda;
+    v = std::move(w);
+  }
+  return std::fabs(lambda);
+}
+
+Result<double> SpectralNorm(const Matrix& m, int iters, double tol) {
+  const Matrix mtm = m.Transpose() * m;
+  PF_ASSIGN_OR_RETURN(double lambda, SpectralRadius(mtm, iters, tol));
+  return std::sqrt(std::max(0.0, lambda));
+}
+
+}  // namespace pf

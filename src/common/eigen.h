@@ -1,0 +1,32 @@
+// Eigenvalue routines: Jacobi rotations for symmetric matrices and power
+// iteration for spectral norms. Used to compute eigengaps of Markov chains
+// (Lemma 4.8 / Eq. (7) of the paper) and the GK16 spectral-norm condition.
+#ifndef PUFFERFISH_COMMON_EIGEN_H_
+#define PUFFERFISH_COMMON_EIGEN_H_
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace pf {
+
+/// \brief All eigenvalues of a symmetric matrix via the cyclic Jacobi method.
+///
+/// Returns eigenvalues sorted in descending order. Fails with
+/// InvalidArgument if the matrix is not square or not symmetric (within
+/// `symmetry_tol`), and NumericalError if the sweep fails to converge.
+Result<Vector> SymmetricEigenvalues(const Matrix& m, double symmetry_tol = 1e-8,
+                                    int max_sweeps = 100);
+
+/// \brief Largest absolute eigenvalue (spectral radius) by power iteration.
+///
+/// Works on general square matrices with a dominant eigenvalue. `iters`
+/// iterations of normalized multiplication starting from an all-ones vector
+/// (deterministic so results are reproducible).
+Result<double> SpectralRadius(const Matrix& m, int iters = 2000, double tol = 1e-12);
+
+/// \brief Spectral norm ||M||_2 = sqrt(lambda_max(M^T M)) by power iteration.
+Result<double> SpectralNorm(const Matrix& m, int iters = 2000, double tol = 1e-12);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_COMMON_EIGEN_H_

@@ -1,0 +1,51 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+namespace pf {
+
+Result<Vector> CountHistogram(const StateSequence& seq, std::size_t k) {
+  Vector h(k, 0.0);
+  for (int s : seq) {
+    if (s < 0 || static_cast<std::size_t>(s) >= k) {
+      return Status::OutOfRange("state outside [0, k) in CountHistogram");
+    }
+    h[static_cast<std::size_t>(s)] += 1.0;
+  }
+  return h;
+}
+
+Result<Vector> RelativeFrequencyHistogram(const StateSequence& seq, std::size_t k) {
+  if (seq.empty()) {
+    return Status::InvalidArgument("empty sequence in RelativeFrequencyHistogram");
+  }
+  PF_ASSIGN_OR_RETURN(Vector h, CountHistogram(seq, k));
+  const double inv = 1.0 / static_cast<double>(seq.size());
+  for (double& v : h) v *= inv;
+  return h;
+}
+
+Result<Vector> AggregateRelativeFrequencyHistogram(
+    const std::vector<StateSequence>& seqs, std::size_t k) {
+  std::size_t total = 0;
+  Vector h(k, 0.0);
+  for (const auto& seq : seqs) {
+    PF_ASSIGN_OR_RETURN(Vector counts, CountHistogram(seq, k));
+    h = Add(h, counts);
+    total += seq.size();
+  }
+  if (total == 0) {
+    return Status::InvalidArgument("no observations in aggregate histogram");
+  }
+  const double inv = 1.0 / static_cast<double>(total);
+  for (double& v : h) v *= inv;
+  return h;
+}
+
+Vector ClampToUnit(const Vector& h) {
+  Vector out = h;
+  for (double& v : out) v = std::clamp(v, 0.0, 1.0);
+  return out;
+}
+
+}  // namespace pf

@@ -1,0 +1,41 @@
+// Histogram utilities for discrete state sequences: counts, relative
+// frequencies, and aggregation across individuals. These are the query
+// payloads released by the mechanisms in the paper's evaluation (Section 5).
+#ifndef PUFFERFISH_COMMON_HISTOGRAM_H_
+#define PUFFERFISH_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace pf {
+
+/// A discrete state sequence; values must lie in [0, num_states).
+using StateSequence = std::vector<int>;
+
+/// Raw counts of each state in `seq` over a state space of size k.
+/// Fails if any state is outside [0, k).
+Result<Vector> CountHistogram(const StateSequence& seq, std::size_t k);
+
+/// \brief Relative frequency histogram: counts divided by sequence length.
+///
+/// This is the query released in all of the paper's experiments ("to ensure
+/// that results across different chain lengths are comparable, we release a
+/// private relative frequency histogram"). It is (2/T)-Lipschitz in L1.
+Result<Vector> RelativeFrequencyHistogram(const StateSequence& seq, std::size_t k);
+
+/// \brief Pooled relative-frequency histogram over several sequences
+/// (the paper's "aggregate task": one histogram over all of a group's
+/// observations). Lipschitz constant is 2 / (total observations).
+Result<Vector> AggregateRelativeFrequencyHistogram(
+    const std::vector<StateSequence>& seqs, std::size_t k);
+
+/// Clamps histogram entries to [0, 1] (postprocessing of noisy releases;
+/// postprocessing preserves Pufferfish privacy).
+Vector ClampToUnit(const Vector& h);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_COMMON_HISTOGRAM_H_

@@ -1,0 +1,271 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pf {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.size() == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    assert(row.size() == cols_ && "ragged initializer list");
+    for (double v : row) data_.push_back(v);
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size(), 0.0);
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Vector Matrix::Row(std::size_t r) const {
+  Vector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+Vector Matrix::Col(std::size_t c) const {
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= scalar;
+  return out;
+}
+
+Vector Matrix::Apply(const Vector& v) const {
+  assert(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * v[c];
+  return out;
+}
+
+Vector Matrix::ApplyLeft(const Vector& v) const {
+  assert(v.size() == rows_);
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double a = v[r];
+    if (a == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += a * (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Power(unsigned p) const {
+  assert(rows_ == cols_);
+  Matrix result = Identity(rows_);
+  Matrix base = *this;
+  while (p > 0) {
+    if (p & 1u) result = result * base;
+    base = base * base;
+    p >>= 1u;
+  }
+  return result;
+}
+
+Result<Vector> Matrix::Solve(const Vector& b) const {
+  if (rows_ != cols_ || b.size() != rows_) {
+    return Status::InvalidArgument("Solve requires square A and matching b");
+  }
+  const std::size_t n = rows_;
+  // Augmented copy.
+  Matrix a = *this;
+  Vector x = b;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-14) {
+      return Status::NumericalError("singular matrix in Solve");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(x[pivot], x[col]);
+    }
+    const double d = a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / d;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      x[r] -= f * x[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a(i, c) * x[c];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> Matrix::Inverse() const {
+  if (rows_ != cols_) return Status::InvalidArgument("Inverse requires square matrix");
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = Identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-14) {
+      return Status::NumericalError("singular matrix in Inverse");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+        std::swap(inv(pivot, c), inv(col, c));
+      }
+    }
+    const double d = a(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a(col, c) /= d;
+      inv(col, c) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) -= f * a(col, c);
+        inv(r, c) -= f * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Matrix::AllFinite() const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](double v) { return std::isfinite(v); });
+}
+
+bool Matrix::IsRowStochastic(double tol) const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if ((*this)(r, c) < -tol) return false;
+      sum += (*this)(r, c);
+    }
+    if (std::fabs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Subtract(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+double NormL1(const Vector& a) {
+  double s = 0.0;
+  for (double v : a) s += std::fabs(v);
+  return s;
+}
+
+double NormL2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+double NormInf(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double DistanceL1(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+bool IsProbabilityVector(const Vector& v, double tol) {
+  double sum = 0.0;
+  for (double x : v) {
+    if (x < -tol) return false;
+    sum += x;
+  }
+  return std::fabs(sum - 1.0) <= tol;
+}
+
+}  // namespace pf

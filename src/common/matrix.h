@@ -1,0 +1,104 @@
+// Dense row-major matrix and vector math used throughout the library:
+// products, powers, linear solves, and stochastic-matrix helpers.
+#ifndef PUFFERFISH_COMMON_MATRIX_H_
+#define PUFFERFISH_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pf {
+
+/// A column vector of doubles.
+using Vector = std::vector<double>;
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// Sized for the problems in this library (state spaces k <= a few hundred):
+/// O(n^3) algorithms (LU, Jacobi eigensolver) are used deliberately for
+/// robustness and zero dependencies.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Creates a matrix from nested initializer lists (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+  /// Matrix with `diag` on the diagonal, zero elsewhere.
+  static Matrix Diagonal(const Vector& diag);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Row `r` as a vector copy.
+  Vector Row(std::size_t r) const;
+  /// Column `c` as a vector copy.
+  Vector Col(std::size_t c) const;
+
+  Matrix Transpose() const;
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+
+  /// Matrix-vector product (this * v).
+  Vector Apply(const Vector& v) const;
+  /// Vector-matrix product (v^T * this), returned as a vector.
+  Vector ApplyLeft(const Vector& v) const;
+
+  /// This matrix raised to integer power p >= 0 by repeated squaring.
+  Matrix Power(unsigned p) const;
+
+  /// Solves A x = b by Gaussian elimination with partial pivoting.
+  /// Fails with NumericalError if A is (numerically) singular.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// Matrix inverse via Gauss-Jordan; NumericalError if singular.
+  Result<Matrix> Inverse() const;
+
+  /// Max absolute entry (infinity norm of the flattened matrix).
+  double MaxAbs() const;
+  /// True if every entry is finite.
+  bool AllFinite() const;
+
+  /// True if all entries are >= -tol and every row sums to 1 within tol.
+  bool IsRowStochastic(double tol = 1e-9) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Elementwise helpers on vectors. All require matching sizes.
+double Dot(const Vector& a, const Vector& b);
+Vector Add(const Vector& a, const Vector& b);
+Vector Subtract(const Vector& a, const Vector& b);
+Vector Scale(const Vector& a, double s);
+/// L1 norm: sum of absolute values.
+double NormL1(const Vector& a);
+/// L2 (Euclidean) norm.
+double NormL2(const Vector& a);
+/// Infinity norm: max absolute value.
+double NormInf(const Vector& a);
+/// L1 distance between two equal-length vectors.
+double DistanceL1(const Vector& a, const Vector& b);
+
+/// True if entries are nonnegative (>= -tol) and sum to 1 within tol.
+bool IsProbabilityVector(const Vector& v, double tol = 1e-9);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_COMMON_MATRIX_H_

@@ -1,0 +1,54 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pf {
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+std::size_t Rng::UniformInt(std::size_t n) {
+  assert(n > 0);
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(gen_);
+}
+
+double Rng::Laplace(double scale) {
+  assert(scale >= 0.0);
+  // Inverse CDF: X = -b * sgn(u) * ln(1 - 2|u|), u ~ U(-1/2, 1/2).
+  const double u = Uniform() - 0.5;
+  const double sign = (u >= 0.0) ? 1.0 : -1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+std::size_t Rng::Categorical(const Vector& probs) {
+  assert(!probs.empty());
+  double total = 0.0;
+  for (double p : probs) total += p;
+  double r = Uniform() * total;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    r -= probs[i];
+    if (r <= 0.0) return i;
+  }
+  return probs.size() - 1;  // Guard against floating point underflow.
+}
+
+Vector Rng::UniformSimplex(std::size_t k) {
+  assert(k > 0);
+  // Exponential spacings method: normalize i.i.d. Exp(1) draws.
+  Vector v(k);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    v[i] = -std::log(1.0 - Uniform());
+    sum += v[i];
+  }
+  for (double& x : v) x /= sum;
+  return v;
+}
+
+}  // namespace pf

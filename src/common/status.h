@@ -1,0 +1,162 @@
+// Status and Result<T>: lightweight error propagation in the style of
+// Apache Arrow / RocksDB. No exceptions cross the public API boundary.
+#ifndef PUFFERFISH_COMMON_STATUS_H_
+#define PUFFERFISH_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pf {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kNumericalError,
+  kNotSupported,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: either OK or a code plus message.
+///
+/// Mirrors the Arrow/RocksDB idiom: functions that can fail return a Status
+/// (or a Result<T>, below) instead of throwing. Statuses are cheap to copy
+/// when OK (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: epsilon must be > 0".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kNumericalError: return "NumericalError";
+      case StatusCode::kNotSupported: return "NotSupported";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<Matrix> m = Matrix::Identity(3).Inverse();
+///   if (!m.ok()) return m.status();
+///   Use(m.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or aborts with the error message (use in tests/tools).
+  const T& ValueOrDie() const& {
+    if (!ok()) {
+      assert(false && "ValueOrDie on error Result");
+    }
+    return *value_;
+  }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates an error status from an expression returning Status.
+#define PF_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::pf::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assigns a Result's value to `lhs` or propagates its error status.
+#define PF_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto PF_CONCAT_(res_, __LINE__) = (rexpr);   \
+  if (!PF_CONCAT_(res_, __LINE__).ok())        \
+    return PF_CONCAT_(res_, __LINE__).status();\
+  lhs = std::move(PF_CONCAT_(res_, __LINE__)).value()
+
+#define PF_CONCAT_INNER_(a, b) a##b
+#define PF_CONCAT_(a, b) PF_CONCAT_INNER_(a, b)
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_COMMON_STATUS_H_

@@ -1,0 +1,164 @@
+#include "data/activity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pf {
+
+const char* ActivityStateName(int state) {
+  switch (state) {
+    case kActive: return "Active";
+    case kStandStill: return "Stand Still";
+    case kStandMoving: return "Stand Moving";
+    case kSedentary: return "Sedentary";
+    default: return "Unknown";
+  }
+}
+
+const char* ActivityGroupName(ActivityGroup group) {
+  switch (group) {
+    case ActivityGroup::kCyclist: return "cyclist";
+    case ActivityGroup::kOlderWoman: return "older woman";
+    case ActivityGroup::kOverweightWoman: return "overweight woman";
+  }
+  return "unknown";
+}
+
+Matrix ActivityGroupTransition(ActivityGroup group) {
+  // 12-second epochs: strong diagonals (activities persist for minutes).
+  // Rows/cols ordered [Active, StandStill, StandMoving, Sedentary]; the
+  // groups differ in how sticky the active and sedentary states are and in
+  // the inflow to each, which drives the Figure 4(d-f) stationary shapes.
+  switch (group) {
+    case ActivityGroup::kCyclist:
+      return Matrix{{0.9780, 0.0060, 0.0110, 0.0050},
+                    {0.0150, 0.9600, 0.0200, 0.0050},
+                    {0.0200, 0.0150, 0.9550, 0.0100},
+                    {0.0040, 0.0030, 0.0030, 0.9900}};
+    case ActivityGroup::kOlderWoman:
+      return Matrix{{0.9500, 0.0200, 0.0200, 0.0100},
+                    {0.0100, 0.9650, 0.0150, 0.0100},
+                    {0.0150, 0.0200, 0.9500, 0.0150},
+                    {0.0020, 0.0040, 0.0040, 0.9900}};
+    case ActivityGroup::kOverweightWoman:
+      return Matrix{{0.9400, 0.0200, 0.0200, 0.0200},
+                    {0.0080, 0.9600, 0.0170, 0.0150},
+                    {0.0100, 0.0200, 0.9500, 0.0200},
+                    {0.0010, 0.0030, 0.0030, 0.9930}};
+  }
+  return Matrix::Identity(kNumActivityStates);
+}
+
+std::size_t ActivityGroupSize(ActivityGroup group) {
+  switch (group) {
+    case ActivityGroup::kCyclist: return 40;
+    case ActivityGroup::kOlderWoman: return 16;
+    case ActivityGroup::kOverweightWoman: return 36;
+  }
+  return 0;
+}
+
+std::size_t ActivityPerson::TotalObservations() const {
+  std::size_t total = 0;
+  for (const StateSequence& c : chains) total += c.size();
+  return total;
+}
+
+std::size_t ActivityPerson::LongestChain() const {
+  std::size_t longest = 0;
+  for (const StateSequence& c : chains) longest = std::max(longest, c.size());
+  return longest;
+}
+
+std::vector<StateSequence> ActivityGroupData::AllChains() const {
+  std::vector<StateSequence> all;
+  for (const ActivityPerson& p : people) {
+    all.insert(all.end(), p.chains.begin(), p.chains.end());
+  }
+  return all;
+}
+
+std::size_t ActivityGroupData::TotalObservations() const {
+  std::size_t total = 0;
+  for (const ActivityPerson& p : people) total += p.TotalObservations();
+  return total;
+}
+
+std::size_t ActivityGroupData::LongestChain() const {
+  std::size_t longest = 0;
+  for (const ActivityPerson& p : people) {
+    longest = std::max(longest, p.LongestChain());
+  }
+  return longest;
+}
+
+namespace {
+// Per-person transition matrix: off-diagonals multiplied by a log-uniform
+// factor and the diagonal adjusted to keep rows stochastic.
+Matrix PerturbTransition(const Matrix& base, double variation, Rng* rng) {
+  const std::size_t k = base.rows();
+  Matrix p = base;
+  for (std::size_t i = 0; i < k; ++i) {
+    double off_sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      const double factor = std::exp(rng->Uniform(-variation, variation));
+      p(i, j) = base(i, j) * factor;
+      off_sum += p(i, j);
+    }
+    // Keep the row stochastic; cap off-diagonal mass to preserve dominance.
+    if (off_sum > 0.5) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (i != j) p(i, j) *= 0.5 / off_sum;
+      }
+      off_sum = 0.5;
+    }
+    p(i, i) = 1.0 - off_sum;
+  }
+  return p;
+}
+}  // namespace
+
+Result<ActivityGroupData> SimulateActivityGroup(ActivityGroup group,
+                                                const ActivitySimOptions& options,
+                                                Rng* rng) {
+  if (options.mean_observations_per_person == 0 ||
+      options.mean_segment_length == 0) {
+    return Status::InvalidArgument("activity simulation sizes must be positive");
+  }
+  ActivityGroupData data;
+  data.group = group;
+  const Matrix base = ActivityGroupTransition(group);
+  const std::size_t num_people = ActivityGroupSize(group);
+  for (std::size_t person = 0; person < num_people; ++person) {
+    const Matrix p = PerturbTransition(base, options.person_variation, rng);
+    PF_ASSIGN_OR_RETURN(
+        MarkovChain probe,
+        MarkovChain::Make(Vector(kNumActivityStates, 1.0 / kNumActivityStates), p));
+    Result<Vector> pi = probe.StationaryDistribution();
+    const Vector start = pi.ok() ? pi.value()
+                                 : Vector(kNumActivityStates,
+                                          1.0 / kNumActivityStates);
+    PF_ASSIGN_OR_RETURN(MarkovChain chain, MarkovChain::Make(start, p));
+    // Total observations ~ Uniform around the mean (+-25%).
+    const double jitter = rng->Uniform(0.75, 1.25);
+    std::size_t remaining = static_cast<std::size_t>(
+        jitter * static_cast<double>(options.mean_observations_per_person));
+    ActivityPerson subject;
+    while (remaining > 0) {
+      // Segment length ~ geometric-ish via uniform around the mean; gaps of
+      // > 10 minutes start a new independent chain (the paper's rule).
+      const double seg_jitter = rng->Uniform(0.4, 1.6);
+      std::size_t seg = static_cast<std::size_t>(
+          seg_jitter * static_cast<double>(options.mean_segment_length));
+      seg = std::clamp<std::size_t>(seg, 50, remaining);
+      subject.chains.push_back(chain.Sample(seg, rng));
+      remaining -= seg;
+      if (remaining < 50) break;  // Drop sub-minute tails.
+    }
+    data.people.push_back(std::move(subject));
+  }
+  return data;
+}
+
+}  // namespace pf

@@ -1,0 +1,93 @@
+// Simulated physical-activity measurement data standing in for the
+// free-living activity dataset of Ellis et al. used in Section 5.3.1 (not
+// redistributable; see DESIGN.md §4 for the substitution rationale).
+//
+// Faithful to the paper's preprocessing and statistics:
+//  - four activities (active, standing still, standing moving, sedentary),
+//    one observation every ~12 seconds;
+//  - three participant groups — 40 cyclists, 16 older women, 36 overweight
+//    women — with group-characteristic transition dynamics (cyclists most
+//    active, overweight women most sedentary);
+//  - about 9,000 observations per person over 7 days of waking hours;
+//  - recording gaps of > 10 minutes split each person's data into several
+//    independent chains, exactly as the paper treats missing values.
+#ifndef PUFFERFISH_DATA_ACTIVITY_H_
+#define PUFFERFISH_DATA_ACTIVITY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/matrix.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graphical/markov_chain.h"
+
+namespace pf {
+
+/// The four activity states.
+enum ActivityState : int {
+  kActive = 0,
+  kStandStill = 1,
+  kStandMoving = 2,
+  kSedentary = 3,
+};
+inline constexpr std::size_t kNumActivityStates = 4;
+
+/// Display names for the four states (Figure 4 axis labels).
+const char* ActivityStateName(int state);
+
+/// Participant groups of the study.
+enum class ActivityGroup {
+  kCyclist,
+  kOlderWoman,
+  kOverweightWoman,
+};
+const char* ActivityGroupName(ActivityGroup group);
+
+/// Group-level base transition matrix (12 s epochs; diagonally dominant —
+/// activities persist for minutes).
+Matrix ActivityGroupTransition(ActivityGroup group);
+
+/// Number of participants per group in the study (40 / 16 / 36).
+std::size_t ActivityGroupSize(ActivityGroup group);
+
+/// One participant's recording: several >10-minute-gap-separated chains.
+struct ActivityPerson {
+  std::vector<StateSequence> chains;
+  /// Total number of observations across chains.
+  std::size_t TotalObservations() const;
+  /// Length of the longest chain (drives the GroupDP noise).
+  std::size_t LongestChain() const;
+};
+
+/// A full group's dataset.
+struct ActivityGroupData {
+  ActivityGroup group;
+  std::vector<ActivityPerson> people;
+
+  /// All chains of all people, flattened (the aggregate-task input).
+  std::vector<StateSequence> AllChains() const;
+  std::size_t TotalObservations() const;
+  std::size_t LongestChain() const;
+};
+
+/// Generation knobs; defaults match the study's shape.
+struct ActivitySimOptions {
+  /// Mean observations per person (paper: > 9,000 on average).
+  std::size_t mean_observations_per_person = 9500;
+  /// Mean chain segment length between >10-minute gaps.
+  std::size_t mean_segment_length = 1200;
+  /// Scale of per-person perturbation of the group transition matrix.
+  double person_variation = 0.25;
+};
+
+/// \brief Simulates one group's dataset.
+Result<ActivityGroupData> SimulateActivityGroup(ActivityGroup group,
+                                                const ActivitySimOptions& options,
+                                                Rng* rng);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_DATA_ACTIVITY_H_

@@ -1,0 +1,51 @@
+#include "data/electricity.h"
+
+#include <cmath>
+
+namespace pf {
+
+Matrix ElectricityTransition(const ElectricitySimOptions& options) {
+  const std::size_t k = kNumPowerLevels;
+  // Base-load (reset) profile: geometric decay over levels.
+  Vector base(k);
+  double base_sum = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    base[j] = std::pow(options.base_load_decay, static_cast<double>(j));
+    base_sum += base[j];
+  }
+  for (double& v : base) v /= base_sum;
+
+  Matrix p(k, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    // Local move kernel: discretized Laplace around the current level with a
+    // slight downward tilt (loads decay toward base).
+    Vector local(k, 0.0);
+    double local_sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double d = static_cast<double>(j) - static_cast<double>(i);
+      const double tilt = (d > 0) ? 1.15 : 1.0;  // Upward moves are rarer.
+      local[j] = std::exp(-std::fabs(d) * tilt / options.local_spread);
+      local_sum += local[j];
+    }
+    for (double& v : local) v /= local_sum;
+    for (std::size_t j = 0; j < k; ++j) {
+      p(i, j) = (1.0 - options.reset_probability) * local[j] +
+                options.reset_probability * base[j];
+    }
+  }
+  return p;
+}
+
+Result<StateSequence> SimulateElectricity(const ElectricitySimOptions& options,
+                                          Rng* rng) {
+  if (options.length == 0) return Status::InvalidArgument("length must be positive");
+  const Matrix p = ElectricityTransition(options);
+  PF_ASSIGN_OR_RETURN(
+      MarkovChain probe,
+      MarkovChain::Make(Vector(kNumPowerLevels, 1.0 / kNumPowerLevels), p));
+  PF_ASSIGN_OR_RETURN(Vector pi, probe.StationaryDistribution());
+  PF_ASSIGN_OR_RETURN(MarkovChain chain, MarkovChain::Make(pi, p));
+  return chain.Sample(options.length, rng);
+}
+
+}  // namespace pf

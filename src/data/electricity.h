@@ -1,0 +1,50 @@
+// Simulated household electricity consumption standing in for the Makonin
+// et al. dataset of Section 5.3.2 (per-minute power of one household over
+// ~2 years; see DESIGN.md §4 for the substitution rationale). Matches the
+// paper's preprocessing: power discretized into 51 intervals of 200 W,
+// yielding a 51-state Markov chain of length T ~ 10^6.
+//
+// The synthetic load process is a mean-reverting local random walk over
+// power levels (appliances switch gradually) mixed with a small "regime
+// reset" component toward the low-power base load (overnight/idle periods).
+// The reset component guarantees irreducibility and a healthy spectral gap
+// while keeping high-power states rare — the qualitative features that
+// drive the Table 3 comparison.
+#ifndef PUFFERFISH_DATA_ELECTRICITY_H_
+#define PUFFERFISH_DATA_ELECTRICITY_H_
+
+#include <cstddef>
+
+#include "common/histogram.h"
+#include "common/matrix.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graphical/markov_chain.h"
+
+namespace pf {
+
+/// Number of 200 W power levels (0..50), as in the paper.
+inline constexpr std::size_t kNumPowerLevels = 51;
+
+/// Simulation knobs.
+struct ElectricitySimOptions {
+  /// Chain length (paper: T ~ 1,000,000 one-minute readings).
+  std::size_t length = 1000000;
+  /// Probability of a regime reset toward base load per step.
+  double reset_probability = 0.08;
+  /// Local random-walk spread (how far one minute can move the level).
+  double local_spread = 1.5;
+  /// Geometric decay of the reset (base-load) profile over levels.
+  double base_load_decay = 0.88;
+};
+
+/// The ground-truth generating transition matrix of the simulator.
+Matrix ElectricityTransition(const ElectricitySimOptions& options);
+
+/// \brief Simulates the discretized per-minute power level sequence.
+Result<StateSequence> SimulateElectricity(const ElectricitySimOptions& options,
+                                          Rng* rng);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_DATA_ELECTRICITY_H_

@@ -1,0 +1,119 @@
+#include "data/flu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dist/wasserstein.h"
+
+namespace pf {
+
+Result<FluCliqueModel> FluCliqueModel::Make(std::size_t clique_size,
+                                            Vector count_distribution) {
+  if (clique_size == 0) return Status::InvalidArgument("empty clique");
+  if (count_distribution.size() != clique_size + 1) {
+    return Status::InvalidArgument("count distribution must have n+1 entries");
+  }
+  if (!IsProbabilityVector(count_distribution, 1e-8)) {
+    return Status::InvalidArgument("count distribution must sum to 1");
+  }
+  return FluCliqueModel(clique_size, std::move(count_distribution));
+}
+
+FluCliqueModel FluCliqueModel::PaperExample() {
+  return FluCliqueModel(4, {0.1, 0.15, 0.5, 0.15, 0.1});
+}
+
+Result<FluCliqueModel> FluCliqueModel::Contagion(std::size_t clique_size,
+                                                 double c) {
+  Vector p(clique_size + 1);
+  double sum = 0.0;
+  for (std::size_t j = 0; j <= clique_size; ++j) {
+    p[j] = std::exp(c * static_cast<double>(j));
+    sum += p[j];
+  }
+  for (double& v : p) v /= sum;
+  return Make(clique_size, std::move(p));
+}
+
+double FluCliqueModel::InfectionProbability() const {
+  // P(X_i = 1) = sum_j p_N(j) * j / n by exchangeability.
+  double prob = 0.0;
+  for (std::size_t j = 0; j <= n_; ++j) {
+    prob += p_n_[j] * static_cast<double>(j) / static_cast<double>(n_);
+  }
+  return prob;
+}
+
+Result<DiscreteDistribution> FluCliqueModel::ConditionalCount(int status) const {
+  if (status != 0 && status != 1) {
+    return Status::InvalidArgument("status must be 0 or 1");
+  }
+  std::vector<DiscreteDistribution::Atom> atoms;
+  double total = 0.0;
+  for (std::size_t j = 0; j <= n_; ++j) {
+    const double frac = static_cast<double>(j) / static_cast<double>(n_);
+    const double weight = (status == 1) ? frac : (1.0 - frac);
+    const double mass = p_n_[j] * weight;
+    if (mass > 0.0) {
+      atoms.push_back({static_cast<double>(j), mass});
+      total += mass;
+    }
+  }
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("conditioning event has probability zero");
+  }
+  for (auto& atom : atoms) atom.p /= total;
+  return DiscreteDistribution::Make(std::move(atoms), 1e-8);
+}
+
+Result<ConditionalOutputPair> FluCliqueModel::CountQueryOutputPair() const {
+  PF_ASSIGN_OR_RETURN(DiscreteDistribution mu0, ConditionalCount(0));
+  PF_ASSIGN_OR_RETURN(DiscreteDistribution mu1, ConditionalCount(1));
+  return ConditionalOutputPair{std::move(mu0), std::move(mu1)};
+}
+
+std::vector<int> FluCliqueModel::Sample(Rng* rng) const {
+  const std::size_t count = rng->Categorical(p_n_);
+  std::vector<int> status(n_, 0);
+  std::fill(status.begin(), status.begin() + static_cast<long>(count), 1);
+  std::shuffle(status.begin(), status.end(), rng->engine());
+  return status;
+}
+
+std::size_t FluNetwork::population() const {
+  std::size_t total = 0;
+  for (const FluCliqueModel& c : cliques_) total += c.clique_size();
+  return total;
+}
+
+Result<double> FluNetwork::CountQuerySensitivity() const {
+  if (cliques_.empty()) return Status::InvalidArgument("empty network");
+  double w = 0.0;
+  for (const FluCliqueModel& clique : cliques_) {
+    PF_ASSIGN_OR_RETURN(ConditionalOutputPair pair, clique.CountQueryOutputPair());
+    PF_ASSIGN_OR_RETURN(double wc, WassersteinInf(pair.mu_i, pair.mu_j));
+    w = std::max(w, wc);
+  }
+  return w;
+}
+
+double FluNetwork::GroupSensitivity() const {
+  std::size_t largest = 0;
+  for (const FluCliqueModel& c : cliques_) {
+    largest = std::max(largest, c.clique_size());
+  }
+  return static_cast<double>(largest);
+}
+
+std::vector<int> FluNetwork::Sample(Rng* rng) const {
+  std::vector<int> all;
+  all.reserve(population());
+  for (const FluCliqueModel& c : cliques_) {
+    const std::vector<int> s = c.Sample(rng);
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  return all;
+}
+
+}  // namespace pf

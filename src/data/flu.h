@@ -1,0 +1,100 @@
+// The flu-status-over-social-network application (Example 2 and the worked
+// example of Section 3.1): people interact in cliques; within a clique the
+// infection count N is exchangeable with a known distribution p_N, and the
+// goal is to release the number of infected people while hiding each
+// individual's status.
+//
+// Exchangeability gives the conditional count distributions in closed form:
+//   P(N = j | X_i = 1) = p_N(j) * (j/n)       / P(X_i = 1)
+//   P(N = j | X_i = 0) = p_N(j) * ((n-j)/n)   / P(X_i = 0)
+// which reproduce the Section 3.1 table exactly and feed the Wasserstein
+// Mechanism.
+#ifndef PUFFERFISH_DATA_FLU_H_
+#define PUFFERFISH_DATA_FLU_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "dist/discrete_distribution.h"
+#include "pufferfish/wasserstein_mechanism.h"
+
+namespace pf {
+
+/// \brief One clique: n exchangeable individuals with infection-count
+/// distribution p_N over {0, ..., n}.
+class FluCliqueModel {
+ public:
+  /// `count_distribution` must have n+1 entries summing to 1.
+  static Result<FluCliqueModel> Make(std::size_t clique_size,
+                                     Vector count_distribution);
+
+  /// The Section 3.1 worked example: n = 4,
+  /// p_N = (0.1, 0.15, 0.5, 0.15, 0.1).
+  static FluCliqueModel PaperExample();
+
+  /// The Example 2 contagion model: p_N(j) proportional to exp(c * j)
+  /// ("flu is contagious": more infections are likelier, up to saturation).
+  static Result<FluCliqueModel> Contagion(std::size_t clique_size, double c);
+
+  std::size_t clique_size() const { return n_; }
+  const Vector& count_distribution() const { return p_n_; }
+
+  /// Marginal infection probability P(X_i = 1) (same for all i).
+  double InfectionProbability() const;
+
+  /// Conditional distribution of N given X_i = status (0 or 1), as a
+  /// distribution over {0..n}. Fails if the conditioning event has
+  /// probability zero.
+  Result<DiscreteDistribution> ConditionalCount(int status) const;
+
+  /// The (mu_0, mu_1) pair for the count query F(X) = N — by symmetry, the
+  /// single pair the Wasserstein Mechanism must consider per clique.
+  Result<ConditionalOutputPair> CountQueryOutputPair() const;
+
+  /// Group sensitivity of the count query under group DP (the whole clique
+  /// is one group): n.
+  double GroupSensitivity() const { return static_cast<double>(n_); }
+
+  /// Samples a status vector: N ~ p_N, then a uniformly random infected set.
+  std::vector<int> Sample(Rng* rng) const;
+
+ private:
+  FluCliqueModel(std::size_t n, Vector p_n) : n_(n), p_n_(std::move(p_n)) {}
+  std::size_t n_;
+  Vector p_n_;
+};
+
+/// \brief A social network that is a disjoint union of cliques; the query of
+/// interest is the total number of infected people. The Wasserstein
+/// sensitivity of the union is the max over cliques (Theorem 3.3's mixture
+/// argument: independent cliques only mix the conditionals).
+class FluNetwork {
+ public:
+  explicit FluNetwork(std::vector<FluCliqueModel> cliques)
+      : cliques_(std::move(cliques)) {}
+
+  const std::vector<FluCliqueModel>& cliques() const { return cliques_; }
+
+  /// Total population size.
+  std::size_t population() const;
+
+  /// Wasserstein-mechanism sensitivity W for the total-count query: max over
+  /// cliques of W_inf of the per-clique conditional pair.
+  Result<double> CountQuerySensitivity() const;
+
+  /// Group-DP sensitivity: size of the largest clique.
+  double GroupSensitivity() const;
+
+  /// Samples everyone's status (clique by clique, independently).
+  std::vector<int> Sample(Rng* rng) const;
+
+ private:
+  std::vector<FluCliqueModel> cliques_;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_DATA_FLU_H_

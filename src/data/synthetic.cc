@@ -1,0 +1,21 @@
+#include "data/synthetic.h"
+
+namespace pf {
+
+Result<SyntheticChainSample> SampleBinaryChainDataset(
+    const BinaryChainIntervalClass& theta_class, std::size_t length, Rng* rng) {
+  if (length == 0) return Status::InvalidArgument("length must be positive");
+  SyntheticChainSample sample;
+  sample.p0 = rng->Uniform(theta_class.alpha(), theta_class.beta());
+  sample.p1 = rng->Uniform(theta_class.alpha(), theta_class.beta());
+  sample.initial = rng->UniformSimplex(2);
+  PF_ASSIGN_OR_RETURN(
+      MarkovChain chain,
+      MarkovChain::Make(sample.initial,
+                        BinaryChainIntervalClass::TransitionFor(sample.p0,
+                                                                sample.p1)));
+  sample.sequence = chain.Sample(length, rng);
+  return sample;
+}
+
+}  // namespace pf

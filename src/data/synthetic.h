@@ -1,0 +1,35 @@
+// Synthetic workloads of Section 5.2: binary Markov chains with transition
+// parameters drawn from an interval class Theta = [alpha, beta] and initial
+// distributions drawn uniformly from the simplex.
+#ifndef PUFFERFISH_DATA_SYNTHETIC_H_
+#define PUFFERFISH_DATA_SYNTHETIC_H_
+
+#include <cstddef>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graphical/markov_chain.h"
+#include "pufferfish/framework.h"
+
+namespace pf {
+
+/// One sampled synthetic dataset and the parameters that generated it.
+struct SyntheticChainSample {
+  /// Generating parameters: p0, p1 uniform in [alpha, beta], q0 uniform.
+  double p0 = 0.0;
+  double p1 = 0.0;
+  Vector initial;
+  /// The sampled state sequence X_1..X_T.
+  StateSequence sequence;
+};
+
+/// \brief Draws one dataset per the Section 5.2 protocol: p0, p1 ~
+/// U[alpha, beta], initial distribution uniform on the simplex, then a
+/// length-T trajectory.
+Result<SyntheticChainSample> SampleBinaryChainDataset(
+    const BinaryChainIntervalClass& theta_class, std::size_t length, Rng* rng);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_DATA_SYNTHETIC_H_

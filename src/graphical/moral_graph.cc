@@ -1,0 +1,65 @@
+#include "graphical/moral_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace pf {
+
+MoralGraph::MoralGraph(const BayesianNetwork& bn) {
+  const std::size_t n = bn.num_nodes();
+  std::vector<std::set<int>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& parents = bn.node(i).parents;
+    for (int p : parents) {
+      adj[i].insert(p);
+      adj[static_cast<std::size_t>(p)].insert(static_cast<int>(i));
+    }
+    // Marry co-parents.
+    for (std::size_t a = 0; a < parents.size(); ++a) {
+      for (std::size_t b = a + 1; b < parents.size(); ++b) {
+        adj[static_cast<std::size_t>(parents[a])].insert(parents[b]);
+        adj[static_cast<std::size_t>(parents[b])].insert(parents[a]);
+      }
+    }
+  }
+  adjacency_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    adjacency_[i].assign(adj[i].begin(), adj[i].end());
+  }
+}
+
+std::vector<int> MoralGraph::ReachableAvoiding(
+    int start, const std::vector<int>& blocked) const {
+  std::vector<bool> is_blocked(num_nodes(), false);
+  for (int b : blocked) is_blocked[static_cast<std::size_t>(b)] = true;
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<int> out;
+  std::queue<int> q;
+  seen[static_cast<std::size_t>(start)] = true;
+  q.push(start);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    out.push_back(v);
+    for (int w : neighbors(v)) {
+      if (!seen[static_cast<std::size_t>(w)] && !is_blocked[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        q.push(w);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool MoralGraph::Separates(const std::vector<int>& blocked, int a, int b) const {
+  if (std::find(blocked.begin(), blocked.end(), a) != blocked.end() ||
+      std::find(blocked.begin(), blocked.end(), b) != blocked.end()) {
+    return true;  // Conditioning on an endpoint trivially blocks it.
+  }
+  const std::vector<int> reach = ReachableAvoiding(a, blocked);
+  return !std::binary_search(reach.begin(), reach.end(), b);
+}
+
+}  // namespace pf

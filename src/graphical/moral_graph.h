@@ -1,0 +1,40 @@
+// Moral graph of a Bayesian network and vertex-separation queries. Used to
+// certify Markov quilts (Definition 4.2): if X_Q separates X_i from X_R in
+// the moral graph, then X_R is conditionally independent of X_i given X_Q.
+// (Moral-graph separation is a sound — if conservative — certificate of the
+// conditional independence the quilt definition requires.)
+#ifndef PUFFERFISH_GRAPHICAL_MORAL_GRAPH_H_
+#define PUFFERFISH_GRAPHICAL_MORAL_GRAPH_H_
+
+#include <vector>
+
+#include "graphical/bayesian_network.h"
+
+namespace pf {
+
+/// \brief Undirected moralization of a Bayesian network: every node is linked
+/// to its parents, and co-parents of each node are linked ("married").
+class MoralGraph {
+ public:
+  explicit MoralGraph(const BayesianNetwork& bn);
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  const std::vector<int>& neighbors(int v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+
+  /// Nodes reachable from `start` without entering any node of `blocked`.
+  /// `start` must not be in `blocked`; the result includes `start`.
+  std::vector<int> ReachableAvoiding(int start,
+                                     const std::vector<int>& blocked) const;
+
+  /// True iff `blocked` separates `a` from `b` (no path avoiding `blocked`).
+  bool Separates(const std::vector<int>& blocked, int a, int b) const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_GRAPHICAL_MORAL_GRAPH_H_

@@ -1,0 +1,35 @@
+#include "pufferfish/composition.h"
+
+#include <algorithm>
+
+#include "pufferfish/framework.h"
+
+namespace pf {
+
+std::string CompositionAccountant::QuiltSignature(const MarkovQuilt& q) {
+  std::string sig = std::to_string(q.target) + ":";
+  for (int v : q.quilt) sig += std::to_string(v) + ",";
+  sig += "|" + std::to_string(q.nearby_count);
+  return sig;
+}
+
+Status CompositionAccountant::RecordRelease(double epsilon,
+                                            const MarkovQuilt& active_quilt) {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({epsilon}));
+  const std::string sig = QuiltSignature(active_quilt);
+  if (epsilons_.empty()) {
+    first_signature_ = sig;
+  } else if (sig != first_signature_) {
+    consistent_ = false;
+  }
+  epsilons_.push_back(epsilon);
+  return Status::OK();
+}
+
+double CompositionAccountant::TotalEpsilon() const {
+  if (epsilons_.empty()) return 0.0;
+  const double max_eps = *std::max_element(epsilons_.begin(), epsilons_.end());
+  return static_cast<double>(epsilons_.size()) * max_eps;
+}
+
+}  // namespace pf

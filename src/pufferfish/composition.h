@@ -1,0 +1,51 @@
+// Sequential composition accounting for the Markov Quilt Mechanism
+// (Theorem 4.4). Pufferfish does not compose in general, but MQM releases
+// that share the same quilt sets S_{Q,i} — and hence the same *active*
+// quilts (Definition 4.5) — compose linearly: K releases at epsilon each
+// give K * epsilon Pufferfish privacy (K * max_k epsilon_k when levels
+// differ, provided the same S_{Q,i} is used throughout).
+#ifndef PUFFERFISH_PUFFERFISH_COMPOSITION_H_
+#define PUFFERFISH_PUFFERFISH_COMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graphical/markov_quilt.h"
+
+namespace pf {
+
+/// \brief Tracks repeated MQM releases over the same database and reports
+/// the composed privacy guarantee of Theorem 4.4.
+class CompositionAccountant {
+ public:
+  CompositionAccountant() = default;
+
+  /// Records one release made at privacy level `epsilon` whose per-node
+  /// active quilt at the worst node is `active_quilt` (used to verify the
+  /// Theorem 4.4 precondition that all releases share active quilts).
+  Status RecordRelease(double epsilon, const MarkovQuilt& active_quilt);
+
+  /// Number of releases recorded so far (K).
+  std::size_t num_releases() const { return epsilons_.size(); }
+
+  /// \brief Composed privacy parameter: K * max_k epsilon_k (Theorem 4.4).
+  /// Zero when no release has been recorded.
+  double TotalEpsilon() const;
+
+  /// True iff every recorded release used the same active quilt — the
+  /// condition under which Theorem 4.4's linear composition is proved.
+  /// (Identical epsilon and S_{Q,i} across releases guarantee this.)
+  bool ActiveQuiltsConsistent() const { return consistent_; }
+
+ private:
+  static std::string QuiltSignature(const MarkovQuilt& q);
+
+  std::vector<double> epsilons_;
+  std::string first_signature_;
+  bool consistent_ = true;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_PUFFERFISH_COMPOSITION_H_

@@ -1,0 +1,107 @@
+#include "pufferfish/framework.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pf {
+
+std::vector<AttributeSecretPair> AllAttributeSecretPairs(std::size_t n, int arity) {
+  std::vector<AttributeSecretPair> pairs;
+  pairs.reserve(n * static_cast<std::size_t>(arity) * static_cast<std::size_t>(arity) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int a = 0; a < arity; ++a) {
+      for (int b = a + 1; b < arity; ++b) {
+        pairs.push_back({static_cast<int>(i), a, b});
+      }
+    }
+  }
+  return pairs;
+}
+
+Status ValidatePrivacyParams(const PrivacyParams& params) {
+  if (!(params.epsilon > 0.0) || !std::isfinite(params.epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  return Status::OK();
+}
+
+Result<ChainClassSummary> SummarizeChainClass(
+    const std::vector<MarkovChain>& thetas) {
+  if (thetas.empty()) return Status::InvalidArgument("empty chain class");
+  ChainClassSummary s;
+  s.pi_min = 1.0;
+  s.eigengap = 2.0;
+  s.all_reversible = true;
+  // First pass: reversibility of the whole class decides which eigengap
+  // definition applies (Eq. (14)).
+  for (const MarkovChain& theta : thetas) {
+    if (!theta.IsIrreducible()) {
+      return Status::FailedPrecondition("chain class contains a reducible chain");
+    }
+    if (!theta.IsAperiodic()) {
+      return Status::FailedPrecondition("chain class contains a periodic chain");
+    }
+    PF_ASSIGN_OR_RETURN(bool rev, theta.IsReversible());
+    s.all_reversible = s.all_reversible && rev;
+  }
+  for (const MarkovChain& theta : thetas) {
+    PF_ASSIGN_OR_RETURN(double pi_min, theta.MinStationaryProbability());
+    if (pi_min <= 0.0) {
+      return Status::FailedPrecondition("zero stationary probability in class");
+    }
+    s.pi_min = std::min(s.pi_min, pi_min);
+    // MarkovChain::Eigengap applies the reversible doubling per chain; when
+    // the class mixes reversible and non-reversible chains we must use the
+    // conservative PP* definition for every member.
+    PF_ASSIGN_OR_RETURN(bool rev, theta.IsReversible());
+    PF_ASSIGN_OR_RETURN(double gap, theta.Eigengap());
+    if (!s.all_reversible && rev) {
+      // Eigengap() returned the doubled reversible value; recover the PP*
+      // value. For reversible P, spec(PP*) = spec(P^2) so
+      // 1 - lambda_2(PP*) = 1 - lambda_2(P)^2 >= gap/2; recompute directly.
+      const double lambda = 1.0 - gap / 2.0;  // |second eigenvalue| of P.
+      gap = 1.0 - lambda * lambda;
+    }
+    s.eigengap = std::min(s.eigengap, gap);
+  }
+  return s;
+}
+
+Result<BinaryChainIntervalClass> BinaryChainIntervalClass::Make(double alpha,
+                                                                double beta) {
+  if (!(alpha > 0.0) || !(beta < 1.0) || alpha > beta) {
+    return Status::InvalidArgument("need 0 < alpha <= beta < 1");
+  }
+  return BinaryChainIntervalClass(alpha, beta);
+}
+
+Matrix BinaryChainIntervalClass::TransitionFor(double p0, double p1) {
+  return Matrix{{p0, 1.0 - p0}, {1.0 - p1, p1}};
+}
+
+bool BinaryChainIntervalClass::Contains(double p0, double p1) const {
+  return p0 >= alpha_ - 1e-12 && p0 <= beta_ + 1e-12 && p1 >= alpha_ - 1e-12 &&
+         p1 <= beta_ + 1e-12;
+}
+
+std::vector<Matrix> BinaryChainIntervalClass::TransitionGrid(double step) const {
+  std::vector<Matrix> grid;
+  for (double p0 = alpha_; p0 <= beta_ + 1e-9; p0 += step) {
+    for (double p1 = alpha_; p1 <= beta_ + 1e-9; p1 += step) {
+      grid.push_back(TransitionFor(std::min(p0, beta_), std::min(p1, beta_)));
+    }
+  }
+  return grid;
+}
+
+ChainClassSummary BinaryChainIntervalClass::Summary() const {
+  ChainClassSummary s;
+  s.pi_min = (1.0 - beta_) / (2.0 - alpha_ - beta_);
+  const double worst_lambda =
+      std::max(std::fabs(2.0 * beta_ - 1.0), std::fabs(2.0 * alpha_ - 1.0));
+  s.eigengap = 2.0 * (1.0 - worst_lambda);
+  s.all_reversible = true;  // Every 2-state chain is reversible.
+  return s;
+}
+
+}  // namespace pf

@@ -1,0 +1,96 @@
+// Core Pufferfish framework types (Section 2.1): secrets, secret pairs, and
+// distribution classes Theta. This library targets the "attribute" setting
+// of Section 4.1 — data X = (X_1, ..., X_n), secrets s_i^a = "X_i = a",
+// secret pairs all (s_i^a, s_i^b) with a != b — which subsumes both worked
+// applications (activity monitoring, flu status).
+#ifndef PUFFERFISH_PUFFERFISH_FRAMEWORK_H_
+#define PUFFERFISH_PUFFERFISH_FRAMEWORK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "graphical/markov_chain.h"
+
+namespace pf {
+
+/// The event X_{variable} = value (a secret s_i^a of Section 4.1).
+struct AttributeSecret {
+  int variable;
+  int value;
+};
+
+/// A secret pair (s_i^a, s_i^b), a != b: the adversary must not distinguish
+/// "X_i = value_a" from "X_i = value_b".
+struct AttributeSecretPair {
+  int variable;
+  int value_a;
+  int value_b;
+};
+
+/// All secret pairs for n variables over a k-valued domain — the Q of the
+/// Section 4.1 instantiation (ordered pairs are redundant; unordered listed).
+std::vector<AttributeSecretPair> AllAttributeSecretPairs(std::size_t n, int arity);
+
+/// \brief Privacy parameter holder with validation.
+struct PrivacyParams {
+  double epsilon;
+};
+
+/// Validates epsilon > 0.
+Status ValidatePrivacyParams(const PrivacyParams& params);
+
+/// \brief Mixing summary (pi_min, g) of a class of Markov chains — the two
+/// quantities MQMApprox needs (Eqs. (6), (7)/(14)).
+struct ChainClassSummary {
+  /// pi_min_Theta: least stationary probability of any state, any theta.
+  double pi_min = 0.0;
+  /// g_Theta: least eigengap, with the reversible doubling of Eq. (14)
+  /// applied iff *all* chains in the class are reversible.
+  double eigengap = 0.0;
+  /// True iff every chain in the class is reversible.
+  bool all_reversible = false;
+};
+
+/// Computes the (pi_min, g) summary of an explicit list of chains. Fails if
+/// any chain is reducible, periodic, or has a zero stationary probability
+/// (the Lemma 4.8 preconditions).
+Result<ChainClassSummary> SummarizeChainClass(const std::vector<MarkovChain>& thetas);
+
+/// \brief The Section 5.2 synthetic distribution class: binary chains with
+/// p0 = P(X_{t+1}=0 | X_t=0) and p1 = P(X_{t+1}=1 | X_t=1) ranging over
+/// [alpha, beta], and all initial distributions on the 2-simplex.
+class BinaryChainIntervalClass {
+ public:
+  /// Requires 0 < alpha <= beta < 1.
+  static Result<BinaryChainIntervalClass> Make(double alpha, double beta);
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  /// Transition matrix for given (p0, p1).
+  static Matrix TransitionFor(double p0, double p1);
+
+  /// True iff (p0, p1) is inside [alpha, beta]^2.
+  bool Contains(double p0, double p1) const;
+
+  /// Grid of transition matrices covering [alpha, beta]^2 with the given
+  /// step (both endpoints included). Used by MQMExact's search over Theta.
+  std::vector<Matrix> TransitionGrid(double step) const;
+
+  /// \brief Closed-form class summary. For a binary chain the stationary
+  /// distribution is ((1-p1)/(2-p0-p1), (1-p0)/(2-p0-p1)) and the second
+  /// eigenvalue is p0 + p1 - 1 (always reversible), so
+  ///   pi_min = (1-beta)/(2-alpha-beta),
+  ///   g      = 2 * (1 - max(|2beta-1|, |2alpha-1|)).
+  ChainClassSummary Summary() const;
+
+ private:
+  BinaryChainIntervalClass(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+  double alpha_, beta_;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_PUFFERFISH_FRAMEWORK_H_

@@ -1,0 +1,151 @@
+#include "pufferfish/markov_quilt_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graphical/moral_graph.h"
+#include "pufferfish/framework.h"
+
+namespace pf {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Status CheckSameShape(const std::vector<BayesianNetwork>& thetas) {
+  if (thetas.empty()) return Status::InvalidArgument("empty distribution class");
+  const BayesianNetwork& ref = thetas.front();
+  for (const BayesianNetwork& bn : thetas) {
+    if (bn.num_nodes() != ref.num_nodes()) {
+      return Status::InvalidArgument("networks in Theta differ in node count");
+    }
+    for (std::size_t i = 0; i < bn.num_nodes(); ++i) {
+      if (bn.node(i).arity != ref.node(i).arity) {
+        return Status::InvalidArgument("networks in Theta differ in arity");
+      }
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<double> QuiltMaxInfluence(const std::vector<BayesianNetwork>& thetas,
+                                 const MarkovQuilt& quilt,
+                                 std::size_t enumeration_limit) {
+  PF_RETURN_NOT_OK(CheckSameShape(thetas));
+  if (quilt.quilt.empty()) return 0.0;  // Trivial quilt.
+  const int i = quilt.target;
+  double influence = 0.0;
+  for (const BayesianNetwork& bn : thetas) {
+    const int arity = bn.node(static_cast<std::size_t>(i)).arity;
+    // Conditional distribution of the quilt variables for each value of X_i.
+    std::vector<Vector> cond;
+    std::vector<bool> feasible;
+    for (int a = 0; a < arity; ++a) {
+      Result<Vector> c =
+          bn.ConditionalJoint(quilt.quilt, {{i, a}});
+      if (!c.ok()) {
+        if (c.status().code() == StatusCode::kFailedPrecondition) {
+          cond.emplace_back();
+          feasible.push_back(false);  // P(X_i = a) = 0: not a live secret.
+          continue;
+        }
+        return c.status();
+      }
+      cond.push_back(std::move(c).value());
+      feasible.push_back(true);
+    }
+    for (int a = 0; a < arity; ++a) {
+      if (!feasible[static_cast<std::size_t>(a)]) continue;
+      for (int b = 0; b < arity; ++b) {
+        if (a == b || !feasible[static_cast<std::size_t>(b)]) continue;
+        const Vector& pa = cond[static_cast<std::size_t>(a)];
+        const Vector& pb = cond[static_cast<std::size_t>(b)];
+        for (std::size_t cell = 0; cell < pa.size(); ++cell) {
+          if (pa[cell] <= 0.0) continue;
+          if (pb[cell] <= 0.0) return kInf;
+          influence = std::max(influence, std::log(pa[cell] / pb[cell]));
+        }
+      }
+    }
+  }
+  (void)enumeration_limit;
+  return influence;
+}
+
+Result<MqmAnalysis> AnalyzeMarkovQuiltMechanismWithQuilts(
+    const std::vector<BayesianNetwork>& thetas, double epsilon,
+    const std::vector<std::vector<MarkovQuilt>>& quilt_sets,
+    std::size_t enumeration_limit) {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({epsilon}));
+  PF_RETURN_NOT_OK(CheckSameShape(thetas));
+  const std::size_t n = thetas.front().num_nodes();
+  if (quilt_sets.size() != n) {
+    return Status::InvalidArgument("need one quilt set per node");
+  }
+  MqmAnalysis analysis;
+  analysis.active.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Theorem 4.3 requires the trivial quilt in every search set.
+    const bool has_trivial = std::any_of(
+        quilt_sets[i].begin(), quilt_sets[i].end(),
+        [](const MarkovQuilt& q) { return q.quilt.empty(); });
+    if (!has_trivial) {
+      return Status::FailedPrecondition(
+          "quilt set for node " + std::to_string(i) + " lacks the trivial quilt");
+    }
+    QuiltScore best;
+    best.score = kInf;
+    for (const MarkovQuilt& quilt : quilt_sets[i]) {
+      if (quilt.target != static_cast<int>(i)) {
+        return Status::InvalidArgument("quilt target does not match node");
+      }
+      PF_ASSIGN_OR_RETURN(double e,
+                          QuiltMaxInfluence(thetas, quilt, enumeration_limit));
+      QuiltScore qs;
+      qs.quilt = quilt;
+      qs.influence = e;
+      qs.score = (e < epsilon)
+                     ? static_cast<double>(quilt.NearbyCount()) / (epsilon - e)
+                     : kInf;
+      if (qs.score < best.score) best = qs;
+    }
+    analysis.active.push_back(best);
+    if (best.score > analysis.sigma_max) {
+      analysis.sigma_max = best.score;
+      analysis.worst_node = static_cast<int>(i);
+    }
+  }
+  return analysis;
+}
+
+Result<MqmAnalysis> AnalyzeMarkovQuiltMechanism(
+    const std::vector<BayesianNetwork>& thetas, double epsilon,
+    std::size_t max_quilt_size, std::size_t enumeration_limit) {
+  PF_RETURN_NOT_OK(CheckSameShape(thetas));
+  const MoralGraph graph(thetas.front());
+  const std::size_t n = thetas.front().num_nodes();
+  std::vector<std::vector<MarkovQuilt>> quilt_sets;
+  quilt_sets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    quilt_sets.push_back(
+        EnumerateQuilts(graph, static_cast<int>(i), max_quilt_size));
+  }
+  return AnalyzeMarkovQuiltMechanismWithQuilts(thetas, epsilon, quilt_sets,
+                                               enumeration_limit);
+}
+
+double MqmReleaseScalar(double value, double lipschitz, double sigma_max,
+                        Rng* rng) {
+  return value + rng->Laplace(lipschitz * sigma_max);
+}
+
+Vector MqmReleaseVector(const Vector& value, double lipschitz, double sigma_max,
+                        Rng* rng) {
+  Vector out = value;
+  const double scale = lipschitz * sigma_max;
+  for (double& v : out) v += rng->Laplace(scale);
+  return out;
+}
+
+}  // namespace pf

@@ -1,0 +1,77 @@
+// The Markov Quilt Mechanism (Algorithm 2) for general Bayesian networks.
+// For each protected node X_i it searches a set of Markov quilts, scores
+// each quilt X_Q (with nearby set X_N) as
+//    sigma(X_Q) = card(X_N) / (epsilon - e_Theta(X_Q | X_i))
+// when the max-influence e_Theta(X_Q|X_i) < epsilon (infinite otherwise),
+// takes sigma_i = min over quilts and sigma_max = max_i sigma_i, and
+// releases F(D) + L * sigma_max * Lap(1). Theorem 4.3 proves
+// epsilon-Pufferfish privacy provided the trivial quilt is always searched.
+//
+// Exact max-influence is computed by enumeration inference, so this class
+// targets small networks; the Markov-chain specializations (MqmExact,
+// MqmApprox) scale to T ~ 10^6.
+#ifndef PUFFERFISH_PUFFERFISH_MARKOV_QUILT_MECHANISM_H_
+#define PUFFERFISH_PUFFERFISH_MARKOV_QUILT_MECHANISM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graphical/bayesian_network.h"
+#include "graphical/markov_quilt.h"
+
+namespace pf {
+
+/// A quilt together with its computed max-influence and score.
+struct QuiltScore {
+  MarkovQuilt quilt;
+  /// e_Theta(X_Q | X_i) (Definition 4.1); +infinity if unbounded.
+  double influence = 0.0;
+  /// card(X_N) / (epsilon - influence); +infinity when influence >= epsilon.
+  double score = 0.0;
+};
+
+/// Result of the quilt search: the noise multiplier and per-node choices.
+struct MqmAnalysis {
+  /// sigma_max = max_i min_quilt score. Laplace scale is L * sigma_max.
+  double sigma_max = 0.0;
+  /// Per node: the active quilt (Definition 4.5) achieving sigma_i.
+  std::vector<QuiltScore> active;
+  /// Node attaining sigma_max.
+  int worst_node = 0;
+};
+
+/// \brief Max-influence e_Theta(X_Q|X_i) of a quilt under a class of
+/// networks (Definition 4.1): the largest log-ratio
+/// log P(X_Q = x_Q | X_i = a, theta) / P(X_Q = x_Q | X_i = b, theta)
+/// over values a, b with positive probability, quilt assignments x_Q, and
+/// theta in Theta. Returns +infinity when the supports differ.
+Result<double> QuiltMaxInfluence(const std::vector<BayesianNetwork>& thetas,
+                                 const MarkovQuilt& quilt,
+                                 std::size_t enumeration_limit = 1u << 22);
+
+/// \brief Runs the Algorithm 2 search over quilts generated from moral-graph
+/// separators of size <= max_quilt_size (plus the trivial quilt, as
+/// Theorem 4.3 requires). All networks must share node count and arities.
+Result<MqmAnalysis> AnalyzeMarkovQuiltMechanism(
+    const std::vector<BayesianNetwork>& thetas, double epsilon,
+    std::size_t max_quilt_size = 2, std::size_t enumeration_limit = 1u << 22);
+
+/// \brief As above but with caller-supplied quilt sets S_{Q,i} (one vector
+/// per node). Each set must contain the trivial quilt; validated.
+Result<MqmAnalysis> AnalyzeMarkovQuiltMechanismWithQuilts(
+    const std::vector<BayesianNetwork>& thetas, double epsilon,
+    const std::vector<std::vector<MarkovQuilt>>& quilt_sets,
+    std::size_t enumeration_limit = 1u << 22);
+
+/// Releases a scalar L-Lipschitz query value: F(D) + L * sigma_max * Lap(1).
+double MqmReleaseScalar(double value, double lipschitz, double sigma_max, Rng* rng);
+
+/// Releases an L1 L-Lipschitz vector query: i.i.d. L * sigma_max * Lap(1)
+/// noise per coordinate (the vector-valued extension of Section 4.2).
+Vector MqmReleaseVector(const Vector& value, double lipschitz, double sigma_max,
+                        Rng* rng);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_PUFFERFISH_MARKOV_QUILT_MECHANISM_H_

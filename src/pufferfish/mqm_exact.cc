@@ -1,0 +1,401 @@
+#include "pufferfish/mqm_exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "pufferfish/framework.h"
+
+namespace pf {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Evaluates the Eq. (5) terms for one transition matrix, with caching of
+// matrix powers and per-(a, b) maximization tables. Supports two modes:
+//  - explicit initial distribution (marginals precomputed for every node);
+//  - free initial distribution (Appendix C.4): the marginal log-ratio terms
+//    become maxima over rows of matrix powers.
+class ExactEvaluator {
+ public:
+  // Explicit-q mode.
+  ExactEvaluator(const Matrix& transition, const Vector& initial,
+                 std::size_t length)
+      : p_(transition),
+        k_(transition.rows()),
+        length_(length),
+        free_initial_(false) {
+    powers_.push_back(Matrix::Identity(k_));
+    marginals_.reserve(length);
+    Vector m = initial;
+    marginals_.push_back(m);
+    for (std::size_t t = 1; t < length; ++t) {
+      m = p_.ApplyLeft(m);
+      marginals_.push_back(m);
+    }
+  }
+
+  // Free-initial (C.4) mode.
+  ExactEvaluator(const Matrix& transition, std::size_t length)
+      : p_(transition), k_(transition.rows()), length_(length), free_initial_(true) {
+    powers_.push_back(Matrix::Identity(k_));
+  }
+
+  // Max-influence of the two-sided quilt {X_{i-a}, X_{i+b}} at node i.
+  double TwoSided(std::size_t i, int a, int b) {
+    const Matrix& right = RightTable(b);
+    const Matrix& left = LeftTable(static_cast<std::size_t>(a));
+    return MaxOverPairs(i, &right, &left);
+  }
+
+  // Max-influence of {X_{i-a}} (left-only quilt).
+  double LeftOnly(std::size_t i, int a) {
+    const Matrix& left = LeftTable(static_cast<std::size_t>(a));
+    return MaxOverPairs(i, nullptr, &left);
+  }
+
+  // Max-influence of {X_{i+b}} (right-only quilt; no marginal term).
+  double RightOnly(std::size_t i, int b) {
+    const Matrix& right = RightTable(b);
+    double best = 0.0;
+    const std::vector<char> feasible = FeasibleStates(i);
+    for (std::size_t x = 0; x < k_; ++x) {
+      if (!feasible[x]) continue;
+      for (std::size_t xp = 0; xp < k_; ++xp) {
+        if (x == xp || !feasible[xp]) continue;
+        best = std::max(best, right(x, xp));
+        if (best == kInf) return kInf;
+      }
+    }
+    return best;
+  }
+
+ private:
+  const Matrix& Pow(std::size_t n) {
+    while (powers_.size() <= n) powers_.push_back(powers_.back() * p_);
+    return powers_[n];
+  }
+
+  // States x with P(X_i = x) > 0 (under any allowed initial distribution in
+  // free mode).
+  std::vector<char> FeasibleStates(std::size_t i) {
+    std::vector<char> f(k_, 0);
+    if (free_initial_) {
+      if (i == 0) {
+        std::fill(f.begin(), f.end(), 1);
+        return f;
+      }
+      const Matrix& pi = Pow(i);
+      for (std::size_t x = 0; x < k_; ++x) {
+        for (std::size_t z = 0; z < k_; ++z) {
+          if (pi(z, x) > 0.0) {
+            f[x] = 1;
+            break;
+          }
+        }
+      }
+      return f;
+    }
+    for (std::size_t x = 0; x < k_; ++x) f[x] = marginals_[i][x] > 0.0 ? 1 : 0;
+    return f;
+  }
+
+  // right(x, x') = max over y with P^b(x,y) > 0 of log P^b(x,y)/P^b(x',y);
+  // +inf when the support of row x is not contained in the support of x'.
+  const Matrix& RightTable(int b) {
+    auto it = right_cache_.find(b);
+    if (it != right_cache_.end()) return it->second;
+    const Matrix& pb = Pow(static_cast<std::size_t>(b));
+    Matrix table(k_, k_, 0.0);
+    for (std::size_t x = 0; x < k_; ++x) {
+      for (std::size_t xp = 0; xp < k_; ++xp) {
+        if (x == xp) continue;
+        double best = -kInf;
+        for (std::size_t y = 0; y < k_; ++y) {
+          const double num = pb(x, y);
+          if (num <= 0.0) continue;
+          const double den = pb(xp, y);
+          if (den <= 0.0) {
+            best = kInf;
+            break;
+          }
+          best = std::max(best, std::log(num / den));
+        }
+        table(x, xp) = best;
+      }
+    }
+    return right_cache_.emplace(b, std::move(table)).first->second;
+  }
+
+  // left(x, x') = max over z in X with P^a(z,x) > 0 of
+  // log P^a(z,x)/P^a(z,x'); +inf on support mismatch; -inf if no z reaches
+  // x (x infeasible, filtered by the caller's feasibility mask). Following
+  // Eq. (5) literally, the max ranges over *all* states z regardless of
+  // whether P(X_{i-a} = z) > 0 — a conservative (privacy-safe) bound that
+  // matches the paper's reported numbers.
+  const Matrix& LeftTable(std::size_t a) {
+    auto it = left_cache_.find(a);
+    if (it != left_cache_.end()) return it->second;
+    const Matrix& pa = Pow(a);
+    Matrix table(k_, k_, 0.0);
+    for (std::size_t x = 0; x < k_; ++x) {
+      for (std::size_t xp = 0; xp < k_; ++xp) {
+        if (x == xp) continue;
+        double best = -kInf;
+        for (std::size_t z = 0; z < k_; ++z) {
+          const double num = pa(z, x);
+          if (num <= 0.0) continue;
+          const double den = pa(z, xp);
+          if (den <= 0.0) {
+            best = kInf;
+            break;
+          }
+          best = std::max(best, std::log(num / den));
+        }
+        table(x, xp) = best;
+      }
+    }
+    return left_cache_.emplace(a, std::move(table)).first->second;
+  }
+
+  // Marginal log-ratio term t1(x, x') = log P(X_i=x') / P(X_i=x); in free
+  // mode, sup over initial distributions = max over rows z of
+  // log P^i(z,x') / P^i(z,x) (Appendix C.4), +inf on support mismatch.
+  const Matrix& Term1(std::size_t i) {
+    auto it = term1_cache_.find(i);
+    if (it != term1_cache_.end()) return it->second;
+    Matrix table(k_, k_, 0.0);
+    if (!free_initial_) {
+      const Vector& m = marginals_[i];
+      for (std::size_t x = 0; x < k_; ++x) {
+        for (std::size_t xp = 0; xp < k_; ++xp) {
+          if (x == xp) continue;
+          if (m[x] > 0.0 && m[xp] > 0.0) {
+            table(x, xp) = std::log(m[xp] / m[x]);
+          } else {
+            table(x, xp) = -kInf;  // Pair filtered by feasibility anyway.
+          }
+        }
+      }
+    } else {
+      const Matrix& pi = Pow(i);
+      for (std::size_t x = 0; x < k_; ++x) {
+        for (std::size_t xp = 0; xp < k_; ++xp) {
+          if (x == xp) continue;
+          double best = -kInf;
+          for (std::size_t z = 0; z < k_; ++z) {
+            const double num = pi(z, xp);
+            const double den = pi(z, x);
+            if (num <= 0.0) continue;
+            if (den <= 0.0) {
+              best = kInf;
+              break;
+            }
+            best = std::max(best, std::log(num / den));
+          }
+          table(x, xp) = best;
+        }
+      }
+    }
+    return term1_cache_.emplace(i, std::move(table)).first->second;
+  }
+
+  // max over feasible ordered pairs (x, x') of t1 + right + left (either
+  // table may be null when the quilt lacks that side).
+  double MaxOverPairs(std::size_t i, const Matrix* right, const Matrix* left) {
+    const Matrix& t1 = Term1(i);
+    const std::vector<char> feasible = FeasibleStates(i);
+    double best = 0.0;
+    for (std::size_t x = 0; x < k_; ++x) {
+      if (!feasible[x]) continue;
+      for (std::size_t xp = 0; xp < k_; ++xp) {
+        if (x == xp || !feasible[xp]) continue;
+        double v = t1(x, xp);
+        if (right != nullptr) v += (*right)(x, xp);
+        if (left != nullptr) v += (*left)(x, xp);
+        if (std::isnan(v)) continue;  // -inf + inf: infeasible combination.
+        best = std::max(best, v);
+        if (best == kInf) return kInf;
+      }
+    }
+    return best;
+  }
+
+  const Matrix& p_;
+  const std::size_t k_;
+  const std::size_t length_;
+  const bool free_initial_;
+  std::vector<Matrix> powers_;
+  std::vector<Vector> marginals_;
+  std::map<int, Matrix> right_cache_;
+  std::map<std::size_t, Matrix> left_cache_;
+  std::map<std::size_t, Matrix> term1_cache_;
+};
+
+// Computes the influence of one chain quilt with a prepared evaluator.
+double EvaluateQuilt(ExactEvaluator* eval, const MarkovQuilt& quilt) {
+  if (quilt.quilt.empty()) return 0.0;
+  const int i = quilt.target;
+  int a = 0, b = 0;
+  for (int q : quilt.quilt) {
+    if (q < i) a = i - q;
+    if (q > i) b = q - i;
+  }
+  if (a > 0 && b > 0) return eval->TwoSided(static_cast<std::size_t>(i), a, b);
+  if (a > 0) return eval->LeftOnly(static_cast<std::size_t>(i), a);
+  return eval->RightOnly(static_cast<std::size_t>(i), b);
+}
+
+struct NodeScore {
+  QuiltScore best;
+};
+
+// sigma_i = min over the Lemma 4.6 family (capped at max_nearby) of the
+// quilt score for node i.
+NodeScore ScoreNode(ExactEvaluator* eval, std::size_t length, int node,
+                    double epsilon, std::size_t max_nearby) {
+  NodeScore out;
+  out.best.score = kInf;
+  const std::vector<MarkovQuilt> family =
+      ChainQuiltFamily(length, node, max_nearby);
+  for (const MarkovQuilt& quilt : family) {
+    const double e = EvaluateQuilt(eval, quilt);
+    const double score =
+        (e < epsilon)
+            ? static_cast<double>(quilt.NearbyCount()) / (epsilon - e)
+            : kInf;
+    if (score < out.best.score) {
+      out.best.quilt = quilt;
+      out.best.influence = e;
+      out.best.score = score;
+    }
+  }
+  return out;
+}
+
+// True iff the quilt is two-sided with both endpoints strictly inside the
+// chain (the precondition for the Lemma C.4 middle-node shortcut).
+bool IsInteriorTwoSided(const MarkovQuilt& quilt, std::size_t length) {
+  if (quilt.quilt.size() != 2) return false;
+  return quilt.quilt.front() >= 0 &&
+         quilt.quilt.back() <= static_cast<int>(length) - 1;
+}
+
+Result<ChainMqmResult> AnalyzeOneTheta(const MarkovChain& theta,
+                                       std::size_t length,
+                                       const ChainMqmOptions& options) {
+  ChainMqmResult result;
+  // Stationary shortcut: if q == pi (and pi > 0), the max-influence of every
+  // interior quilt is independent of i and the middle node attains
+  // sigma_max (Lemma C.4's argument applies verbatim to exact influences:
+  // each Eq. (5) term is nonnegative after adding the marginal term).
+  bool shortcut = false;
+  if (options.allow_stationary_shortcut && length >= 3) {
+    Result<Vector> pi = theta.StationaryDistribution();
+    if (pi.ok() && DistanceL1(pi.value(), theta.initial()) < 1e-9 &&
+        *std::min_element(pi.value().begin(), pi.value().end()) > 0.0) {
+      shortcut = true;
+    }
+  }
+  ExactEvaluator eval(theta.transition(), theta.initial(), length);
+  if (shortcut) {
+    const int mid = static_cast<int>(length / 2);
+    NodeScore mid_score =
+        ScoreNode(&eval, length, mid, options.epsilon, options.max_nearby);
+    if (IsInteriorTwoSided(mid_score.best.quilt, length) ||
+        mid_score.best.quilt.quilt.empty()) {
+      result.sigma_max = mid_score.best.score;
+      result.worst_node = mid;
+      result.active_quilt = mid_score.best.quilt;
+      result.influence = mid_score.best.influence;
+      result.used_stationary_shortcut = true;
+      return result;
+    }
+    // One-sided optimum at the middle: fall through to the full scan.
+  }
+  result.sigma_max = -kInf;
+  for (std::size_t i = 0; i < length; ++i) {
+    NodeScore ns = ScoreNode(&eval, length, static_cast<int>(i),
+                             options.epsilon, options.max_nearby);
+    if (ns.best.score > result.sigma_max) {
+      result.sigma_max = ns.best.score;
+      result.worst_node = static_cast<int>(i);
+      result.active_quilt = ns.best.quilt;
+      result.influence = ns.best.influence;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<double> ChainQuiltInfluenceExact(const MarkovChain& theta,
+                                        std::size_t length,
+                                        const MarkovQuilt& quilt) {
+  if (theta.num_states() > 64) {
+    return Status::NotSupported("exact influence supports at most 64 states");
+  }
+  if (quilt.target < 0 || quilt.target >= static_cast<int>(length)) {
+    return Status::InvalidArgument("quilt target outside chain");
+  }
+  ExactEvaluator eval(theta.transition(), theta.initial(), length);
+  return EvaluateQuilt(&eval, quilt);
+}
+
+Result<ChainMqmResult> MqmExactAnalyze(const std::vector<MarkovChain>& thetas,
+                                       std::size_t length,
+                                       const ChainMqmOptions& options) {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({options.epsilon}));
+  if (thetas.empty()) return Status::InvalidArgument("empty chain class");
+  if (length == 0) return Status::InvalidArgument("length must be positive");
+  for (const MarkovChain& theta : thetas) {
+    if (theta.num_states() > 64) {
+      return Status::NotSupported("exact influence supports at most 64 states");
+    }
+    if (theta.num_states() != thetas.front().num_states()) {
+      return Status::InvalidArgument("state-space mismatch in Theta");
+    }
+  }
+  ChainMqmResult worst;
+  worst.sigma_max = -kInf;
+  for (const MarkovChain& theta : thetas) {
+    PF_ASSIGN_OR_RETURN(ChainMqmResult r, AnalyzeOneTheta(theta, length, options));
+    if (r.sigma_max > worst.sigma_max) worst = r;
+  }
+  return worst;
+}
+
+Result<ChainMqmResult> MqmExactAnalyzeFreeInitial(
+    const std::vector<Matrix>& transitions, std::size_t length,
+    const ChainMqmOptions& options) {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({options.epsilon}));
+  if (transitions.empty()) return Status::InvalidArgument("empty class");
+  if (length == 0) return Status::InvalidArgument("length must be positive");
+  ChainMqmResult worst;
+  worst.sigma_max = -kInf;
+  for (const Matrix& p : transitions) {
+    if (p.rows() != p.cols() || p.rows() > 64 || !p.IsRowStochastic(1e-8)) {
+      return Status::InvalidArgument(
+          "transition matrices must be row-stochastic with <= 64 states");
+    }
+    ExactEvaluator eval(p, length);
+    ChainMqmResult r;
+    r.sigma_max = -kInf;
+    for (std::size_t i = 0; i < length; ++i) {
+      NodeScore ns = ScoreNode(&eval, length, static_cast<int>(i),
+                               options.epsilon, options.max_nearby);
+      if (ns.best.score > r.sigma_max) {
+        r.sigma_max = ns.best.score;
+        r.worst_node = static_cast<int>(i);
+        r.active_quilt = ns.best.quilt;
+        r.influence = ns.best.influence;
+      }
+    }
+    if (r.sigma_max > worst.sigma_max) worst = r;
+  }
+  return worst;
+}
+
+}  // namespace pf

@@ -1,0 +1,83 @@
+// MQMExact (Algorithm 3): the Markov Quilt Mechanism specialized to
+// discrete-time homogeneous Markov chains, computing *exact* max-influence
+// via the decomposition of Eq. (5):
+//
+//   e_theta({X_{i-a}, X_{i+b}} | X_i) = max_{x,x'} (
+//       log P(X_i=x')/P(X_i=x)
+//     + max_y log P^b(x, y) / P^b(x', y)
+//     + max_z log P^a(z, x) / P^a(z, x') )
+//
+// with the quilt family of Lemma 4.6 (only {X_{i-a}, X_{i+b}}, {X_{i-a}},
+// {X_{i+b}} and the trivial quilt need be searched). Includes:
+//  - the Appendix C.4 optimization for classes Theta = Delta_k x P (all
+//    initial distributions): max over q reduces to a max over matrix rows;
+//  - the stationary-initial shortcut of Section 4.4.1: when q is the
+//    stationary distribution, max-influence is i-independent and only the
+//    middle node need be searched (Lemma C.4's argument).
+#ifndef PUFFERFISH_PUFFERFISH_MQM_EXACT_H_
+#define PUFFERFISH_PUFFERFISH_MQM_EXACT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graphical/markov_chain.h"
+#include "graphical/markov_quilt.h"
+#include "pufferfish/markov_quilt_mechanism.h"
+
+namespace pf {
+
+/// Options for the chain-specialized quilt searches.
+struct ChainMqmOptions {
+  /// Privacy parameter epsilon.
+  double epsilon = 1.0;
+  /// Cap ell on card(X_N) of searched quilts. Quilts with larger nearby
+  /// sets are skipped (except the trivial quilt, always included).
+  std::size_t max_nearby = 64;
+  /// Permit the stationary-initial shortcut (used only when the initial
+  /// distribution matches the stationary distribution within tolerance).
+  bool allow_stationary_shortcut = true;
+};
+
+/// Outcome of a chain quilt search.
+struct ChainMqmResult {
+  /// sigma_max: the Laplace scale multiplier (per unit Lipschitz constant).
+  double sigma_max = 0.0;
+  /// Node (0-based) attaining sigma_max. Under the stationary shortcut this
+  /// is the middle node, which provably attains the maximum.
+  int worst_node = 0;
+  /// The active quilt at the worst node.
+  MarkovQuilt active_quilt;
+  /// Max-influence of the active quilt.
+  double influence = 0.0;
+  /// True if the stationary shortcut was used.
+  bool used_stationary_shortcut = false;
+};
+
+/// \brief Exact max-influence e_{theta}(X_Q | X_i) of a chain quilt
+/// (Eq. (5)); exposed for tests and the worked examples. The quilt must be
+/// a chain quilt for a chain of length `length`.
+Result<double> ChainQuiltInfluenceExact(const MarkovChain& theta,
+                                        std::size_t length,
+                                        const MarkovQuilt& quilt);
+
+/// \brief Algorithm 3 (MQMExact) over an explicit class of chains. All
+/// chains share the state space; `length` is T. Runs per-theta and takes
+/// the worst sigma over Theta.
+Result<ChainMqmResult> MqmExactAnalyze(const std::vector<MarkovChain>& thetas,
+                                       std::size_t length,
+                                       const ChainMqmOptions& options);
+
+/// \brief Algorithm 3 with the Appendix C.4 class Theta = Delta_k x P:
+/// every transition matrix in `transitions` paired with *every* initial
+/// distribution. The max over initial distributions is computed in closed
+/// form (max over rows of matrix powers) rather than by gridding the
+/// simplex.
+Result<ChainMqmResult> MqmExactAnalyzeFreeInitial(
+    const std::vector<Matrix>& transitions, std::size_t length,
+    const ChainMqmOptions& options);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_PUFFERFISH_MQM_EXACT_H_

@@ -1,0 +1,70 @@
+#include "pufferfish/query.h"
+
+namespace pf {
+
+ScalarQuery SumQuery(std::size_t k) {
+  ScalarQuery q;
+  q.name = "sum";
+  q.fn = [](const StateSequence& seq) {
+    double s = 0.0;
+    for (int v : seq) s += static_cast<double>(v);
+    return s;
+  };
+  q.lipschitz = static_cast<double>(k - 1);
+  return q;
+}
+
+ScalarQuery MeanStateQuery(std::size_t k, std::size_t length) {
+  ScalarQuery q;
+  q.name = "mean_state";
+  const double inv = 1.0 / static_cast<double>(length);
+  q.fn = [inv](const StateSequence& seq) {
+    double s = 0.0;
+    for (int v : seq) s += static_cast<double>(v);
+    return s * inv;
+  };
+  q.lipschitz = static_cast<double>(k - 1) * inv;
+  return q;
+}
+
+ScalarQuery StateFrequencyQuery(int state, std::size_t length) {
+  ScalarQuery q;
+  q.name = "state_frequency";
+  const double inv = 1.0 / static_cast<double>(length);
+  q.fn = [state, inv](const StateSequence& seq) {
+    double s = 0.0;
+    for (int v : seq) {
+      if (v == state) s += 1.0;
+    }
+    return s * inv;
+  };
+  q.lipschitz = inv;
+  return q;
+}
+
+VectorQuery CountHistogramQuery(std::size_t k) {
+  VectorQuery q;
+  q.name = "count_histogram";
+  q.fn = [k](const StateSequence& seq) {
+    return CountHistogram(seq, k).ValueOr(Vector(k, 0.0));
+  };
+  q.lipschitz = 2.0;
+  q.dim = k;
+  return q;
+}
+
+VectorQuery RelativeFrequencyQuery(std::size_t k, std::size_t length) {
+  VectorQuery q;
+  q.name = "relative_frequency";
+  const double inv = 1.0 / static_cast<double>(length);
+  q.fn = [k, inv](const StateSequence& seq) {
+    Vector h = CountHistogram(seq, k).ValueOr(Vector(k, 0.0));
+    for (double& v : h) v *= inv;
+    return h;
+  };
+  q.lipschitz = 2.0 * inv;
+  q.dim = k;
+  return q;
+}
+
+}  // namespace pf

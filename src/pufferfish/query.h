@@ -1,0 +1,53 @@
+// Lipschitz queries (Definition 2.5). A query F : X^n -> R^k is L-Lipschitz
+// in L1 if changing one record changes ||F||_1 by at most L. The mechanisms
+// calibrate Laplace noise to L times a framework-dependent factor.
+#ifndef PUFFERFISH_PUFFERFISH_QUERY_H_
+#define PUFFERFISH_PUFFERFISH_QUERY_H_
+
+#include <functional>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace pf {
+
+/// \brief A scalar L-Lipschitz query over discrete state sequences.
+struct ScalarQuery {
+  std::string name;
+  /// The query function.
+  std::function<double(const StateSequence&)> fn;
+  /// Lipschitz constant L (Definition 2.5).
+  double lipschitz = 1.0;
+};
+
+/// \brief A vector-valued L-Lipschitz (in L1) query over state sequences.
+struct VectorQuery {
+  std::string name;
+  std::function<Vector(const StateSequence&)> fn;
+  double lipschitz = 1.0;
+  /// Output dimension k.
+  std::size_t dim = 1;
+};
+
+/// Sum of states sum_t X_t; Lipschitz constant (k-1) for states in [0, k).
+ScalarQuery SumQuery(std::size_t k);
+
+/// Mean of states (1/T) sum_t X_t for fixed length T; the Section 5.2 query
+/// (Lipschitz (k-1)/T; 1/T for binary chains).
+ScalarQuery MeanStateQuery(std::size_t k, std::size_t length);
+
+/// Fraction of time in state `state` for fixed length T (1/T-Lipschitz).
+ScalarQuery StateFrequencyQuery(int state, std::size_t length);
+
+/// Count histogram over k states (2-Lipschitz: one change moves two bins).
+VectorQuery CountHistogramQuery(std::size_t k);
+
+/// Relative frequency histogram for fixed length T — the query of every
+/// experiment in Section 5 (2/T-Lipschitz).
+VectorQuery RelativeFrequencyQuery(std::size_t k, std::size_t length);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_PUFFERFISH_QUERY_H_

@@ -1,0 +1,73 @@
+#include "pufferfish/robustness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dist/divergences.h"
+
+namespace pf {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Result<Vector> ConditionOnSecret(const Vector& joint,
+                                 const std::vector<int>& support) {
+  if (support.empty()) return Status::InvalidArgument("empty secret support");
+  Vector out;
+  out.reserve(support.size());
+  double total = 0.0;
+  for (int idx : support) {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= joint.size()) {
+      return Status::OutOfRange("secret support index out of range");
+    }
+    out.push_back(joint[static_cast<std::size_t>(idx)]);
+    total += out.back();
+  }
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("secret has probability zero");
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+Result<double> CloseAdversaryDelta(const std::vector<Vector>& theta_class,
+                                   const Vector& theta_tilde,
+                                   const std::vector<std::vector<int>>& secrets) {
+  if (theta_class.empty()) return Status::InvalidArgument("empty Theta");
+  if (secrets.empty()) return Status::InvalidArgument("no secrets given");
+  if (!IsProbabilityVector(theta_tilde, 1e-6)) {
+    return Status::InvalidArgument("theta_tilde is not a probability vector");
+  }
+  double delta = kInf;
+  for (const Vector& theta : theta_class) {
+    if (theta.size() != theta_tilde.size()) {
+      return Status::InvalidArgument("distribution size mismatch");
+    }
+    double worst = 0.0;
+    for (const std::vector<int>& secret : secrets) {
+      Result<Vector> cond_theta = ConditionOnSecret(theta, secret);
+      Result<Vector> cond_tilde = ConditionOnSecret(theta_tilde, secret);
+      const bool theta_zero = !cond_theta.ok();
+      const bool tilde_zero = !cond_tilde.ok();
+      if (theta_zero && tilde_zero) continue;  // Dead secret: no constraint.
+      if (theta_zero || tilde_zero) {
+        worst = kInf;  // One-sided zero: divergence unbounded for this theta.
+        break;
+      }
+      Result<double> div =
+          SymmetricMaxDivergence(cond_tilde.value(), cond_theta.value());
+      if (!div.ok()) {
+        // Support mismatch inside the secret: infinite divergence.
+        worst = kInf;
+        break;
+      }
+      worst = std::max(worst, div.value());
+    }
+    delta = std::min(delta, worst);
+  }
+  return delta;
+}
+
+}  // namespace pf

@@ -1,0 +1,46 @@
+// Robustness against close adversaries (Theorem 2.4): if a mechanism is
+// epsilon-Pufferfish private w.r.t. (S, Q, Theta) but the adversary's belief
+// theta~ lies outside Theta, the guarantee degrades to epsilon + 2*Delta
+// where
+//   Delta = inf_{theta in Theta} max_{s_i in S}
+//             max( D_inf(theta~|s_i || theta|s_i),
+//                  D_inf(theta|s_i || theta~|s_i) ).
+//
+// Distributions here are over a finite, explicitly enumerated space of
+// database configurations; each secret is the subset of configurations
+// consistent with it, and conditioning restricts and renormalizes.
+#ifndef PUFFERFISH_PUFFERFISH_ROBUSTNESS_H_
+#define PUFFERFISH_PUFFERFISH_ROBUSTNESS_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace pf {
+
+/// Conditional distribution of `joint` given the event "configuration index
+/// is in `support`": restricted and renormalized mass vector over `support`
+/// (in the order given). Fails if the event has probability zero.
+Result<Vector> ConditionOnSecret(const Vector& joint,
+                                 const std::vector<int>& support);
+
+/// \brief Theorem 2.4's Delta for adversary belief `theta_tilde` against the
+/// class `theta_class`, with secrets given as configuration-index subsets.
+///
+/// Secrets with zero probability under both the class member and the
+/// adversary belief are skipped (they generate no constraint); a secret with
+/// zero probability under exactly one of the two distributions makes that
+/// class member's divergence infinite.
+Result<double> CloseAdversaryDelta(const std::vector<Vector>& theta_class,
+                                   const Vector& theta_tilde,
+                                   const std::vector<std::vector<int>>& secrets);
+
+/// The degraded guarantee epsilon + 2*Delta of Theorem 2.4.
+inline double EffectiveEpsilon(double epsilon, double delta) {
+  return epsilon + 2.0 * delta;
+}
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_PUFFERFISH_ROBUSTNESS_H_

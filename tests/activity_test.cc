@@ -1,0 +1,102 @@
+#include "data/activity.h"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+TEST(ActivityTest, GroupMetadata) {
+  EXPECT_EQ(ActivityGroupSize(ActivityGroup::kCyclist), 40u);
+  EXPECT_EQ(ActivityGroupSize(ActivityGroup::kOlderWoman), 16u);
+  EXPECT_EQ(ActivityGroupSize(ActivityGroup::kOverweightWoman), 36u);
+  EXPECT_STREQ(ActivityStateName(kActive), "Active");
+  EXPECT_STREQ(ActivityStateName(kSedentary), "Sedentary");
+  EXPECT_STREQ(ActivityGroupName(ActivityGroup::kCyclist), "cyclist");
+}
+
+TEST(ActivityTest, GroupTransitionsAreValidChains) {
+  for (auto group : {ActivityGroup::kCyclist, ActivityGroup::kOlderWoman,
+                     ActivityGroup::kOverweightWoman}) {
+    const Matrix p = ActivityGroupTransition(group);
+    EXPECT_TRUE(p.IsRowStochastic(1e-9)) << ActivityGroupName(group);
+    const MarkovChain chain =
+        MarkovChain::Make(Vector(kNumActivityStates, 0.25), p).ValueOrDie();
+    EXPECT_TRUE(chain.IsIrreducible());
+    EXPECT_TRUE(chain.IsAperiodic());
+  }
+}
+
+TEST(ActivityTest, GroupStationaryShapesMatchStudy) {
+  // Cyclists spend more time active than either women group; overweight
+  // women are the most sedentary (the Figure 4(d-f) pattern).
+  auto stationary = [](ActivityGroup g) {
+    const MarkovChain chain =
+        MarkovChain::Make(Vector(kNumActivityStates, 0.25),
+                          ActivityGroupTransition(g))
+            .ValueOrDie();
+    return chain.StationaryDistribution().ValueOrDie();
+  };
+  const Vector cyc = stationary(ActivityGroup::kCyclist);
+  const Vector older = stationary(ActivityGroup::kOlderWoman);
+  const Vector over = stationary(ActivityGroup::kOverweightWoman);
+  EXPECT_GT(cyc[kActive], older[kActive]);
+  EXPECT_GT(cyc[kActive], over[kActive]);
+  EXPECT_GT(over[kSedentary], cyc[kSedentary]);
+  EXPECT_GT(over[kSedentary], older[kSedentary]);
+}
+
+TEST(ActivityTest, SimulationShape) {
+  Rng rng(21);
+  ActivitySimOptions options;
+  options.mean_observations_per_person = 2000;  // Small for test speed.
+  options.mean_segment_length = 400;
+  const ActivityGroupData data =
+      SimulateActivityGroup(ActivityGroup::kOlderWoman, options, &rng)
+          .ValueOrDie();
+  EXPECT_EQ(data.people.size(), 16u);
+  for (const ActivityPerson& person : data.people) {
+    EXPECT_GT(person.chains.size(), 1u);
+    EXPECT_GT(person.TotalObservations(), 1000u);
+    EXPECT_LT(person.TotalObservations(), 3000u);
+    EXPECT_LE(person.LongestChain(), person.TotalObservations());
+    for (const StateSequence& chain : person.chains) {
+      EXPECT_GE(chain.size(), 50u);
+      for (int s : chain) {
+        EXPECT_GE(s, 0);
+        EXPECT_LT(s, static_cast<int>(kNumActivityStates));
+      }
+    }
+  }
+  EXPECT_EQ(data.AllChains().size(),
+            [&] {
+              std::size_t n = 0;
+              for (const auto& p : data.people) n += p.chains.size();
+              return n;
+            }());
+}
+
+TEST(ActivityTest, EstimatedChainIsWellBehaved) {
+  // The empirical transition matrix from a simulated group must support the
+  // MQM pipeline: irreducible, aperiodic, stationary initial.
+  Rng rng(22);
+  ActivitySimOptions options;
+  options.mean_observations_per_person = 3000;
+  const ActivityGroupData data =
+      SimulateActivityGroup(ActivityGroup::kCyclist, options, &rng).ValueOrDie();
+  const MarkovChain est =
+      MarkovChain::Estimate(data.AllChains(), kNumActivityStates).ValueOrDie();
+  EXPECT_TRUE(est.IsIrreducible());
+  EXPECT_TRUE(est.IsAperiodic());
+  EXPECT_GT(est.MinStationaryProbability().ValueOrDie(), 0.0);
+}
+
+TEST(ActivityTest, InvalidOptionsRejected) {
+  Rng rng(1);
+  ActivitySimOptions options;
+  options.mean_observations_per_person = 0;
+  EXPECT_FALSE(
+      SimulateActivityGroup(ActivityGroup::kCyclist, options, &rng).ok());
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,132 @@
+#include "graphical/bayesian_network.h"
+
+#include "graphical/markov_chain.h"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+// The Figure 2 diamond network: X1 -> {X2, X3} -> X4 (0-indexed here).
+BayesianNetwork Diamond() {
+  BayesianNetwork bn;
+  EXPECT_TRUE(bn.AddNode("X1", 2, {}, Matrix{{0.6, 0.4}}).ok());
+  EXPECT_TRUE(bn.AddNode("X2", 2, {0}, Matrix{{0.7, 0.3}, {0.2, 0.8}}).ok());
+  EXPECT_TRUE(bn.AddNode("X3", 2, {0}, Matrix{{0.9, 0.1}, {0.5, 0.5}}).ok());
+  EXPECT_TRUE(bn.AddNode("X4", 2, {1, 2},
+                         Matrix{{0.8, 0.2}, {0.6, 0.4}, {0.3, 0.7}, {0.1, 0.9}})
+                  .ok());
+  return bn;
+}
+
+TEST(BayesianNetworkTest, ValidationRejectsBadCpts) {
+  BayesianNetwork bn;
+  EXPECT_FALSE(bn.AddNode("bad", 2, {}, Matrix{{0.5, 0.6}}).ok());
+  EXPECT_FALSE(bn.AddNode("bad", 0, {}, Matrix{{1.0}}).ok());
+  EXPECT_FALSE(bn.AddNode("bad", 2, {5}, Matrix{{0.5, 0.5}}).ok());
+  EXPECT_TRUE(bn.AddNode("ok", 2, {}, Matrix{{0.5, 0.5}}).ok());
+  // CPT row count must match parent arity product.
+  EXPECT_FALSE(bn.AddNode("bad", 2, {0}, Matrix{{0.5, 0.5}}).ok());
+}
+
+TEST(BayesianNetworkTest, JointFactorization) {
+  const BayesianNetwork bn = Diamond();
+  // P(0,0,0,0) = 0.6 * 0.7 * 0.9 * 0.8.
+  EXPECT_NEAR(bn.JointProbability({0, 0, 0, 0}).ValueOrDie(),
+              0.6 * 0.7 * 0.9 * 0.8, 1e-12);
+  // P(1,1,1,1) = 0.4 * 0.8 * 0.5 * 0.9.
+  EXPECT_NEAR(bn.JointProbability({1, 1, 1, 1}).ValueOrDie(),
+              0.4 * 0.8 * 0.5 * 0.9, 1e-12);
+}
+
+TEST(BayesianNetworkTest, JointSumsToOne) {
+  const BayesianNetwork bn = Diamond();
+  double total = 0.0;
+  EXPECT_TRUE(bn.ForEachAssignment([&](const Assignment&, double p) {
+                  total += p;
+                }).ok());
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BayesianNetworkTest, MarginalMatchesHandComputation) {
+  const BayesianNetwork bn = Diamond();
+  const Vector m2 = bn.Marginal(1).ValueOrDie();
+  // P(X2=1) = 0.6*0.3 + 0.4*0.8 = 0.5.
+  EXPECT_NEAR(m2[1], 0.5, 1e-12);
+}
+
+TEST(BayesianNetworkTest, ConditionalJoint) {
+  const BayesianNetwork bn = Diamond();
+  const Vector cond = bn.ConditionalJoint({1}, {{0, 1}}).ValueOrDie();
+  EXPECT_NEAR(cond[1], 0.8, 1e-12);  // P(X2=1 | X1=1).
+  EXPECT_FALSE(bn.ConditionalJoint({1}, {{0, 5}}).ok());
+}
+
+TEST(BayesianNetworkTest, ConditionalJointMultiTarget) {
+  const BayesianNetwork bn = Diamond();
+  // P(X2, X3 | X1=0) factorizes: cell (1,1) = 0.3 * 0.1.
+  const Vector cond = bn.ConditionalJoint({1, 2}, {{0, 0}}).ValueOrDie();
+  ASSERT_EQ(cond.size(), 4u);
+  EXPECT_NEAR(cond[3], 0.3 * 0.1, 1e-12);
+}
+
+TEST(BayesianNetworkTest, ZeroProbabilityEvidenceFails) {
+  BayesianNetwork bn;
+  ASSERT_TRUE(bn.AddNode("X", 2, {}, Matrix{{1.0, 0.0}}).ok());
+  const auto r = bn.ConditionalJoint({0}, {{0, 1}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BayesianNetworkTest, MarkovBlanketOfDiamond) {
+  const BayesianNetwork bn = Diamond();
+  // Blanket of X2 (index 1): parent X1, child X4, co-parent X3.
+  const std::vector<int> blanket = bn.MarkovBlanket(1);
+  EXPECT_EQ(blanket, (std::vector<int>{0, 2, 3}));
+  // Blanket of X1 (index 0): children X2, X3 (their other parents: none).
+  EXPECT_EQ(bn.MarkovBlanket(0), (std::vector<int>{1, 2}));
+}
+
+TEST(BayesianNetworkTest, ChildrenLookup) {
+  const BayesianNetwork bn = Diamond();
+  EXPECT_EQ(bn.Children(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(bn.Children(3), (std::vector<int>{}));
+}
+
+TEST(BayesianNetworkTest, SampleMatchesMarginals) {
+  const BayesianNetwork bn = Diamond();
+  Rng rng(42);
+  int x1_ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const Assignment a = bn.Sample(&rng);
+    x1_ones += a[0];
+  }
+  EXPECT_NEAR(x1_ones / static_cast<double>(n), 0.4, 0.01);
+}
+
+TEST(BayesianNetworkTest, FromMarkovChainMatchesChainMarginals) {
+  const Vector q = {1.0, 0.0};
+  const Matrix p{{0.9, 0.1}, {0.4, 0.6}};
+  const BayesianNetwork bn =
+      BayesianNetwork::FromMarkovChain(q, p, 4).ValueOrDie();
+  EXPECT_EQ(bn.num_nodes(), 4u);
+  const MarkovChain chain = MarkovChain::Make(q, p).ValueOrDie();
+  for (int t = 0; t < 4; ++t) {
+    const Vector bn_marginal = bn.Marginal(t).ValueOrDie();
+    const Vector chain_marginal = chain.MarginalAt(static_cast<std::size_t>(t));
+    EXPECT_NEAR(DistanceL1(bn_marginal, chain_marginal), 0.0, 1e-10) << t;
+  }
+}
+
+TEST(BayesianNetworkTest, EnumerationLimitGuard) {
+  BayesianNetwork bn;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        bn.AddNode("X" + std::to_string(i), 2, {}, Matrix{{0.5, 0.5}}).ok());
+  }
+  EXPECT_FALSE(bn.NumAssignments(1u << 20).ok());
+}
+
+}  // namespace
+}  // namespace pf

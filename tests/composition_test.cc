@@ -1,0 +1,69 @@
+#include "pufferfish/composition.h"
+
+#include <gtest/gtest.h>
+
+#include "pufferfish/mqm_exact.h"
+
+namespace pf {
+namespace {
+
+MarkovQuilt SomeQuilt() { return ChainQuilt(10, 5, 2, 2).ValueOrDie(); }
+
+TEST(CompositionTest, EmptyAccountant) {
+  CompositionAccountant acc;
+  EXPECT_EQ(acc.num_releases(), 0u);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 0.0);
+  EXPECT_TRUE(acc.ActiveQuiltsConsistent());
+}
+
+TEST(CompositionTest, LinearCompositionSameEpsilon) {
+  CompositionAccountant acc;
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(acc.RecordRelease(1.0, SomeQuilt()).ok());
+  }
+  EXPECT_EQ(acc.num_releases(), 5u);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 5.0);  // K * epsilon (Theorem 4.4).
+  EXPECT_TRUE(acc.ActiveQuiltsConsistent());
+}
+
+TEST(CompositionTest, MixedEpsilonsUseMax) {
+  CompositionAccountant acc;
+  ASSERT_TRUE(acc.RecordRelease(0.5, SomeQuilt()).ok());
+  ASSERT_TRUE(acc.RecordRelease(2.0, SomeQuilt()).ok());
+  ASSERT_TRUE(acc.RecordRelease(1.0, SomeQuilt()).ok());
+  // K * max_k epsilon_k = 3 * 2.
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 6.0);
+}
+
+TEST(CompositionTest, DetectsActiveQuiltChange) {
+  CompositionAccountant acc;
+  ASSERT_TRUE(acc.RecordRelease(1.0, SomeQuilt()).ok());
+  ASSERT_TRUE(acc.RecordRelease(1.0, ChainQuilt(10, 5, 1, 1).ValueOrDie()).ok());
+  EXPECT_FALSE(acc.ActiveQuiltsConsistent());
+}
+
+TEST(CompositionTest, RejectsBadEpsilon) {
+  CompositionAccountant acc;
+  EXPECT_FALSE(acc.RecordRelease(0.0, SomeQuilt()).ok());
+  EXPECT_EQ(acc.num_releases(), 0u);
+}
+
+// End-to-end: the same analysis re-run with identical inputs picks the same
+// active quilt, so repeated releases compose (the Theorem 4.4 setting).
+TEST(CompositionTest, RepeatedAnalysesShareActiveQuilt) {
+  const MarkovChain theta =
+      MarkovChain::Make({0.8, 0.2}, Matrix{{0.9, 0.1}, {0.4, 0.6}}).ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 30;
+  CompositionAccountant acc;
+  for (int k = 0; k < 3; ++k) {
+    const ChainMqmResult r = MqmExactAnalyze({theta}, 50, options).ValueOrDie();
+    ASSERT_TRUE(acc.RecordRelease(options.epsilon, r.active_quilt).ok());
+  }
+  EXPECT_TRUE(acc.ActiveQuiltsConsistent());
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 3.0);
+}
+
+}  // namespace
+}  // namespace pf

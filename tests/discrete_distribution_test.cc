@@ -1,0 +1,76 @@
+#include "dist/discrete_distribution.h"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+TEST(DiscreteDistributionTest, MakeSortsAndMerges) {
+  const auto d = DiscreteDistribution::Make({{2.0, 0.25}, {1.0, 0.5}, {2.0, 0.25}});
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(d.value().atoms()[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(d.value().atoms()[0].p, 0.5);
+  EXPECT_DOUBLE_EQ(d.value().atoms()[1].p, 0.5);
+}
+
+TEST(DiscreteDistributionTest, RejectsBadMass) {
+  EXPECT_FALSE(DiscreteDistribution::Make({{0.0, 0.5}, {1.0, 0.4}}).ok());
+  EXPECT_FALSE(DiscreteDistribution::Make({{0.0, 1.5}, {1.0, -0.5}}).ok());
+}
+
+TEST(DiscreteDistributionTest, DropsZeroAtoms) {
+  const auto d = DiscreteDistribution::Make({{0.0, 1.0}, {5.0, 0.0}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().size(), 1u);
+}
+
+TEST(DiscreteDistributionTest, FromMasses) {
+  const auto d = DiscreteDistribution::FromMasses({0.1, 0.15, 0.5, 0.15, 0.1});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().size(), 5u);
+  EXPECT_DOUBLE_EQ(d.value().MassAt(2.0), 0.5);
+}
+
+TEST(DiscreteDistributionTest, CdfAndQuantile) {
+  const auto d = DiscreteDistribution::FromMasses({0.25, 0.25, 0.5}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(d.Cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.Cdf(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.Cdf(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 2.0);
+}
+
+TEST(DiscreteDistributionTest, MeanMinMax) {
+  const auto d = DiscreteDistribution::FromMasses({0.5, 0.0, 0.5}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(d.Mean(), 1.0);
+  EXPECT_DOUBLE_EQ(d.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(d.Max(), 2.0);
+}
+
+TEST(DiscreteDistributionTest, PointMassAndShift) {
+  const DiscreteDistribution p = DiscreteDistribution::PointMass(3.0);
+  EXPECT_DOUBLE_EQ(p.Mean(), 3.0);
+  const DiscreteDistribution shifted = p.Shift(-1.5);
+  EXPECT_DOUBLE_EQ(shifted.Mean(), 1.5);
+}
+
+TEST(DiscreteDistributionTest, MixtureSharesWeights) {
+  const auto a = DiscreteDistribution::FromMasses({1.0, 0.0}).ValueOrDie();
+  const auto b = DiscreteDistribution::FromMasses({0.0, 1.0}).ValueOrDie();
+  const auto mix = DiscreteDistribution::Mixture({a, b}, {0.25, 0.75});
+  ASSERT_TRUE(mix.ok());
+  EXPECT_DOUBLE_EQ(mix.value().MassAt(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(mix.value().MassAt(1.0), 0.75);
+}
+
+TEST(DiscreteDistributionTest, MixtureValidation) {
+  const auto a = DiscreteDistribution::PointMass(0.0);
+  EXPECT_FALSE(DiscreteDistribution::Mixture({a}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(DiscreteDistribution::Mixture({a, a}, {0.7, 0.7}).ok());
+}
+
+}  // namespace
+}  // namespace pf

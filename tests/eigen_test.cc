@@ -1,0 +1,79 @@
+#include "common/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pf {
+namespace {
+
+TEST(EigenTest, DiagonalMatrixEigenvalues) {
+  const Matrix m = Matrix::Diagonal({3.0, -1.0, 2.0});
+  const Result<Vector> eig = SymmetricEigenvalues(m);
+  ASSERT_TRUE(eig.ok());
+  ASSERT_EQ(eig.value().size(), 3u);
+  EXPECT_NEAR(eig.value()[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.value()[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig.value()[2], -1.0, 1e-10);
+}
+
+TEST(EigenTest, TwoByTwoSymmetric) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix m{{2.0, 1.0}, {1.0, 2.0}};
+  const Result<Vector> eig = SymmetricEigenvalues(m);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.value()[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.value()[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, TraceAndDeterminantInvariants) {
+  Matrix m{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.25}, {0.5, 0.25, 2.0}};
+  const Result<Vector> eig = SymmetricEigenvalues(m);
+  ASSERT_TRUE(eig.ok());
+  double trace = 0.0;
+  for (double v : eig.value()) trace += v;
+  EXPECT_NEAR(trace, 9.0, 1e-9);
+}
+
+TEST(EigenTest, RejectsNonSymmetric) {
+  Matrix m{{1.0, 2.0}, {0.0, 1.0}};
+  const Result<Vector> eig = SymmetricEigenvalues(m);
+  EXPECT_FALSE(eig.ok());
+  EXPECT_EQ(eig.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  Matrix m(2, 3, 0.0);
+  EXPECT_FALSE(SymmetricEigenvalues(m).ok());
+}
+
+TEST(EigenTest, SpectralRadiusOfStochasticMatrixIsOne) {
+  Matrix p{{0.9, 0.1}, {0.4, 0.6}};
+  const Result<double> radius = SpectralRadius(p);
+  ASSERT_TRUE(radius.ok());
+  EXPECT_NEAR(radius.value(), 1.0, 1e-8);
+}
+
+TEST(EigenTest, SpectralNormOfDiagonal) {
+  const Matrix m = Matrix::Diagonal({-5.0, 2.0});
+  const Result<double> norm = SpectralNorm(m);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_NEAR(norm.value(), 5.0, 1e-8);
+}
+
+TEST(EigenTest, SpectralNormTridiagonalToeplitz) {
+  // Zero diagonal, nu = 0.3 off-diagonals, size 10:
+  // norm = 2 * 0.3 * cos(pi / 11).
+  const std::size_t n = 10;
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    m(i, i + 1) = 0.3;
+    m(i + 1, i) = 0.3;
+  }
+  const Result<double> norm = SpectralNorm(m);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_NEAR(norm.value(), 2.0 * 0.3 * std::cos(M_PI / 11.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,81 @@
+#include "data/electricity.h"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+TEST(ElectricityTest, TransitionIsValidChain) {
+  ElectricitySimOptions options;
+  const Matrix p = ElectricityTransition(options);
+  EXPECT_EQ(p.rows(), kNumPowerLevels);
+  EXPECT_TRUE(p.IsRowStochastic(1e-9));
+  const MarkovChain chain =
+      MarkovChain::Make(Vector(kNumPowerLevels, 1.0 / kNumPowerLevels), p)
+          .ValueOrDie();
+  EXPECT_TRUE(chain.IsIrreducible());
+  EXPECT_TRUE(chain.IsAperiodic());
+}
+
+TEST(ElectricityTest, StationaryConcentratesOnLowPower) {
+  ElectricitySimOptions options;
+  const Matrix p = ElectricityTransition(options);
+  const MarkovChain chain =
+      MarkovChain::Make(Vector(kNumPowerLevels, 1.0 / kNumPowerLevels), p)
+          .ValueOrDie();
+  const Vector pi = chain.StationaryDistribution().ValueOrDie();
+  // Base load dominates: the lowest 10 levels carry most of the mass and
+  // every level is still reachable.
+  double low = 0.0;
+  for (std::size_t j = 0; j < 10; ++j) low += pi[j];
+  EXPECT_GT(low, 0.5);
+  for (double v : pi) EXPECT_GT(v, 0.0);
+  EXPECT_GT(pi[0], pi[kNumPowerLevels - 1]);
+}
+
+TEST(ElectricityTest, MixingParametersUsable) {
+  // MQMApprox needs pi_min > 0 and eigengap > 0 on the generating chain.
+  ElectricitySimOptions options;
+  const Matrix p = ElectricityTransition(options);
+  const MarkovChain chain =
+      MarkovChain::Make(Vector(kNumPowerLevels, 1.0 / kNumPowerLevels), p)
+          .ValueOrDie();
+  EXPECT_GT(chain.MinStationaryProbability().ValueOrDie(), 0.0);
+  // The reset component yields a gap comfortably above the reset rate.
+  EXPECT_GT(chain.Eigengap().ValueOrDie(), options.reset_probability / 2.0);
+}
+
+TEST(ElectricityTest, SimulationProducesValidStates) {
+  ElectricitySimOptions options;
+  options.length = 20000;
+  Rng rng(31);
+  const StateSequence seq = SimulateElectricity(options, &rng).ValueOrDie();
+  EXPECT_EQ(seq.size(), 20000u);
+  for (int s : seq) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, static_cast<int>(kNumPowerLevels));
+  }
+}
+
+TEST(ElectricityTest, ZeroLengthRejected) {
+  ElectricitySimOptions options;
+  options.length = 0;
+  Rng rng(1);
+  EXPECT_FALSE(SimulateElectricity(options, &rng).ok());
+}
+
+TEST(ElectricityTest, EmpiricalEstimateSupportsMqm) {
+  ElectricitySimOptions options;
+  options.length = 150000;
+  Rng rng(32);
+  const StateSequence seq = SimulateElectricity(options, &rng).ValueOrDie();
+  const MarkovChain est =
+      MarkovChain::Estimate({seq}, kNumPowerLevels).ValueOrDie();
+  EXPECT_TRUE(est.IsIrreducible());
+  EXPECT_TRUE(est.IsAperiodic());
+  EXPECT_GT(est.MinStationaryProbability().ValueOrDie(), 0.0);
+  EXPECT_GT(est.Eigengap().ValueOrDie(), 0.0);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,105 @@
+#include "data/flu.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/wasserstein.h"
+
+namespace pf {
+namespace {
+
+// Section 3.1 table: conditional count distributions of the worked example.
+TEST(FluTest, PaperExampleConditionals) {
+  const FluCliqueModel clique = FluCliqueModel::PaperExample();
+  const DiscreteDistribution mu0 = clique.ConditionalCount(0).ValueOrDie();
+  EXPECT_NEAR(mu0.MassAt(0.0), 0.2, 1e-12);
+  EXPECT_NEAR(mu0.MassAt(1.0), 0.225, 1e-12);
+  EXPECT_NEAR(mu0.MassAt(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(mu0.MassAt(3.0), 0.075, 1e-12);
+  EXPECT_NEAR(mu0.MassAt(4.0), 0.0, 1e-12);
+  const DiscreteDistribution mu1 = clique.ConditionalCount(1).ValueOrDie();
+  EXPECT_NEAR(mu1.MassAt(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(mu1.MassAt(1.0), 0.075, 1e-12);
+  EXPECT_NEAR(mu1.MassAt(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(mu1.MassAt(3.0), 0.225, 1e-12);
+  EXPECT_NEAR(mu1.MassAt(4.0), 0.2, 1e-12);
+}
+
+TEST(FluTest, PaperExampleWassersteinIsTwo) {
+  const FluCliqueModel clique = FluCliqueModel::PaperExample();
+  const ConditionalOutputPair pair = clique.CountQueryOutputPair().ValueOrDie();
+  EXPECT_NEAR(WassersteinInf(pair.mu_i, pair.mu_j).ValueOrDie(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(clique.GroupSensitivity(), 4.0);
+}
+
+TEST(FluTest, InfectionProbabilitySymmetricExample) {
+  // Symmetric p_N around n/2 gives P(X_i = 1) = 1/2.
+  EXPECT_NEAR(FluCliqueModel::PaperExample().InfectionProbability(), 0.5, 1e-12);
+}
+
+TEST(FluTest, ContagionModelShape) {
+  // Example 2's p(N = j) proportional to exp(2j): heavily infected cliques.
+  const FluCliqueModel clique = FluCliqueModel::Contagion(5, 2.0).ValueOrDie();
+  const Vector& p = clique.count_distribution();
+  for (std::size_t j = 0; j + 1 < p.size(); ++j) {
+    EXPECT_LT(p[j], p[j + 1]);
+  }
+  EXPECT_TRUE(IsProbabilityVector(p, 1e-9));
+}
+
+TEST(FluTest, Validation) {
+  EXPECT_FALSE(FluCliqueModel::Make(0, {1.0}).ok());
+  EXPECT_FALSE(FluCliqueModel::Make(2, {0.5, 0.5}).ok());       // Wrong size.
+  EXPECT_FALSE(FluCliqueModel::Make(2, {0.5, 0.2, 0.2}).ok());  // Bad sum.
+  EXPECT_FALSE(FluCliqueModel::PaperExample().ConditionalCount(2).ok());
+}
+
+TEST(FluTest, DegenerateConditioningFails) {
+  // Everyone always infected: X_i = 0 has probability zero.
+  const FluCliqueModel all =
+      FluCliqueModel::Make(2, {0.0, 0.0, 1.0}).ValueOrDie();
+  EXPECT_FALSE(all.ConditionalCount(0).ok());
+  EXPECT_TRUE(all.ConditionalCount(1).ok());
+}
+
+TEST(FluTest, SampleMatchesCountDistribution) {
+  const FluCliqueModel clique = FluCliqueModel::PaperExample();
+  Rng rng(55);
+  Vector freq(5, 0.0);
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<int> status = clique.Sample(&rng);
+    int count = 0;
+    for (int s : status) count += s;
+    freq[static_cast<std::size_t>(count)] += 1.0;
+  }
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_NEAR(freq[j] / trials, clique.count_distribution()[j], 0.01) << j;
+  }
+}
+
+TEST(FluTest, NetworkSensitivityIsMaxOverCliques) {
+  const FluCliqueModel small = FluCliqueModel::PaperExample();
+  const FluCliqueModel big = FluCliqueModel::Contagion(8, 0.5).ValueOrDie();
+  const FluNetwork net({small, big});
+  EXPECT_EQ(net.population(), 12u);
+  EXPECT_DOUBLE_EQ(net.GroupSensitivity(), 8.0);
+  const double w = net.CountQuerySensitivity().ValueOrDie();
+  const double w_small = WassersteinInf(small.CountQueryOutputPair().ValueOrDie().mu_i,
+                                        small.CountQueryOutputPair().ValueOrDie().mu_j)
+                             .ValueOrDie();
+  EXPECT_GE(w + 1e-12, w_small);
+  // W never exceeds the group sensitivity (Theorem 3.3).
+  EXPECT_LE(w, net.GroupSensitivity() + 1e-12);
+}
+
+TEST(FluTest, NetworkSample) {
+  const FluNetwork net({FluCliqueModel::PaperExample(),
+                        FluCliqueModel::Contagion(3, 1.0).ValueOrDie()});
+  Rng rng(9);
+  const std::vector<int> s = net.Sample(&rng);
+  EXPECT_EQ(s.size(), 7u);
+  for (int v : s) EXPECT_TRUE(v == 0 || v == 1);
+}
+
+}  // namespace
+}  // namespace pf

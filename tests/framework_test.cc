@@ -1,0 +1,102 @@
+#include "pufferfish/framework.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pf {
+namespace {
+
+TEST(FrameworkTest, AllAttributeSecretPairs) {
+  const auto pairs = AllAttributeSecretPairs(3, 2);
+  // 3 variables, one unordered value pair each.
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].variable, 0);
+  EXPECT_EQ(pairs[0].value_a, 0);
+  EXPECT_EQ(pairs[0].value_b, 1);
+  const auto pairs4 = AllAttributeSecretPairs(2, 4);
+  EXPECT_EQ(pairs4.size(), 2u * 6u);  // C(4,2) = 6 per variable.
+}
+
+TEST(FrameworkTest, ValidatePrivacyParams) {
+  EXPECT_TRUE(ValidatePrivacyParams({1.0}).ok());
+  EXPECT_FALSE(ValidatePrivacyParams({0.0}).ok());
+  EXPECT_FALSE(ValidatePrivacyParams({-2.0}).ok());
+  EXPECT_FALSE(ValidatePrivacyParams({std::nan("")}).ok());
+}
+
+TEST(FrameworkTest, IntervalClassValidation) {
+  EXPECT_TRUE(BinaryChainIntervalClass::Make(0.1, 0.9).ok());
+  EXPECT_FALSE(BinaryChainIntervalClass::Make(0.0, 0.9).ok());
+  EXPECT_FALSE(BinaryChainIntervalClass::Make(0.1, 1.0).ok());
+  EXPECT_FALSE(BinaryChainIntervalClass::Make(0.6, 0.4).ok());
+}
+
+TEST(FrameworkTest, IntervalClassTransitionAndContains) {
+  const auto cls = BinaryChainIntervalClass::Make(0.2, 0.8).ValueOrDie();
+  const Matrix p = BinaryChainIntervalClass::TransitionFor(0.3, 0.7);
+  EXPECT_DOUBLE_EQ(p(0, 0), 0.3);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.7);
+  EXPECT_DOUBLE_EQ(p(1, 1), 0.7);
+  EXPECT_DOUBLE_EQ(p(1, 0), 0.3);
+  EXPECT_TRUE(cls.Contains(0.2, 0.8));
+  EXPECT_FALSE(cls.Contains(0.1, 0.5));
+}
+
+TEST(FrameworkTest, IntervalClassGridCoversSquare) {
+  const auto cls = BinaryChainIntervalClass::Make(0.2, 0.4).ValueOrDie();
+  const auto grid = cls.TransitionGrid(0.1);
+  EXPECT_EQ(grid.size(), 9u);  // {0.2, 0.3, 0.4}^2.
+  for (const Matrix& p : grid) {
+    EXPECT_TRUE(p.IsRowStochastic());
+    EXPECT_TRUE(cls.Contains(p(0, 0), p(1, 1)));
+  }
+}
+
+TEST(FrameworkTest, IntervalClassClosedFormSummary) {
+  // Theta = [0.3, 0.7]: pi_min = (1-0.7)/(2-0.3-0.7) = 0.3;
+  // worst |2p-1| = 0.4 -> g = 2 * 0.6 = 1.2.
+  const auto cls = BinaryChainIntervalClass::Make(0.3, 0.7).ValueOrDie();
+  const ChainClassSummary s = cls.Summary();
+  EXPECT_NEAR(s.pi_min, 0.3, 1e-12);
+  EXPECT_NEAR(s.eigengap, 1.2, 1e-12);
+  EXPECT_TRUE(s.all_reversible);
+}
+
+TEST(FrameworkTest, IntervalClassSummaryMatchesGridSummary) {
+  // The closed form must lower-bound (match at corners) the per-chain
+  // numerical summary over a grid of the class.
+  const auto cls = BinaryChainIntervalClass::Make(0.25, 0.75).ValueOrDie();
+  const ChainClassSummary closed = cls.Summary();
+  std::vector<MarkovChain> chains;
+  for (const Matrix& p : cls.TransitionGrid(0.25)) {
+    chains.push_back(
+        MarkovChain::Make({0.5, 0.5}, p).ValueOrDie());
+  }
+  const ChainClassSummary numeric = SummarizeChainClass(chains).ValueOrDie();
+  EXPECT_LE(closed.pi_min, numeric.pi_min + 1e-9);
+  EXPECT_LE(closed.eigengap, numeric.eigengap + 1e-7);
+  // The corners are in the grid, so the values coincide.
+  EXPECT_NEAR(closed.pi_min, numeric.pi_min, 1e-9);
+  EXPECT_NEAR(closed.eigengap, numeric.eigengap, 1e-7);
+}
+
+TEST(FrameworkTest, SummarizeChainClassWorstCase) {
+  const MarkovChain fast =
+      MarkovChain::Make({0.5, 0.5}, Matrix{{0.5, 0.5}, {0.5, 0.5}}).ValueOrDie();
+  const MarkovChain slow =
+      MarkovChain::Make({0.8, 0.2}, Matrix{{0.9, 0.1}, {0.4, 0.6}}).ValueOrDie();
+  const ChainClassSummary s = SummarizeChainClass({fast, slow}).ValueOrDie();
+  EXPECT_NEAR(s.pi_min, 0.2, 1e-9);    // From `slow`.
+  EXPECT_NEAR(s.eigengap, 1.0, 1e-7);  // From `slow` (fast has gap 2).
+}
+
+TEST(FrameworkTest, SummarizeRejectsReducible) {
+  const MarkovChain absorbing =
+      MarkovChain::Make({0.5, 0.5}, Matrix{{1.0, 0.0}, {0.5, 0.5}}).ValueOrDie();
+  EXPECT_FALSE(SummarizeChainClass({absorbing}).ok());
+  EXPECT_FALSE(SummarizeChainClass({}).ok());
+}
+
+}  // namespace
+}  // namespace pf

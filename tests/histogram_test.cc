@@ -1,0 +1,56 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+TEST(HistogramTest, Counts) {
+  const StateSequence seq = {0, 1, 1, 2, 0, 0};
+  const Result<Vector> h = CountHistogram(seq, 3);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h.value()[0], 3.0);
+  EXPECT_DOUBLE_EQ(h.value()[1], 2.0);
+  EXPECT_DOUBLE_EQ(h.value()[2], 1.0);
+}
+
+TEST(HistogramTest, OutOfRangeState) {
+  EXPECT_FALSE(CountHistogram({0, 3}, 3).ok());
+  EXPECT_FALSE(CountHistogram({-1}, 3).ok());
+}
+
+TEST(HistogramTest, RelativeFrequencySumsToOne) {
+  const StateSequence seq = {0, 1, 1, 2};
+  const Result<Vector> h = RelativeFrequencyHistogram(seq, 3);
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(IsProbabilityVector(h.value()));
+  EXPECT_DOUBLE_EQ(h.value()[1], 0.5);
+}
+
+TEST(HistogramTest, RelativeFrequencyEmptyFails) {
+  EXPECT_FALSE(RelativeFrequencyHistogram({}, 3).ok());
+}
+
+TEST(HistogramTest, AggregatePoolsObservations) {
+  const std::vector<StateSequence> seqs = {{0, 0, 1}, {1}};
+  const Result<Vector> h = AggregateRelativeFrequencyHistogram(seqs, 2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h.value()[0], 0.5);
+  EXPECT_DOUBLE_EQ(h.value()[1], 0.5);
+}
+
+TEST(HistogramTest, AggregateEmptyFails) {
+  EXPECT_FALSE(AggregateRelativeFrequencyHistogram({}, 2).ok());
+  EXPECT_FALSE(AggregateRelativeFrequencyHistogram({{}, {}}, 2).ok());
+}
+
+TEST(HistogramTest, ClampToUnit) {
+  const Vector noisy = {-0.2, 0.5, 1.7};
+  const Vector clamped = ClampToUnit(noisy);
+  EXPECT_DOUBLE_EQ(clamped[0], 0.0);
+  EXPECT_DOUBLE_EQ(clamped[1], 0.5);
+  EXPECT_DOUBLE_EQ(clamped[2], 1.0);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,171 @@
+// Cross-module integration tests: the full pipelines the benchmarks run,
+// shrunk to test size — simulate data, estimate the chain, compute noise
+// scales with every mechanism, release, and compare utility orderings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gk16.h"
+#include "baselines/group_dp.h"
+#include "baselines/laplace_dp.h"
+#include "common/histogram.h"
+#include "data/activity.h"
+#include "data/electricity.h"
+#include "data/synthetic.h"
+#include "pufferfish/mqm_approx.h"
+#include "pufferfish/mqm_exact.h"
+#include "pufferfish/query.h"
+
+namespace pf {
+namespace {
+
+// The Section 5.2 synthetic pipeline at reduced trial count: MQMExact's
+// noise is at most MQMApprox's, and both beat GroupDP for a moderate class.
+TEST(IntegrationTest, SyntheticPipelineOrdering) {
+  const double alpha = 0.3;
+  const double epsilon = 1.0;
+  const std::size_t length = 100;
+  const auto cls = BinaryChainIntervalClass::Make(alpha, 1.0 - alpha).ValueOrDie();
+
+  ChainMqmOptions exact_options;
+  exact_options.epsilon = epsilon;
+  exact_options.max_nearby = 60;
+  const ChainMqmResult exact =
+      MqmExactAnalyzeFreeInitial(cls.TransitionGrid(0.1), length, exact_options)
+          .ValueOrDie();
+
+  ChainMqmOptions approx_options;
+  approx_options.epsilon = epsilon;
+  approx_options.max_nearby = 0;
+  const ChainMqmResult approx =
+      MqmApproxAnalyze(cls.Summary(), length, approx_options).ValueOrDie();
+
+  EXPECT_LE(exact.sigma_max, approx.sigma_max + 1e-9);
+
+  // Expected L1 error of the mean-state query: scale * L with L = 1/T.
+  const double exact_err = exact.sigma_max / static_cast<double>(length);
+  const double approx_err = approx.sigma_max / static_cast<double>(length);
+  const double group_err = 1.0 / epsilon;  // GroupDP: Lap(1/eps).
+  EXPECT_LT(exact_err, group_err);
+  EXPECT_LT(approx_err, group_err);
+}
+
+TEST(IntegrationTest, SyntheticGk16ComparisonAtWideAndNarrowClasses) {
+  const double epsilon = 1.0;
+  const std::size_t length = 100;
+  // Wide class (alpha = 0.1): GK16 inapplicable.
+  {
+    const auto cls = BinaryChainIntervalClass::Make(0.1, 0.9).ValueOrDie();
+    const Gk16Analysis a =
+        Gk16Analyze(cls.TransitionGrid(0.1), length, epsilon).ValueOrDie();
+    EXPECT_FALSE(a.applicable);
+  }
+  // Narrow class (alpha = 0.4): GK16 applicable.
+  {
+    const auto cls = BinaryChainIntervalClass::Make(0.4, 0.6).ValueOrDie();
+    const Gk16Analysis a =
+        Gk16Analyze(cls.TransitionGrid(0.05), length, epsilon).ValueOrDie();
+    EXPECT_TRUE(a.applicable);
+    EXPECT_TRUE(std::isfinite(a.sigma));
+  }
+}
+
+// Shrunk Section 5.3.1 pipeline: per-group, the private aggregated histogram
+// from MQM is much closer to the truth than GroupDP's.
+TEST(IntegrationTest, ActivityPipelineMqmBeatsGroupDp) {
+  Rng rng(2024);
+  ActivitySimOptions sim;
+  sim.mean_observations_per_person = 3000;
+  sim.mean_segment_length = 600;
+  const ActivityGroupData data =
+      SimulateActivityGroup(ActivityGroup::kCyclist, sim, &rng).ValueOrDie();
+  const std::vector<StateSequence> chains = data.AllChains();
+  const Vector truth =
+      AggregateRelativeFrequencyHistogram(chains, kNumActivityStates)
+          .ValueOrDie();
+  const double epsilon = 1.0;
+  const MarkovChain est =
+      MarkovChain::Estimate(chains, kNumActivityStates).ValueOrDie();
+
+  // MQMApprox noise scale for the aggregate histogram (2/total-Lipschitz).
+  ChainMqmOptions options;
+  options.epsilon = epsilon;
+  options.max_nearby = 0;
+  const ChainMqmResult approx =
+      MqmApproxAnalyze({est}, data.LongestChain(), options).ValueOrDie();
+  const double lipschitz = 2.0 / static_cast<double>(data.TotalObservations());
+  const double mqm_expected_l1 =
+      static_cast<double>(kNumActivityStates) * lipschitz * approx.sigma_max;
+
+  const double group_sens =
+      RelativeFrequencyGroupSensitivity(chains).ValueOrDie();
+  const double group_expected_l1 =
+      static_cast<double>(kNumActivityStates) * group_sens / epsilon;
+
+  EXPECT_LT(mqm_expected_l1, group_expected_l1);
+
+  // And a realized release tracks the truth reasonably.
+  Rng noise_rng(7);
+  double err = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const Vector noisy =
+        MqmReleaseVector(truth, lipschitz, approx.sigma_max, &noise_rng);
+    err += DistanceL1(noisy, truth);
+  }
+  EXPECT_LT(err / trials, 0.2);
+}
+
+// Shrunk Section 5.3.2 pipeline: estimate the 51-state chain, run both MQM
+// variants with the stationary shortcut, release the histogram.
+TEST(IntegrationTest, ElectricityPipeline) {
+  ElectricitySimOptions sim;
+  sim.length = 120000;
+  Rng rng(5);
+  const StateSequence seq = SimulateElectricity(sim, &rng).ValueOrDie();
+  const MarkovChain est =
+      MarkovChain::Estimate({seq}, kNumPowerLevels).ValueOrDie();
+  const double epsilon = 1.0;
+
+  ChainMqmOptions approx_options;
+  approx_options.epsilon = epsilon;
+  approx_options.max_nearby = 0;
+  const ChainMqmResult approx =
+      MqmApproxAnalyze({est}, sim.length, approx_options).ValueOrDie();
+  EXPECT_TRUE(approx.used_stationary_shortcut);
+
+  ChainMqmOptions exact_options;
+  exact_options.epsilon = epsilon;
+  exact_options.max_nearby = approx.active_quilt.NearbyCount() + 2;
+  const ChainMqmResult exact =
+      MqmExactAnalyze({est}, sim.length, exact_options).ValueOrDie();
+  EXPECT_TRUE(exact.used_stationary_shortcut);
+  EXPECT_LE(exact.sigma_max, approx.sigma_max + 1e-9);
+
+  const double lipschitz = 2.0 / static_cast<double>(sim.length);
+  const double expected_l1 =
+      static_cast<double>(kNumPowerLevels) * lipschitz * exact.sigma_max;
+  // GroupDP would be 51 * 2/eps = 102; MQM must be orders better.
+  EXPECT_LT(expected_l1, 5.0);
+}
+
+// The DP baseline is biased down for aggregate tasks with few individuals —
+// this mirrors Table 1's "DP" row being worse than MQM.
+TEST(IntegrationTest, EntryDpWorseThanMqmOnAggregates) {
+  // Entry DP adds Lap(2/(T eps)) per bin of each *person's* histogram and
+  // averages across n people; the aggregate-task noise is 2/(n T_person eps)
+  // per pooled bin only if everyone contributes equally — the paper instead
+  // reports DP noise on the group-level aggregate, scale 2 * k / (N eps)
+  // with N total observations but calibrated to hide one observation only;
+  // for small groups the variance is visible while MQM's per-chain quilts
+  // keep the same epsilon with comparable noise. Here we simply check the
+  // scales are finite and ordered for our setup.
+  const double epsilon = 1.0;
+  const std::size_t total = 10000;
+  const auto dp = LaplaceDpMechanism::Make(2.0 / total, epsilon).ValueOrDie();
+  const auto group = GroupDpMechanism::Make(2.0, epsilon).ValueOrDie();
+  EXPECT_LT(dp.noise_scale(), group.noise_scale());
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,123 @@
+#include "graphical/markov_quilt.h"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+TEST(MarkovQuiltTest, TrivialQuilt) {
+  const MarkovQuilt q = TrivialQuilt(3, 10);
+  EXPECT_TRUE(q.IsTrivial());
+  EXPECT_EQ(q.NearbyCount(), 10u);
+  EXPECT_EQ(q.target, 3);
+}
+
+TEST(MarkovQuiltTest, TwoSidedChainQuiltCounts) {
+  // Paper running example: X8 (1-indexed) with quilt {X3, X13} has
+  // card(X_N) = 9. 0-indexed: target 7, quilt {2, 12}.
+  const MarkovQuilt q = ChainQuilt(100, 7, 5, 5).ValueOrDie();
+  EXPECT_EQ(q.quilt, (std::vector<int>{2, 12}));
+  EXPECT_EQ(q.NearbyCount(), 9u);
+}
+
+TEST(MarkovQuiltTest, RightOnlyQuiltCounts) {
+  // Paper running example: X6 (1-indexed) with quilt {X10} has card = 9.
+  // 0-indexed: target 5, b = 4 -> quilt {9}, nearby = {X0..X8} = 9 nodes.
+  const MarkovQuilt q = ChainQuilt(100, 5, 0, 4).ValueOrDie();
+  EXPECT_EQ(q.quilt, (std::vector<int>{9}));
+  EXPECT_EQ(q.NearbyCount(), 9u);
+}
+
+TEST(MarkovQuiltTest, LeftOnlyQuiltCounts) {
+  // Chain of 10, target 7, a = 2: quilt {5}, nearby {6..9} = 4 nodes.
+  const MarkovQuilt q = ChainQuilt(10, 7, 2, 0).ValueOrDie();
+  EXPECT_EQ(q.quilt, (std::vector<int>{5}));
+  EXPECT_EQ(q.NearbyCount(), 4u);
+}
+
+TEST(MarkovQuiltTest, ChainQuiltValidation) {
+  EXPECT_FALSE(ChainQuilt(10, -1, 1, 1).ok());
+  EXPECT_FALSE(ChainQuilt(10, 3, 0, 0).ok());
+  EXPECT_FALSE(ChainQuilt(10, 3, 4, 0).ok());   // Left endpoint < 0.
+  EXPECT_FALSE(ChainQuilt(10, 3, 0, 7).ok());   // Right endpoint >= T.
+}
+
+TEST(MarkovQuiltTest, FamilyIncludesTrivialAndRespectsCap) {
+  const std::vector<MarkovQuilt> family = ChainQuiltFamily(20, 10, 5);
+  bool has_trivial = false;
+  for (const MarkovQuilt& q : family) {
+    if (q.IsTrivial()) {
+      has_trivial = true;
+      EXPECT_EQ(q.NearbyCount(), 20u);
+    } else {
+      EXPECT_LE(q.NearbyCount(), 5u);
+    }
+  }
+  EXPECT_TRUE(has_trivial);
+}
+
+TEST(MarkovQuiltTest, FamilyForCompositionExample) {
+  // Section 4.3 example: T = 3, middle node X2 (0-indexed 1) has quilt set
+  // {emptyset, {X1}, {X3}, {X1,X3}} with nearby sizes 3, 2, 2, 1.
+  const std::vector<MarkovQuilt> family = ChainQuiltFamily(3, 1, 3);
+  ASSERT_EQ(family.size(), 4u);
+  // Count quilts by size.
+  int trivial = 0, one_sided = 0, two_sided = 0;
+  for (const MarkovQuilt& q : family) {
+    if (q.IsTrivial()) {
+      ++trivial;
+      EXPECT_EQ(q.NearbyCount(), 3u);
+    } else if (q.quilt.size() == 1) {
+      ++one_sided;
+      EXPECT_EQ(q.NearbyCount(), 2u);
+    } else {
+      ++two_sided;
+      EXPECT_EQ(q.NearbyCount(), 1u);
+    }
+  }
+  EXPECT_EQ(trivial, 1);
+  EXPECT_EQ(one_sided, 2);
+  EXPECT_EQ(two_sided, 1);
+}
+
+TEST(MarkovQuiltTest, QuiltFromSeparatorChain) {
+  const BayesianNetwork bn =
+      BayesianNetwork::FromMarkovChain({0.5, 0.5},
+                                       Matrix{{0.9, 0.1}, {0.4, 0.6}}, 7)
+          .ValueOrDie();
+  const MoralGraph g(bn);
+  const MarkovQuilt q = QuiltFromSeparator(g, 3, {1, 5});
+  EXPECT_EQ(q.nearby, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(q.remote, (std::vector<int>{0, 6}));
+  EXPECT_EQ(q.NearbyCount(), 3u);
+}
+
+TEST(MarkovQuiltTest, EnumerateQuiltsSmallChain) {
+  const BayesianNetwork bn =
+      BayesianNetwork::FromMarkovChain({0.5, 0.5},
+                                       Matrix{{0.9, 0.1}, {0.4, 0.6}}, 4)
+          .ValueOrDie();
+  const MoralGraph g(bn);
+  const std::vector<MarkovQuilt> quilts = EnumerateQuilts(g, 1, 1);
+  // Separators of size 1 for node 1 in a path 0-1-2-3: {0} yields no remote
+  // split... {2} separates {3}; {0} separates nothing on the left beyond 0;
+  // plus trivial. At minimum the trivial quilt and {2} must appear.
+  bool has_trivial = false, has_x2 = false;
+  for (const MarkovQuilt& q : quilts) {
+    if (q.IsTrivial()) has_trivial = true;
+    if (q.quilt == std::vector<int>{2}) {
+      has_x2 = true;
+      EXPECT_EQ(q.remote, (std::vector<int>{3}));
+    }
+  }
+  EXPECT_TRUE(has_trivial);
+  EXPECT_TRUE(has_x2);
+}
+
+TEST(MarkovQuiltTest, ToStringRendering) {
+  const MarkovQuilt q = ChainQuilt(100, 7, 5, 5).ValueOrDie();
+  EXPECT_EQ(q.ToString(), "quilt{X2,X12} near=9");
+}
+
+}  // namespace
+}  // namespace pf

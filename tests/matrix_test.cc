@@ -1,0 +1,157 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pf {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix id = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+  const Matrix d = Matrix::Diagonal({2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, Product) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  const Matrix sum = a + b;
+  const Matrix diff = a - b;
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(diff(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 4.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.Transpose() == a);
+}
+
+TEST(MatrixTest, ApplyRightAndLeft) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector right = a.Apply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(right[0], 3.0);
+  EXPECT_DOUBLE_EQ(right[1], 7.0);
+  const Vector left = a.ApplyLeft({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(left[0], 4.0);
+  EXPECT_DOUBLE_EQ(left[1], 6.0);
+}
+
+TEST(MatrixTest, PowerMatchesRepeatedMultiplication) {
+  Matrix p{{0.9, 0.1}, {0.4, 0.6}};
+  Matrix expected = Matrix::Identity(2);
+  for (int i = 0; i < 7; ++i) expected = expected * p;
+  const Matrix got = p.Power(7);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(got(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, PowerZeroIsIdentity) {
+  Matrix p{{0.5, 0.5}, {0.25, 0.75}};
+  EXPECT_TRUE(p.Power(0) == Matrix::Identity(2));
+}
+
+TEST(MatrixTest, SolveLinearSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Result<Vector> x = a.Solve({5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-12);
+}
+
+TEST(MatrixTest, SolveSingularFails) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const Result<Vector> x = a.Solve({1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(MatrixTest, InverseRoundTrip) {
+  Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const Result<Matrix> inv = a.Inverse();
+  ASSERT_TRUE(inv.ok());
+  const Matrix prod = a * inv.value();
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, RowStochasticCheck) {
+  Matrix good{{0.9, 0.1}, {0.4, 0.6}};
+  EXPECT_TRUE(good.IsRowStochastic());
+  Matrix bad_sum{{0.9, 0.2}, {0.4, 0.6}};
+  EXPECT_FALSE(bad_sum.IsRowStochastic());
+  Matrix negative{{1.1, -0.1}, {0.4, 0.6}};
+  EXPECT_FALSE(negative.IsRowStochastic());
+}
+
+TEST(MatrixTest, MaxAbsAndFinite) {
+  Matrix a{{-3.0, 2.0}, {1.0, 0.5}};
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 3.0);
+  EXPECT_TRUE(a.AllFinite());
+  a(0, 0) = std::nan("");
+  EXPECT_FALSE(a.AllFinite());
+}
+
+TEST(VectorOpsTest, NormsAndDistances) {
+  const Vector a = {1.0, -2.0, 2.0};
+  EXPECT_DOUBLE_EQ(NormL1(a), 5.0);
+  EXPECT_DOUBLE_EQ(NormL2(a), 3.0);
+  EXPECT_DOUBLE_EQ(NormInf(a), 2.0);
+  const Vector b = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(DistanceL1(a, b), 5.0);
+}
+
+TEST(VectorOpsTest, DotAddSubtractScale) {
+  const Vector a = {1.0, 2.0};
+  const Vector b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(Add(a, b)[1], 6.0);
+  EXPECT_DOUBLE_EQ(Subtract(b, a)[0], 2.0);
+  EXPECT_DOUBLE_EQ(Scale(a, 3.0)[1], 6.0);
+}
+
+TEST(VectorOpsTest, ProbabilityVectorCheck) {
+  EXPECT_TRUE(IsProbabilityVector({0.25, 0.75}));
+  EXPECT_FALSE(IsProbabilityVector({0.5, 0.4}));
+  EXPECT_FALSE(IsProbabilityVector({1.2, -0.2}));
+}
+
+}  // namespace
+}  // namespace pf

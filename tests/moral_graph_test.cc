@@ -1,0 +1,69 @@
+#include "graphical/moral_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+BayesianNetwork ChainNetwork(std::size_t n) {
+  return BayesianNetwork::FromMarkovChain({0.5, 0.5},
+                                          Matrix{{0.9, 0.1}, {0.4, 0.6}}, n)
+      .ValueOrDie();
+}
+
+BayesianNetwork Diamond() {
+  BayesianNetwork bn;
+  EXPECT_TRUE(bn.AddNode("X1", 2, {}, Matrix{{0.6, 0.4}}).ok());
+  EXPECT_TRUE(bn.AddNode("X2", 2, {0}, Matrix{{0.7, 0.3}, {0.2, 0.8}}).ok());
+  EXPECT_TRUE(bn.AddNode("X3", 2, {0}, Matrix{{0.9, 0.1}, {0.5, 0.5}}).ok());
+  EXPECT_TRUE(bn.AddNode("X4", 2, {1, 2},
+                         Matrix{{0.8, 0.2}, {0.6, 0.4}, {0.3, 0.7}, {0.1, 0.9}})
+                  .ok());
+  return bn;
+}
+
+TEST(MoralGraphTest, ChainAdjacency) {
+  const MoralGraph g(ChainNetwork(5));
+  EXPECT_EQ(g.neighbors(0), (std::vector<int>{1}));
+  EXPECT_EQ(g.neighbors(2), (std::vector<int>{1, 3}));
+  EXPECT_EQ(g.neighbors(4), (std::vector<int>{3}));
+}
+
+TEST(MoralGraphTest, DiamondMarriesCoParents) {
+  const MoralGraph g(Diamond());
+  // X2 (1) and X3 (2) are married because both parent X4.
+  const auto& n1 = g.neighbors(1);
+  EXPECT_NE(std::find(n1.begin(), n1.end(), 2), n1.end());
+}
+
+TEST(MoralGraphTest, ChainSeparation) {
+  const MoralGraph g(ChainNetwork(7));
+  EXPECT_TRUE(g.Separates({3}, 1, 5));
+  EXPECT_FALSE(g.Separates({5}, 1, 4));
+  EXPECT_TRUE(g.Separates({2, 4}, 3, 0));
+  EXPECT_TRUE(g.Separates({2, 4}, 3, 6));
+}
+
+TEST(MoralGraphTest, SeparationWithEndpointInBlockedSet) {
+  const MoralGraph g(ChainNetwork(4));
+  EXPECT_TRUE(g.Separates({1}, 1, 3));
+}
+
+TEST(MoralGraphTest, ReachableAvoiding) {
+  const MoralGraph g(ChainNetwork(6));
+  const std::vector<int> reach = g.ReachableAvoiding(0, {2});
+  EXPECT_EQ(reach, (std::vector<int>{0, 1}));
+  const std::vector<int> all = g.ReachableAvoiding(0, {});
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(MoralGraphTest, DiamondSeparation) {
+  const MoralGraph g(Diamond());
+  // Removing X2 and X3 disconnects X1 from X4.
+  EXPECT_TRUE(g.Separates({1, 2}, 0, 3));
+  // X2 alone does not (path through X3).
+  EXPECT_FALSE(g.Separates({1}, 0, 3));
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,184 @@
+#include "pufferfish/mqm_exact.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pf {
+namespace {
+
+// Section 4.4 running example: T = 100 binary chain, epsilon = 1.
+MarkovChain Theta1() {
+  return MarkovChain::Make({1.0, 0.0}, Matrix{{0.9, 0.1}, {0.4, 0.6}})
+      .ValueOrDie();
+}
+MarkovChain Theta2() {
+  return MarkovChain::Make({0.9, 0.1}, Matrix{{0.8, 0.2}, {0.3, 0.7}})
+      .ValueOrDie();
+}
+
+// Section 4.3 composition example: T = 3 chain with q = (0.8, 0.2),
+// P = [[0.9, 0.1], [0.4, 0.6]], epsilon = 10. The quilts of the middle node
+// have max-influence 0, log 6, log 6, log 36 and scores 0.3, 0.2437,
+// 0.2437, 0.1558.
+TEST(MqmExactTest, CompositionExampleInfluences) {
+  const MarkovChain theta =
+      MarkovChain::Make({0.8, 0.2}, Matrix{{0.9, 0.1}, {0.4, 0.6}}).ValueOrDie();
+  const double log6 = std::log(6.0);
+  const double log36 = std::log(36.0);
+  // Trivial quilt: influence 0.
+  EXPECT_NEAR(
+      ChainQuiltInfluenceExact(theta, 3, TrivialQuilt(1, 3)).ValueOrDie(), 0.0,
+      1e-12);
+  // {X1} (left, 0-indexed {0}): log 6.
+  EXPECT_NEAR(ChainQuiltInfluenceExact(theta, 3,
+                                       ChainQuilt(3, 1, 1, 0).ValueOrDie())
+                  .ValueOrDie(),
+              log6, 1e-9);
+  // {X3} (right, 0-indexed {2}): log 6.
+  EXPECT_NEAR(ChainQuiltInfluenceExact(theta, 3,
+                                       ChainQuilt(3, 1, 0, 1).ValueOrDie())
+                  .ValueOrDie(),
+              log6, 1e-9);
+  // {X1, X3}: log 36.
+  EXPECT_NEAR(ChainQuiltInfluenceExact(theta, 3,
+                                       ChainQuilt(3, 1, 1, 1).ValueOrDie())
+                  .ValueOrDie(),
+              log36, 1e-9);
+}
+
+TEST(MqmExactTest, CompositionExampleScoresAndActiveQuilt) {
+  const MarkovChain theta =
+      MarkovChain::Make({0.8, 0.2}, Matrix{{0.9, 0.1}, {0.4, 0.6}}).ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 10.0;
+  options.max_nearby = 3;
+  // Scores for the middle node: 3/10 = 0.3, 2/(10 - log 6) = 0.2437,
+  // 1/(10 - log 36) = 0.1558. The active quilt is {X1, X3}.
+  const double score_two_sided = 1.0 / (10.0 - std::log(36.0));
+  EXPECT_NEAR(score_two_sided, 0.1558, 5e-4);
+  const double score_one_sided = 2.0 / (10.0 - std::log(6.0));
+  EXPECT_NEAR(score_one_sided, 0.2437, 5e-4);
+  // The full analysis takes the max over nodes of min over quilts; verify
+  // the middle node's active quilt through a single-node family check.
+  const ChainMqmResult r = MqmExactAnalyze({theta}, 3, options).ValueOrDie();
+  EXPECT_LE(r.sigma_max, 3.0 / 10.0 + 1e-12);  // Never worse than trivial.
+}
+
+// Running example numbers (Section 4.4.1): with ell = T and epsilon = 1,
+// theta1's worst node is X8 (0-indexed 7) with quilt {X3, X13} and score
+// 13.0219; theta2's worst node is X6 (0-indexed 5) with quilt {X10} and
+// score 10.6402.
+TEST(MqmExactTest, RunningExampleTheta1) {
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 100;
+  const ChainMqmResult r = MqmExactAnalyze({Theta1()}, 100, options).ValueOrDie();
+  EXPECT_NEAR(r.sigma_max, 13.0219, 1e-3);
+  EXPECT_EQ(r.worst_node, 7);
+  EXPECT_EQ(r.active_quilt.quilt, (std::vector<int>{2, 12}));
+}
+
+TEST(MqmExactTest, RunningExampleTheta2) {
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 100;
+  const ChainMqmResult r = MqmExactAnalyze({Theta2()}, 100, options).ValueOrDie();
+  EXPECT_NEAR(r.sigma_max, 10.6402, 1e-3);
+  EXPECT_EQ(r.worst_node, 5);
+  EXPECT_EQ(r.active_quilt.quilt, (std::vector<int>{9}));
+}
+
+TEST(MqmExactTest, ClassTakesWorstTheta) {
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 100;
+  const ChainMqmResult r =
+      MqmExactAnalyze({Theta1(), Theta2()}, 100, options).ValueOrDie();
+  EXPECT_NEAR(r.sigma_max, 13.0219, 1e-3);  // theta1 dominates.
+}
+
+TEST(MqmExactTest, SigmaNeverExceedsTrivialScore) {
+  ChainMqmOptions options;
+  options.epsilon = 0.5;
+  options.max_nearby = 50;
+  const ChainMqmResult r = MqmExactAnalyze({Theta1()}, 60, options).ValueOrDie();
+  EXPECT_LE(r.sigma_max, 60.0 / 0.5 + 1e-9);
+  EXPECT_GT(r.sigma_max, 0.0);
+}
+
+TEST(MqmExactTest, StationaryShortcutMatchesFullScan) {
+  // Stationary initial distribution: shortcut must agree with full scan.
+  const Matrix p{{0.9, 0.1}, {0.4, 0.6}};
+  const MarkovChain chain = MarkovChain::Make({0.8, 0.2}, p).ValueOrDie();
+  ChainMqmOptions fast;
+  fast.epsilon = 1.0;
+  fast.max_nearby = 40;
+  ChainMqmOptions slow = fast;
+  slow.allow_stationary_shortcut = false;
+  const ChainMqmResult rf = MqmExactAnalyze({chain}, 200, fast).ValueOrDie();
+  const ChainMqmResult rs = MqmExactAnalyze({chain}, 200, slow).ValueOrDie();
+  EXPECT_TRUE(rf.used_stationary_shortcut);
+  EXPECT_FALSE(rs.used_stationary_shortcut);
+  EXPECT_NEAR(rf.sigma_max, rs.sigma_max, 1e-9);
+}
+
+TEST(MqmExactTest, FreeInitialDominatesAnyFixedInitial) {
+  // The C.4 class (all initial distributions) must require at least as much
+  // noise as any particular initial distribution with the same transitions.
+  const Matrix p{{0.9, 0.1}, {0.4, 0.6}};
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 60;
+  const double free_sigma =
+      MqmExactAnalyzeFreeInitial({p}, 60, options).ValueOrDie().sigma_max;
+  for (const Vector& q :
+       {Vector{1.0, 0.0}, Vector{0.0, 1.0}, Vector{0.8, 0.2}, Vector{0.5, 0.5}}) {
+    const MarkovChain chain = MarkovChain::Make(q, p).ValueOrDie();
+    const double fixed_sigma =
+        MqmExactAnalyze({chain}, 60, options).ValueOrDie().sigma_max;
+    EXPECT_GE(free_sigma + 1e-9, fixed_sigma) << "q = (" << q[0] << "," << q[1] << ")";
+  }
+}
+
+TEST(MqmExactTest, InfluenceMonotoneInQuiltDistance) {
+  // Widening the quilt (larger a, b) cannot increase the exact influence.
+  const MarkovChain theta = Theta1();
+  double prev = 1e9;
+  for (int a = 2; a <= 10; a += 2) {
+    const MarkovQuilt q = ChainQuilt(100, 50, a, a).ValueOrDie();
+    const double e = ChainQuiltInfluenceExact(theta, 100, q).ValueOrDie();
+    EXPECT_LE(e, prev + 1e-9);
+    prev = e;
+  }
+}
+
+TEST(MqmExactTest, DeterministicChainHasInfiniteInfluenceQuilts) {
+  // A near-deterministic chain: tiny epsilon forces large quilts or the
+  // trivial quilt; sigma stays finite because the trivial quilt exists.
+  const MarkovChain sticky =
+      MarkovChain::Make({0.5, 0.5}, Matrix{{0.999, 0.001}, {0.001, 0.999}})
+          .ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 0.1;
+  options.max_nearby = 10;
+  const ChainMqmResult r = MqmExactAnalyze({sticky}, 50, options).ValueOrDie();
+  EXPECT_TRUE(std::isfinite(r.sigma_max));
+  EXPECT_LE(r.sigma_max, 50.0 / 0.1 + 1e-9);
+}
+
+TEST(MqmExactTest, ValidatesInputs) {
+  ChainMqmOptions options;
+  options.epsilon = -1.0;
+  EXPECT_FALSE(MqmExactAnalyze({Theta1()}, 10, options).ok());
+  options.epsilon = 1.0;
+  EXPECT_FALSE(MqmExactAnalyze({}, 10, options).ok());
+  EXPECT_FALSE(MqmExactAnalyze({Theta1()}, 0, options).ok());
+  EXPECT_FALSE(MqmExactAnalyzeFreeInitial({}, 10, options).ok());
+  EXPECT_FALSE(
+      MqmExactAnalyzeFreeInitial({Matrix{{0.9, 0.2}, {0.4, 0.6}}}, 10, options)
+          .ok());
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,212 @@
+// Parameterized sweeps over the Markov Quilt Mechanism's knobs, checking the
+// monotonicity and consistency properties the theory promises:
+//  - sigma decreases in epsilon and in quilt-width budget;
+//  - sigma never exceeds the trivial-quilt fallback T/epsilon;
+//  - MQMApprox dominates MQMExact for every (epsilon, class) combination;
+//  - the class sigma is the max over its members;
+//  - the Lemma 4.9 / C.4 shortcuts agree with brute force across regimes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pufferfish/framework.h"
+#include "pufferfish/mqm_approx.h"
+#include "pufferfish/mqm_exact.h"
+
+namespace pf {
+namespace {
+
+struct SweepCase {
+  double epsilon;
+  double p0, p1;
+  std::size_t length;
+};
+
+class MqmSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MqmSweep, TrivialFallbackBound) {
+  const SweepCase c = GetParam();
+  const MarkovChain chain =
+      MarkovChain::Make({0.5, 0.5},
+                        BinaryChainIntervalClass::TransitionFor(c.p0, c.p1))
+          .ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = c.epsilon;
+  options.max_nearby = 40;
+  const ChainMqmResult r =
+      MqmExactAnalyze({chain}, c.length, options).ValueOrDie();
+  EXPECT_GT(r.sigma_max, 0.0);
+  EXPECT_LE(r.sigma_max,
+            static_cast<double>(c.length) / c.epsilon + 1e-9);
+}
+
+TEST_P(MqmSweep, ApproxDominatesExact) {
+  const SweepCase c = GetParam();
+  const MarkovChain chain =
+      MarkovChain::Make({0.5, 0.5},
+                        BinaryChainIntervalClass::TransitionFor(c.p0, c.p1))
+          .ValueOrDie();
+  ChainMqmOptions exact_options;
+  exact_options.epsilon = c.epsilon;
+  exact_options.max_nearby = 60;
+  ChainMqmOptions approx_options;
+  approx_options.epsilon = c.epsilon;
+  approx_options.max_nearby = 0;
+  const double exact =
+      MqmExactAnalyze({chain}, c.length, exact_options).ValueOrDie().sigma_max;
+  const double approx =
+      MqmApproxAnalyze({chain}, c.length, approx_options).ValueOrDie().sigma_max;
+  EXPECT_LE(exact, approx + 1e-9);
+}
+
+TEST_P(MqmSweep, SigmaMonotoneInEpsilon) {
+  const SweepCase c = GetParam();
+  const MarkovChain chain =
+      MarkovChain::Make({0.5, 0.5},
+                        BinaryChainIntervalClass::TransitionFor(c.p0, c.p1))
+          .ValueOrDie();
+  ChainMqmOptions lo, hi;
+  lo.epsilon = c.epsilon;
+  hi.epsilon = c.epsilon * 2.0;
+  lo.max_nearby = hi.max_nearby = 40;
+  const double sigma_lo =
+      MqmExactAnalyze({chain}, c.length, lo).ValueOrDie().sigma_max;
+  const double sigma_hi =
+      MqmExactAnalyze({chain}, c.length, hi).ValueOrDie().sigma_max;
+  EXPECT_GE(sigma_lo, sigma_hi - 1e-9);
+}
+
+TEST_P(MqmSweep, SigmaMonotoneInWidthBudget) {
+  const SweepCase c = GetParam();
+  const MarkovChain chain =
+      MarkovChain::Make({0.5, 0.5},
+                        BinaryChainIntervalClass::TransitionFor(c.p0, c.p1))
+          .ValueOrDie();
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t ell : {4u, 16u, 64u}) {
+    ChainMqmOptions options;
+    options.epsilon = c.epsilon;
+    options.max_nearby = ell;
+    const double sigma =
+        MqmExactAnalyze({chain}, c.length, options).ValueOrDie().sigma_max;
+    EXPECT_LE(sigma, prev + 1e-9) << "ell=" << ell;
+    prev = sigma;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MqmSweep,
+    ::testing::Values(SweepCase{0.5, 0.9, 0.6, 60}, SweepCase{1.0, 0.9, 0.6, 60},
+                      SweepCase{5.0, 0.9, 0.6, 60}, SweepCase{1.0, 0.5, 0.5, 60},
+                      SweepCase{1.0, 0.8, 0.8, 120},
+                      SweepCase{1.0, 0.95, 0.3, 120},
+                      SweepCase{0.2, 0.7, 0.7, 40}));
+
+TEST(MqmClassTest, ClassSigmaIsMaxOverMembers) {
+  const std::size_t length = 80;
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 50;
+  std::vector<MarkovChain> chains;
+  double worst = 0.0;
+  for (double p : {0.6, 0.75, 0.9}) {
+    chains.push_back(
+        MarkovChain::Make({0.5, 0.5},
+                          BinaryChainIntervalClass::TransitionFor(p, p))
+            .ValueOrDie());
+    worst = std::max(
+        worst,
+        MqmExactAnalyze({chains.back()}, length, options).ValueOrDie().sigma_max);
+  }
+  const double class_sigma =
+      MqmExactAnalyze(chains, length, options).ValueOrDie().sigma_max;
+  EXPECT_NEAR(class_sigma, worst, 1e-9);
+}
+
+class ApproxShortcutAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproxShortcutAgreement, MidNodeShortcutEqualsFullScan) {
+  Rng rng(2200 + GetParam());
+  const double p0 = rng.Uniform(0.3, 0.95);
+  const double p1 = rng.Uniform(0.3, 0.95);
+  const std::size_t length = 50 + rng.UniformInt(400);
+  const MarkovChain chain =
+      MarkovChain::Make({0.5, 0.5},
+                        BinaryChainIntervalClass::TransitionFor(p0, p1))
+          .ValueOrDie();
+  ChainMqmOptions fast;
+  fast.epsilon = 1.0;
+  fast.max_nearby = 0;
+  ChainMqmOptions slow = fast;
+  slow.allow_stationary_shortcut = false;
+  const double sigma_fast =
+      MqmApproxAnalyze({chain}, length, fast).ValueOrDie().sigma_max;
+  const double sigma_slow =
+      MqmApproxAnalyze({chain}, length, slow).ValueOrDie().sigma_max;
+  EXPECT_NEAR(sigma_fast, sigma_slow, 1e-9)
+      << "p0=" << p0 << " p1=" << p1 << " T=" << length;
+}
+
+INSTANTIATE_TEST_SUITE_P(Randomized, ApproxShortcutAgreement,
+                         ::testing::Range(0, 12));
+
+class ExactShortcutAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactShortcutAgreement, StationaryShortcutEqualsFullScan) {
+  Rng rng(2600 + GetParam());
+  const double p0 = rng.Uniform(0.4, 0.95);
+  const double p1 = rng.Uniform(0.4, 0.95);
+  const Matrix p = BinaryChainIntervalClass::TransitionFor(p0, p1);
+  const MarkovChain probe = MarkovChain::Make({0.5, 0.5}, p).ValueOrDie();
+  const Vector pi = probe.StationaryDistribution().ValueOrDie();
+  const MarkovChain chain = MarkovChain::Make(pi, p).ValueOrDie();
+  const std::size_t length = 60 + rng.UniformInt(200);
+  ChainMqmOptions fast;
+  fast.epsilon = 1.0;
+  fast.max_nearby = 30;
+  ChainMqmOptions slow = fast;
+  slow.allow_stationary_shortcut = false;
+  const ChainMqmResult rf = MqmExactAnalyze({chain}, length, fast).ValueOrDie();
+  const ChainMqmResult rs = MqmExactAnalyze({chain}, length, slow).ValueOrDie();
+  EXPECT_NEAR(rf.sigma_max, rs.sigma_max, 1e-9)
+      << "p0=" << p0 << " p1=" << p1 << " T=" << length;
+}
+
+INSTANTIATE_TEST_SUITE_P(Randomized, ExactShortcutAgreement,
+                         ::testing::Range(0, 12));
+
+// Multi-state chains (k = 3, 4): the Eq. (5) machinery is not binary-only.
+class MultiStateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiStateSweep, KStateChainsAnalyzable) {
+  const int k = 3 + GetParam() % 2;
+  Rng rng(3000 + GetParam());
+  Matrix p(k, k, 0.0);
+  for (int i = 0; i < k; ++i) {
+    Vector row = rng.UniformSimplex(static_cast<std::size_t>(k));
+    // Make diagonally dominant for realistic persistence.
+    for (int j = 0; j < k; ++j) p(i, j) = 0.2 * row[static_cast<std::size_t>(j)];
+    p(i, i) += 0.8;
+  }
+  const MarkovChain chain =
+      MarkovChain::Make(Vector(static_cast<std::size_t>(k), 1.0 / k), p)
+          .ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 50;
+  const ChainMqmResult exact =
+      MqmExactAnalyze({chain}, 100, options).ValueOrDie();
+  EXPECT_TRUE(std::isfinite(exact.sigma_max));
+  EXPECT_LE(exact.sigma_max, 100.0 + 1e-9);
+  ChainMqmOptions approx_options;
+  approx_options.epsilon = 1.0;
+  approx_options.max_nearby = 0;
+  const ChainMqmResult approx =
+      MqmApproxAnalyze({chain}, 100, approx_options).ValueOrDie();
+  EXPECT_LE(exact.sigma_max, approx.sigma_max + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Randomized, MultiStateSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pf

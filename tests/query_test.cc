@@ -1,0 +1,55 @@
+#include "pufferfish/query.h"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+TEST(QueryTest, SumQuery) {
+  const ScalarQuery q = SumQuery(3);
+  EXPECT_DOUBLE_EQ(q.fn({0, 1, 2, 2}), 5.0);
+  EXPECT_DOUBLE_EQ(q.lipschitz, 2.0);
+}
+
+TEST(QueryTest, MeanStateQuery) {
+  const ScalarQuery q = MeanStateQuery(2, 4);
+  EXPECT_DOUBLE_EQ(q.fn({0, 1, 1, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(q.lipschitz, 0.25);  // (k-1)/T = 1/4.
+}
+
+TEST(QueryTest, StateFrequencyQuery) {
+  const ScalarQuery q = StateFrequencyQuery(1, 5);
+  EXPECT_DOUBLE_EQ(q.fn({1, 0, 1, 1, 0}), 0.6);
+  EXPECT_DOUBLE_EQ(q.lipschitz, 0.2);
+}
+
+TEST(QueryTest, CountHistogramQuery) {
+  const VectorQuery q = CountHistogramQuery(3);
+  const Vector h = q.fn({0, 2, 2, 1});
+  EXPECT_DOUBLE_EQ(h[2], 2.0);
+  EXPECT_DOUBLE_EQ(q.lipschitz, 2.0);
+  EXPECT_EQ(q.dim, 3u);
+}
+
+TEST(QueryTest, RelativeFrequencyQueryLipschitz) {
+  const VectorQuery q = RelativeFrequencyQuery(4, 100);
+  EXPECT_DOUBLE_EQ(q.lipschitz, 0.02);  // 2/T, as in Section 5.1.
+  const Vector h = q.fn(StateSequence(100, 2));
+  EXPECT_DOUBLE_EQ(h[2], 1.0);
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+}
+
+// The Lipschitz property itself: changing one record moves the output by at
+// most L in L1.
+TEST(QueryTest, LipschitzPropertyHolds) {
+  const VectorQuery q = RelativeFrequencyQuery(3, 10);
+  StateSequence a(10, 0);
+  StateSequence b = a;
+  b[4] = 2;
+  EXPECT_LE(DistanceL1(q.fn(a), q.fn(b)), q.lipschitz + 1e-12);
+  const ScalarQuery mean = MeanStateQuery(3, 10);
+  EXPECT_LE(std::abs(mean.fn(a) - mean.fn(b)), mean.lipschitz + 1e-12);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,92 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pf {
+namespace {
+
+TEST(RandomTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RandomTest, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RandomTest, LaplaceMeanAndScale) {
+  Rng rng(7);
+  const double scale = 2.5;
+  double sum = 0.0, abs_sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Laplace(scale);
+    sum += x;
+    abs_sum += std::fabs(x);
+  }
+  // E[X] = 0, E[|X|] = scale.
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(abs_sum / n, scale, 0.05);
+}
+
+TEST(RandomTest, LaplaceZeroScaleIsZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(rng.Laplace(0.0), 0.0);
+}
+
+TEST(RandomTest, CategoricalFrequencies) {
+  Rng rng(11);
+  const Vector probs = {0.2, 0.5, 0.3};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.Categorical(probs)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RandomTest, CategoricalDegenerate) {
+  Rng rng(5);
+  const Vector probs = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(probs), 1u);
+}
+
+TEST(RandomTest, UniformSimplexIsDistribution) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const Vector v = rng.UniformSimplex(4);
+    EXPECT_TRUE(IsProbabilityVector(v, 1e-9));
+  }
+}
+
+TEST(RandomTest, UniformSimplexMeanIsCentroid) {
+  Rng rng(17);
+  Vector mean(3, 0.0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const Vector v = rng.UniformSimplex(3);
+    for (std::size_t j = 0; j < 3; ++j) mean[j] += v[j];
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(mean[j] / n, 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(RandomTest, UniformIntBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace pf

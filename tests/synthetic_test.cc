@@ -1,0 +1,54 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace pf {
+namespace {
+
+TEST(SyntheticTest, SampleRespectsClassBounds) {
+  const auto cls = BinaryChainIntervalClass::Make(0.3, 0.7).ValueOrDie();
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = SampleBinaryChainDataset(cls, 100, &rng).ValueOrDie();
+    EXPECT_GE(s.p0, 0.3);
+    EXPECT_LE(s.p0, 0.7);
+    EXPECT_GE(s.p1, 0.3);
+    EXPECT_LE(s.p1, 0.7);
+    EXPECT_TRUE(IsProbabilityVector(s.initial, 1e-9));
+    EXPECT_EQ(s.sequence.size(), 100u);
+    for (int v : s.sequence) {
+      EXPECT_TRUE(v == 0 || v == 1);
+    }
+  }
+}
+
+TEST(SyntheticTest, ZeroLengthRejected) {
+  const auto cls = BinaryChainIntervalClass::Make(0.3, 0.7).ValueOrDie();
+  Rng rng(4);
+  EXPECT_FALSE(SampleBinaryChainDataset(cls, 0, &rng).ok());
+}
+
+TEST(SyntheticTest, EmpiricalFrequenciesTrackParameters) {
+  // A very sticky chain should mostly stay in its start state.
+  const auto cls = BinaryChainIntervalClass::Make(0.95, 0.95).ValueOrDie();
+  Rng rng(10);
+  const auto s = SampleBinaryChainDataset(cls, 5000, &rng).ValueOrDie();
+  int switches = 0;
+  for (std::size_t t = 0; t + 1 < s.sequence.size(); ++t) {
+    if (s.sequence[t] != s.sequence[t + 1]) ++switches;
+  }
+  // Switch probability is 1 - p ~ 0.05.
+  EXPECT_NEAR(switches / 5000.0, 0.05, 0.02);
+}
+
+TEST(SyntheticTest, Reproducibility) {
+  const auto cls = BinaryChainIntervalClass::Make(0.2, 0.8).ValueOrDie();
+  Rng a(77), b(77);
+  const auto sa = SampleBinaryChainDataset(cls, 50, &a).ValueOrDie();
+  const auto sb = SampleBinaryChainDataset(cls, 50, &b).ValueOrDie();
+  EXPECT_EQ(sa.sequence, sb.sequence);
+  EXPECT_DOUBLE_EQ(sa.p0, sb.p0);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,152 @@
+#include "pufferfish/wasserstein_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "data/flu.h"
+
+namespace pf {
+namespace {
+
+// Section 3.1 worked example: the flu clique of 4 with
+// p_N = (0.1, 0.15, 0.5, 0.15, 0.1). W = 2, so the mechanism adds Lap(2/eps)
+// noise — half the group-DP scale of 4/eps.
+TEST(WassersteinMechanismTest, FluExampleSensitivityIsTwo) {
+  const FluCliqueModel clique = FluCliqueModel::PaperExample();
+  const ConditionalOutputPair pair = clique.CountQueryOutputPair().ValueOrDie();
+  const auto mech = WassersteinMechanism::Make({pair}, 1.0);
+  ASSERT_TRUE(mech.ok());
+  EXPECT_NEAR(mech.value().wasserstein_sensitivity(), 2.0, 1e-9);
+  EXPECT_NEAR(mech.value().noise_scale(), 2.0, 1e-9);
+  EXPECT_LT(mech.value().wasserstein_sensitivity(), clique.GroupSensitivity());
+}
+
+TEST(WassersteinMechanismTest, NoiseScaleInverseInEpsilon) {
+  const ConditionalOutputPair pair =
+      FluCliqueModel::PaperExample().CountQueryOutputPair().ValueOrDie();
+  const auto tight = WassersteinMechanism::Make({pair}, 5.0).ValueOrDie();
+  const auto loose = WassersteinMechanism::Make({pair}, 0.2).ValueOrDie();
+  EXPECT_NEAR(tight.noise_scale(), 0.4, 1e-9);
+  EXPECT_NEAR(loose.noise_scale(), 10.0, 1e-9);
+}
+
+TEST(WassersteinMechanismTest, ValidatesInputs) {
+  const ConditionalOutputPair pair =
+      FluCliqueModel::PaperExample().CountQueryOutputPair().ValueOrDie();
+  EXPECT_FALSE(WassersteinMechanism::Make({}, 1.0).ok());
+  EXPECT_FALSE(WassersteinMechanism::Make({pair}, 0.0).ok());
+}
+
+TEST(WassersteinMechanismTest, ReleaseAddsCalibratedNoise) {
+  const ConditionalOutputPair pair =
+      FluCliqueModel::PaperExample().CountQueryOutputPair().ValueOrDie();
+  const auto mech = WassersteinMechanism::Make({pair}, 1.0).ValueOrDie();
+  Rng rng(99);
+  double abs_err = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    abs_err += std::fabs(mech.Release(2.0, &rng) - 2.0);
+  }
+  EXPECT_NEAR(abs_err / n, mech.noise_scale(), 0.05);
+}
+
+// When Pufferfish reduces to differential privacy (independent records), the
+// Wasserstein Mechanism reduces to the Laplace mechanism: W = sensitivity.
+TEST(WassersteinMechanismTest, ReducesToLaplaceForIndependentRecords) {
+  // Three independent binary records, query = sum. Changing one record
+  // changes the sum by 1, so W should be exactly 1.
+  BayesianNetwork bn;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        bn.AddNode("X" + std::to_string(i), 2, {}, Matrix{{0.7, 0.3}}).ok());
+  }
+  const auto query = [](const Assignment& a) {
+    return static_cast<double>(std::accumulate(a.begin(), a.end(), 0));
+  };
+  const auto pairs = EnumerateBayesNetOutputPairs({bn}, query);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs.value().size(), 3u);
+  const auto mech = WassersteinMechanism::Make(pairs.value(), 1.0).ValueOrDie();
+  EXPECT_NEAR(mech.wasserstein_sensitivity(), 1.0, 1e-9);
+}
+
+// Theorem 3.3 check: W never exceeds the group-DP sensitivity. For a
+// perfectly correlated pair (X1 = X2), the group sensitivity of the sum is
+// 2 and W is exactly 2 (flipping X1 forces X2).
+TEST(WassersteinMechanismTest, PerfectCorrelationMatchesGroupSensitivity) {
+  BayesianNetwork bn;
+  ASSERT_TRUE(bn.AddNode("X0", 2, {}, Matrix{{0.5, 0.5}}).ok());
+  ASSERT_TRUE(bn.AddNode("X1", 2, {0}, Matrix{{1.0, 0.0}, {0.0, 1.0}}).ok());
+  const auto query = [](const Assignment& a) {
+    return static_cast<double>(a[0] + a[1]);
+  };
+  const auto pairs = EnumerateBayesNetOutputPairs({bn}, query).ValueOrDie();
+  const auto mech = WassersteinMechanism::Make(pairs, 1.0).ValueOrDie();
+  EXPECT_NEAR(mech.wasserstein_sensitivity(), 2.0, 1e-9);
+}
+
+// Partial correlation gives W strictly between the DP sensitivity (1) and
+// the group sensitivity (2).
+TEST(WassersteinMechanismTest, PartialCorrelationBetweenBounds) {
+  BayesianNetwork bn;
+  ASSERT_TRUE(bn.AddNode("X0", 2, {}, Matrix{{0.5, 0.5}}).ok());
+  ASSERT_TRUE(bn.AddNode("X1", 2, {0}, Matrix{{0.7, 0.3}, {0.3, 0.7}}).ok());
+  const auto query = [](const Assignment& a) {
+    return static_cast<double>(a[0] + a[1]);
+  };
+  const auto pairs = EnumerateBayesNetOutputPairs({bn}, query).ValueOrDie();
+  const auto mech = WassersteinMechanism::Make(pairs, 1.0).ValueOrDie();
+  EXPECT_GE(mech.wasserstein_sensitivity(), 1.0 - 1e-9);
+  EXPECT_LE(mech.wasserstein_sensitivity(), 2.0 + 1e-9);
+}
+
+TEST(WassersteinMechanismTest, ConditionalOutputDistribution) {
+  BayesianNetwork bn;
+  ASSERT_TRUE(bn.AddNode("X0", 2, {}, Matrix{{0.5, 0.5}}).ok());
+  ASSERT_TRUE(bn.AddNode("X1", 2, {0}, Matrix{{0.9, 0.1}, {0.2, 0.8}}).ok());
+  const auto query = [](const Assignment& a) {
+    return static_cast<double>(a[0] + a[1]);
+  };
+  const auto d = ConditionalOutputDistribution(bn, query, 0, 1).ValueOrDie();
+  // Given X0=1: sum is 1 w.p. 0.2 and 2 w.p. 0.8.
+  EXPECT_NEAR(d.MassAt(1.0), 0.2, 1e-12);
+  EXPECT_NEAR(d.MassAt(2.0), 0.8, 1e-12);
+}
+
+TEST(WassersteinMechanismTest, ZeroProbabilitySecretsSkipped) {
+  BayesianNetwork bn;
+  ASSERT_TRUE(bn.AddNode("X0", 3, {}, Matrix{{0.5, 0.5, 0.0}}).ok());
+  const auto query = [](const Assignment& a) { return static_cast<double>(a[0]); };
+  // Value 2 has probability zero; only the (0, 1) pair remains.
+  const auto pairs = EnumerateBayesNetOutputPairs({bn}, query).ValueOrDie();
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(WassersteinMechanismTest, MaxOverThetaClass) {
+  // Two thetas for one independent bit with different query scalings via
+  // correlated partner: W is the max over the class.
+  BayesianNetwork weak;
+  ASSERT_TRUE(weak.AddNode("X0", 2, {}, Matrix{{0.5, 0.5}}).ok());
+  ASSERT_TRUE(weak.AddNode("X1", 2, {0}, Matrix{{0.5, 0.5}, {0.5, 0.5}}).ok());
+  BayesianNetwork strong;
+  ASSERT_TRUE(strong.AddNode("X0", 2, {}, Matrix{{0.5, 0.5}}).ok());
+  ASSERT_TRUE(strong.AddNode("X1", 2, {0}, Matrix{{1.0, 0.0}, {0.0, 1.0}}).ok());
+  const auto query = [](const Assignment& a) {
+    return static_cast<double>(a[0] + a[1]);
+  };
+  const auto weak_only =
+      WassersteinMechanism::Make(
+          EnumerateBayesNetOutputPairs({weak}, query).ValueOrDie(), 1.0)
+          .ValueOrDie();
+  const auto both =
+      WassersteinMechanism::Make(
+          EnumerateBayesNetOutputPairs({weak, strong}, query).ValueOrDie(), 1.0)
+          .ValueOrDie();
+  EXPECT_NEAR(weak_only.wasserstein_sensitivity(), 1.0, 1e-9);
+  EXPECT_NEAR(both.wasserstein_sensitivity(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,15 +1,17 @@
-// Example 1 of the paper end to end: physical activity monitoring of single
-// subjects. Simulates a cyclist cohort (4 activities sampled every ~12 s,
-// gaps > 10 min split chains), estimates the group Markov chain, and
-// releases each person's activity histogram and the group aggregate with
-// MQMApprox and MQMExact, comparing against GroupDP.
+// Example 1 of the paper end to end, on the unified engine: physical
+// activity monitoring of single subjects. Simulates a cyclist cohort (4
+// activities sampled every ~12 s, gaps > 10 min split chains), estimates
+// the group Markov chain, analyzes once per mechanism, and then:
+//  - releases the group aggregate histogram (MQMExact vs GroupDP);
+//  - batch-releases every subject's count histogram against the one
+//    MQMExact plan (count histograms are 2-Lipschitz for everyone, so the
+//    whole cohort is a single ReleaseBatch call).
 #include <cstdio>
 
 #include "baselines/group_dp.h"
 #include "common/histogram.h"
 #include "data/activity.h"
-#include "pufferfish/mqm_approx.h"
-#include "pufferfish/mqm_exact.h"
+#include "pufferfish/mechanism.h"
 
 int main() {
   pf::Rng rng(7);
@@ -28,21 +30,19 @@ int main() {
           .ValueOrDie();
 
   const double epsilon = 1.0;
-  pf::ChainMqmOptions approx_options;
-  approx_options.epsilon = epsilon;
+  pf::ChainUnifiedOptions approx_options;
   approx_options.max_nearby = 0;  // Lemma 4.9 automatic width.
-  const pf::ChainMqmResult approx =
-      pf::MqmApproxAnalyze({chain}, data.LongestChain(), approx_options)
-          .ValueOrDie();
-  pf::ChainMqmOptions exact_options;
-  exact_options.epsilon = epsilon;
-  exact_options.max_nearby = approx.active_quilt.NearbyCount() + 2;
-  const pf::ChainMqmResult exact =
-      pf::MqmExactAnalyze({chain}, data.LongestChain(), exact_options)
-          .ValueOrDie();
+  const pf::MqmApproxUnified approx_mech({chain}, data.LongestChain(),
+                                         approx_options);
+  const pf::MechanismPlan approx = approx_mech.Analyze(epsilon).ValueOrDie();
+  pf::ChainUnifiedOptions exact_options;
+  exact_options.max_nearby = approx.chain.active_quilt.NearbyCount() + 2;
+  const pf::MqmExactUnified exact_mech({chain}, data.LongestChain(),
+                                       exact_options);
+  const pf::MechanismPlan exact = exact_mech.Analyze(epsilon).ValueOrDie();
   std::printf("sigma: MQMApprox %.1f (active %s), MQMExact %.1f (active %s)\n",
-              approx.sigma_max, approx.active_quilt.ToString().c_str(),
-              exact.sigma_max, exact.active_quilt.ToString().c_str());
+              approx.sigma, approx.chain.active_quilt.ToString().c_str(),
+              exact.sigma, exact.chain.active_quilt.ToString().c_str());
 
   // Aggregate task.
   const pf::Vector truth = pf::AggregateRelativeFrequencyHistogram(
@@ -51,13 +51,13 @@ int main() {
   const double lipschitz =
       2.0 / static_cast<double>(data.TotalObservations());
   const pf::Vector mqm_release = pf::ClampToUnit(
-      pf::MqmReleaseVector(truth, lipschitz, exact.sigma_max, &rng));
+      pf::ReleaseVector(exact, truth, lipschitz, &rng).ValueOrDie());
   const double group_sens =
       pf::RelativeFrequencyGroupSensitivity(data.AllChains()).ValueOrDie();
-  const auto group_mech =
-      pf::GroupDpMechanism::Make(group_sens, epsilon).ValueOrDie();
-  const pf::Vector group_release =
-      pf::ClampToUnit(group_mech.ReleaseVector(truth, &rng));
+  const pf::MechanismPlan group_plan =
+      pf::GroupDpUnified(group_sens).Analyze(epsilon).ValueOrDie();
+  const pf::Vector group_release = pf::ClampToUnit(
+      pf::ReleaseVector(group_plan, truth, 1.0, &rng).ValueOrDie());
 
   std::printf("\n%-14s %10s %10s %10s\n", "activity", "exact", "MQMExact",
               "GroupDP");
@@ -67,19 +67,30 @@ int main() {
                 mqm_release[j], group_release[j]);
   }
 
-  // Individual task for the first subject.
-  const pf::ActivityPerson& subject = data.people.front();
-  const pf::Vector person_truth = pf::AggregateRelativeFrequencyHistogram(
-                                      subject.chains, pf::kNumActivityStates)
-                                      .ValueOrDie();
-  const double person_lipschitz =
-      2.0 / static_cast<double>(subject.TotalObservations());
-  const pf::Vector person_release = pf::ClampToUnit(pf::MqmReleaseVector(
-      person_truth, person_lipschitz, exact.sigma_max, &rng));
-  std::printf("\nsubject 0 histogram (exact vs MQMExact): ");
-  for (std::size_t j = 0; j < pf::kNumActivityStates; ++j) {
-    std::printf("%.3f/%.3f  ", person_truth[j], person_release[j]);
+  // Individual task: one batch release of every subject's count histogram
+  // (2-Lipschitz regardless of per-person chain lengths) under the single
+  // MQMExact plan. K releases at epsilon compose to K * epsilon
+  // (Theorem 4.4: all releases share the active quilts).
+  std::vector<pf::Vector> person_truths;
+  person_truths.reserve(data.people.size());
+  for (const pf::ActivityPerson& person : data.people) {
+    pf::Vector counts(pf::kNumActivityStates, 0.0);
+    for (const pf::StateSequence& s : person.chains) {
+      const pf::Vector c =
+          pf::CountHistogram(s, pf::kNumActivityStates).ValueOrDie();
+      for (std::size_t j = 0; j < counts.size(); ++j) counts[j] += c[j];
+    }
+    person_truths.push_back(std::move(counts));
   }
-  std::printf("\n");
+  const std::vector<pf::Vector> person_releases =
+      pf::ReleaseBatch(exact, person_truths, /*lipschitz=*/2.0, &rng)
+          .ValueOrDie();
+  std::printf("\nper-subject '%s' observation count (true vs released, "
+              "first 5 subjects):\n",
+              pf::ActivityStateName(0));
+  for (std::size_t p = 0; p < person_releases.size() && p < 5; ++p) {
+    std::printf("  subject %zu: %8.0f vs %8.0f\n", p, person_truths[p][0],
+                person_releases[p][0]);
+  }
   return 0;
 }

@@ -1,16 +1,18 @@
-// Quickstart: release a private statistic of a correlated time series with
-// the Markov Quilt Mechanism in ~40 lines.
+// Quickstart: release private statistics of a correlated time series with
+// the unified mechanism engine in ~40 lines.
 //
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/example_quickstart
 //
 // Scenario: a length-1000 binary time series (e.g. device on/off per
 // minute) whose dynamics are one of two plausible Markov chains. We release
-// the fraction of time spent "on" with 1-Pufferfish privacy.
+// the fraction of time spent "on" with 1-Pufferfish privacy — analyzing
+// once (the expensive, data-independent phase) and then releasing a batch
+// of daily queries against the one plan.
 #include <cstdio>
 
 #include "graphical/markov_chain.h"
-#include "pufferfish/mqm_exact.h"
+#include "pufferfish/mechanism.h"
 #include "pufferfish/query.h"
 
 int main() {
@@ -31,31 +33,35 @@ int main() {
   const pf::ScalarQuery query = pf::StateFrequencyQuery(1, kLength);
   const double truth = query.fn(data);
 
-  // 4. Calibrate the Markov Quilt Mechanism at epsilon = 1.
-  pf::ChainMqmOptions options;
-  options.epsilon = 1.0;
-  options.max_nearby = 64;
-  const pf::Result<pf::ChainMqmResult> analysis =
-      pf::MqmExactAnalyze({theta1, theta2}, kLength, options);
-  if (!analysis.ok()) {
+  // 4. Analyze: the expensive, data-independent phase, once.
+  const pf::MqmExactUnified mechanism({theta1, theta2}, kLength);
+  const pf::Result<pf::MechanismPlan> plan = mechanism.Analyze(/*epsilon=*/1.0);
+  if (!plan.ok()) {
     std::fprintf(stderr, "analysis failed: %s\n",
-                 analysis.status().ToString().c_str());
+                 plan.status().ToString().c_str());
     return 1;
   }
 
-  // 5. Release.
-  const double noisy = pf::MqmReleaseScalar(
-      truth, query.lipschitz, analysis.value().sigma_max, &rng);
+  // 5. Release: cheap, per query. A batch of 7 "daily" values costs seven
+  // Laplace draws against the same plan (compose epsilons accordingly).
+  const double noisy =
+      pf::Release(plan.value(), truth, query.lipschitz, &rng).ValueOrDie();
+  const pf::Vector week = pf::ReleaseBatch(plan.value(),
+                                           std::vector<double>(7, truth),
+                                           query.lipschitz, &rng)
+                              .ValueOrDie();
 
   std::printf("true frequency of state 1 : %.4f\n", truth);
   std::printf("private release (eps = 1) : %.4f\n", noisy);
-  std::printf("noise scale               : %.5f  (sigma_max = %.2f, worst "
+  std::printf("batch of 7 releases       :");
+  for (double v : week) std::printf(" %.3f", v);
+  std::printf("\nnoise scale               : %.5f  (sigma_max = %.2f, worst "
               "node X%d, active %s)\n",
-              query.lipschitz * analysis.value().sigma_max,
-              analysis.value().sigma_max, analysis.value().worst_node,
-              analysis.value().active_quilt.ToString().c_str());
+              query.lipschitz * plan.value().sigma, plan.value().sigma,
+              plan.value().chain.worst_node,
+              plan.value().chain.active_quilt.ToString().c_str());
   std::printf("group-DP would need scale : %.5f (the whole chain is one "
               "group)\n",
-              1.0 / options.epsilon);
+              1.0 / plan.value().epsilon);
   return 0;
 }

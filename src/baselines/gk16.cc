@@ -78,7 +78,7 @@ Result<double> Gk16ReleaseScalar(const Gk16Analysis& analysis, double value,
     return Status::FailedPrecondition(
         "GK16 inapplicable: influence-matrix spectral norm >= 1");
   }
-  return value + rng->Laplace(lipschitz * analysis.sigma);
+  return AddLaplaceNoise(value, lipschitz * analysis.sigma, rng);
 }
 
 Result<Vector> Gk16ReleaseVector(const Gk16Analysis& analysis,
@@ -88,10 +88,7 @@ Result<Vector> Gk16ReleaseVector(const Gk16Analysis& analysis,
     return Status::FailedPrecondition(
         "GK16 inapplicable: influence-matrix spectral norm >= 1");
   }
-  Vector out = value;
-  const double scale = lipschitz * analysis.sigma;
-  for (double& v : out) v += rng->Laplace(scale);
-  return out;
+  return AddLaplaceNoise(value, lipschitz * analysis.sigma, rng);
 }
 
 }  // namespace pf

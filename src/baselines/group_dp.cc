@@ -17,13 +17,11 @@ Result<GroupDpMechanism> GroupDpMechanism::Make(double group_sensitivity,
 }
 
 double GroupDpMechanism::ReleaseScalar(double value, Rng* rng) const {
-  return value + rng->Laplace(noise_scale());
+  return AddLaplaceNoise(value, noise_scale(), rng);
 }
 
 Vector GroupDpMechanism::ReleaseVector(const Vector& value, Rng* rng) const {
-  Vector out = value;
-  for (double& v : out) v += rng->Laplace(noise_scale());
-  return out;
+  return AddLaplaceNoise(value, noise_scale(), rng);
 }
 
 Result<double> RelativeFrequencyGroupSensitivity(

@@ -16,13 +16,11 @@ Result<LaplaceDpMechanism> LaplaceDpMechanism::Make(double sensitivity,
 }
 
 double LaplaceDpMechanism::ReleaseScalar(double value, Rng* rng) const {
-  return value + rng->Laplace(noise_scale());
+  return AddLaplaceNoise(value, noise_scale(), rng);
 }
 
 Vector LaplaceDpMechanism::ReleaseVector(const Vector& value, Rng* rng) const {
-  Vector out = value;
-  for (double& v : out) v += rng->Laplace(noise_scale());
-  return out;
+  return AddLaplaceNoise(value, noise_scale(), rng);
 }
 
 }  // namespace pf

@@ -1,0 +1,78 @@
+// Order-sensitive 64-bit fingerprinting (FNV-1a) of models and mechanism
+// configurations. Used by the AnalysisCache to key cached analyses: two
+// mechanisms with bit-identical models, parameters, and kind tags produce
+// the same fingerprint.
+#ifndef PUFFERFISH_COMMON_FINGERPRINT_H_
+#define PUFFERFISH_COMMON_FINGERPRINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/matrix.h"
+
+namespace pf {
+
+/// \brief Incremental FNV-1a hasher over primitive values and containers.
+///
+/// Each Add also folds in a type/length tag, so e.g. the vectors {1.0} ++
+/// {2.0} and {1.0, 2.0} hash differently.
+class Fingerprint {
+ public:
+  Fingerprint& Add(std::uint64_t v) {
+    Mix(v);
+    return *this;
+  }
+
+  Fingerprint& Add(int v) {
+    return Add(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+
+  Fingerprint& Add(bool v) { return Add(static_cast<std::uint64_t>(v)); }
+
+  Fingerprint& Add(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+    return *this;
+  }
+
+  Fingerprint& Add(const Vector& v) {
+    Add(std::uint64_t{0x7EC5});
+    Add(v.size());
+    for (double x : v) Add(x);
+    return *this;
+  }
+
+  Fingerprint& Add(const Matrix& m) {
+    Add(std::uint64_t{0xB1A5});
+    Add(m.rows()).Add(m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) Add(m(r, c));
+    }
+    return *this;
+  }
+
+  Fingerprint& Add(const std::string& s) {
+    Add(s.size());
+    for (char ch : s) Mix(static_cast<std::uint64_t>(static_cast<unsigned char>(ch)));
+    return *this;
+  }
+
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  void Mix(std::uint64_t v) {
+    // FNV-1a, one byte at a time.
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (v >> (8 * byte)) & 0xFFu;
+      hash_ *= 0x100000001B3u;
+    }
+  }
+
+  std::uint64_t hash_ = 0xCBF29CE484222325u;  // FNV offset basis.
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_COMMON_FINGERPRINT_H_

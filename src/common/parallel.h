@@ -1,0 +1,150 @@
+// A small fixed-size thread pool for the embarrassingly parallel loops in
+// the mechanism analyses (per-node sigma_i searches, matrix-power table
+// construction). Design constraints, in order:
+//
+//  1. Determinism: ParallelFor guarantees fn(i) runs exactly once for every
+//     index, and callers write only to per-index slots, so results are
+//     bit-identical for any thread count (reductions happen sequentially
+//     after the join).
+//  2. No exceptions cross the pool boundary (Status/Result style): worker
+//     bodies must not throw; per-index Result slots carry errors instead.
+//  3. Zero dependencies beyond <thread>.
+#ifndef PUFFERFISH_COMMON_PARALLEL_H_
+#define PUFFERFISH_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pf {
+
+/// \brief Fixed pool of worker threads executing indexed loops.
+///
+/// One loop runs at a time (ParallelFor serializes itself). Each loop is an
+/// immutable Job object shared by the participating threads; indices are
+/// handed out through an atomic counter, so load imbalance self-levels and
+/// a straggler from a finished job can never touch the next one.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1). A pool of size 1 runs
+  /// every loop inline on the calling thread — the serial baseline.
+  explicit ThreadPool(std::size_t num_threads)
+      : num_threads_(num_threads == 0 ? 1 : num_threads) {
+    for (std::size_t t = 1; t < num_threads_; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    wake_workers_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// \brief Runs fn(i) for every i in [0, n), distributing indices over the
+  /// pool (the calling thread participates). Blocks until all n indices
+  /// complete. fn must not recursively call ParallelFor on the same pool.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (num_threads_ == 1 || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::unique_lock<std::mutex> loop_lock(loop_mutex_);  // One loop at a time.
+    auto job = std::make_shared<Job>();
+    job->fn = fn;
+    job->end = n;
+    job->pending.store(n, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_job_ = job;
+      ++job_serial_;
+    }
+    wake_workers_.notify_all();
+    RunJob(*job);
+    {
+      // Wait for stragglers still inside fn on worker threads.
+      std::unique_lock<std::mutex> lock(mutex_);
+      job->done.wait(lock, [&job] {
+        return job->pending.load(std::memory_order_acquire) == 0;
+      });
+      current_job_.reset();
+    }
+  }
+
+ private:
+  struct Job {
+    std::function<void(std::size_t)> fn;
+    std::size_t end = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> pending{0};
+    std::condition_variable done;
+  };
+
+  void RunJob(Job& job) {
+    while (true) {
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.end) break;
+      job.fn(i);
+      if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.done.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    std::uint64_t seen_serial = 0;
+    while (true) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_workers_.wait(lock, [this, seen_serial] {
+          return shutdown_ ||
+                 (current_job_ != nullptr && job_serial_ != seen_serial);
+        });
+        if (shutdown_) return;
+        seen_serial = job_serial_;
+        job = current_job_;
+      }
+      RunJob(*job);
+    }
+  }
+
+  const std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex loop_mutex_;
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::shared_ptr<Job> current_job_;
+  std::uint64_t job_serial_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief One-shot helper: runs fn(i) for i in [0, n) on `num_threads`
+/// threads (inline when num_threads <= 1). Deterministic under the same
+/// contract as ThreadPool::ParallelFor.
+inline void ParallelFor(std::size_t num_threads, std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(n, fn);
+}
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_COMMON_PARALLEL_H_

@@ -51,4 +51,14 @@ Vector Rng::UniformSimplex(std::size_t k) {
   return v;
 }
 
+double AddLaplaceNoise(double value, double scale, Rng* rng) {
+  return value + rng->Laplace(scale);
+}
+
+Vector AddLaplaceNoise(const Vector& value, double scale, Rng* rng) {
+  Vector out = value;
+  for (double& v : out) v += rng->Laplace(scale);
+  return out;
+}
+
 }  // namespace pf

@@ -49,6 +49,14 @@ class Rng {
 /// Provided for readability when predicting L1 errors in tests/benches.
 inline double LaplaceExpectedAbs(double scale) { return scale; }
 
+/// \brief value + Lap(scale): the release primitive shared by every
+/// mechanism in the library (Algorithms 1-4 all end with this line).
+double AddLaplaceNoise(double value, double scale, Rng* rng);
+
+/// Independent Laplace(scale) noise per coordinate (correct for queries
+/// that are Lipschitz in L1 over the whole vector).
+Vector AddLaplaceNoise(const Vector& value, double scale, Rng* rng);
+
 }  // namespace pf
 
 #endif  // PUFFERFISH_COMMON_RANDOM_H_

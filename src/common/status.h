@@ -4,6 +4,8 @@
 #define PUFFERFISH_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <utility>
@@ -100,9 +102,14 @@ class Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  /// Implicit construction from an error status.
+  /// \brief Implicit construction from an error status. Constructing from an
+  /// OK status is a caller bug; the Result is normalized to an Internal
+  /// error so ok() and status() stay consistent in every build mode.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
     assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without a value");
+    }
   }
 
   bool ok() const { return value_.has_value(); }
@@ -122,12 +129,16 @@ class Result {
     return std::move(*value_);
   }
 
-  /// Returns the value or aborts with the error message (use in tests/tools).
+  /// \brief Returns the value or aborts with the error message (use in
+  /// tests/tools). Aborts in *all* build modes: under NDEBUG an assert
+  /// would compile away and dereference an empty optional (UB).
   const T& ValueOrDie() const& {
-    if (!ok()) {
-      assert(false && "ValueOrDie on error Result");
-    }
+    if (!ok()) DieOnError();
     return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) DieOnError();
+    return std::move(*value_);
   }
 
   /// Returns the contained value or `fallback` if this holds an error.
@@ -136,6 +147,12 @@ class Result {
   }
 
  private:
+  [[noreturn]] void DieOnError() const {
+    std::fprintf(stderr, "ValueOrDie on error Result: %s\n",
+                 status_.ToString().c_str());
+    std::abort();
+  }
+
   std::optional<T> value_;
   Status status_;
 };

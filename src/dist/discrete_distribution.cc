@@ -1,0 +1,118 @@
+#include "dist/discrete_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pf {
+
+Result<DiscreteDistribution> DiscreteDistribution::Make(std::vector<Atom> atoms,
+                                                        double tol) {
+  double total = 0.0;
+  for (const Atom& a : atoms) {
+    if (!std::isfinite(a.x) || !std::isfinite(a.p)) {
+      return Status::InvalidArgument("atom with non-finite location or mass");
+    }
+    if (a.p < -tol) {
+      return Status::InvalidArgument("negative probability mass");
+    }
+    total += a.p;
+  }
+  if (std::abs(total - 1.0) > tol) {
+    return Status::InvalidArgument("masses must sum to 1");
+  }
+  std::sort(atoms.begin(), atoms.end(),
+            [](const Atom& a, const Atom& b) { return a.x < b.x; });
+  std::vector<Atom> merged;
+  merged.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    if (a.p <= 0.0) continue;
+    if (!merged.empty() && merged.back().x == a.x) {
+      merged.back().p += a.p;
+    } else {
+      merged.push_back(a);
+    }
+  }
+  if (merged.empty()) return Status::InvalidArgument("no positive-mass atoms");
+  // Renormalize exactly so downstream comparisons see a unit total.
+  for (Atom& a : merged) a.p /= total;
+  return DiscreteDistribution(std::move(merged));
+}
+
+Result<DiscreteDistribution> DiscreteDistribution::FromMasses(
+    const Vector& masses, double tol) {
+  std::vector<Atom> atoms;
+  atoms.reserve(masses.size());
+  for (std::size_t i = 0; i < masses.size(); ++i) {
+    atoms.push_back({static_cast<double>(i), masses[i]});
+  }
+  return Make(std::move(atoms), tol);
+}
+
+DiscreteDistribution DiscreteDistribution::PointMass(double x) {
+  return DiscreteDistribution({{x, 1.0}});
+}
+
+Result<DiscreteDistribution> DiscreteDistribution::Mixture(
+    const std::vector<DiscreteDistribution>& components, const Vector& weights,
+    double tol) {
+  if (components.size() != weights.size()) {
+    return Status::InvalidArgument("one weight per mixture component required");
+  }
+  if (components.empty()) return Status::InvalidArgument("empty mixture");
+  std::vector<Atom> atoms;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (weights[i] < -tol) {
+      return Status::InvalidArgument("negative mixture weight");
+    }
+    if (components[i].empty()) {
+      return Status::InvalidArgument("empty mixture component");
+    }
+    for (const Atom& a : components[i].atoms_) {
+      atoms.push_back({a.x, weights[i] * a.p});
+    }
+  }
+  return Make(std::move(atoms), tol);
+}
+
+double DiscreteDistribution::MassAt(double x) const {
+  const auto it = std::lower_bound(
+      atoms_.begin(), atoms_.end(), x,
+      [](const Atom& a, double v) { return a.x < v; });
+  return (it != atoms_.end() && it->x == x) ? it->p : 0.0;
+}
+
+double DiscreteDistribution::Cdf(double x) const {
+  double total = 0.0;
+  for (const Atom& a : atoms_) {
+    if (a.x > x) break;
+    total += a.p;
+  }
+  return total;
+}
+
+double DiscreteDistribution::Quantile(double u) const {
+  double total = 0.0;
+  for (const Atom& a : atoms_) {
+    total += a.p;
+    if (total >= u - 1e-15) return a.x;
+  }
+  return atoms_.back().x;
+}
+
+double DiscreteDistribution::Mean() const {
+  double m = 0.0;
+  for (const Atom& a : atoms_) m += a.x * a.p;
+  return m;
+}
+
+double DiscreteDistribution::Min() const { return atoms_.front().x; }
+
+double DiscreteDistribution::Max() const { return atoms_.back().x; }
+
+DiscreteDistribution DiscreteDistribution::Shift(double delta) const {
+  std::vector<Atom> atoms = atoms_;
+  for (Atom& a : atoms) a.x += delta;
+  return DiscreteDistribution(std::move(atoms));
+}
+
+}  // namespace pf

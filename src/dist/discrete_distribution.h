@@ -1,0 +1,81 @@
+// Finitely supported distributions on the real line: the output objects the
+// Wasserstein Mechanism (Algorithm 1) manipulates. Atoms are kept sorted by
+// location; construction validates that masses form a probability vector.
+#ifndef PUFFERFISH_DIST_DISCRETE_DISTRIBUTION_H_
+#define PUFFERFISH_DIST_DISCRETE_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace pf {
+
+/// \brief A probability distribution with finite support on R.
+///
+/// Invariants: atoms sorted strictly ascending by location, every mass
+/// positive, masses sum to 1 (within the construction tolerance, then
+/// renormalized exactly).
+class DiscreteDistribution {
+ public:
+  /// One support point: location x with probability mass p.
+  struct Atom {
+    double x = 0.0;
+    double p = 0.0;
+  };
+
+  /// An empty (invalid) distribution; most operations reject it.
+  DiscreteDistribution() = default;
+
+  /// \brief Validates and constructs: sorts by location, merges atoms at
+  /// equal locations, drops zero-mass atoms. Fails if any mass is negative
+  /// or the total differs from 1 by more than `tol`.
+  static Result<DiscreteDistribution> Make(std::vector<Atom> atoms,
+                                           double tol = 1e-9);
+
+  /// Distribution on {0, 1, ..., k-1} with the given masses.
+  static Result<DiscreteDistribution> FromMasses(const Vector& masses,
+                                                 double tol = 1e-9);
+
+  /// The unit mass at `x`.
+  static DiscreteDistribution PointMass(double x);
+
+  /// \brief Mixture sum_i weights[i] * components[i]. Weights must form a
+  /// probability vector matching `components` in size.
+  static Result<DiscreteDistribution> Mixture(
+      const std::vector<DiscreteDistribution>& components,
+      const Vector& weights, double tol = 1e-9);
+
+  std::size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Mass at exactly `x` (0 if not a support point).
+  double MassAt(double x) const;
+
+  /// P(X <= x).
+  double Cdf(double x) const;
+
+  /// \brief Generalized inverse CDF: the smallest support point q with
+  /// P(X <= q) >= u, for u in (0, 1].
+  double Quantile(double u) const;
+
+  double Mean() const;
+  /// Smallest support point; requires non-empty.
+  double Min() const;
+  /// Largest support point; requires non-empty.
+  double Max() const;
+
+  /// The distribution of X + delta.
+  DiscreteDistribution Shift(double delta) const;
+
+ private:
+  explicit DiscreteDistribution(std::vector<Atom> atoms)
+      : atoms_(std::move(atoms)) {}
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_DIST_DISCRETE_DISTRIBUTION_H_

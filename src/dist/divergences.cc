@@ -1,0 +1,85 @@
+#include "dist/divergences.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pf {
+
+namespace {
+Status CheckPair(const Vector& p, const Vector& q) {
+  if (p.empty() || q.empty()) {
+    return Status::InvalidArgument("empty distribution");
+  }
+  if (p.size() != q.size()) {
+    return Status::InvalidArgument("distribution size mismatch");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<double> MaxDivergence(const Vector& p, const Vector& q) {
+  PF_RETURN_NOT_OK(CheckPair(p, q));
+  double best = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    if (q[i] <= 0.0) {
+      return Status::FailedPrecondition(
+          "support mismatch: max-divergence is infinite");
+    }
+    best = std::max(best, std::log(p[i] / q[i]));
+  }
+  return best;
+}
+
+Result<double> SymmetricMaxDivergence(const Vector& p, const Vector& q) {
+  PF_ASSIGN_OR_RETURN(double fwd, MaxDivergence(p, q));
+  PF_ASSIGN_OR_RETURN(double bwd, MaxDivergence(q, p));
+  return std::max(fwd, bwd);
+}
+
+Result<double> KlDivergence(const Vector& p, const Vector& q) {
+  PF_RETURN_NOT_OK(CheckPair(p, q));
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    if (q[i] <= 0.0) {
+      return Status::FailedPrecondition(
+          "support mismatch: KL divergence is infinite");
+    }
+    kl += p[i] * std::log(p[i] / q[i]);
+  }
+  return kl;
+}
+
+Result<double> TotalVariation(const Vector& p, const Vector& q) {
+  PF_RETURN_NOT_OK(CheckPair(p, q));
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) total += std::abs(p[i] - q[i]);
+  return 0.5 * total;
+}
+
+Result<double> MaxDivergence(const DiscreteDistribution& p,
+                             const DiscreteDistribution& q) {
+  if (p.empty() || q.empty()) {
+    return Status::InvalidArgument("empty distribution");
+  }
+  double best = 0.0;
+  for (const DiscreteDistribution::Atom& a : p.atoms()) {
+    const double qm = q.MassAt(a.x);
+    if (qm <= 0.0) {
+      return Status::FailedPrecondition(
+          "support mismatch: max-divergence is infinite");
+    }
+    best = std::max(best, std::log(a.p / qm));
+  }
+  return best;
+}
+
+Result<double> SymmetricMaxDivergence(const DiscreteDistribution& p,
+                                      const DiscreteDistribution& q) {
+  PF_ASSIGN_OR_RETURN(double fwd, MaxDivergence(p, q));
+  PF_ASSIGN_OR_RETURN(double bwd, MaxDivergence(q, p));
+  return std::max(fwd, bwd);
+}
+
+}  // namespace pf

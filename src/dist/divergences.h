@@ -1,0 +1,41 @@
+// Divergences between finite distributions (Section 2.3): the max-divergence
+// D_inf that defines Pufferfish guarantees, its symmetrization, and the KL /
+// total-variation distances used by the robustness analysis and tests.
+#ifndef PUFFERFISH_DIST_DIVERGENCES_H_
+#define PUFFERFISH_DIST_DIVERGENCES_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "dist/discrete_distribution.h"
+
+namespace pf {
+
+/// \brief Max-divergence D_inf(p || q) = max_{i : p_i > 0} log(p_i / q_i)
+/// (Definition 2.3). Fails with FailedPrecondition when some p_i > 0 has
+/// q_i = 0 (the divergence is infinite — callers treat the error as +inf).
+Result<double> MaxDivergence(const Vector& p, const Vector& q);
+
+/// max(D_inf(p || q), D_inf(q || p)) — the symmetric quantity bounding both
+/// directions of an epsilon guarantee.
+Result<double> SymmetricMaxDivergence(const Vector& p, const Vector& q);
+
+/// Kullback-Leibler divergence sum_i p_i log(p_i / q_i); infinite-support
+/// mismatches fail like MaxDivergence.
+Result<double> KlDivergence(const Vector& p, const Vector& q);
+
+/// Total variation distance (1/2) sum_i |p_i - q_i|.
+Result<double> TotalVariation(const Vector& p, const Vector& q);
+
+/// \brief Max-divergence between DiscreteDistributions, matching atoms by
+/// location: any location carrying p-mass but no q-mass (or vice versa for
+/// the symmetric version) makes the divergence infinite (error).
+Result<double> MaxDivergence(const DiscreteDistribution& p,
+                             const DiscreteDistribution& q);
+Result<double> SymmetricMaxDivergence(const DiscreteDistribution& p,
+                                      const DiscreteDistribution& q);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_DIST_DIVERGENCES_H_

@@ -1,0 +1,181 @@
+#include "dist/wasserstein.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dist/maxflow.h"
+#include "dist/simplex.h"
+
+namespace pf {
+
+namespace {
+
+constexpr double kMassEps = 1e-12;
+constexpr double kDistanceTol = 1e-9;
+
+Status CheckPair(const DiscreteDistribution& mu,
+                 const DiscreteDistribution& nu) {
+  if (mu.empty() || nu.empty()) {
+    return Status::InvalidArgument("empty distribution");
+  }
+  return Status::OK();
+}
+
+// W_inf of the monotone (quantile) coupling: walk both atom lists in
+// parallel, pairing mass greedily in location order, and record the largest
+// distance any mass travels. On the line this coupling minimizes the
+// maximum displacement, so the result is exact.
+double QuantileWinf(const DiscreteDistribution& mu,
+                    const DiscreteDistribution& nu) {
+  const auto& a = mu.atoms();
+  const auto& b = nu.atoms();
+  std::size_t i = 0, j = 0;
+  double rem_a = a[0].p, rem_b = b[0].p;
+  double worst = 0.0;
+  while (i < a.size() && j < b.size()) {
+    worst = std::max(worst, std::abs(a[i].x - b[j].x));
+    const double moved = std::min(rem_a, rem_b);
+    rem_a -= moved;
+    rem_b -= moved;
+    if (rem_a <= kMassEps) {
+      ++i;
+      if (i < a.size()) rem_a = a[i].p;
+    }
+    if (rem_b <= kMassEps) {
+      ++j;
+      if (j < b.size()) rem_b = b[j].p;
+    }
+  }
+  return worst;
+}
+
+// Coupling feasibility within distance t, decided by Dinic max-flow on the
+// bipartite transport network (edges only between atoms within distance t).
+bool FlowFeasible(const DiscreteDistribution& mu, const DiscreteDistribution& nu,
+                  double t) {
+  const auto& a = mu.atoms();
+  const auto& b = nu.atoms();
+  MaxFlow flow(a.size() + b.size() + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = a.size() + b.size() + 1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    flow.AddEdge(source, 1 + i, a[i].p);
+  }
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    flow.AddEdge(1 + a.size() + j, sink, b[j].p);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (std::abs(a[i].x - b[j].x) <= t + kDistanceTol) {
+        flow.AddEdge(1 + i, 1 + a.size() + j, 2.0);
+      }
+    }
+  }
+  return flow.Compute(source, sink) >= 1.0 - 1e-7;
+}
+
+// The same feasibility question as a transport-polytope LP (row sums mu,
+// column sums nu, variables only for allowed cells).
+bool LpFeasible(const DiscreteDistribution& mu, const DiscreteDistribution& nu,
+                double t) {
+  const auto& a = mu.atoms();
+  const auto& b = nu.atoms();
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (std::abs(a[i].x - b[j].x) <= t + kDistanceTol) cells.emplace_back(i, j);
+    }
+  }
+  if (cells.empty()) return false;
+  Matrix constraints(a.size() + b.size(), cells.size(), 0.0);
+  Vector rhs(a.size() + b.size(), 0.0);
+  for (std::size_t v = 0; v < cells.size(); ++v) {
+    constraints(cells[v].first, v) = 1.0;
+    constraints(a.size() + cells[v].second, v) = 1.0;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) rhs[i] = a[i].p;
+  for (std::size_t j = 0; j < b.size(); ++j) rhs[a.size() + j] = b[j].p;
+  return FindFeasiblePoint(constraints, rhs).ok();
+}
+
+bool FeasibleWithin(const DiscreteDistribution& mu,
+                    const DiscreteDistribution& nu, double t,
+                    WassersteinBackend backend) {
+  switch (backend) {
+    case WassersteinBackend::kQuantile:
+      return QuantileWinf(mu, nu) <= t + kDistanceTol;
+    case WassersteinBackend::kMaxFlow:
+      return FlowFeasible(mu, nu, t);
+    case WassersteinBackend::kLp:
+      return LpFeasible(mu, nu, t);
+  }
+  return false;
+}
+
+// Smallest feasible candidate distance via bisection over the sorted set of
+// pairwise atom distances (W_inf always equals one of them).
+double BisectWinf(const DiscreteDistribution& mu, const DiscreteDistribution& nu,
+                  WassersteinBackend backend) {
+  const auto& a = mu.atoms();
+  const auto& b = nu.atoms();
+  std::vector<double> candidates;
+  candidates.reserve(a.size() * b.size());
+  for (const auto& atom_a : a) {
+    for (const auto& atom_b : b) {
+      candidates.push_back(std::abs(atom_a.x - atom_b.x));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::size_t lo = 0, hi = candidates.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (FeasibleWithin(mu, nu, candidates[mid], backend)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return candidates[lo];
+}
+
+}  // namespace
+
+Result<double> WassersteinInf(const DiscreteDistribution& mu,
+                              const DiscreteDistribution& nu,
+                              WassersteinBackend backend) {
+  PF_RETURN_NOT_OK(CheckPair(mu, nu));
+  if (backend == WassersteinBackend::kQuantile) return QuantileWinf(mu, nu);
+  return BisectWinf(mu, nu, backend);
+}
+
+Result<double> Wasserstein1(const DiscreteDistribution& mu,
+                            const DiscreteDistribution& nu) {
+  PF_RETURN_NOT_OK(CheckPair(mu, nu));
+  // W_1 on the line is the area between the CDFs.
+  std::vector<double> points;
+  points.reserve(mu.size() + nu.size());
+  for (const auto& atom : mu.atoms()) points.push_back(atom.x);
+  for (const auto& atom : nu.atoms()) points.push_back(atom.x);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  double total = 0.0;
+  for (std::size_t k = 0; k + 1 < points.size(); ++k) {
+    const double gap = points[k + 1] - points[k];
+    total += gap * std::abs(mu.Cdf(points[k]) - nu.Cdf(points[k]));
+  }
+  return total;
+}
+
+Result<bool> CouplingFeasibleWithin(const DiscreteDistribution& mu,
+                                    const DiscreteDistribution& nu,
+                                    double threshold,
+                                    WassersteinBackend backend) {
+  PF_RETURN_NOT_OK(CheckPair(mu, nu));
+  if (threshold < 0.0) return Status::InvalidArgument("negative threshold");
+  return FeasibleWithin(mu, nu, threshold, backend);
+}
+
+}  // namespace pf

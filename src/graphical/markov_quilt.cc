@@ -14,6 +14,15 @@ std::string MarkovQuilt::ToString() const {
   return s;
 }
 
+std::pair<int, int> ChainQuiltOffsets(const MarkovQuilt& quilt) {
+  int a = 0, b = 0;
+  for (int q : quilt.quilt) {
+    if (q < quilt.target) a = quilt.target - q;
+    if (q > quilt.target) b = q - quilt.target;
+  }
+  return {a, b};
+}
+
 MarkovQuilt TrivialQuilt(int target, std::size_t num_nodes) {
   MarkovQuilt q;
   q.target = target;

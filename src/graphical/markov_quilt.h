@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -40,6 +41,12 @@ struct MarkovQuilt {
   /// Debug rendering like "quilt{X3,X13} near=9" for logs and tests.
   std::string ToString() const;
 };
+
+/// \brief Endpoint distances (a, b) of a chain quilt relative to its
+/// target: a for the past-side node X_{i-a}, b for the future-side node
+/// X_{i+b}; 0 for an absent side (and (0, 0) for the trivial quilt).
+/// Shared by the exact and approximate chain influence computations.
+std::pair<int, int> ChainQuiltOffsets(const MarkovQuilt& quilt);
 
 /// \brief The trivial quilt (X_Q empty, X_N = everything, X_R empty), which
 /// Algorithm 2 requires every candidate set to contain: it always has

@@ -1,0 +1,77 @@
+#include "pufferfish/analysis_cache.h"
+
+#include <cstring>
+
+namespace pf {
+
+namespace {
+std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+}  // namespace
+
+Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrAnalyze(
+    const Mechanism& mechanism, double epsilon) {
+  const Key key{mechanism.Fingerprint(), DoubleBits(epsilon),
+                mechanism.kind()};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = plans_.find(key);
+    // Key equality already implies bit-identical epsilon (epsilon_bits is
+    // a key field).
+    if (it != plans_.end()) {
+      ++stats_.hits;
+      if (it->second->cache_hits != nullptr) {
+        it->second->cache_hits->fetch_add(1);
+      }
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+  // Analyze outside the lock: analyses of different keys overlap, and a
+  // duplicated analysis of the same key is merely wasted work, not an error.
+  Result<MechanismPlan> plan = mechanism.Analyze(epsilon);
+  if (!plan.ok()) return plan.status();
+  auto shared = std::make_shared<const MechanismPlan>(std::move(plan).value());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = plans_.emplace(key, shared);
+  if (!inserted) {
+    // Another thread won the race; serve its plan (and count the hit).
+    ++stats_.hits;
+    --stats_.misses;
+    if (it->second->cache_hits != nullptr) it->second->cache_hits->fetch_add(1);
+    return it->second;
+  }
+  insertion_order_.push_back(key);
+  EvictIfFull();
+  return shared;
+}
+
+void AnalysisCache::EvictIfFull() {
+  if (max_entries_ == 0) return;
+  while (plans_.size() > max_entries_ && !insertion_order_.empty()) {
+    plans_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+}
+
+AnalysisCache::Stats AnalysisCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t AnalysisCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+void AnalysisCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  insertion_order_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace pf

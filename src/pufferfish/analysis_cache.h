@@ -1,0 +1,93 @@
+// Caching for the expensive half of the mechanism lifecycle. An analysis is
+// data-independent, so its result is a pure function of (model fingerprint,
+// configuration, epsilon) — the cache key. Repeated releases, vector/batch
+// queries, and benchmark sweeps that revisit an epsilon then amortize the
+// O(T k^2)-to-O(k^Q) quilt search down to one computation.
+#ifndef PUFFERFISH_PUFFERFISH_ANALYSIS_CACHE_H_
+#define PUFFERFISH_PUFFERFISH_ANALYSIS_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "pufferfish/mechanism.h"
+
+namespace pf {
+
+/// \brief Thread-safe cache of MechanismPlans keyed by
+/// (Mechanism::Fingerprint(), epsilon).
+///
+/// Plans are shared immutable objects; a hit bumps the plan's
+/// cache_hit_count() so callers (and the acceptance tests) can verify that
+/// re-analysis was skipped. Failed analyses are not cached.
+class AnalysisCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// `max_entries` bounds resident plans (plans can hold O(nodes) quilt
+  /// diagnostics, so an unbounded map would grow until OOM on a long-lived
+  /// server sweeping epsilons/models). When full, the oldest inserted entry
+  /// is evicted first. 0 means unbounded.
+  explicit AnalysisCache(std::size_t max_entries = 1024)
+      : max_entries_(max_entries) {}
+  AnalysisCache(const AnalysisCache&) = delete;
+  AnalysisCache& operator=(const AnalysisCache&) = delete;
+
+  /// \brief Returns the cached plan for (mechanism, epsilon) or runs
+  /// mechanism.Analyze(epsilon), stores, and returns it. The analysis runs
+  /// outside the cache lock, so slow analyses of *different* keys proceed
+  /// concurrently (the loser of a duplicate-key race discards its result).
+  Result<std::shared_ptr<const MechanismPlan>> GetOrAnalyze(
+      const Mechanism& mechanism, double epsilon);
+
+  Stats stats() const;
+  std::size_t size() const;
+  void Clear();
+
+ private:
+  // The kind rides alongside the fingerprint so a 64-bit hash collision
+  // across mechanism kinds can never serve the wrong plan. Within one kind
+  // the fingerprint covers the full model bit-for-bit (plus a per-family
+  // tag where two classes share a kind, e.g. the free-initial MQMExact
+  // variant); collisions there require adversarially chosen models.
+  struct Key {
+    std::uint64_t fingerprint;
+    std::uint64_t epsilon_bits;
+    MechanismKind kind;
+    bool operator==(const Key& other) const {
+      return fingerprint == other.fingerprint &&
+             epsilon_bits == other.epsilon_bits && kind == other.kind;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // Splitmix-style scramble of the words.
+      std::uint64_t h = k.fingerprint + 0x9E3779B97F4A7C15u * k.epsilon_bits;
+      h += static_cast<std::uint64_t>(k.kind);
+      h ^= h >> 30;
+      h *= 0xBF58476D1CE4E5B9u;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// Evicts the oldest entries until size < max_entries_. Caller holds
+  /// mutex_.
+  void EvictIfFull();
+
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const MechanismPlan>, KeyHash> plans_;
+  std::deque<Key> insertion_order_;  // FIFO eviction queue.
+  Stats stats_;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_PUFFERFISH_ANALYSIS_CACHE_H_

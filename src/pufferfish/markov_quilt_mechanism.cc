@@ -1,9 +1,11 @@
 #include "pufferfish/markov_quilt_mechanism.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "graphical/moral_graph.h"
 #include "pufferfish/framework.h"
 
@@ -27,7 +29,55 @@ Status CheckSameShape(const std::vector<BayesianNetwork>& thetas) {
   }
   return Status::OK();
 }
+
+// Cheap structural validation of a node's search set, run before the
+// expensive fan-out so malformed inputs fail fast.
+Status CheckQuiltSet(const std::vector<MarkovQuilt>& quilt_set,
+                     std::size_t node) {
+  // Theorem 4.3 requires the trivial quilt in every search set.
+  const bool has_trivial =
+      std::any_of(quilt_set.begin(), quilt_set.end(),
+                  [](const MarkovQuilt& q) { return q.quilt.empty(); });
+  if (!has_trivial) {
+    return Status::FailedPrecondition(
+        "quilt set for node " + std::to_string(node) +
+        " lacks the trivial quilt");
+  }
+  for (const MarkovQuilt& quilt : quilt_set) {
+    if (quilt.target != static_cast<int>(node)) {
+      return Status::InvalidArgument("quilt target does not match node");
+    }
+  }
+  return Status::OK();
+}
+
+// sigma_i for one node: the min-score quilt over its (validated) search
+// set. Pure in its inputs, so the per-node loop can fan out across threads.
+Result<QuiltScore> ScoreNode(const std::vector<BayesianNetwork>& thetas,
+                             double epsilon,
+                             const std::vector<MarkovQuilt>& quilt_set,
+                             std::size_t enumeration_limit) {
+  QuiltScore best;
+  best.score = kInf;
+  for (const MarkovQuilt& quilt : quilt_set) {
+    PF_ASSIGN_OR_RETURN(double e,
+                        QuiltMaxInfluence(thetas, quilt, enumeration_limit));
+    QuiltScore qs;
+    qs.quilt = quilt;
+    qs.influence = e;
+    qs.score = QuiltScoreFromInfluence(quilt.NearbyCount(), epsilon, e);
+    if (qs.score < best.score) best = qs;
+  }
+  return best;
+}
 }  // namespace
+
+double QuiltScoreFromInfluence(std::size_t nearby_count, double epsilon,
+                               double influence) {
+  return (influence < epsilon)
+             ? static_cast<double>(nearby_count) / (epsilon - influence)
+             : kInf;
+}
 
 Result<double> QuiltMaxInfluence(const std::vector<BayesianNetwork>& thetas,
                                  const MarkovQuilt& quilt,
@@ -76,40 +126,41 @@ Result<double> QuiltMaxInfluence(const std::vector<BayesianNetwork>& thetas,
 Result<MqmAnalysis> AnalyzeMarkovQuiltMechanismWithQuilts(
     const std::vector<BayesianNetwork>& thetas, double epsilon,
     const std::vector<std::vector<MarkovQuilt>>& quilt_sets,
-    std::size_t enumeration_limit) {
+    const MqmAnalyzeOptions& options) {
   PF_RETURN_NOT_OK(ValidatePrivacyParams({epsilon}));
   PF_RETURN_NOT_OK(CheckSameShape(thetas));
   const std::size_t n = thetas.front().num_nodes();
   if (quilt_sets.size() != n) {
     return Status::InvalidArgument("need one quilt set per node");
   }
+  for (std::size_t i = 0; i < n; ++i) {
+    PF_RETURN_NOT_OK(CheckQuiltSet(quilt_sets[i], i));
+  }
+  // Per-node searches are independent; fan out and reduce sequentially so
+  // the result is identical for every thread count. The failed flag only
+  // short-circuits wasted work on the error path; the reduction below still
+  // reports the lowest-index error deterministically.
+  std::vector<Result<QuiltScore>> scores(n, Status::Internal("not computed"));
+  std::atomic<bool> failed{false};
+  ParallelFor(options.num_threads, n, [&](std::size_t i) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    scores[i] = ScoreNode(thetas, epsilon, quilt_sets[i],
+                          options.enumeration_limit);
+    if (!scores[i].ok()) failed.store(true, std::memory_order_relaxed);
+  });
+  // Surface a real per-node error before any "not computed" sentinel left
+  // behind by the early-out (the sentinel only exists when a real error
+  // does too).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!scores[i].ok() && scores[i].status().code() != StatusCode::kInternal) {
+      return scores[i].status();
+    }
+  }
   MqmAnalysis analysis;
   analysis.active.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    // Theorem 4.3 requires the trivial quilt in every search set.
-    const bool has_trivial = std::any_of(
-        quilt_sets[i].begin(), quilt_sets[i].end(),
-        [](const MarkovQuilt& q) { return q.quilt.empty(); });
-    if (!has_trivial) {
-      return Status::FailedPrecondition(
-          "quilt set for node " + std::to_string(i) + " lacks the trivial quilt");
-    }
-    QuiltScore best;
-    best.score = kInf;
-    for (const MarkovQuilt& quilt : quilt_sets[i]) {
-      if (quilt.target != static_cast<int>(i)) {
-        return Status::InvalidArgument("quilt target does not match node");
-      }
-      PF_ASSIGN_OR_RETURN(double e,
-                          QuiltMaxInfluence(thetas, quilt, enumeration_limit));
-      QuiltScore qs;
-      qs.quilt = quilt;
-      qs.influence = e;
-      qs.score = (e < epsilon)
-                     ? static_cast<double>(quilt.NearbyCount()) / (epsilon - e)
-                     : kInf;
-      if (qs.score < best.score) best = qs;
-    }
+    if (!scores[i].ok()) return scores[i].status();
+    const QuiltScore& best = scores[i].value();
     analysis.active.push_back(best);
     if (best.score > analysis.sigma_max) {
       analysis.sigma_max = best.score;
@@ -119,9 +170,19 @@ Result<MqmAnalysis> AnalyzeMarkovQuiltMechanismWithQuilts(
   return analysis;
 }
 
+Result<MqmAnalysis> AnalyzeMarkovQuiltMechanismWithQuilts(
+    const std::vector<BayesianNetwork>& thetas, double epsilon,
+    const std::vector<std::vector<MarkovQuilt>>& quilt_sets,
+    std::size_t enumeration_limit) {
+  MqmAnalyzeOptions options;
+  options.enumeration_limit = enumeration_limit;
+  return AnalyzeMarkovQuiltMechanismWithQuilts(thetas, epsilon, quilt_sets,
+                                               options);
+}
+
 Result<MqmAnalysis> AnalyzeMarkovQuiltMechanism(
     const std::vector<BayesianNetwork>& thetas, double epsilon,
-    std::size_t max_quilt_size, std::size_t enumeration_limit) {
+    const MqmAnalyzeOptions& options) {
   PF_RETURN_NOT_OK(CheckSameShape(thetas));
   const MoralGraph graph(thetas.front());
   const std::size_t n = thetas.front().num_nodes();
@@ -129,23 +190,29 @@ Result<MqmAnalysis> AnalyzeMarkovQuiltMechanism(
   quilt_sets.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     quilt_sets.push_back(
-        EnumerateQuilts(graph, static_cast<int>(i), max_quilt_size));
+        EnumerateQuilts(graph, static_cast<int>(i), options.max_quilt_size));
   }
   return AnalyzeMarkovQuiltMechanismWithQuilts(thetas, epsilon, quilt_sets,
-                                               enumeration_limit);
+                                               options);
+}
+
+Result<MqmAnalysis> AnalyzeMarkovQuiltMechanism(
+    const std::vector<BayesianNetwork>& thetas, double epsilon,
+    std::size_t max_quilt_size, std::size_t enumeration_limit) {
+  MqmAnalyzeOptions options;
+  options.max_quilt_size = max_quilt_size;
+  options.enumeration_limit = enumeration_limit;
+  return AnalyzeMarkovQuiltMechanism(thetas, epsilon, options);
 }
 
 double MqmReleaseScalar(double value, double lipschitz, double sigma_max,
                         Rng* rng) {
-  return value + rng->Laplace(lipschitz * sigma_max);
+  return AddLaplaceNoise(value, lipschitz * sigma_max, rng);
 }
 
 Vector MqmReleaseVector(const Vector& value, double lipschitz, double sigma_max,
                         Rng* rng) {
-  Vector out = value;
-  const double scale = lipschitz * sigma_max;
-  for (double& v : out) v += rng->Laplace(scale);
-  return out;
+  return AddLaplaceNoise(value, lipschitz * sigma_max, rng);
 }
 
 }  // namespace pf

@@ -41,6 +41,24 @@ struct MqmAnalysis {
   int worst_node = 0;
 };
 
+/// Tuning knobs for the Algorithm 2 search.
+struct MqmAnalyzeOptions {
+  /// Largest separator size searched when quilts are auto-enumerated.
+  std::size_t max_quilt_size = 2;
+  /// Guard on the joint-assignment space of the enumeration inference.
+  std::size_t enumeration_limit = 1u << 22;
+  /// Worker threads for the per-node sigma_i loop. Results are identical
+  /// for every value (each node computes independently; the sigma_max
+  /// reduction is sequential).
+  std::size_t num_threads = 1;
+};
+
+/// \brief The Algorithm 2 quilt score: card(X_N) / (epsilon - influence)
+/// when influence < epsilon, +infinity otherwise. Shared by the general,
+/// exact-chain, and approx-chain searches.
+double QuiltScoreFromInfluence(std::size_t nearby_count, double epsilon,
+                               double influence);
+
 /// \brief Max-influence e_Theta(X_Q|X_i) of a quilt under a class of
 /// networks (Definition 4.1): the largest log-ratio
 /// log P(X_Q = x_Q | X_i = a, theta) / P(X_Q = x_Q | X_i = b, theta)
@@ -51,14 +69,26 @@ Result<double> QuiltMaxInfluence(const std::vector<BayesianNetwork>& thetas,
                                  std::size_t enumeration_limit = 1u << 22);
 
 /// \brief Runs the Algorithm 2 search over quilts generated from moral-graph
-/// separators of size <= max_quilt_size (plus the trivial quilt, as
+/// separators of size <= options.max_quilt_size (plus the trivial quilt, as
 /// Theorem 4.3 requires). All networks must share node count and arities.
+/// The per-node sigma_i searches run on options.num_threads threads.
+Result<MqmAnalysis> AnalyzeMarkovQuiltMechanism(
+    const std::vector<BayesianNetwork>& thetas, double epsilon,
+    const MqmAnalyzeOptions& options);
+
+/// Back-compat convenience overload (single-threaded).
 Result<MqmAnalysis> AnalyzeMarkovQuiltMechanism(
     const std::vector<BayesianNetwork>& thetas, double epsilon,
     std::size_t max_quilt_size = 2, std::size_t enumeration_limit = 1u << 22);
 
 /// \brief As above but with caller-supplied quilt sets S_{Q,i} (one vector
 /// per node). Each set must contain the trivial quilt; validated.
+Result<MqmAnalysis> AnalyzeMarkovQuiltMechanismWithQuilts(
+    const std::vector<BayesianNetwork>& thetas, double epsilon,
+    const std::vector<std::vector<MarkovQuilt>>& quilt_sets,
+    const MqmAnalyzeOptions& options);
+
+/// Back-compat convenience overload (single-threaded).
 Result<MqmAnalysis> AnalyzeMarkovQuiltMechanismWithQuilts(
     const std::vector<BayesianNetwork>& thetas, double epsilon,
     const std::vector<std::vector<MarkovQuilt>>& quilt_sets,

@@ -1,0 +1,278 @@
+#include "pufferfish/mechanism.h"
+
+#include <cmath>
+
+#include "common/fingerprint.h"
+
+namespace pf {
+
+const char* MechanismKindName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kLaplaceDp: return "LaplaceDP";
+    case MechanismKind::kGroupDp: return "GroupDP";
+    case MechanismKind::kGk16: return "GK16";
+    case MechanismKind::kWasserstein: return "Wasserstein";
+    case MechanismKind::kMqmGeneral: return "MQM";
+    case MechanismKind::kMqmExact: return "MQMExact";
+    case MechanismKind::kMqmApprox: return "MQMApprox";
+  }
+  return "Unknown";
+}
+
+MechanismPlan Mechanism::NewPlan(double epsilon, double sigma) const {
+  MechanismPlan plan;
+  plan.kind = kind();
+  plan.epsilon = epsilon;
+  plan.sigma = sigma;
+  plan.cache_hits = std::make_shared<std::atomic<std::uint64_t>>(0);
+  return plan;
+}
+
+namespace {
+Status CheckReleasable(const MechanismPlan& plan, double lipschitz) {
+  if (!plan.applicable) {
+    return Status::FailedPrecondition(
+        std::string(MechanismKindName(plan.kind)) +
+        " inapplicable for this class (no finite noise scale)");
+  }
+  if (!(lipschitz >= 0.0) || !std::isfinite(lipschitz)) {
+    return Status::InvalidArgument("Lipschitz constant must be nonnegative");
+  }
+  if (!std::isfinite(plan.sigma) || plan.sigma < 0.0) {
+    return Status::FailedPrecondition("plan has no finite noise scale");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<double> Release(const MechanismPlan& plan, double value,
+                       double lipschitz, Rng* rng) {
+  PF_RETURN_NOT_OK(CheckReleasable(plan, lipschitz));
+  return AddLaplaceNoise(value, lipschitz * plan.sigma, rng);
+}
+
+Result<Vector> ReleaseVector(const MechanismPlan& plan, const Vector& value,
+                             double lipschitz, Rng* rng) {
+  PF_RETURN_NOT_OK(CheckReleasable(plan, lipschitz));
+  return AddLaplaceNoise(value, lipschitz * plan.sigma, rng);
+}
+
+Result<Vector> ReleaseBatch(const MechanismPlan& plan,
+                            const std::vector<double>& values,
+                            double lipschitz, Rng* rng) {
+  PF_RETURN_NOT_OK(CheckReleasable(plan, lipschitz));
+  return AddLaplaceNoise(values, lipschitz * plan.sigma, rng);
+}
+
+Result<std::vector<Vector>> ReleaseBatch(const MechanismPlan& plan,
+                                         const std::vector<Vector>& values,
+                                         double lipschitz, Rng* rng) {
+  PF_RETURN_NOT_OK(CheckReleasable(plan, lipschitz));
+  std::vector<Vector> out;
+  out.reserve(values.size());
+  const double scale = lipschitz * plan.sigma;
+  for (const Vector& v : values) out.push_back(AddLaplaceNoise(v, scale, rng));
+  return out;
+}
+
+// -------------------------------------------------------------- LaplaceDP --
+
+Result<MechanismPlan> LaplaceDpUnified::Analyze(double epsilon) const {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({epsilon}));
+  if (!(sensitivity_ >= 0.0) || !std::isfinite(sensitivity_)) {
+    return Status::InvalidArgument("sensitivity must be nonnegative and finite");
+  }
+  return NewPlan(epsilon, sensitivity_ / epsilon);
+}
+
+std::uint64_t LaplaceDpUnified::Fingerprint() const {
+  return pf::Fingerprint{}.Add(static_cast<int>(kind())).Add(sensitivity_).hash();
+}
+
+// ---------------------------------------------------------------- GroupDP --
+
+Result<MechanismPlan> GroupDpUnified::Analyze(double epsilon) const {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({epsilon}));
+  if (!(group_sensitivity_ >= 0.0) || !std::isfinite(group_sensitivity_)) {
+    return Status::InvalidArgument("group sensitivity must be nonnegative");
+  }
+  return NewPlan(epsilon, group_sensitivity_ / epsilon);
+}
+
+std::uint64_t GroupDpUnified::Fingerprint() const {
+  return pf::Fingerprint{}
+      .Add(static_cast<int>(kind()))
+      .Add(group_sensitivity_)
+      .hash();
+}
+
+// ------------------------------------------------------------------- GK16 --
+
+Result<MechanismPlan> Gk16Unified::Analyze(double epsilon) const {
+  PF_ASSIGN_OR_RETURN(Gk16Analysis analysis,
+                      Gk16Analyze(transitions_, length_, epsilon));
+  MechanismPlan plan = NewPlan(epsilon, analysis.sigma);
+  plan.applicable = analysis.applicable;
+  plan.gk16 = analysis;
+  return plan;
+}
+
+std::uint64_t Gk16Unified::Fingerprint() const {
+  pf::Fingerprint fp;
+  fp.Add(static_cast<int>(kind())).Add(length_).Add(transitions_.size());
+  for (const Matrix& p : transitions_) fp.Add(p);
+  return fp.hash();
+}
+
+// ------------------------------------------------------------ Wasserstein --
+
+Result<MechanismPlan> WassersteinUnified::Analyze(double epsilon) const {
+  PF_ASSIGN_OR_RETURN(WassersteinMechanism mech,
+                      WassersteinMechanism::Make(pairs_, epsilon, backend_));
+  MechanismPlan plan = NewPlan(epsilon, mech.noise_scale());
+  plan.wasserstein_w = mech.wasserstein_sensitivity();
+  return plan;
+}
+
+std::uint64_t WassersteinUnified::Fingerprint() const {
+  pf::Fingerprint fp;
+  fp.Add(static_cast<int>(kind()))
+      .Add(static_cast<int>(backend_))
+      .Add(pairs_.size());
+  for (const ConditionalOutputPair& pair : pairs_) {
+    for (const DiscreteDistribution* d : {&pair.mu_i, &pair.mu_j}) {
+      fp.Add(d->size());
+      for (const DiscreteDistribution::Atom& atom : d->atoms()) {
+        fp.Add(atom.x).Add(atom.p);
+      }
+    }
+  }
+  return fp.hash();
+}
+
+// ------------------------------------------------------------- MQMGeneral --
+
+Result<MechanismPlan> MqmGeneralUnified::Analyze(double epsilon) const {
+  PF_ASSIGN_OR_RETURN(MqmAnalysis analysis,
+                      AnalyzeMarkovQuiltMechanism(thetas_, epsilon, options_));
+  MechanismPlan plan = NewPlan(epsilon, analysis.sigma_max);
+  plan.applicable = std::isfinite(analysis.sigma_max);
+  plan.mqm = std::move(analysis);
+  return plan;
+}
+
+std::uint64_t MqmGeneralUnified::Fingerprint() const {
+  pf::Fingerprint fp;
+  fp.Add(static_cast<int>(kind()))
+      .Add(options_.max_quilt_size)  // The quilt-width cap changes the plan.
+      .Add(options_.enumeration_limit)
+      .Add(thetas_.size());
+  for (const BayesianNetwork& bn : thetas_) {
+    fp.Add(bn.num_nodes());
+    for (std::size_t i = 0; i < bn.num_nodes(); ++i) {
+      const BayesianNetwork::Node& node = bn.node(i);
+      fp.Add(node.arity).Add(node.parents.size());
+      for (int p : node.parents) fp.Add(p);
+      fp.Add(node.cpt);
+    }
+  }
+  return fp.hash();
+}
+
+// --------------------------------------------------------------- MQMExact --
+
+namespace {
+ChainMqmOptions ToChainOptions(const ChainUnifiedOptions& options,
+                               double epsilon) {
+  ChainMqmOptions chain;
+  chain.epsilon = epsilon;
+  chain.max_nearby = options.max_nearby;
+  chain.allow_stationary_shortcut = options.allow_stationary_shortcut;
+  chain.num_threads = options.num_threads;
+  return chain;
+}
+
+void AddChainOptions(pf::Fingerprint* fp, const ChainUnifiedOptions& options) {
+  // num_threads deliberately excluded: results are thread-count invariant,
+  // so plans from different pool sizes are interchangeable.
+  fp->Add(options.max_nearby).Add(options.allow_stationary_shortcut);
+}
+}  // namespace
+
+Result<MechanismPlan> MqmExactUnified::Analyze(double epsilon) const {
+  PF_ASSIGN_OR_RETURN(
+      ChainMqmResult analysis,
+      MqmExactAnalyze(thetas_, length_, ToChainOptions(options_, epsilon)));
+  MechanismPlan plan = NewPlan(epsilon, analysis.sigma_max);
+  plan.applicable = std::isfinite(analysis.sigma_max);
+  plan.chain = analysis;
+  return plan;
+}
+
+std::uint64_t MqmExactUnified::Fingerprint() const {
+  pf::Fingerprint fp;
+  fp.Add(static_cast<int>(kind())).Add(length_);
+  AddChainOptions(&fp, options_);
+  fp.Add(thetas_.size());
+  for (const MarkovChain& theta : thetas_) {
+    fp.Add(theta.initial()).Add(theta.transition());
+  }
+  return fp.hash();
+}
+
+Result<MechanismPlan> MqmExactFreeInitialUnified::Analyze(double epsilon) const {
+  PF_ASSIGN_OR_RETURN(ChainMqmResult analysis,
+                      MqmExactAnalyzeFreeInitial(
+                          transitions_, length_,
+                          ToChainOptions(options_, epsilon)));
+  MechanismPlan plan = NewPlan(epsilon, analysis.sigma_max);
+  plan.applicable = std::isfinite(analysis.sigma_max);
+  plan.chain = analysis;
+  return plan;
+}
+
+std::uint64_t MqmExactFreeInitialUnified::Fingerprint() const {
+  pf::Fingerprint fp;
+  fp.Add(static_cast<int>(kind()))
+      .Add(std::uint64_t{0xF1EE});  // Distinguish the free-initial class.
+  fp.Add(length_);
+  AddChainOptions(&fp, options_);
+  fp.Add(transitions_.size());
+  for (const Matrix& p : transitions_) fp.Add(p);
+  return fp.hash();
+}
+
+// -------------------------------------------------------------- MQMApprox --
+
+MqmApproxUnified::MqmApproxUnified(const std::vector<MarkovChain>& thetas,
+                                   std::size_t length,
+                                   ChainUnifiedOptions options)
+    : length_(length), options_(options) {
+  Result<ChainClassSummary> summary = SummarizeChainClass(thetas);
+  if (summary.ok()) {
+    summary_ = summary.value();
+  } else {
+    summary_status_ = summary.status();
+  }
+}
+
+Result<MechanismPlan> MqmApproxUnified::Analyze(double epsilon) const {
+  PF_RETURN_NOT_OK(summary_status_);
+  PF_ASSIGN_OR_RETURN(
+      ChainMqmResult analysis,
+      MqmApproxAnalyze(summary_, length_, ToChainOptions(options_, epsilon)));
+  MechanismPlan plan = NewPlan(epsilon, analysis.sigma_max);
+  plan.applicable = std::isfinite(analysis.sigma_max);
+  plan.chain = analysis;
+  return plan;
+}
+
+std::uint64_t MqmApproxUnified::Fingerprint() const {
+  pf::Fingerprint fp;
+  fp.Add(static_cast<int>(kind())).Add(length_);
+  AddChainOptions(&fp, options_);
+  fp.Add(summary_.pi_min).Add(summary_.eigengap).Add(summary_.all_reversible);
+  return fp.hash();
+}
+
+}  // namespace pf

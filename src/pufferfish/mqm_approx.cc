@@ -28,23 +28,13 @@ double SideBound(const ChainClassSummary& summary, int t) {
   if (delta >= 1.0) return kInf;
   return std::log((1.0 + delta) / (1.0 - delta));
 }
-
-// Quilt endpoints' distances (a, b) from the target; 0 for an absent side.
-std::pair<int, int> QuiltOffsets(const MarkovQuilt& quilt) {
-  int a = 0, b = 0;
-  for (int q : quilt.quilt) {
-    if (q < quilt.target) a = quilt.target - q;
-    if (q > quilt.target) b = q - quilt.target;
-  }
-  return {a, b};
-}
 }  // namespace
 
 Result<double> ChainQuiltInfluenceBound(const ChainClassSummary& summary,
                                         const MarkovQuilt& quilt) {
   PF_RETURN_NOT_OK(CheckSummary(summary));
   if (quilt.IsTrivial()) return 0.0;
-  const auto [a, b] = QuiltOffsets(quilt);
+  const auto [a, b] = ChainQuiltOffsets(quilt);
   double bound = 0.0;
   // Per Lemmas 4.8 / C.1: the "past" side X_{i-a} contributes the squared
   // (doubled-log) factor, the "future" side X_{i+b} the single factor.
@@ -92,7 +82,8 @@ Result<QuiltScore> ScoreNodeApprox(const ChainClassSummary& summary,
       if (card / epsilon >= best_score) break;  // Score only grows with b.
       const double e = left + side[static_cast<std::size_t>(b)];
       if (e >= epsilon) continue;
-      const double score = card / (epsilon - e);
+      const double score =
+          QuiltScoreFromInfluence(static_cast<std::size_t>(card), epsilon, e);
       if (score < best_score) {
         best_score = score;
         best_influence = e;
@@ -107,7 +98,8 @@ Result<QuiltScore> ScoreNodeApprox(const ChainClassSummary& summary,
     if (card > max_card || a > max_card) continue;
     const double e = 2.0 * side[static_cast<std::size_t>(a)];
     if (e >= epsilon) continue;
-    const double score = static_cast<double>(card) / (epsilon - e);
+    const double score =
+        QuiltScoreFromInfluence(static_cast<std::size_t>(card), epsilon, e);
     if (score < best_score) {
       best_score = score;
       best_influence = e;
@@ -121,7 +113,8 @@ Result<QuiltScore> ScoreNodeApprox(const ChainClassSummary& summary,
     if (card > max_card || b > max_card) break;
     const double e = side[static_cast<std::size_t>(b)];
     if (e >= epsilon) continue;
-    const double score = static_cast<double>(card) / (epsilon - e);
+    const double score =
+        QuiltScoreFromInfluence(static_cast<std::size_t>(card), epsilon, e);
     if (score < best_score) {
       best_score = score;
       best_influence = e;

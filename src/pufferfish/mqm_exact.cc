@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 
+#include "common/parallel.h"
 #include "pufferfish/framework.h"
 
 namespace pf {
@@ -13,8 +13,37 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Evaluates the Eq. (5) terms for one transition matrix, with caching of
-// matrix powers and per-(a, b) maximization tables. Supports two modes:
+// Row-parallel matrix product out = lhs * rhs: each output row depends only
+// on one row of lhs, so rows fan out across the pool with bit-identical
+// results for any thread count.
+Matrix ParallelMultiply(const Matrix& lhs, const Matrix& rhs,
+                        ThreadPool* pool) {
+  Matrix out(lhs.rows(), rhs.cols(), 0.0);
+  const auto row_product = [&](std::size_t r) {
+    for (std::size_t inner = 0; inner < lhs.cols(); ++inner) {
+      const double l = lhs(r, inner);
+      if (l == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols(); ++c) {
+        out(r, c) += l * rhs(inner, c);
+      }
+    }
+  };
+  // Fan out only when a row is worth a pool wake-up: small state spaces
+  // (e.g. the binary Figure 4 chains) run the whole multiply inline.
+  constexpr std::size_t kMinFlopsForPool = 1u << 15;
+  if (pool != nullptr && lhs.rows() > 1 &&
+      lhs.rows() * lhs.cols() * rhs.cols() >= kMinFlopsForPool) {
+    pool->ParallelFor(lhs.rows(), row_product);
+  } else {
+    for (std::size_t r = 0; r < lhs.rows(); ++r) row_product(r);
+  }
+  return out;
+}
+
+// Evaluates the Eq. (5) terms for one transition matrix. Two-phase use:
+// Prepare() builds every matrix power and per-distance maximization table
+// (optionally in parallel), after which all queries are read-only and safe
+// to issue from many threads at once. Supports two modes:
 //  - explicit initial distribution (marginals precomputed for every node);
 //  - free initial distribution (Appendix C.4): the marginal log-ratio terms
 //    become maxima over rows of matrix powers.
@@ -39,32 +68,87 @@ class ExactEvaluator {
 
   // Free-initial (C.4) mode.
   ExactEvaluator(const Matrix& transition, std::size_t length)
-      : p_(transition), k_(transition.rows()), length_(length), free_initial_(true) {
+      : p_(transition), k_(transition.rows()), length_(length),
+        free_initial_(true) {
     powers_.push_back(Matrix::Identity(k_));
   }
 
+  // Builds powers P^0..P^max_power and the left/right maximization tables
+  // for distances 1..max_distance. Must be called before any query; after
+  // it returns the evaluator is immutable and thread-safe.
+  void Prepare(std::size_t max_distance, ThreadPool* pool) {
+    std::vector<std::size_t> distances;
+    distances.reserve(max_distance);
+    for (std::size_t t = 1; t <= max_distance; ++t) distances.push_back(t);
+    PrepareDistances(distances, pool);
+  }
+
+  // As Prepare, but builds maximization tables only for the listed
+  // distances — the single-quilt entry point needs just two of them.
+  void PrepareDistances(const std::vector<std::size_t>& distances,
+                        ThreadPool* pool) {
+    std::size_t max_distance = 0;
+    for (std::size_t t : distances) max_distance = std::max(max_distance, t);
+    // Free-initial mode reads P^i for every node index in Term1/feasibility.
+    const std::size_t max_power =
+        free_initial_ ? std::max(length_ - 1, max_distance) : max_distance;
+    // The power chain is sequential in n; each multiply is row-parallel.
+    while (powers_.size() <= max_power) {
+      powers_.push_back(ParallelMultiply(powers_.back(), p_, pool));
+    }
+    // Per-distance tables are independent once the powers exist.
+    left_tables_.assign(max_distance + 1, Matrix());
+    right_tables_.assign(max_distance + 1, Matrix());
+    const auto build = [&](std::size_t idx) {
+      const std::size_t t = distances[idx];
+      if (t == 0) return;
+      left_tables_[t] = BuildLeftTable(t);
+      right_tables_[t] = BuildRightTable(t);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(distances.size(), build);
+    } else {
+      for (std::size_t idx = 0; idx < distances.size(); ++idx) build(idx);
+    }
+    max_distance_ = max_distance;
+  }
+
+  std::size_t max_distance() const { return max_distance_; }
+
+  // Per-node state reused across a node's whole quilt family: the Term1
+  // marginal table and the feasibility mask. Building it once per node (not
+  // per quilt) keeps the family scan at O(k^2) per quilt with no shared
+  // mutable cache, so concurrent node scans stay lock-free.
+  struct NodeContext {
+    std::size_t node = 0;
+    Matrix term1;
+    std::vector<char> feasible;
+  };
+
+  NodeContext MakeNodeContext(std::size_t i) const {
+    return NodeContext{i, Term1(i), FeasibleStates(i)};
+  }
+
   // Max-influence of the two-sided quilt {X_{i-a}, X_{i+b}} at node i.
-  double TwoSided(std::size_t i, int a, int b) {
-    const Matrix& right = RightTable(b);
-    const Matrix& left = LeftTable(static_cast<std::size_t>(a));
-    return MaxOverPairs(i, &right, &left);
+  double TwoSided(const NodeContext& ctx, int a, int b) const {
+    return MaxOverPairs(ctx, &right_tables_[static_cast<std::size_t>(b)],
+                        &left_tables_[static_cast<std::size_t>(a)]);
   }
 
   // Max-influence of {X_{i-a}} (left-only quilt).
-  double LeftOnly(std::size_t i, int a) {
-    const Matrix& left = LeftTable(static_cast<std::size_t>(a));
-    return MaxOverPairs(i, nullptr, &left);
+  double LeftOnly(const NodeContext& ctx, int a) const {
+    return MaxOverPairs(ctx, nullptr,
+                        &left_tables_[static_cast<std::size_t>(a)]);
   }
 
   // Max-influence of {X_{i+b}} (right-only quilt; no marginal term).
-  double RightOnly(std::size_t i, int b) {
-    const Matrix& right = RightTable(b);
+  double RightOnly(const NodeContext& ctx, int b) const {
+    const Matrix& right = right_tables_[static_cast<std::size_t>(b)];
     double best = 0.0;
-    const std::vector<char> feasible = FeasibleStates(i);
     for (std::size_t x = 0; x < k_; ++x) {
-      if (!feasible[x]) continue;
+      if (!ctx.feasible[x]) continue;
       for (std::size_t xp = 0; xp < k_; ++xp) {
-        if (x == xp || !feasible[xp]) continue;
+        if (x == xp || !ctx.feasible[xp]) continue;
         best = std::max(best, right(x, xp));
         if (best == kInf) return kInf;
       }
@@ -73,14 +157,11 @@ class ExactEvaluator {
   }
 
  private:
-  const Matrix& Pow(std::size_t n) {
-    while (powers_.size() <= n) powers_.push_back(powers_.back() * p_);
-    return powers_[n];
-  }
+  const Matrix& Pow(std::size_t n) const { return powers_[n]; }
 
   // States x with P(X_i = x) > 0 (under any allowed initial distribution in
   // free mode).
-  std::vector<char> FeasibleStates(std::size_t i) {
+  std::vector<char> FeasibleStates(std::size_t i) const {
     std::vector<char> f(k_, 0);
     if (free_initial_) {
       if (i == 0) {
@@ -104,10 +185,8 @@ class ExactEvaluator {
 
   // right(x, x') = max over y with P^b(x,y) > 0 of log P^b(x,y)/P^b(x',y);
   // +inf when the support of row x is not contained in the support of x'.
-  const Matrix& RightTable(int b) {
-    auto it = right_cache_.find(b);
-    if (it != right_cache_.end()) return it->second;
-    const Matrix& pb = Pow(static_cast<std::size_t>(b));
+  Matrix BuildRightTable(std::size_t b) const {
+    const Matrix& pb = Pow(b);
     Matrix table(k_, k_, 0.0);
     for (std::size_t x = 0; x < k_; ++x) {
       for (std::size_t xp = 0; xp < k_; ++xp) {
@@ -126,7 +205,7 @@ class ExactEvaluator {
         table(x, xp) = best;
       }
     }
-    return right_cache_.emplace(b, std::move(table)).first->second;
+    return table;
   }
 
   // left(x, x') = max over z in X with P^a(z,x) > 0 of
@@ -135,9 +214,7 @@ class ExactEvaluator {
   // Eq. (5) literally, the max ranges over *all* states z regardless of
   // whether P(X_{i-a} = z) > 0 — a conservative (privacy-safe) bound that
   // matches the paper's reported numbers.
-  const Matrix& LeftTable(std::size_t a) {
-    auto it = left_cache_.find(a);
-    if (it != left_cache_.end()) return it->second;
+  Matrix BuildLeftTable(std::size_t a) const {
     const Matrix& pa = Pow(a);
     Matrix table(k_, k_, 0.0);
     for (std::size_t x = 0; x < k_; ++x) {
@@ -157,15 +234,14 @@ class ExactEvaluator {
         table(x, xp) = best;
       }
     }
-    return left_cache_.emplace(a, std::move(table)).first->second;
+    return table;
   }
 
   // Marginal log-ratio term t1(x, x') = log P(X_i=x') / P(X_i=x); in free
   // mode, sup over initial distributions = max over rows z of
   // log P^i(z,x') / P^i(z,x) (Appendix C.4), +inf on support mismatch.
-  const Matrix& Term1(std::size_t i) {
-    auto it = term1_cache_.find(i);
-    if (it != term1_cache_.end()) return it->second;
+  // Pure in the prepared powers; cached per node in NodeContext.
+  Matrix Term1(std::size_t i) const {
     Matrix table(k_, k_, 0.0);
     if (!free_initial_) {
       const Vector& m = marginals_[i];
@@ -199,14 +275,15 @@ class ExactEvaluator {
         }
       }
     }
-    return term1_cache_.emplace(i, std::move(table)).first->second;
+    return table;
   }
 
   // max over feasible ordered pairs (x, x') of t1 + right + left (either
   // table may be null when the quilt lacks that side).
-  double MaxOverPairs(std::size_t i, const Matrix* right, const Matrix* left) {
-    const Matrix& t1 = Term1(i);
-    const std::vector<char> feasible = FeasibleStates(i);
+  double MaxOverPairs(const NodeContext& ctx, const Matrix* right,
+                      const Matrix* left) const {
+    const Matrix& t1 = ctx.term1;
+    const std::vector<char>& feasible = ctx.feasible;
     double best = 0.0;
     for (std::size_t x = 0; x < k_; ++x) {
       if (!feasible[x]) continue;
@@ -227,25 +304,33 @@ class ExactEvaluator {
   const std::size_t k_;
   const std::size_t length_;
   const bool free_initial_;
+  std::size_t max_distance_ = 0;
   std::vector<Matrix> powers_;
   std::vector<Vector> marginals_;
-  std::map<int, Matrix> right_cache_;
-  std::map<std::size_t, Matrix> left_cache_;
-  std::map<std::size_t, Matrix> term1_cache_;
+  // Indexed by distance; slot 0 unused.
+  std::vector<Matrix> left_tables_;
+  std::vector<Matrix> right_tables_;
 };
 
-// Computes the influence of one chain quilt with a prepared evaluator.
-double EvaluateQuilt(ExactEvaluator* eval, const MarkovQuilt& quilt) {
+// Largest endpoint distance any quilt in the Lemma 4.6 family (capped at
+// max_nearby, over a chain of `length` nodes) can reach: two-sided quilts
+// have a + b - 1 <= max_nearby with a, b >= 1, and one-sided quilts whose
+// nearby set fits the cap also keep their endpoint within max_nearby of
+// the target.
+std::size_t FamilyMaxDistance(std::size_t length, std::size_t max_nearby) {
+  return std::min(length > 0 ? length - 1 : 0, max_nearby);
+}
+
+// Computes the influence of one chain quilt with a prepared evaluator and
+// the quilt's node context.
+double EvaluateQuilt(const ExactEvaluator& eval,
+                     const ExactEvaluator::NodeContext& ctx,
+                     const MarkovQuilt& quilt) {
   if (quilt.quilt.empty()) return 0.0;
-  const int i = quilt.target;
-  int a = 0, b = 0;
-  for (int q : quilt.quilt) {
-    if (q < i) a = i - q;
-    if (q > i) b = q - i;
-  }
-  if (a > 0 && b > 0) return eval->TwoSided(static_cast<std::size_t>(i), a, b);
-  if (a > 0) return eval->LeftOnly(static_cast<std::size_t>(i), a);
-  return eval->RightOnly(static_cast<std::size_t>(i), b);
+  const auto [a, b] = ChainQuiltOffsets(quilt);
+  if (a > 0 && b > 0) return eval.TwoSided(ctx, a, b);
+  if (a > 0) return eval.LeftOnly(ctx, a);
+  return eval.RightOnly(ctx, b);
 }
 
 struct NodeScore {
@@ -253,19 +338,18 @@ struct NodeScore {
 };
 
 // sigma_i = min over the Lemma 4.6 family (capped at max_nearby) of the
-// quilt score for node i.
-NodeScore ScoreNode(ExactEvaluator* eval, std::size_t length, int node,
+// quilt score for node i. Read-only on the prepared evaluator.
+NodeScore ScoreNode(const ExactEvaluator& eval, std::size_t length, int node,
                     double epsilon, std::size_t max_nearby) {
   NodeScore out;
   out.best.score = kInf;
   const std::vector<MarkovQuilt> family =
       ChainQuiltFamily(length, node, max_nearby);
+  const ExactEvaluator::NodeContext ctx =
+      eval.MakeNodeContext(static_cast<std::size_t>(node));
   for (const MarkovQuilt& quilt : family) {
-    const double e = EvaluateQuilt(eval, quilt);
-    const double score =
-        (e < epsilon)
-            ? static_cast<double>(quilt.NearbyCount()) / (epsilon - e)
-            : kInf;
+    const double e = EvaluateQuilt(eval, ctx, quilt);
+    const double score = QuiltScoreFromInfluence(quilt.NearbyCount(), epsilon, e);
     if (score < out.best.score) {
       out.best.quilt = quilt;
       out.best.influence = e;
@@ -283,9 +367,38 @@ bool IsInteriorTwoSided(const MarkovQuilt& quilt, std::size_t length) {
          quilt.quilt.back() <= static_cast<int>(length) - 1;
 }
 
+// Scans every node (in parallel when a pool is supplied) and keeps the
+// worst sigma_i; the reduction runs sequentially over the per-node slots so
+// ties always resolve to the lowest node index.
+ChainMqmResult ScanAllNodes(const ExactEvaluator& eval, std::size_t length,
+                            const ChainMqmOptions& options, ThreadPool* pool) {
+  std::vector<NodeScore> scores(length);
+  const auto score_one = [&](std::size_t i) {
+    scores[i] = ScoreNode(eval, length, static_cast<int>(i), options.epsilon,
+                          options.max_nearby);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(length, score_one);
+  } else {
+    for (std::size_t i = 0; i < length; ++i) score_one(i);
+  }
+  ChainMqmResult result;
+  result.sigma_max = -kInf;
+  for (std::size_t i = 0; i < length; ++i) {
+    if (scores[i].best.score > result.sigma_max) {
+      result.sigma_max = scores[i].best.score;
+      result.worst_node = static_cast<int>(i);
+      result.active_quilt = scores[i].best.quilt;
+      result.influence = scores[i].best.influence;
+    }
+  }
+  return result;
+}
+
 Result<ChainMqmResult> AnalyzeOneTheta(const MarkovChain& theta,
                                        std::size_t length,
-                                       const ChainMqmOptions& options) {
+                                       const ChainMqmOptions& options,
+                                       ThreadPool* pool) {
   ChainMqmResult result;
   // Stationary shortcut: if q == pi (and pi > 0), the max-influence of every
   // interior quilt is independent of i and the middle node attains
@@ -300,10 +413,11 @@ Result<ChainMqmResult> AnalyzeOneTheta(const MarkovChain& theta,
     }
   }
   ExactEvaluator eval(theta.transition(), theta.initial(), length);
+  eval.Prepare(FamilyMaxDistance(length, options.max_nearby), pool);
   if (shortcut) {
     const int mid = static_cast<int>(length / 2);
     NodeScore mid_score =
-        ScoreNode(&eval, length, mid, options.epsilon, options.max_nearby);
+        ScoreNode(eval, length, mid, options.epsilon, options.max_nearby);
     if (IsInteriorTwoSided(mid_score.best.quilt, length) ||
         mid_score.best.quilt.quilt.empty()) {
       result.sigma_max = mid_score.best.score;
@@ -315,18 +429,7 @@ Result<ChainMqmResult> AnalyzeOneTheta(const MarkovChain& theta,
     }
     // One-sided optimum at the middle: fall through to the full scan.
   }
-  result.sigma_max = -kInf;
-  for (std::size_t i = 0; i < length; ++i) {
-    NodeScore ns = ScoreNode(&eval, length, static_cast<int>(i),
-                             options.epsilon, options.max_nearby);
-    if (ns.best.score > result.sigma_max) {
-      result.sigma_max = ns.best.score;
-      result.worst_node = static_cast<int>(i);
-      result.active_quilt = ns.best.quilt;
-      result.influence = ns.best.influence;
-    }
-  }
-  return result;
+  return ScanAllNodes(eval, length, options, pool);
 }
 
 }  // namespace
@@ -340,8 +443,25 @@ Result<double> ChainQuiltInfluenceExact(const MarkovChain& theta,
   if (quilt.target < 0 || quilt.target >= static_cast<int>(length)) {
     return Status::InvalidArgument("quilt target outside chain");
   }
+  for (int q : quilt.quilt) {
+    if (q < 0 || q >= static_cast<int>(length)) {
+      return Status::InvalidArgument("quilt node outside chain");
+    }
+    if (q == quilt.target) {
+      return Status::InvalidArgument("quilt must not contain its target");
+    }
+  }
   ExactEvaluator eval(theta.transition(), theta.initial(), length);
-  return EvaluateQuilt(&eval, quilt);
+  // One quilt only needs the tables at its own endpoint distances — not the
+  // full sweep the analysis entry points prepare.
+  const auto [a, b] = ChainQuiltOffsets(quilt);
+  std::vector<std::size_t> distances;
+  if (a > 0) distances.push_back(static_cast<std::size_t>(a));
+  if (b > 0 && b != a) distances.push_back(static_cast<std::size_t>(b));
+  eval.PrepareDistances(distances, nullptr);
+  return EvaluateQuilt(
+      eval, eval.MakeNodeContext(static_cast<std::size_t>(quilt.target)),
+      quilt);
 }
 
 Result<ChainMqmResult> MqmExactAnalyze(const std::vector<MarkovChain>& thetas,
@@ -358,10 +478,13 @@ Result<ChainMqmResult> MqmExactAnalyze(const std::vector<MarkovChain>& thetas,
       return Status::InvalidArgument("state-space mismatch in Theta");
     }
   }
+  ThreadPool pool(options.num_threads);
+  ThreadPool* pool_ptr = options.num_threads > 1 ? &pool : nullptr;
   ChainMqmResult worst;
   worst.sigma_max = -kInf;
   for (const MarkovChain& theta : thetas) {
-    PF_ASSIGN_OR_RETURN(ChainMqmResult r, AnalyzeOneTheta(theta, length, options));
+    PF_ASSIGN_OR_RETURN(ChainMqmResult r,
+                        AnalyzeOneTheta(theta, length, options, pool_ptr));
     if (r.sigma_max > worst.sigma_max) worst = r;
   }
   return worst;
@@ -373,6 +496,8 @@ Result<ChainMqmResult> MqmExactAnalyzeFreeInitial(
   PF_RETURN_NOT_OK(ValidatePrivacyParams({options.epsilon}));
   if (transitions.empty()) return Status::InvalidArgument("empty class");
   if (length == 0) return Status::InvalidArgument("length must be positive");
+  ThreadPool pool(options.num_threads);
+  ThreadPool* pool_ptr = options.num_threads > 1 ? &pool : nullptr;
   ChainMqmResult worst;
   worst.sigma_max = -kInf;
   for (const Matrix& p : transitions) {
@@ -381,18 +506,8 @@ Result<ChainMqmResult> MqmExactAnalyzeFreeInitial(
           "transition matrices must be row-stochastic with <= 64 states");
     }
     ExactEvaluator eval(p, length);
-    ChainMqmResult r;
-    r.sigma_max = -kInf;
-    for (std::size_t i = 0; i < length; ++i) {
-      NodeScore ns = ScoreNode(&eval, length, static_cast<int>(i),
-                               options.epsilon, options.max_nearby);
-      if (ns.best.score > r.sigma_max) {
-        r.sigma_max = ns.best.score;
-        r.worst_node = static_cast<int>(i);
-        r.active_quilt = ns.best.quilt;
-        r.influence = ns.best.influence;
-      }
-    }
+    eval.Prepare(FamilyMaxDistance(length, options.max_nearby), pool_ptr);
+    const ChainMqmResult r = ScanAllNodes(eval, length, options, pool_ptr);
     if (r.sigma_max > worst.sigma_max) worst = r;
   }
   return worst;

@@ -38,6 +38,11 @@ struct ChainMqmOptions {
   /// Permit the stationary-initial shortcut (used only when the initial
   /// distribution matches the stationary distribution within tolerance).
   bool allow_stationary_shortcut = true;
+  /// Worker threads for the per-node sigma_i scan and the matrix-power /
+  /// maximization-table precomputation. Results are bit-identical for every
+  /// value: tables are built up front, nodes score independently, and the
+  /// sigma_max reduction is sequential.
+  std::size_t num_threads = 1;
 };
 
 /// Outcome of a chain quilt search.

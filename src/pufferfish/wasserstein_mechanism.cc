@@ -21,7 +21,7 @@ Result<WassersteinMechanism> WassersteinMechanism::Make(
 }
 
 double WassersteinMechanism::Release(double true_value, Rng* rng) const {
-  return true_value + rng->Laplace(noise_scale());
+  return AddLaplaceNoise(true_value, noise_scale(), rng);
 }
 
 Result<DiscreteDistribution> ConditionalOutputDistribution(

@@ -1,0 +1,127 @@
+// AnalysisCache: identical (model, epsilon, quilt-width) requests hit the
+// cached plan and skip re-analysis; any change in the key re-analyzes.
+#include "pufferfish/analysis_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "graphical/markov_chain.h"
+
+namespace pf {
+namespace {
+
+MarkovChain TestChain(double p0, double p1) {
+  return MarkovChain::Make({0.5, 0.5}, Matrix{{p0, 1.0 - p0}, {1.0 - p1, p1}})
+      .ValueOrDie();
+}
+
+TEST(AnalysisCacheTest, SecondAnalyzeWithIdenticalInputsIsCached) {
+  AnalysisCache cache;
+  const MqmExactUnified mechanism({TestChain(0.8, 0.7)}, 100);
+  const auto first = cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+  EXPECT_EQ(first->cache_hit_count(), 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  const auto second = cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+  // Same shared plan object, not a recomputation.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(second->cache_hit_count(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AnalysisCacheTest, EquivalentMechanismObjectHitsToo) {
+  // A *different* object over a bit-identical model shares the fingerprint.
+  AnalysisCache cache;
+  const MqmExactUnified a({TestChain(0.8, 0.7)}, 100);
+  const MqmExactUnified b({TestChain(0.8, 0.7)}, 100);
+  const auto plan_a = cache.GetOrAnalyze(a, 1.0).ValueOrDie();
+  const auto plan_b = cache.GetOrAnalyze(b, 1.0).ValueOrDie();
+  EXPECT_EQ(plan_a.get(), plan_b.get());
+  EXPECT_EQ(plan_b->cache_hit_count(), 1u);
+}
+
+TEST(AnalysisCacheTest, DifferentEpsilonMisses) {
+  AnalysisCache cache;
+  const MqmExactUnified mechanism({TestChain(0.8, 0.7)}, 100);
+  const auto eps1 = cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+  const auto eps2 = cache.GetOrAnalyze(mechanism, 2.0).ValueOrDie();
+  EXPECT_NE(eps1.get(), eps2.get());
+  EXPECT_GT(eps1->sigma, eps2->sigma);  // Less privacy, less noise.
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(AnalysisCacheTest, DifferentModelOrWidthMisses) {
+  AnalysisCache cache;
+  const MqmExactUnified base({TestChain(0.8, 0.7)}, 100);
+  const MqmExactUnified other_model({TestChain(0.8, 0.6)}, 100);
+  ChainUnifiedOptions narrow;
+  narrow.max_nearby = 4;
+  const MqmExactUnified other_width({TestChain(0.8, 0.7)}, 100, narrow);
+  (void)cache.GetOrAnalyze(base, 1.0).ValueOrDie();
+  (void)cache.GetOrAnalyze(other_model, 1.0).ValueOrDie();
+  (void)cache.GetOrAnalyze(other_width, 1.0).ValueOrDie();
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(AnalysisCacheTest, FailedAnalysisIsNotCached) {
+  AnalysisCache cache;
+  const LaplaceDpUnified bad(-1.0);  // Invalid sensitivity: Analyze fails.
+  EXPECT_FALSE(cache.GetOrAnalyze(bad, 1.0).ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AnalysisCacheTest, ClearResetsEverything) {
+  AnalysisCache cache;
+  const LaplaceDpUnified mechanism(1.0);
+  (void)cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+  (void)cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(AnalysisCacheTest, BoundedCacheEvictsOldestFirst) {
+  AnalysisCache cache(/*max_entries=*/2);
+  const LaplaceDpUnified mechanism(1.0);
+  (void)cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+  (void)cache.GetOrAnalyze(mechanism, 2.0).ValueOrDie();
+  (void)cache.GetOrAnalyze(mechanism, 3.0).ValueOrDie();  // Evicts eps=1.
+  EXPECT_EQ(cache.size(), 2u);
+  const auto again = cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+  EXPECT_EQ(again->cache_hit_count(), 0u);  // Re-analyzed, not served warm.
+  const auto newest = cache.GetOrAnalyze(mechanism, 3.0).ValueOrDie();
+  EXPECT_EQ(newest->cache_hit_count(), 1u);  // eps=3 survived eviction.
+}
+
+TEST(AnalysisCacheTest, ConcurrentGetOrAnalyzeServesOnePlan) {
+  AnalysisCache cache;
+  const MqmExactUnified mechanism({TestChain(0.9, 0.8)}, 50);
+  std::vector<std::shared_ptr<const MechanismPlan>> plans(8);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(plans.size());
+    for (std::size_t t = 0; t < plans.size(); ++t) {
+      threads.emplace_back([&, t] {
+        plans[t] = cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  for (const auto& plan : plans) {
+    ASSERT_NE(plan, nullptr);
+    EXPECT_DOUBLE_EQ(plan->sigma, plans[0]->sigma);
+  }
+}
+
+}  // namespace
+}  // namespace pf

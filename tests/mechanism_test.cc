@@ -1,0 +1,169 @@
+// The unified Mechanism engine: every mechanism reachable through the
+// analyze/release split, plans agreeing with the legacy per-mechanism
+// entry points, and the shared release path behaving identically for all.
+#include "pufferfish/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "baselines/laplace_dp.h"
+#include "data/flu.h"
+#include "graphical/markov_chain.h"
+
+namespace pf {
+namespace {
+
+MarkovChain TestChain(double p0, double p1) {
+  return MarkovChain::Make({0.5, 0.5}, Matrix{{p0, 1.0 - p0}, {1.0 - p1, p1}})
+      .ValueOrDie();
+}
+
+std::vector<BayesianNetwork> TestNetworks(std::size_t length) {
+  const MarkovChain chain = TestChain(0.8, 0.7);
+  return {BayesianNetwork::FromMarkovChain(chain.initial(), chain.transition(),
+                                           length)
+              .ValueOrDie()};
+}
+
+// All seven mechanisms constructible and analyzable through the base class.
+TEST(MechanismTest, AllSevenMechanismsReachable) {
+  const MarkovChain chain = TestChain(0.8, 0.7);
+  const auto pair = FluCliqueModel::PaperExample().CountQueryOutputPair()
+                        .ValueOrDie();
+  std::vector<std::unique_ptr<Mechanism>> mechanisms;
+  mechanisms.push_back(std::make_unique<LaplaceDpUnified>(1.0));
+  mechanisms.push_back(std::make_unique<GroupDpUnified>(8.0));
+  // GK16 needs a near-uniform chain for its spectral condition rho < 1.
+  mechanisms.push_back(std::make_unique<Gk16Unified>(
+      std::vector<Matrix>{TestChain(0.6, 0.6).transition()}, 20));
+  mechanisms.push_back(std::make_unique<WassersteinUnified>(
+      std::vector<ConditionalOutputPair>{pair}));
+  mechanisms.push_back(std::make_unique<MqmGeneralUnified>(TestNetworks(6)));
+  mechanisms.push_back(std::make_unique<MqmExactUnified>(
+      std::vector<MarkovChain>{chain}, 50));
+  mechanisms.push_back(std::make_unique<MqmApproxUnified>(
+      std::vector<MarkovChain>{chain}, 50));
+  ASSERT_EQ(mechanisms.size(), 7u);
+
+  Rng rng(7);
+  for (const auto& mechanism : mechanisms) {
+    SCOPED_TRACE(mechanism->name());
+    const Result<MechanismPlan> plan = mechanism->Analyze(1.0);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_EQ(plan.value().kind, mechanism->kind());
+    EXPECT_EQ(plan.value().epsilon, 1.0);
+    EXPECT_TRUE(plan.value().applicable);
+    EXPECT_GT(plan.value().sigma, 0.0);
+    EXPECT_TRUE(std::isfinite(plan.value().sigma));
+    EXPECT_EQ(plan.value().cache_hit_count(), 0u);
+    const Result<double> released = Release(plan.value(), 5.0, 1.0, &rng);
+    ASSERT_TRUE(released.ok());
+    EXPECT_TRUE(std::isfinite(released.value()));
+  }
+}
+
+TEST(MechanismTest, PlanMatchesLegacyLaplaceDp) {
+  const auto legacy = LaplaceDpMechanism::Make(3.0, 0.5).ValueOrDie();
+  const auto plan = LaplaceDpUnified(3.0).Analyze(0.5).ValueOrDie();
+  EXPECT_DOUBLE_EQ(plan.sigma, legacy.noise_scale());
+}
+
+TEST(MechanismTest, PlanMatchesLegacyMqmExact) {
+  const MarkovChain chain = TestChain(0.9, 0.6);
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  const auto legacy = MqmExactAnalyze({chain}, 100, options).ValueOrDie();
+  const auto plan =
+      MqmExactUnified(std::vector<MarkovChain>{chain}, 100).Analyze(1.0)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(plan.sigma, legacy.sigma_max);
+  EXPECT_EQ(plan.chain.worst_node, legacy.worst_node);
+}
+
+// Releases through the engine are bit-identical to the legacy release path
+// under the same seed: one shared Laplace primitive.
+TEST(MechanismTest, SeededReleaseMatchesLegacyPath) {
+  const auto plan = GroupDpUnified(4.0).Analyze(2.0).ValueOrDie();
+  Rng rng_a(123), rng_b(123);
+  const double via_engine = Release(plan, 1.5, 1.0, &rng_a).ValueOrDie();
+  const double via_legacy = MqmReleaseScalar(1.5, 1.0, plan.sigma, &rng_b);
+  EXPECT_DOUBLE_EQ(via_engine, via_legacy);
+}
+
+TEST(MechanismTest, ReleaseBatchMatchesScalarLoop) {
+  const auto plan = LaplaceDpUnified(1.0).Analyze(1.0).ValueOrDie();
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  Rng rng_a(9), rng_b(9);
+  const Vector batch = ReleaseBatch(plan, values, 1.0, &rng_a).ValueOrDie();
+  ASSERT_EQ(batch.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], Release(plan, values[i], 1.0, &rng_b).ValueOrDie());
+  }
+}
+
+TEST(MechanismTest, ReleaseBatchOfVectors) {
+  const auto plan = LaplaceDpUnified(1.0).Analyze(1.0).ValueOrDie();
+  Rng rng(11);
+  const std::vector<Vector> truths = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const auto noisy = ReleaseBatch(plan, truths, 1.0, &rng).ValueOrDie();
+  ASSERT_EQ(noisy.size(), truths.size());
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    ASSERT_EQ(noisy[i].size(), truths[i].size());
+    for (double v : noisy[i]) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(MechanismTest, Gk16InapplicablePlanRefusesRelease) {
+  // A near-deterministic chain: nu (hence rho) far above 1.
+  const Matrix sticky{{0.999, 0.001}, {0.001, 0.999}};
+  const auto plan =
+      Gk16Unified(std::vector<Matrix>{sticky}, 100).Analyze(1.0).ValueOrDie();
+  EXPECT_FALSE(plan.applicable);
+  Rng rng(1);
+  const Result<double> released = Release(plan, 0.0, 1.0, &rng);
+  EXPECT_FALSE(released.ok());
+  EXPECT_EQ(released.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MechanismTest, AnalyzeRejectsBadEpsilon) {
+  EXPECT_FALSE(LaplaceDpUnified(1.0).Analyze(0.0).ok());
+  EXPECT_FALSE(LaplaceDpUnified(1.0).Analyze(-2.0).ok());
+}
+
+TEST(MechanismTest, ApproxSigmaDominatesExact) {
+  // The Lemma 4.8 bound can only add noise relative to exact influence.
+  const MarkovChain chain = TestChain(0.7, 0.6);
+  const auto exact =
+      MqmExactUnified(std::vector<MarkovChain>{chain}, 200).Analyze(1.0)
+          .ValueOrDie();
+  const auto approx =
+      MqmApproxUnified(std::vector<MarkovChain>{chain}, 200).Analyze(1.0)
+          .ValueOrDie();
+  EXPECT_GE(approx.sigma + 1e-9, exact.sigma);
+}
+
+TEST(MechanismTest, FingerprintsSeparateKindsAndModels) {
+  EXPECT_NE(LaplaceDpUnified(1.0).Fingerprint(),
+            GroupDpUnified(1.0).Fingerprint());
+  EXPECT_NE(LaplaceDpUnified(1.0).Fingerprint(),
+            LaplaceDpUnified(2.0).Fingerprint());
+  const MarkovChain a = TestChain(0.8, 0.7);
+  const MarkovChain b = TestChain(0.8, 0.6);
+  EXPECT_NE(MqmExactUnified({a}, 50).Fingerprint(),
+            MqmExactUnified({b}, 50).Fingerprint());
+  EXPECT_NE(MqmExactUnified({a}, 50).Fingerprint(),
+            MqmExactUnified({a}, 51).Fingerprint());
+  // Quilt-width cap is part of the key.
+  ChainUnifiedOptions narrow;
+  narrow.max_nearby = 8;
+  EXPECT_NE(MqmExactUnified({a}, 50).Fingerprint(),
+            MqmExactUnified({a}, 50, narrow).Fingerprint());
+  EXPECT_EQ(MqmExactUnified({a}, 50).Fingerprint(),
+            MqmExactUnified({a}, 50).Fingerprint());
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,97 @@
+// Serving-path benchmarks for the PrivacyEngine/Session front door:
+//
+//  - BM_SessionSubmitBatch: end-to-end batch throughput (compile from the
+//    warm caches, charge the ledger, evaluate + noise on the executor) at
+//    1/2/4/8 worker threads over 256 queries against a 10k-step chain;
+//  - BM_CompileWarm: the per-request cost of a warm Compile (both caches
+//    hot) — the fixed overhead every served query pays;
+//  - BM_SessionCharge: ledger-only cost (budget pricing + quilt check +
+//    ticketing) isolated on a sensitivity model with trivial queries.
+//
+// Together these bound the engine's serving overhead on top of the raw
+// mechanism SPI benched in bench_parallel_analyze.
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
+
+#include "engine/engine.h"
+#include "graphical/markov_chain.h"
+
+namespace pf {
+namespace {
+
+constexpr std::size_t kLength = 10000;
+constexpr int kBatch = 256;
+
+MarkovChain BenchChain() {
+  return MarkovChain::Make({0.5, 0.5}, Matrix{{0.9, 0.1}, {0.2, 0.8}})
+      .ValueOrDie();
+}
+
+void BM_SessionSubmitBatch(benchmark::State& state) {
+  EngineOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  auto engine = PrivacyEngine::Create(
+                    ModelSpec::ChainClass({BenchChain()}, kLength), options)
+                    .ValueOrDie();
+  Rng rng(17);
+  std::vector<StateSequence> databases;
+  for (int d = 0; d < 8; ++d) {
+    databases.push_back(BenchChain().Sample(kLength, &rng));
+  }
+  // Warm both caches so iterations measure serving, not analysis.
+  (void)engine->Compile(QuerySpec::FrequencyHistogram(1.0)).ValueOrDie();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    SessionOptions session_options;
+    session_options.seed = seed++;
+    auto session = engine->CreateSession(session_options);
+    std::vector<std::future<Result<ReleaseResult>>> futures;
+    futures.reserve(kBatch);
+    for (int q = 0; q < kBatch; ++q) {
+      futures.push_back(session->Submit(QuerySpec::FrequencyHistogram(1.0),
+                                        databases[q % databases.size()]));
+    }
+    double sum = 0.0;
+    for (auto& f : futures) sum += f.get().ValueOrDie().value[0];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(BM_SessionSubmitBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CompileWarm(benchmark::State& state) {
+  auto engine =
+      PrivacyEngine::Create(ModelSpec::ChainClass({BenchChain()}, kLength))
+          .ValueOrDie();
+  (void)engine->Compile(QuerySpec::Mean(1.0)).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Compile(QuerySpec::Mean(1.0)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompileWarm);
+
+void BM_SessionCharge(benchmark::State& state) {
+  auto engine =
+      PrivacyEngine::Create(ModelSpec::Sensitivity(1.0)).ValueOrDie();
+  const StateSequence tiny{1, 0, 1};
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto session = engine->CreateSession();
+    state.ResumeTiming();
+    for (int k = 0; k < 64; ++k) {
+      benchmark::DoNotOptimize(session->Release(QuerySpec::Sum(1.0), tiny));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SessionCharge);
+
+}  // namespace
+}  // namespace pf
+
+BENCHMARK_MAIN();

@@ -12,11 +12,12 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "data/synthetic.h"
-#include "pufferfish/analysis_cache.h"
-#include "pufferfish/mechanism.h"
+#include "engine/engine.h"
 
 namespace pf {
 namespace {
@@ -41,40 +42,56 @@ std::map<std::pair<int, int>, ComboResult>& Results() {
   return *results;
 }
 
-// Plans are computed once per (epsilon, alpha) point through a shared
-// AnalysisCache (the engine path a serving system would take); the
-// benchmark iterations then run the 500-trial release experiment of
-// Section 5.2 as one ReleaseBatch per mechanism.
-AnalysisCache& PlanCache() {
-  static auto* cache = new AnalysisCache();
-  return *cache;
+// Plans are compiled once per (epsilon, alpha) point through per-alpha
+// PrivacyEngines (the serving front door, caches included); the benchmark
+// iterations then run the 500-trial release experiment of Section 5.2 as
+// one ReleaseBatch per mechanism's plan (noise-magnitude harness — the
+// plan SPI, since the trials release synthetic zero truths).
+PrivacyEngine& EngineFor(int alpha_idx, MechanismKind kind) {
+  static auto* engines =
+      new std::map<std::pair<int, int>, std::unique_ptr<PrivacyEngine>>();
+  const auto key = std::make_pair(alpha_idx, static_cast<int>(kind));
+  auto it = engines->find(key);
+  if (it != engines->end()) return *it->second;
+  const auto cls =
+      BinaryChainIntervalClass::Make(kAlphas[alpha_idx],
+                                     1.0 - kAlphas[alpha_idx])
+          .ValueOrDie();
+  EngineOptions options;
+  options.mechanism = kind;
+  ModelSpec model = ModelSpec::ChainClass({}, kLength);
+  switch (kind) {
+    case MechanismKind::kMqmExact:
+      options.exact_max_nearby = 90;
+      model = ModelSpec::ChainClassFreeInitial(cls.TransitionGrid(0.1),
+                                               kLength);
+      break;
+    case MechanismKind::kMqmApprox:
+      model = ModelSpec::ChainSummary(cls.Summary(), 2, kLength);
+      break;
+    case MechanismKind::kGk16:
+      model = ModelSpec::ChainClassFreeInitial(cls.TransitionGrid(0.1),
+                                               kLength);
+      break;
+    default:  // GroupDP: one chain, one group.
+      options.mechanism = MechanismKind::kGroupDp;
+      model = ModelSpec::GroupSensitivity(1.0);
+      break;
+  }
+  auto engine = PrivacyEngine::Create(std::move(model), options).ValueOrDie();
+  return *engines->emplace(key, std::move(engine)).first->second;
 }
 
-std::shared_ptr<const MechanismPlan> ExactPlan(
-    const BinaryChainIntervalClass& cls, double epsilon) {
-  ChainUnifiedOptions options;
-  options.max_nearby = 90;
-  return PlanCache()
-      .GetOrAnalyze(MqmExactFreeInitialUnified(cls.TransitionGrid(0.1),
-                                               kLength, options),
-                    epsilon)
-      .ValueOrDie();
-}
-
-std::shared_ptr<const MechanismPlan> ApproxPlan(
-    const BinaryChainIntervalClass& cls, double epsilon) {
-  ChainUnifiedOptions options;
-  options.max_nearby = 0;  // Lemma 4.9 automatic width.
-  return PlanCache()
-      .GetOrAnalyze(MqmApproxUnified(cls.Summary(), kLength, options), epsilon)
-      .ValueOrDie();
-}
-
-std::shared_ptr<const MechanismPlan> Gk16Plan(
-    const BinaryChainIntervalClass& cls, double epsilon) {
-  return PlanCache()
-      .GetOrAnalyze(Gk16Unified(cls.TransitionGrid(0.1), kLength), epsilon)
-      .ValueOrDie();
+std::shared_ptr<const MechanismPlan> PlanFor(int alpha_idx, MechanismKind kind,
+                                             double epsilon) {
+  // The released query is the frequency of state 1 (1/T-Lipschitz); the
+  // engine compiles it against each mechanism's plan at this epsilon. The
+  // GroupDP baseline's model is lengthless, so its plan is compiled from
+  // the Sum spec (the plan — sigma = sensitivity/epsilon — is identical).
+  const QuerySpec spec = kind == MechanismKind::kGroupDp
+                             ? QuerySpec::Sum(epsilon)
+                             : QuerySpec::StateFrequency(1, epsilon);
+  return EngineFor(alpha_idx, kind).Compile(spec).ValueOrDie().plan;
 }
 
 const ComboResult& Analyze(int eps_idx, int alpha_idx) {
@@ -82,13 +99,12 @@ const ComboResult& Analyze(int eps_idx, int alpha_idx) {
   auto it = Results().find(key);
   if (it != Results().end()) return it->second;
   const double epsilon = kEpsilons[eps_idx];
-  const double alpha = kAlphas[alpha_idx];
-  const auto cls =
-      BinaryChainIntervalClass::Make(alpha, 1.0 - alpha).ValueOrDie();
   ComboResult r;
-  r.sigma_exact = ExactPlan(cls, epsilon)->sigma;
-  r.sigma_approx = ApproxPlan(cls, epsilon)->sigma;
-  r.sigma_gk16 = Gk16Plan(cls, epsilon)->gk16.sigma;
+  r.sigma_exact = PlanFor(alpha_idx, MechanismKind::kMqmExact, epsilon)->sigma;
+  r.sigma_approx =
+      PlanFor(alpha_idx, MechanismKind::kMqmApprox, epsilon)->sigma;
+  r.sigma_gk16 =
+      PlanFor(alpha_idx, MechanismKind::kGk16, epsilon)->gk16.sigma;
   return Results().emplace(key, r).first->second;
 }
 
@@ -116,15 +132,12 @@ void BM_Fig4Synthetic(benchmark::State& state) {
   // mechanism's 500 trials are one ReleaseBatch against its plan.
   Rng rng(10007 * (eps_idx + 1) + alpha_idx);
   const double lipschitz = 1.0 / static_cast<double>(kLength);
-  // Plan lookups are loop-invariant (Analyze() above warmed the cache);
-  // only the Section 5.2 trial work belongs in the timed region.
-  const auto approx_plan = ApproxPlan(cls, epsilon);
-  const auto gk16_plan = Gk16Plan(cls, epsilon);
-  const auto group_plan =
-      PlanCache()
-          .GetOrAnalyze(GroupDpUnified(1.0), epsilon)  // One chain, one group.
-          .ValueOrDie();
-  const auto exact_plan = ExactPlan(cls, epsilon);
+  // Plan lookups are loop-invariant (Analyze() above warmed the engines'
+  // caches); only the Section 5.2 trial work belongs in the timed region.
+  const auto approx_plan = PlanFor(alpha_idx, MechanismKind::kMqmApprox, epsilon);
+  const auto gk16_plan = PlanFor(alpha_idx, MechanismKind::kGk16, epsilon);
+  const auto group_plan = PlanFor(alpha_idx, MechanismKind::kGroupDp, epsilon);
+  const auto exact_plan = PlanFor(alpha_idx, MechanismKind::kMqmExact, epsilon);
   for (auto _ : state) {
     for (int t = 0; t < kTrials; ++t) {
       benchmark::DoNotOptimize(

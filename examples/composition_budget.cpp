@@ -1,15 +1,13 @@
 // Theorem 4.4 in practice: a weekly reporting pipeline that publishes the
 // same subject's activity statistics every day. Pufferfish does not compose
 // in general, but the Markov Quilt Mechanism with fixed quilt sets does:
-// K releases at epsilon each cost exactly K * epsilon. The accountant
-// tracks the budget and verifies the active-quilt condition.
+// K releases at epsilon each cost exactly K * epsilon. A Session holds the
+// budget; it charges every release, verifies the active-quilt condition,
+// and refuses the release that would overspend with ResourceExhausted.
 #include <cstdio>
 
-#include "common/histogram.h"
+#include "engine/engine.h"
 #include "graphical/markov_chain.h"
-#include "pufferfish/composition.h"
-#include "pufferfish/mqm_exact.h"
-#include "pufferfish/query.h"
 
 int main() {
   // Subject model: a 3-state chain (rest, light, active) per minute, in
@@ -27,39 +25,43 @@ int main() {
   const std::size_t kWindow = 10080;  // One week of minutes per release.
   pf::Rng rng(12);
 
+  // The engine analyzes once (the model, query and epsilon are identical
+  // across releases, so the active quilt of Definition 4.5 is fixed —
+  // exactly the setting in which Theorem 4.4 composes linearly).
+  pf::EngineOptions options;
+  options.exact_max_nearby = 128;
+  auto engine =
+      pf::PrivacyEngine::Create(pf::ModelSpec::ChainClass({theta}, kWindow),
+                                options)
+          .ValueOrDie();
+
+  // Budget for exactly seven releases at epsilon 0.5 each.
   const double per_release_epsilon = 0.5;
-  pf::ChainMqmOptions options;
-  options.epsilon = per_release_epsilon;
-  options.max_nearby = 128;
+  pf::SessionOptions session_options;
+  session_options.epsilon_budget = 3.5;
+  session_options.seed = 12;
+  auto session = engine->CreateSession(session_options);
 
-  // The model, query, epsilon and quilt sets are identical across releases,
-  // so the analysis (and hence the active quilt, Definition 4.5) is computed
-  // once — exactly the setting in which Theorem 4.4 composes linearly.
-  const pf::ChainMqmResult analysis =
-      pf::MqmExactAnalyze({theta}, kWindow, options).ValueOrDie();
-  const pf::VectorQuery query = pf::RelativeFrequencyQuery(3, kWindow);
-
-  pf::CompositionAccountant accountant;
-  std::printf("weekly releases at epsilon = %.2f each (same quilt sets):\n\n",
-              per_release_epsilon);
+  const pf::QuerySpec query =
+      pf::QuerySpec::FrequencyHistogram(per_release_epsilon);
+  std::printf("weekly releases at epsilon = %.2f each, budget %.2f:\n\n",
+              per_release_epsilon, session->epsilon_budget());
   for (int day = 1; day <= 7; ++day) {
     const pf::StateSequence data = theta.Sample(kWindow, &rng);
-    const pf::Vector noisy = pf::ClampToUnit(pf::MqmReleaseVector(
-        query.fn(data), query.lipschitz, analysis.sigma_max, &rng));
-    if (!accountant.RecordRelease(per_release_epsilon, analysis.active_quilt)
-             .ok()) {
-      std::fprintf(stderr, "accounting failed\n");
-      return 1;
-    }
+    const pf::ReleaseResult release =
+        session->Release(query, data).ValueOrDie();
     std::printf(
-        "week %d: released (%.3f, %.3f, %.3f); cumulative budget %.2f "
-        "(quilts consistent: %s)\n",
-        day, noisy[0], noisy[1], noisy[2], accountant.TotalEpsilon(),
-        accountant.ActiveQuiltsConsistent() ? "yes" : "NO");
+        "week %d: released (%.3f, %.3f, %.3f); spent %.2f, remaining %.2f\n",
+        day, release.value[0], release.value[1], release.value[2],
+        session->EpsilonSpent(), session->EpsilonRemaining());
   }
   std::printf(
       "\nafter %zu releases: total guarantee %.2f-Pufferfish "
       "(Theorem 4.4: K * max_k epsilon_k).\n",
-      accountant.num_releases(), accountant.TotalEpsilon());
+      session->num_releases(), session->EpsilonSpent());
+
+  // Day 8 would overspend the budget; the session refuses.
+  const auto refused = session->Release(query, theta.Sample(kWindow, &rng));
+  std::printf("day 8: %s\n", refused.status().ToString().c_str());
   return 0;
 }

@@ -1,18 +1,20 @@
 // Section 5.3.2 end to end: private release of a household's power
-// consumption histogram, on the unified engine. One ~10^6-step, 51-state
-// chain (200 W bins of per-minute power). The Lemma 4.9 fast path makes
-// MQMApprox's analysis independent of the chain length; MQMExact reuses
-// MQMApprox's optimal quilt width as its search cap (the paper's protocol).
+// consumption histogram, on the serving API. One ~10^6-step, 51-state
+// chain (200 W bins of per-minute power). At this length the engine's
+// policy picks MQMApprox on its own (Lemma 4.9 makes that analysis
+// independent of the chain length); a second engine overrides to MQMExact
+// with the search capped just above MQMApprox's optimal quilt width (the
+// paper's protocol).
 //
-// An AnalysisCache fronts every Analyze; the second pass over the same
-// epsilons is pure cache hits, which is exactly how a serving system
-// amortizes the quilt search across queries.
+// Every epsilon is a separate Session (Theorem 4.4 releases must share
+// active quilts, and each epsilon has its own); the engine's caches make
+// the second query shape at each epsilon a pure plan-cache hit — exactly
+// how a serving system amortizes the quilt search across queries.
 #include <cstdio>
 
 #include "common/histogram.h"
 #include "data/electricity.h"
-#include "pufferfish/analysis_cache.h"
-#include "pufferfish/mechanism.h"
+#include "engine/engine.h"
 
 int main() {
   pf::ElectricitySimOptions sim;
@@ -22,44 +24,57 @@ int main() {
   const pf::StateSequence seq = pf::SimulateElectricity(sim, &rng).ValueOrDie();
   const pf::MarkovChain chain =
       pf::MarkovChain::Estimate({seq}, pf::kNumPowerLevels).ValueOrDie();
-  const pf::ChainClassSummary summary =
-      pf::SummarizeChainClass({chain}).ValueOrDie();
-  std::printf("empirical chain: pi_min = %.2e, eigengap = %.4f\n",
-              summary.pi_min, summary.eigengap);
+  const pf::ModelSpec model = pf::ModelSpec::ChainClass({chain}, sim.length);
 
+  // Policy, not hand-wiring: a 10^6-length chain class auto-selects
+  // MQMApprox.
+  auto approx_engine = pf::PrivacyEngine::Create(model).ValueOrDie();
+  std::printf("engine policy picked: %s (T = %zu)\n",
+              pf::MechanismKindName(approx_engine->mechanism_kind()),
+              approx_engine->record_length());
+
+  const double lipschitz = 2.0 / static_cast<double>(sim.length);
   const pf::Vector truth =
       pf::RelativeFrequencyHistogram(seq, pf::kNumPowerLevels).ValueOrDie();
-  const double lipschitz = 2.0 / static_cast<double>(sim.length);
 
-  pf::AnalysisCache cache;
-  for (int pass = 0; pass < 2; ++pass) {
-    for (double epsilon : {0.2, 1.0, 5.0}) {
-      pf::ChainUnifiedOptions approx_options;
-      approx_options.max_nearby = 0;  // Lemma 4.9 automatic width.
-      const pf::MqmApproxUnified approx_mech(summary, sim.length,
-                                             approx_options);
-      const auto approx = cache.GetOrAnalyze(approx_mech, epsilon).ValueOrDie();
+  for (double epsilon : {0.2, 1.0, 5.0}) {
+    const auto approx =
+        approx_engine->Compile(pf::QuerySpec::FrequencyHistogram(epsilon))
+            .ValueOrDie()
+            .plan;
 
-      pf::ChainUnifiedOptions exact_options;
-      exact_options.max_nearby =
-          approx->chain.active_quilt.NearbyCount() + 2;
-      const pf::MqmExactUnified exact_mech({chain}, sim.length, exact_options);
-      const auto exact = cache.GetOrAnalyze(exact_mech, epsilon).ValueOrDie();
-      if (pass > 0) continue;  // Second pass only demonstrates cache hits.
+    pf::EngineOptions exact_options;
+    exact_options.mechanism = pf::MechanismKind::kMqmExact;
+    exact_options.exact_max_nearby =
+        approx->chain.active_quilt.NearbyCount() + 2;
+    auto exact_engine =
+        pf::PrivacyEngine::Create(model, exact_options).ValueOrDie();
 
-      const pf::Vector release = pf::ClampToUnit(
-          pf::ReleaseVector(*exact, truth, lipschitz, &rng).ValueOrDie());
-      const double err = pf::DistanceL1(release, truth);
-      std::printf(
-          "eps = %-4g  sigma(approx) = %8.1f  sigma(exact) = %8.1f  "
-          "L1 error = %.4f   (GroupDP would give ~%.0f)\n",
-          epsilon, approx->sigma, exact->sigma, err, 51.0 * 2.0 / epsilon);
-    }
+    pf::SessionOptions session_options;
+    session_options.epsilon_budget = epsilon;  // One release, fully spent.
+    // Distinct per-epsilon seeds: the sessions release the same histogram
+    // at different scales, and shared noise streams would be cancellable.
+    session_options.seed = 2718 + static_cast<std::uint64_t>(10.0 * epsilon);
+    auto session = exact_engine->CreateSession(session_options);
+    const pf::ReleaseResult release =
+        session->Release(pf::QuerySpec::FrequencyHistogram(epsilon), seq)
+            .ValueOrDie();
+    const double err =
+        pf::DistanceL1(pf::ClampToUnit(release.value), truth);
+    std::printf(
+        "eps = %-4g  sigma(approx) = %8.1f  sigma(exact) = %8.1f  "
+        "L1 error = %.4f   (GroupDP would give ~%.0f)\n",
+        epsilon, approx->sigma, release.sigma, err, 51.0 * 2.0 / epsilon);
+
+    // A second query shape at the same epsilon reuses the cached plan: the
+    // analysis ran once per (model, epsilon).
+    (void)approx_engine->Compile(pf::QuerySpec::Mean(epsilon)).ValueOrDie();
   }
-  const pf::AnalysisCache::Stats stats = cache.stats();
+
+  const pf::AnalysisCache::Stats stats = approx_engine->cache_stats();
   std::printf(
-      "\nanalysis cache: %llu misses (first pass), %llu hits (second pass "
-      "skipped re-analysis)\n",
+      "\napprox engine plan cache: %llu misses (one analysis per epsilon), "
+      "%llu hits (second query shape reused the plan)\n",
       static_cast<unsigned long long>(stats.misses),
       static_cast<unsigned long long>(stats.hits));
 

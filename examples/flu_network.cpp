@@ -2,15 +2,15 @@
 // cliques (workplaces/schools). Within each clique, infection counts follow
 // a known contagion model; participation is decided at the group level, so
 // hiding one person's *status* — not just their participation — is the
-// privacy goal. The Wasserstein Mechanism (Algorithm 1) calibrates noise to
-// the infinity-Wasserstein distance between the conditional distributions of
-// the released count given "Alice is healthy" vs "Alice has flu".
+// privacy goal. The engine built over the conditional output pairs selects
+// the Wasserstein Mechanism (Algorithm 1), which calibrates noise to the
+// infinity-Wasserstein distance between the conditionals of the released
+// count given "Alice is healthy" vs "Alice has flu"; a GroupSensitivity
+// engine serves the group-DP baseline for comparison.
 #include <cstdio>
 
-#include "baselines/group_dp.h"
-#include "baselines/laplace_dp.h"
 #include "data/flu.h"
-#include "pufferfish/wasserstein_mechanism.h"
+#include "engine/engine.h"
 
 int main() {
   // A network of 12 cliques of varying sizes and contagiousness.
@@ -35,29 +35,50 @@ int main() {
 
   const double epsilon = 1.0;
   pf::Rng rng(99);
-  const std::vector<int> status = network.Sample(&rng);
-  double count = 0.0;
-  for (int s : status) count += s;
+  const pf::StateSequence status = network.Sample(&rng);
 
-  // Release with each mechanism.
+  // One engine per privacy notion; the policy picks the mechanism from the
+  // model declaration (output pairs -> Algorithm 1).
   std::vector<pf::ConditionalOutputPair> pairs;
   for (const pf::FluCliqueModel& clique : network.cliques()) {
     pairs.push_back(clique.CountQueryOutputPair().ValueOrDie());
   }
-  const auto wasserstein =
-      pf::WassersteinMechanism::Make(pairs, epsilon).ValueOrDie();
-  const auto group =
-      pf::GroupDpMechanism::Make(network.GroupSensitivity(), epsilon)
+  auto wasserstein_engine =
+      pf::PrivacyEngine::Create(pf::ModelSpec::OutputPairs(std::move(pairs)))
+          .ValueOrDie();
+  auto group_engine =
+      pf::PrivacyEngine::Create(
+          pf::ModelSpec::GroupSensitivity(network.GroupSensitivity()))
           .ValueOrDie();
 
+  // The released query: total infected count. On an output-pair model the
+  // engine serves Sum at L = 1 — the count sensitivity lives in the plan.
+  // Distinct seeds: the two sessions release the *same* true count, and
+  // identical noise streams would let an observer cancel the noise across
+  // the two releases and recover it exactly.
+  const pf::QuerySpec count_query = pf::QuerySpec::Sum(epsilon);
+  pf::SessionOptions wasserstein_options;
+  wasserstein_options.seed = 99;
+  pf::SessionOptions group_options;
+  group_options.seed = 100;
+  auto wasserstein_session =
+      wasserstein_engine->CreateSession(wasserstein_options);
+  auto group_session = group_engine->CreateSession(group_options);
+  const pf::ReleaseResult wasserstein =
+      wasserstein_session->Release(count_query, status).ValueOrDie();
+  const pf::ReleaseResult group =
+      group_session->Release(count_query, status).ValueOrDie();
+
+  double count = 0.0;
+  for (int s : status) count += s;
   std::printf("\ntrue infected count         : %.0f\n", count);
   std::printf("Wasserstein Mechanism       : %.2f  (scale %.2f)\n",
-              wasserstein.Release(count, &rng), wasserstein.noise_scale());
+              wasserstein.value[0], wasserstein.sigma);
   std::printf("GroupDP Laplace             : %.2f  (scale %.2f)\n",
-              group.ReleaseScalar(count, &rng), group.noise_scale());
+              group.value[0], group.sigma);
   std::printf("\nThe Wasserstein Mechanism hides each person's flu status "
               "against the contagion\nmodel with %.1fx less noise than "
               "group-DP (Theorem 3.3 guarantees it is never worse).\n",
-              group.noise_scale() / wasserstein.noise_scale());
+              group.sigma / wasserstein.sigma);
   return 0;
 }

@@ -1,19 +1,19 @@
-// Quickstart: release private statistics of a correlated time series with
-// the unified mechanism engine in ~40 lines.
+// Quickstart: release private statistics of a correlated time series
+// through the serving API in ~40 lines.
 //
 //   cmake -B build -S . && cmake --build build -j
 //   ./build/example_quickstart
 //
 // Scenario: a length-1000 binary time series (e.g. device on/off per
-// minute) whose dynamics are one of two plausible Markov chains. We release
-// the fraction of time spent "on" with 1-Pufferfish privacy — analyzing
-// once (the expensive, data-independent phase) and then releasing a batch
-// of daily queries against the one plan.
+// minute) whose dynamics are one of two plausible Markov chains. We open a
+// PrivacyEngine over that model class (it picks MQMExact and analyzes
+// once, cached), then serve queries from a Session holding an epsilon
+// budget — every release is charged, and the session refuses to overspend.
+#include <algorithm>
 #include <cstdio>
 
+#include "engine/engine.h"
 #include "graphical/markov_chain.h"
-#include "pufferfish/mechanism.h"
-#include "pufferfish/query.h"
 
 int main() {
   // 1. The distribution class Theta: two plausible models of the data.
@@ -29,39 +29,40 @@ int main() {
   const std::size_t kLength = 1000;
   const pf::StateSequence data = theta1.Sample(kLength, &rng);
 
-  // 3. The query: fraction of time in state 1 (1/T-Lipschitz).
-  const pf::ScalarQuery query = pf::StateFrequencyQuery(1, kLength);
-  const double truth = query.fn(data);
+  // 3. The engine: picks the mechanism (MQMExact for a chain class of this
+  // length), owns the plan cache and the serving thread pool.
+  auto engine = pf::PrivacyEngine::Create(
+                    pf::ModelSpec::ChainClass({theta1, theta2}, kLength))
+                    .ValueOrDie();
 
-  // 4. Analyze: the expensive, data-independent phase, once.
-  const pf::MqmExactUnified mechanism({theta1, theta2}, kLength);
-  const pf::Result<pf::MechanismPlan> plan = mechanism.Analyze(/*epsilon=*/1.0);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "analysis failed: %s\n",
-                 plan.status().ToString().c_str());
-    return 1;
-  }
+  // 4. A session with a total budget of 8: Theorem 4.4 prices K releases
+  // at K * max epsilon, and the session enforces it.
+  pf::SessionOptions session_options;
+  session_options.epsilon_budget = 8.0;
+  session_options.seed = 42;
+  auto session = engine->CreateSession(session_options);
 
-  // 5. Release: cheap, per query. A batch of 7 "daily" values costs seven
-  // Laplace draws against the same plan (compose epsilons accordingly).
-  const double noisy =
-      pf::Release(plan.value(), truth, query.lipschitz, &rng).ValueOrDie();
-  const pf::Vector week = pf::ReleaseBatch(plan.value(),
-                                           std::vector<double>(7, truth),
-                                           query.lipschitz, &rng)
-                              .ValueOrDie();
+  // 5. Declarative queries. One point release, then a batch of 7 "daily"
+  // queries served concurrently on the engine's pool.
+  const pf::QuerySpec query = pf::QuerySpec::StateFrequency(1, /*epsilon=*/1.0);
+  const pf::ReleaseResult noisy = session->Release(query, data).ValueOrDie();
+  auto week = session->SubmitBatch(query, std::vector<pf::StateSequence>(7, data));
 
+  const double truth = static_cast<double>(
+                           std::count(data.begin(), data.end(), 1)) /
+                       static_cast<double>(kLength);
   std::printf("true frequency of state 1 : %.4f\n", truth);
-  std::printf("private release (eps = 1) : %.4f\n", noisy);
+  std::printf("private release (eps = 1) : %.4f   [%s, sigma = %.2f]\n",
+              noisy.value[0], pf::MechanismKindName(noisy.mechanism),
+              noisy.sigma);
   std::printf("batch of 7 releases       :");
-  for (double v : week) std::printf(" %.3f", v);
-  std::printf("\nnoise scale               : %.5f  (sigma_max = %.2f, worst "
-              "node X%d, active %s)\n",
-              query.lipschitz * plan.value().sigma, plan.value().sigma,
-              plan.value().chain.worst_node,
-              plan.value().chain.active_quilt.ToString().c_str());
-  std::printf("group-DP would need scale : %.5f (the whole chain is one "
-              "group)\n",
-              1.0 / plan.value().epsilon);
+  for (auto& f : week) std::printf(" %.3f", f.get().ValueOrDie().value[0]);
+  std::printf("\nbudget after 8 releases   : spent %.1f of %.1f\n",
+              session->EpsilonSpent(), session->epsilon_budget());
+
+  // 6. The 9th release would overspend: the session says so.
+  const auto refused = session->Release(query, data);
+  std::printf("9th release               : %s\n",
+              refused.status().ToString().c_str());
   return 0;
 }

@@ -13,6 +13,27 @@
 
 namespace pf {
 
+/// The raw bit pattern of a double (cache keys treat epsilons as equal iff
+/// bit-identical; note -0.0 != 0.0 and NaNs never match themselves).
+inline std::uint64_t DoubleBits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// \brief One SplitMix64 scramble step: a cheap, well-distributed 64-bit
+/// mix shared by the cache key hash and the per-session/per-ticket seed
+/// derivations (keep the constants in one place).
+inline std::uint64_t SplitMix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15u;
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9u;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBu;
+  z ^= z >> 31;
+  return z;
+}
+
 /// \brief Incremental FNV-1a hasher over primitive values and containers.
 ///
 /// Each Add also folds in a type/length tag, so e.g. the vectors {1.0} ++

@@ -19,6 +19,7 @@ enum class StatusCode {
   kOutOfRange,
   kNotFound,
   kFailedPrecondition,
+  kResourceExhausted,
   kNumericalError,
   kNotSupported,
   kInternal,
@@ -49,6 +50,9 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status NumericalError(std::string msg) {
     return Status(StatusCode::kNumericalError, std::move(msg));
   }
@@ -77,6 +81,7 @@ class Status {
       case StatusCode::kOutOfRange: return "OutOfRange";
       case StatusCode::kNotFound: return "NotFound";
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kNumericalError: return "NumericalError";
       case StatusCode::kNotSupported: return "NotSupported";
       case StatusCode::kInternal: return "Internal";

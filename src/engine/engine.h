@@ -1,0 +1,11 @@
+// Umbrella header for the serving API: model declaration, engine, queries,
+// sessions. `#include "engine/engine.h"` is the documented way into the
+// library; the mechanism layer underneath is the internal SPI.
+#ifndef PUFFERFISH_ENGINE_ENGINE_H_
+#define PUFFERFISH_ENGINE_ENGINE_H_
+
+#include "engine/privacy_engine.h"
+#include "engine/query_spec.h"
+#include "engine/session.h"
+
+#endif  // PUFFERFISH_ENGINE_ENGINE_H_

@@ -1,0 +1,96 @@
+// The serving-side thread pool: a work-queue executor returning futures,
+// complementing common/parallel.h (which runs one deterministic indexed
+// loop at a time). Submitted tasks are independent requests — the engine
+// dispatches compiled (query, plan) pairs here, and determinism comes from
+// the *tasks* (per-ticket RNG seeds), not from the scheduler.
+#ifndef PUFFERFISH_ENGINE_EXECUTOR_H_
+#define PUFFERFISH_ENGINE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pf {
+
+/// \brief Fixed pool of workers draining a FIFO task queue.
+///
+/// Tasks must not throw (Status/Result style, as everywhere in the
+/// library); a task's error travels inside its returned Result, never as an
+/// exception through the future. The destructor drains the queue: every
+/// submitted task runs before shutdown, so futures never dangle.
+class Executor {
+ public:
+  /// Remembers the pool size (clamped to >= 1); workers are spawned
+  /// lazily on the first Submit, so engines used only for synchronous
+  /// Compile/Release never pay for idle threads.
+  explicit Executor(std::size_t num_threads)
+      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  ~Executor() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// \brief Enqueues `fn` and returns a future for its result. fn must be
+  /// invocable with no arguments and must not throw.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (workers_.empty() && !shutdown_) {
+        workers_.reserve(num_threads_);
+        for (std::size_t t = 0; t < num_threads_; ++t) {
+          workers_.emplace_back([this] { WorkerLoop(); });
+        }
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown_ and nothing left to drain.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  const std::size_t num_threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;  // Empty until the first Submit.
+  bool shutdown_ = false;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_ENGINE_EXECUTOR_H_

@@ -1,0 +1,357 @@
+#include "engine/privacy_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <utility>
+
+#include "common/fingerprint.h"
+#include "engine/session.h"
+
+namespace pf {
+
+// ------------------------------------------------------------- ModelSpec --
+
+ModelSpec ModelSpec::ChainClass(std::vector<MarkovChain> thetas,
+                                std::size_t length) {
+  ModelSpec m;
+  m.kind = Kind::kChainClass;
+  m.chains = std::move(thetas);
+  m.length = length;
+  if (!m.chains.empty()) m.num_states = m.chains.front().num_states();
+  return m;
+}
+
+ModelSpec ModelSpec::ChainClassFreeInitial(std::vector<Matrix> transitions,
+                                           std::size_t length) {
+  ModelSpec m;
+  m.kind = Kind::kChainClassFreeInitial;
+  m.transitions = std::move(transitions);
+  m.length = length;
+  if (!m.transitions.empty()) m.num_states = m.transitions.front().rows();
+  return m;
+}
+
+ModelSpec ModelSpec::ChainSummary(ChainClassSummary summary,
+                                  std::size_t num_states, std::size_t length) {
+  ModelSpec m;
+  m.kind = Kind::kChainSummary;
+  m.summary = summary;
+  m.num_states = num_states;
+  m.length = length;
+  return m;
+}
+
+ModelSpec ModelSpec::NetworkClass(std::vector<BayesianNetwork> thetas) {
+  ModelSpec m;
+  m.kind = Kind::kNetworkClass;
+  m.networks = std::move(thetas);
+  if (!m.networks.empty()) {
+    m.length = m.networks.front().num_nodes();
+    std::size_t arity = 0;
+    for (std::size_t i = 0; i < m.networks.front().num_nodes(); ++i) {
+      arity = std::max(arity,
+                       static_cast<std::size_t>(m.networks.front().node(i).arity));
+    }
+    m.num_states = arity;
+  }
+  return m;
+}
+
+ModelSpec ModelSpec::OutputPairs(std::vector<ConditionalOutputPair> pairs) {
+  ModelSpec m;
+  m.kind = Kind::kOutputPairs;
+  m.pairs = std::move(pairs);
+  return m;
+}
+
+ModelSpec ModelSpec::Sensitivity(double sensitivity) {
+  ModelSpec m;
+  m.kind = Kind::kSensitivity;
+  m.sensitivity = sensitivity;
+  return m;
+}
+
+ModelSpec ModelSpec::GroupSensitivity(double group_sensitivity) {
+  ModelSpec m;
+  m.kind = Kind::kGroupSensitivity;
+  m.sensitivity = group_sensitivity;
+  return m;
+}
+
+const char* ModelSpec::KindName() const {
+  switch (kind) {
+    case Kind::kChainClass: return "ChainClass";
+    case Kind::kChainClassFreeInitial: return "ChainClassFreeInitial";
+    case Kind::kChainSummary: return "ChainSummary";
+    case Kind::kNetworkClass: return "NetworkClass";
+    case Kind::kOutputPairs: return "OutputPairs";
+    case Kind::kSensitivity: return "Sensitivity";
+    case Kind::kGroupSensitivity: return "GroupSensitivity";
+  }
+  return "Unknown";
+}
+
+// ------------------------------------------------------- mechanism policy --
+
+namespace {
+
+Status ValidateModel(const ModelSpec& model) {
+  switch (model.kind) {
+    case ModelSpec::Kind::kChainClass:
+      if (model.chains.empty()) {
+        return Status::InvalidArgument("chain class is empty");
+      }
+      if (model.length == 0) {
+        return Status::InvalidArgument("chain class needs a positive length");
+      }
+      return Status::OK();
+    case ModelSpec::Kind::kChainClassFreeInitial:
+      if (model.transitions.empty()) {
+        return Status::InvalidArgument("free-initial class has no transitions");
+      }
+      if (model.length == 0) {
+        return Status::InvalidArgument("chain class needs a positive length");
+      }
+      return Status::OK();
+    case ModelSpec::Kind::kChainSummary:
+      if (model.length == 0) {
+        return Status::InvalidArgument("chain summary needs a positive length");
+      }
+      return Status::OK();
+    case ModelSpec::Kind::kNetworkClass:
+      if (model.networks.empty()) {
+        return Status::InvalidArgument("network class is empty");
+      }
+      return Status::OK();
+    case ModelSpec::Kind::kOutputPairs:
+      if (model.pairs.empty()) {
+        return Status::InvalidArgument("output-pair model has no pairs");
+      }
+      return Status::OK();
+    case ModelSpec::Kind::kSensitivity:
+    case ModelSpec::Kind::kGroupSensitivity:
+      return Status::OK();
+  }
+  return Status::Internal("unhandled model kind");
+}
+
+/// The mechanisms constructible from each model kind.
+bool Compatible(ModelSpec::Kind model, MechanismKind mech) {
+  switch (model) {
+    case ModelSpec::Kind::kChainClass:
+      return mech == MechanismKind::kMqmExact ||
+             mech == MechanismKind::kMqmApprox || mech == MechanismKind::kGk16;
+    case ModelSpec::Kind::kChainClassFreeInitial:
+      return mech == MechanismKind::kMqmExact || mech == MechanismKind::kGk16;
+    case ModelSpec::Kind::kChainSummary:
+      return mech == MechanismKind::kMqmApprox;
+    case ModelSpec::Kind::kNetworkClass:
+      return mech == MechanismKind::kMqmGeneral;
+    case ModelSpec::Kind::kOutputPairs:
+      return mech == MechanismKind::kWasserstein;
+    case ModelSpec::Kind::kSensitivity:
+      return mech == MechanismKind::kLaplaceDp;
+    case ModelSpec::Kind::kGroupSensitivity:
+      return mech == MechanismKind::kGroupDp;
+  }
+  return false;
+}
+
+ChainUnifiedOptions ChainOptions(const EngineOptions& options,
+                                 std::size_t max_nearby,
+                                 std::size_t num_threads) {
+  ChainUnifiedOptions chain;
+  chain.max_nearby = max_nearby;
+  chain.allow_stationary_shortcut = options.allow_stationary_shortcut;
+  chain.num_threads = num_threads;
+  return chain;
+}
+
+Result<std::unique_ptr<Mechanism>> BuildMechanism(const ModelSpec& model,
+                                                  const EngineOptions& options,
+                                                  MechanismKind kind,
+                                                  std::size_t num_threads) {
+  switch (kind) {
+    case MechanismKind::kLaplaceDp:
+      return std::unique_ptr<Mechanism>(
+          new LaplaceDpUnified(model.sensitivity));
+    case MechanismKind::kGroupDp:
+      return std::unique_ptr<Mechanism>(new GroupDpUnified(model.sensitivity));
+    case MechanismKind::kGk16: {
+      std::vector<Matrix> transitions = model.transitions;
+      if (transitions.empty()) {
+        transitions.reserve(model.chains.size());
+        for (const MarkovChain& theta : model.chains) {
+          transitions.push_back(theta.transition());
+        }
+      }
+      return std::unique_ptr<Mechanism>(
+          new Gk16Unified(std::move(transitions), model.length));
+    }
+    case MechanismKind::kWasserstein:
+      return std::unique_ptr<Mechanism>(
+          new WassersteinUnified(model.pairs, options.wasserstein_backend));
+    case MechanismKind::kMqmGeneral: {
+      MqmAnalyzeOptions mqm;
+      mqm.max_quilt_size = options.max_quilt_size;
+      mqm.num_threads = num_threads;
+      return std::unique_ptr<Mechanism>(
+          new MqmGeneralUnified(model.networks, mqm));
+    }
+    case MechanismKind::kMqmExact: {
+      const ChainUnifiedOptions chain =
+          ChainOptions(options, options.exact_max_nearby, num_threads);
+      if (model.kind == ModelSpec::Kind::kChainClassFreeInitial) {
+        return std::unique_ptr<Mechanism>(new MqmExactFreeInitialUnified(
+            model.transitions, model.length, chain));
+      }
+      return std::unique_ptr<Mechanism>(
+          new MqmExactUnified(model.chains, model.length, chain));
+    }
+    case MechanismKind::kMqmApprox: {
+      const ChainUnifiedOptions chain =
+          ChainOptions(options, options.approx_max_nearby, num_threads);
+      if (model.kind == ModelSpec::Kind::kChainSummary) {
+        return std::unique_ptr<Mechanism>(
+            new MqmApproxUnified(model.summary, model.length, chain));
+      }
+      return std::unique_ptr<Mechanism>(
+          new MqmApproxUnified(model.chains, model.length, chain));
+    }
+  }
+  return Status::Internal("unhandled mechanism kind");
+}
+
+}  // namespace
+
+Result<MechanismKind> SelectMechanism(const ModelSpec& model,
+                                      const EngineOptions& options) {
+  PF_RETURN_NOT_OK(ValidateModel(model));
+  if (options.mechanism.has_value()) {
+    if (!Compatible(model.kind, *options.mechanism)) {
+      return Status::InvalidArgument(
+          std::string("mechanism override ") +
+          MechanismKindName(*options.mechanism) +
+          " cannot be built from a " + model.KindName() + " model");
+    }
+    return *options.mechanism;
+  }
+  switch (model.kind) {
+    case ModelSpec::Kind::kChainClass:
+      // Long chains: MQMApprox's Lemma 4.9 analysis is length-independent,
+      // and per Section 5.3.2 its width is near-optimal at scale.
+      return model.length > options.approx_length_cutoff
+                 ? MechanismKind::kMqmApprox
+                 : MechanismKind::kMqmExact;
+    case ModelSpec::Kind::kChainClassFreeInitial:
+      return MechanismKind::kMqmExact;
+    case ModelSpec::Kind::kChainSummary:
+      return MechanismKind::kMqmApprox;
+    case ModelSpec::Kind::kNetworkClass:
+      return MechanismKind::kMqmGeneral;
+    case ModelSpec::Kind::kOutputPairs:
+      return MechanismKind::kWasserstein;
+    case ModelSpec::Kind::kSensitivity:
+      return MechanismKind::kLaplaceDp;
+    case ModelSpec::Kind::kGroupSensitivity:
+      return MechanismKind::kGroupDp;
+  }
+  return Status::Internal("unhandled model kind");
+}
+
+// --------------------------------------------------------- PrivacyEngine --
+
+namespace {
+
+/// Base for engine-assigned session seeds. std::random_device alone is 32
+/// bits and fully deterministic on some standard libraries, which would
+/// reproduce the engine's noise-seed sequence across process restarts —
+/// the correlated-noise hazard SessionOptions::seed exists to prevent. So
+/// several draws are folded with a high-resolution timestamp and ASLR'd
+/// address bits.
+std::uint64_t RandomSeedBase() {
+  std::random_device rd;
+  std::uint64_t base = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  base = SplitMix64(base ^ static_cast<std::uint64_t>(
+                               std::chrono::high_resolution_clock::now()
+                                   .time_since_epoch()
+                                   .count()));
+  return SplitMix64(base ^ reinterpret_cast<std::uintptr_t>(&rd));
+}
+
+}  // namespace
+
+PrivacyEngine::PrivacyEngine(ModelSpec model, EngineOptions options,
+                             std::unique_ptr<Mechanism> mechanism,
+                             std::size_t num_threads)
+    : model_(std::move(model)),
+      options_(options),
+      mechanism_(std::move(mechanism)),
+      cache_(options_.cache_capacity),
+      executor_(num_threads),
+      session_seed_state_(RandomSeedBase()) {}
+
+std::uint64_t PrivacyEngine::NextSessionSeed() {
+  // The SplitMix64 generator over a random per-engine base: every call
+  // yields a distinct, well-scrambled seed.
+  return SplitMix64(session_seed_state_.fetch_add(0x9E3779B97F4A7C15u));
+}
+
+Result<std::unique_ptr<PrivacyEngine>> PrivacyEngine::Create(
+    ModelSpec model, EngineOptions options) {
+  PF_ASSIGN_OR_RETURN(const MechanismKind kind,
+                      SelectMechanism(model, options));
+  std::size_t num_threads = options.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  PF_ASSIGN_OR_RETURN(std::unique_ptr<Mechanism> mechanism,
+                      BuildMechanism(model, options, kind, num_threads));
+  return std::unique_ptr<PrivacyEngine>(new PrivacyEngine(
+      std::move(model), options, std::move(mechanism), num_threads));
+}
+
+Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
+    const QuerySpec& spec) {
+  const std::string key = spec.CacheKey();
+  {
+    std::lock_guard<std::mutex> lock(compiled_mutex_);
+    auto it = compiled_.find(key);
+    if (it != compiled_.end()) return it->second;
+  }
+  PF_ASSIGN_OR_RETURN(
+      VectorQuery query,
+      CompileQuerySpec(spec, model_.num_states, model_.length));
+  PF_ASSIGN_OR_RETURN(std::shared_ptr<const MechanismPlan> plan,
+                      cache_.GetOrAnalyze(*mechanism_, spec.epsilon));
+  CompiledQuery compiled{std::move(query), std::move(plan)};
+  std::lock_guard<std::mutex> lock(compiled_mutex_);
+  auto [it, inserted] = compiled_.emplace(key, std::move(compiled));
+  if (inserted) {
+    // Bounded like the plan cache: compiled entries pin their plans, so
+    // letting this map grow per (shape, epsilon) forever would defeat
+    // cache_capacity's memory bound on a long-lived server.
+    compiled_order_.push_back(key);
+    if (options_.cache_capacity > 0) {
+      while (compiled_.size() > options_.cache_capacity &&
+             !compiled_order_.empty()) {
+        compiled_.erase(compiled_order_.front());
+        compiled_order_.pop_front();
+      }
+    }
+  }
+  return it->second;
+}
+
+std::unique_ptr<Session> PrivacyEngine::CreateSession(
+    const SessionOptions& options) {
+  return std::unique_ptr<Session>(new Session(this, options));
+}
+
+std::unique_ptr<Session> PrivacyEngine::CreateSession() {
+  return CreateSession(SessionOptions{});
+}
+
+}  // namespace pf

@@ -1,0 +1,195 @@
+// The front door of the library: a budget-aware, declarative serving API
+// over the mechanism engine.
+//
+//     ModelSpec (what the adversary may believe)
+//        |
+//     PrivacyEngine::Create          picks the mechanism (policy or
+//        |                           override), owns the AnalysisCache and
+//        |                           the serving thread pool
+//        v
+//     engine->CreateSession(budget)  per-tenant ledger (Theorem 4.4)
+//        |
+//     session->Submit(QuerySpec, data)   compile once (cached), charge the
+//        |                               budget, release on the pool
+//        v
+//     future<Result<ReleaseResult>>
+//
+// The mechanism layer (pufferfish/mechanism.h) stays available as the
+// internal SPI; everything a caller needs for serving lives here.
+#ifndef PUFFERFISH_ENGINE_PRIVACY_ENGINE_H_
+#define PUFFERFISH_ENGINE_PRIVACY_ENGINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/query_spec.h"
+#include "graphical/bayesian_network.h"
+#include "graphical/markov_chain.h"
+#include "pufferfish/analysis_cache.h"
+#include "pufferfish/framework.h"
+#include "pufferfish/mechanism.h"
+#include "pufferfish/wasserstein_mechanism.h"
+
+namespace pf {
+
+class Session;
+struct SessionOptions;
+
+/// \brief The distribution class Theta, declaratively: what the engine
+/// builds its mechanism from. Construct via the factories.
+struct ModelSpec {
+  enum class Kind {
+    kChainClass,             ///< Explicit Markov chains, fixed length.
+    kChainClassFreeInitial,  ///< Transition matrices x all initials (C.4).
+    kChainSummary,           ///< Mixing summary (pi_min, g) only.
+    kNetworkClass,           ///< General Bayesian networks.
+    kOutputPairs,            ///< Conditional output pairs (Algorithm 1).
+    kSensitivity,            ///< Plain L1 sensitivity (entry DP).
+    kGroupSensitivity,       ///< Group sensitivity (Definition B.1).
+  };
+
+  Kind kind = Kind::kChainClass;
+  std::vector<MarkovChain> chains;
+  std::vector<Matrix> transitions;
+  ChainClassSummary summary;
+  std::vector<BayesianNetwork> networks;
+  std::vector<ConditionalOutputPair> pairs;
+  double sensitivity = 0.0;
+  /// Record length T (chains), node count (networks), 0 when lengthless.
+  std::size_t length = 0;
+  /// State-space size k; 0 when the model carries no state space.
+  std::size_t num_states = 0;
+
+  static ModelSpec ChainClass(std::vector<MarkovChain> thetas,
+                              std::size_t length);
+  static ModelSpec ChainClassFreeInitial(std::vector<Matrix> transitions,
+                                         std::size_t length);
+  static ModelSpec ChainSummary(ChainClassSummary summary,
+                                std::size_t num_states, std::size_t length);
+  static ModelSpec NetworkClass(std::vector<BayesianNetwork> thetas);
+  static ModelSpec OutputPairs(std::vector<ConditionalOutputPair> pairs);
+  static ModelSpec Sensitivity(double sensitivity);
+  static ModelSpec GroupSensitivity(double group_sensitivity);
+
+  const char* KindName() const;
+};
+
+/// Engine-wide knobs. Defaults serve: auto mechanism policy, hardware
+/// threads, bounded plan cache.
+struct EngineOptions {
+  /// Explicit mechanism override; nullopt selects by policy (see
+  /// SelectMechanism). Overrides incompatible with the model fail Create.
+  std::optional<MechanismKind> mechanism;
+  /// Serving + analysis worker threads; 0 means hardware concurrency.
+  std::size_t num_threads = 0;
+  /// AnalysisCache capacity (plans resident); 0 means unbounded.
+  std::size_t cache_capacity = 1024;
+  /// Quilt-width cap for MQMExact searches.
+  std::size_t exact_max_nearby = 64;
+  /// Quilt-width cap for MQMApprox; 0 = Lemma 4.9 automatic width.
+  std::size_t approx_max_nearby = 0;
+  /// Permit the Section 4.4.1 stationary-initial shortcut.
+  bool allow_stationary_shortcut = true;
+  /// Auto policy: chain classes longer than this use MQMApprox (whose
+  /// analysis is length-independent) instead of MQMExact.
+  std::size_t approx_length_cutoff = 100000;
+  /// Separator-size cap for the general-network quilt search (Algorithm 2).
+  std::size_t max_quilt_size = 2;
+  /// Backend for the W_inf computation (Algorithm 1 models).
+  WassersteinBackend wasserstein_backend = WassersteinBackend::kQuantile;
+};
+
+/// \brief The mechanism the policy picks for `model` under `options`
+/// (honoring options.mechanism when set). Exposed for tests and logs;
+/// PrivacyEngine::Create applies the same rule.
+///
+/// Policy: chain classes use MQMExact up to options.approx_length_cutoff
+/// and MQMApprox beyond (Lemma 4.9 makes its analysis length-independent);
+/// summaries use MQMApprox; networks use the general MQM; output pairs use
+/// the Wasserstein mechanism; sensitivities use the Laplace baselines.
+Result<MechanismKind> SelectMechanism(const ModelSpec& model,
+                                      const EngineOptions& options);
+
+/// \brief Owns the model, the selected mechanism, the plan cache, the
+/// compiled-query cache, and the serving thread pool. Immutable after
+/// Create apart from the caches; safe to share across threads. Must
+/// outlive its Sessions.
+class PrivacyEngine {
+ public:
+  /// A query compiled against the engine's model: the concrete vector
+  /// query plus the (cached) plan serving it.
+  struct CompiledQuery {
+    VectorQuery query;
+    std::shared_ptr<const MechanismPlan> plan;
+  };
+
+  static Result<std::unique_ptr<PrivacyEngine>> Create(
+      ModelSpec model, EngineOptions options = {});
+
+  PrivacyEngine(const PrivacyEngine&) = delete;
+  PrivacyEngine& operator=(const PrivacyEngine&) = delete;
+
+  /// The mechanism selected at Create (policy or override).
+  MechanismKind mechanism_kind() const { return mechanism_->kind(); }
+  /// SPI escape hatch: the underlying mechanism (for diagnostics).
+  const Mechanism& mechanism() const { return *mechanism_; }
+
+  std::size_t num_states() const { return model_.num_states; }
+  std::size_t record_length() const { return model_.length; }
+  const EngineOptions& options() const { return options_; }
+  /// Resolved worker-thread count (options.num_threads or hardware).
+  std::size_t num_threads() const { return executor_.num_threads(); }
+
+  /// \brief Compiles a declarative query to (VectorQuery, MechanismPlan),
+  /// analyzing at the spec's epsilon at most once per (model, epsilon):
+  /// both the plan (AnalysisCache) and the compiled pair are cached.
+  Result<CompiledQuery> Compile(const QuerySpec& spec);
+
+  /// \brief Opens a per-tenant session with its own privacy budget and RNG
+  /// seed. The engine must outlive the session.
+  std::unique_ptr<Session> CreateSession(const SessionOptions& options);
+  std::unique_ptr<Session> CreateSession();
+
+  /// Plan-cache statistics (hits prove re-analysis was skipped).
+  AnalysisCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// \brief A seed for a session that did not pin one: distinct per call
+  /// (sequence scrambled from a random per-engine base), so default
+  /// sessions never share a noise stream — see SessionOptions::seed.
+  std::uint64_t NextSessionSeed();
+
+  /// The serving pool (Sessions dispatch Submit() work here).
+  Executor& executor() { return executor_; }
+
+ private:
+  PrivacyEngine(ModelSpec model, EngineOptions options,
+                std::unique_ptr<Mechanism> mechanism, std::size_t num_threads);
+
+  const ModelSpec model_;
+  const EngineOptions options_;
+  const std::unique_ptr<Mechanism> mechanism_;
+  AnalysisCache cache_;
+  Executor executor_;
+
+  mutable std::mutex compiled_mutex_;
+  std::unordered_map<std::string, CompiledQuery> compiled_;
+  /// FIFO eviction order for compiled_ (bounded by options_.cache_capacity
+  /// like the plan cache: compiled entries pin their plans, so an
+  /// unbounded map would defeat the plan cache's memory bound).
+  std::deque<std::string> compiled_order_;
+  std::atomic<std::uint64_t> session_seed_state_;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_ENGINE_PRIVACY_ENGINE_H_

@@ -1,0 +1,199 @@
+#include "engine/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/fingerprint.h"
+#include "common/random.h"
+
+namespace pf {
+
+namespace {
+
+/// Splitmix64 over (seed, ticket): each ticket gets an independent,
+/// reproducible noise stream regardless of which executor thread runs it.
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t ticket) {
+  return SplitMix64(seed + 0x9E3779B97F4A7C15u * ticket);
+}
+
+/// The quilt identity a release is accounted under. Chain mechanisms use
+/// their active quilt (the Theorem 4.4 object; the stationary search makes
+/// it represent every node). General-network plans fold *all* per-node
+/// active quilts into one signature-carrying quilt — Definition 4.5's
+/// precondition covers every S_{Q,i}, so a mismatch at any node must
+/// refuse composition, not just one at the worst node. The remaining
+/// mechanisms get a kind-tagged placeholder so releases of the same
+/// (mechanism, model) ledger together but never alias a real quilt.
+MarkovQuilt PlanActiveQuilt(const MechanismPlan& plan) {
+  switch (plan.kind) {
+    case MechanismKind::kMqmExact:
+    case MechanismKind::kMqmApprox:
+      return plan.chain.active_quilt;
+    case MechanismKind::kMqmGeneral: {
+      MarkovQuilt all;
+      all.target = -1 - static_cast<int>(plan.kind);
+      for (const QuiltScore& per_node : plan.mqm.active) {
+        all.quilt.push_back(per_node.quilt.target);
+        all.quilt.insert(all.quilt.end(), per_node.quilt.quilt.begin(),
+                         per_node.quilt.quilt.end());
+        all.quilt.push_back(
+            -2 - static_cast<int>(per_node.quilt.nearby_count));  // Separator.
+      }
+      return all;
+    }
+    default:
+      break;
+  }
+  MarkovQuilt tag;
+  tag.target = -1 - static_cast<int>(plan.kind);
+  return tag;
+}
+
+std::future<Result<ReleaseResult>> ReadyError(Status status) {
+  std::promise<Result<ReleaseResult>> promise;
+  promise.set_value(Result<ReleaseResult>(std::move(status)));
+  return promise.get_future();
+}
+
+}  // namespace
+
+Session::Session(PrivacyEngine* engine, const SessionOptions& options)
+    : engine_(engine),
+      options_(options),
+      seed_(options.seed.has_value() ? *options.seed
+                                     : engine->NextSessionSeed()) {}
+
+Result<std::uint64_t> Session::ChargeLocked(const MechanismPlan& plan) {
+  // A plan that can never release (GK16 outside its spectral condition, a
+  // non-finite noise scale) must be refused *before* charging: the failed
+  // release would produce nothing, so it must not burn budget.
+  if (!plan.applicable) {
+    return Status::FailedPrecondition(
+        std::string(MechanismKindName(plan.kind)) +
+        " is inapplicable for this model class (no finite noise scale); "
+        "nothing was charged");
+  }
+  if (!std::isfinite(plan.sigma) || plan.sigma < 0.0) {
+    return Status::FailedPrecondition(
+        "plan has no finite noise scale; nothing was charged");
+  }
+  // Price the release before committing it: K+1 releases compose to
+  // (K+1) * max epsilon (Theorem 4.4). The slack is relative to the
+  // computed total (whose rounding error is ulp-relative,
+  // ~1e-16 * prospective), so it forgives the floating-point dust of
+  // repeated equal-epsilon releases at any magnitude without ever
+  // admitting a release that genuinely exceeds the budget.
+  const double prospective =
+      static_cast<double>(accountant_.num_releases() + 1) *
+      std::max(accountant_.MaxEpsilon(), plan.epsilon);
+  const double budget = options_.epsilon_budget;
+  if (prospective > budget + 1e-12 * prospective) {
+    return Status::ResourceExhausted(
+        "privacy budget exhausted: this release would compose to epsilon " +
+        std::to_string(prospective) + " > budget " + std::to_string(budget));
+  }
+  // Records only if the active quilt matches every earlier release
+  // (Theorem 4.4's precondition); a mismatch refuses with
+  // FailedPrecondition and charges nothing.
+  PF_RETURN_NOT_OK(
+      accountant_.RecordReleaseStrict(plan.epsilon, PlanActiveQuilt(plan)));
+  return next_ticket_++;
+}
+
+Result<ReleaseResult> Session::Execute(const PrivacyEngine::CompiledQuery& q,
+                                       const StateSequence& data,
+                                       std::uint64_t seed,
+                                       std::uint64_t ticket) {
+  Vector truth = q.query.fn(data);
+  if (q.query.dim != 0 && truth.size() != q.query.dim) {
+    // Unlike the statically-detectable refusals in ChargeLocked, this can
+    // only surface after the budget was charged (the body runs on the
+    // pool, after ticketing). The charge stands: overcharging a
+    // contract-violating query is privacy-safe; refunding would require
+    // sessions to outlive their futures.
+    return Status::Internal("query '" + q.query.name + "' returned dimension " +
+                            std::to_string(truth.size()) + ", declared " +
+                            std::to_string(q.query.dim) +
+                            " (epsilon was charged)");
+  }
+  Rng rng(MixSeed(seed, ticket));
+  PF_ASSIGN_OR_RETURN(
+      Vector noisy, ReleaseVector(*q.plan, truth, q.query.lipschitz, &rng));
+  ReleaseResult result;
+  result.value = std::move(noisy);
+  result.epsilon = q.plan->epsilon;
+  result.sigma = q.plan->sigma;
+  result.mechanism = q.plan->kind;
+  result.ticket = ticket;
+  return result;
+}
+
+Result<ReleaseResult> Session::Release(const QuerySpec& spec,
+                                       const StateSequence& data) {
+  PF_ASSIGN_OR_RETURN(PrivacyEngine::CompiledQuery compiled,
+                      engine_->Compile(spec));
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PF_ASSIGN_OR_RETURN(ticket, ChargeLocked(*compiled.plan));
+  }
+  return Execute(compiled, data, seed_, ticket);
+}
+
+std::future<Result<ReleaseResult>> Session::Submit(const QuerySpec& spec,
+                                                   StateSequence data) {
+  return Submit(spec,
+                std::make_shared<const StateSequence>(std::move(data)));
+}
+
+std::future<Result<ReleaseResult>> Session::Submit(
+    const QuerySpec& spec, std::shared_ptr<const StateSequence> data) {
+  Result<PrivacyEngine::CompiledQuery> compiled = engine_->Compile(spec);
+  if (!compiled.ok()) return ReadyError(compiled.status());
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Result<std::uint64_t> charged = ChargeLocked(*compiled.value().plan);
+    if (!charged.ok()) return ReadyError(charged.status());
+    ticket = charged.value();
+  }
+  return engine_->executor().Submit(
+      [q = std::move(compiled).value(), data = std::move(data),
+       seed = seed_, ticket] { return Execute(q, *data, seed, ticket); });
+}
+
+std::vector<std::future<Result<ReleaseResult>>> Session::SubmitBatch(
+    const std::vector<QuerySpec>& specs, const StateSequence& data) {
+  // One wrapped copy shared by every task instead of one copy per query.
+  auto shared = std::make_shared<const StateSequence>(data);
+  std::vector<std::future<Result<ReleaseResult>>> futures;
+  futures.reserve(specs.size());
+  for (const QuerySpec& spec : specs) futures.push_back(Submit(spec, shared));
+  return futures;
+}
+
+std::vector<std::future<Result<ReleaseResult>>> Session::SubmitBatch(
+    const QuerySpec& spec, const std::vector<StateSequence>& batch) {
+  std::vector<std::future<Result<ReleaseResult>>> futures;
+  futures.reserve(batch.size());
+  for (const StateSequence& data : batch) futures.push_back(Submit(spec, data));
+  return futures;
+}
+
+double Session::EpsilonSpent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accountant_.TotalEpsilon();
+}
+
+double Session::EpsilonRemaining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::max(0.0, options_.epsilon_budget - accountant_.TotalEpsilon());
+}
+
+std::size_t Session::num_releases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accountant_.num_releases();
+}
+
+}  // namespace pf

@@ -1,0 +1,123 @@
+// Per-tenant serving sessions: every release is charged against an epsilon
+// budget through the Theorem 4.4 CompositionAccountant (K releases compose
+// to K * max_k epsilon_k when they share active quilts). A session refuses
+// releases that would overrun the budget (ResourceExhausted) or mix active
+// quilts (FailedPrecondition — the Theorem 4.4 precondition).
+//
+// Determinism: each accepted release draws its noise from an RNG seeded by
+// (session seed, ticket), where tickets are assigned in Submit() call
+// order. Results are therefore bit-identical for any executor thread count
+// and any completion order.
+#ifndef PUFFERFISH_ENGINE_SESSION_H_
+#define PUFFERFISH_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "engine/privacy_engine.h"
+#include "engine/query_spec.h"
+#include "pufferfish/composition.h"
+
+namespace pf {
+
+struct SessionOptions {
+  /// Total epsilon this session may spend (Theorem 4.4 composed level).
+  /// Default: unmetered.
+  double epsilon_budget = std::numeric_limits<double>::infinity();
+  /// Seed for the session's deterministic noise stream. Unset (the
+  /// default), the engine assigns every session a distinct seed: two
+  /// sessions releasing the same value from the same noise stream would
+  /// let an observer cancel the noise and recover the exact private
+  /// value, so identical streams must be something a caller asks for
+  /// explicitly (reproducible experiments), never an accident.
+  std::optional<std::uint64_t> seed;
+};
+
+/// One released query: the noisy value plus its accounting facts.
+struct ReleaseResult {
+  /// The released (noisy) query value; dimension 1 for scalar kinds.
+  Vector value;
+  /// Epsilon charged for this release.
+  double epsilon = 0.0;
+  /// Noise scale multiplier the plan used.
+  double sigma = 0.0;
+  MechanismKind mechanism = MechanismKind::kLaplaceDp;
+  /// Submission sequence number (also the noise-stream index).
+  std::uint64_t ticket = 0;
+};
+
+/// \brief A privacy-budget ledger over one engine. Thread-safe; cheap to
+/// create (plans are shared through the engine's caches). The engine must
+/// outlive the session.
+class Session {
+ public:
+  Session(PrivacyEngine* engine, const SessionOptions& options);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// \brief Synchronous point release: compile (cached), charge the
+  /// budget, evaluate and noise the query on the calling thread.
+  Result<ReleaseResult> Release(const QuerySpec& spec,
+                                const StateSequence& data);
+
+  /// \brief Asynchronous release: compilation and budget charging happen
+  /// now (in call order — tickets and the ledger are deterministic), the
+  /// query evaluation and noise draw run on the engine's executor. A spec
+  /// rejected at submit time returns an already-resolved errored future and
+  /// charges nothing.
+  std::future<Result<ReleaseResult>> Submit(const QuerySpec& spec,
+                                            StateSequence data);
+  /// As above, sharing an already-wrapped database (no copy per call).
+  std::future<Result<ReleaseResult>> Submit(
+      const QuerySpec& spec, std::shared_ptr<const StateSequence> data);
+
+  /// Many queries against one database (the serving batch path); the
+  /// database is wrapped once and shared by every task, not copied per
+  /// query.
+  std::vector<std::future<Result<ReleaseResult>>> SubmitBatch(
+      const std::vector<QuerySpec>& specs, const StateSequence& data);
+
+  /// One query against many databases (per-subject fan-out).
+  std::vector<std::future<Result<ReleaseResult>>> SubmitBatch(
+      const QuerySpec& spec, const std::vector<StateSequence>& batch);
+
+  double epsilon_budget() const { return options_.epsilon_budget; }
+  /// Composed epsilon spent so far (K * max_k epsilon_k, Theorem 4.4).
+  double EpsilonSpent() const;
+  /// Budget still spendable (infinite for unmetered sessions).
+  double EpsilonRemaining() const;
+  std::size_t num_releases() const;
+
+ private:
+  /// Charges one release: refuses quilt mismatches (FailedPrecondition)
+  /// and budget overruns (ResourceExhausted), else records it and returns
+  /// the assigned ticket. Caller holds mutex_.
+  Result<std::uint64_t> ChargeLocked(const MechanismPlan& plan);
+
+  /// The noise task body shared by Release and Submit.
+  static Result<ReleaseResult> Execute(const PrivacyEngine::CompiledQuery& q,
+                                       const StateSequence& data,
+                                       std::uint64_t seed,
+                                       std::uint64_t ticket);
+
+  PrivacyEngine* const engine_;
+  const SessionOptions options_;
+  /// Resolved noise seed (options_.seed or engine-assigned).
+  const std::uint64_t seed_;
+
+  mutable std::mutex mutex_;
+  CompositionAccountant accountant_;
+  std::uint64_t next_ticket_ = 0;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_ENGINE_SESSION_H_

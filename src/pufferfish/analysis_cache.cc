@@ -1,14 +1,16 @@
 #include "pufferfish/analysis_cache.h"
 
-#include <cstring>
+#include "common/fingerprint.h"
 
 namespace pf {
 
 namespace {
-std::uint64_t DoubleBits(double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
+void BumpPlanHitCounter(const MechanismPlan& plan) {
+  // Relaxed: the counter is a monotone diagnostic, not a synchronization
+  // point; callers only ever read a snapshot.
+  if (plan.cache_hits != nullptr) {
+    plan.cache_hits->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 }  // namespace
 
@@ -16,37 +18,49 @@ Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrAnalyze(
     const Mechanism& mechanism, double epsilon) {
   const Key key{mechanism.Fingerprint(), DoubleBits(epsilon),
                 mechanism.kind()};
+  std::shared_ptr<const MechanismPlan> found;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = plans_.find(key);
     // Key equality already implies bit-identical epsilon (epsilon_bits is
     // a key field).
-    if (it != plans_.end()) {
-      ++stats_.hits;
-      if (it->second->cache_hits != nullptr) {
-        it->second->cache_hits->fetch_add(1);
-      }
-      return it->second;
-    }
-    ++stats_.misses;
+    if (it != plans_.end()) found = it->second;
+  }
+  if (found != nullptr) {
+    // Counters are bumped after the lock is released so the critical
+    // section stays a pure lookup (no contention on the shared counter
+    // under the lock). The shared_ptr copy keeps the plan alive past any
+    // concurrent eviction.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    BumpPlanHitCounter(*found);
+    return found;
   }
   // Analyze outside the lock: analyses of different keys overlap, and a
   // duplicated analysis of the same key is merely wasted work, not an error.
   Result<MechanismPlan> plan = mechanism.Analyze(epsilon);
   if (!plan.ok()) return plan.status();
   auto shared = std::make_shared<const MechanismPlan>(std::move(plan).value());
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = plans_.emplace(key, shared);
-  if (!inserted) {
-    // Another thread won the race; serve its plan (and count the hit).
-    ++stats_.hits;
-    --stats_.misses;
-    if (it->second->cache_hits != nullptr) it->second->cache_hits->fetch_add(1);
-    return it->second;
+  std::shared_ptr<const MechanismPlan> winner;
+  bool raced = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = plans_.emplace(key, shared);
+    winner = it->second;
+    raced = !inserted;
+    if (inserted) {
+      insertion_order_.push_back(key);
+      EvictIfFull();
+    }
   }
-  insertion_order_.push_back(key);
-  EvictIfFull();
-  return shared;
+  if (raced) {
+    // Another thread won the duplicate-key race; serve its plan and count
+    // this call as a hit (no new analysis was stored).
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    BumpPlanHitCounter(*winner);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return winner;
 }
 
 void AnalysisCache::EvictIfFull() {
@@ -58,8 +72,10 @@ void AnalysisCache::EvictIfFull() {
 }
 
 AnalysisCache::Stats AnalysisCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::size_t AnalysisCache::size() const {
@@ -71,7 +87,8 @@ void AnalysisCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   plans_.clear();
   insertion_order_.clear();
-  stats_ = Stats{};
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace pf

@@ -6,6 +6,7 @@
 #ifndef PUFFERFISH_PUFFERFISH_ANALYSIS_CACHE_H_
 #define PUFFERFISH_PUFFERFISH_ANALYSIS_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -43,6 +44,9 @@ class AnalysisCache {
   /// mechanism.Analyze(epsilon), stores, and returns it. The analysis runs
   /// outside the cache lock, so slow analyses of *different* keys proceed
   /// concurrently (the loser of a duplicate-key race discards its result).
+  /// Safe to call from any number of threads; the per-plan hit counter and
+  /// the hit/miss stats are bumped outside the lock (relaxed atomics), so
+  /// concurrent hits on one hot plan never serialize on the cache mutex.
   Result<std::shared_ptr<const MechanismPlan>> GetOrAnalyze(
       const Mechanism& mechanism, double epsilon);
 
@@ -85,7 +89,10 @@ class AnalysisCache {
   mutable std::mutex mutex_;
   std::unordered_map<Key, std::shared_ptr<const MechanismPlan>, KeyHash> plans_;
   std::deque<Key> insertion_order_;  // FIFO eviction queue.
-  Stats stats_;
+  // Lock-free counters: stats() and the hot hit path never contend on
+  // mutex_ beyond the map lookup itself.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace pf

@@ -1,7 +1,5 @@
 #include "pufferfish/composition.h"
 
-#include <algorithm>
-
 #include "pufferfish/framework.h"
 
 namespace pf {
@@ -15,6 +13,9 @@ std::string CompositionAccountant::QuiltSignature(const MarkovQuilt& q) {
 
 Status CompositionAccountant::RecordRelease(double epsilon,
                                             const MarkovQuilt& active_quilt) {
+  // Shared with every mechanism's Analyze: the ledger and the mechanisms
+  // must agree on what a valid epsilon is. Rejecting (InvalidArgument)
+  // instead of silently accounting keeps TotalEpsilon meaningful.
   PF_RETURN_NOT_OK(ValidatePrivacyParams({epsilon}));
   const std::string sig = QuiltSignature(active_quilt);
   if (epsilons_.empty()) {
@@ -23,13 +24,39 @@ Status CompositionAccountant::RecordRelease(double epsilon,
     consistent_ = false;
   }
   epsilons_.push_back(epsilon);
+  if (epsilon > max_epsilon_) max_epsilon_ = epsilon;
+  return Status::OK();
+}
+
+Status CompositionAccountant::RecordReleaseStrict(
+    double epsilon, const MarkovQuilt& active_quilt) {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({epsilon}));
+  const std::string sig = QuiltSignature(active_quilt);
+  if (!epsilons_.empty() && sig != first_signature_) {
+    return Status::FailedPrecondition(
+        "release refused: its active quilt differs from the ledger's "
+        "earlier releases, so Theorem 4.4 composition does not apply; "
+        "serve it from a separate session");
+  }
+  if (epsilons_.empty()) first_signature_ = sig;
+  epsilons_.push_back(epsilon);
+  if (epsilon > max_epsilon_) max_epsilon_ = epsilon;
   return Status::OK();
 }
 
 double CompositionAccountant::TotalEpsilon() const {
-  if (epsilons_.empty()) return 0.0;
-  const double max_eps = *std::max_element(epsilons_.begin(), epsilons_.end());
-  return static_cast<double>(epsilons_.size()) * max_eps;
+  return static_cast<double>(epsilons_.size()) * max_epsilon_;
+}
+
+bool CompositionAccountant::MatchesActiveQuilt(const MarkovQuilt& quilt) const {
+  return epsilons_.empty() || QuiltSignature(quilt) == first_signature_;
+}
+
+void CompositionAccountant::Reset() {
+  epsilons_.clear();
+  max_epsilon_ = 0.0;
+  first_signature_.clear();
+  consistent_ = true;
 }
 
 }  // namespace pf

@@ -21,9 +21,12 @@ class CompositionAccountant {
  public:
   CompositionAccountant() = default;
 
-  /// Records one release made at privacy level `epsilon` whose per-node
-  /// active quilt at the worst node is `active_quilt` (used to verify the
-  /// Theorem 4.4 precondition that all releases share active quilts).
+  /// \brief Records one release made at privacy level `epsilon` whose
+  /// per-node active quilt at the worst node is `active_quilt` (used to
+  /// verify the Theorem 4.4 precondition that all releases share active
+  /// quilts). Non-positive or non-finite epsilon is rejected with
+  /// InvalidArgument and leaves the ledger untouched — silently accounting
+  /// it would corrupt TotalEpsilon for every later release.
   Status RecordRelease(double epsilon, const MarkovQuilt& active_quilt);
 
   /// Number of releases recorded so far (K).
@@ -32,6 +35,26 @@ class CompositionAccountant {
   /// \brief Composed privacy parameter: K * max_k epsilon_k (Theorem 4.4).
   /// Zero when no release has been recorded.
   double TotalEpsilon() const;
+
+  /// Largest single-release epsilon recorded so far (0 when empty); with
+  /// num_releases() this lets callers price a prospective release as
+  /// (K+1) * max(MaxEpsilon(), epsilon) before committing it.
+  double MaxEpsilon() const { return max_epsilon_; }
+
+  /// \brief True when `quilt` matches the active quilt of every recorded
+  /// release (vacuously true for an empty ledger). Lets a budget ledger
+  /// *refuse* a Theorem 4.4 violation up front instead of detecting it
+  /// after the fact via ActiveQuiltsConsistent().
+  bool MatchesActiveQuilt(const MarkovQuilt& quilt) const;
+
+  /// \brief RecordRelease that *refuses* an active-quilt mismatch with
+  /// FailedPrecondition (ledger untouched) instead of recording it as
+  /// inconsistent — the serving-ledger variant, computing the quilt
+  /// signature once for check and record.
+  Status RecordReleaseStrict(double epsilon, const MarkovQuilt& active_quilt);
+
+  /// Forgets all recorded releases.
+  void Reset();
 
   /// True iff every recorded release used the same active quilt — the
   /// condition under which Theorem 4.4's linear composition is proved.
@@ -42,6 +65,7 @@ class CompositionAccountant {
   static std::string QuiltSignature(const MarkovQuilt& q);
 
   std::vector<double> epsilons_;
+  double max_epsilon_ = 0.0;
   std::string first_signature_;
   bool consistent_ = true;
 };

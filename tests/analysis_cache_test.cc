@@ -123,5 +123,31 @@ TEST(AnalysisCacheTest, ConcurrentGetOrAnalyzeServesOnePlan) {
   }
 }
 
+TEST(AnalysisCacheTest, ConcurrentHitsCountExactly) {
+  // The hit path bumps the per-plan counter and the stats outside the
+  // cache mutex (relaxed atomics); nothing may be lost or double-counted.
+  AnalysisCache cache;
+  const LaplaceDpUnified mechanism(1.0);
+  (void)cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();  // Warm: one miss.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kHitsPerThread = 500;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (std::size_t i = 0; i < kHitsPerThread; ++i) {
+          (void)cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  const auto plan = cache.GetOrAnalyze(mechanism, 1.0).ValueOrDie();
+  EXPECT_EQ(plan->cache_hit_count(), kThreads * kHitsPerThread + 1);
+  EXPECT_EQ(cache.stats().hits, kThreads * kHitsPerThread + 1);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
 }  // namespace
 }  // namespace pf

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "pufferfish/mqm_exact.h"
 
 namespace pf {
@@ -44,8 +47,58 @@ TEST(CompositionTest, DetectsActiveQuiltChange) {
 
 TEST(CompositionTest, RejectsBadEpsilon) {
   CompositionAccountant acc;
-  EXPECT_FALSE(acc.RecordRelease(0.0, SomeQuilt()).ok());
+  for (double bad : {0.0, -1.0, std::nan(""),
+                     std::numeric_limits<double>::infinity()}) {
+    const Status s = acc.RecordRelease(bad, SomeQuilt());
+    ASSERT_FALSE(s.ok()) << "epsilon " << bad;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+  // Nothing was silently accounted: the ledger is untouched.
   EXPECT_EQ(acc.num_releases(), 0u);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.MaxEpsilon(), 0.0);
+  // And a valid release afterwards accounts normally.
+  ASSERT_TRUE(acc.RecordRelease(1.0, SomeQuilt()).ok());
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 1.0);
+}
+
+TEST(CompositionTest, MatchesActiveQuiltPreCheck) {
+  CompositionAccountant acc;
+  // Vacuously true on an empty ledger.
+  EXPECT_TRUE(acc.MatchesActiveQuilt(SomeQuilt()));
+  ASSERT_TRUE(acc.RecordRelease(1.0, SomeQuilt()).ok());
+  EXPECT_TRUE(acc.MatchesActiveQuilt(SomeQuilt()));
+  EXPECT_FALSE(acc.MatchesActiveQuilt(ChainQuilt(10, 5, 1, 1).ValueOrDie()));
+  // The pre-check does not mutate the ledger.
+  EXPECT_TRUE(acc.ActiveQuiltsConsistent());
+  EXPECT_EQ(acc.num_releases(), 1u);
+}
+
+TEST(CompositionTest, StrictRecordRefusesMismatchWithoutAccounting) {
+  CompositionAccountant acc;
+  ASSERT_TRUE(acc.RecordReleaseStrict(1.0, SomeQuilt()).ok());
+  ASSERT_TRUE(acc.RecordReleaseStrict(2.0, SomeQuilt()).ok());
+  const Status refused =
+      acc.RecordReleaseStrict(1.0, ChainQuilt(10, 5, 1, 1).ValueOrDie());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  // The refusal left the ledger untouched and consistent.
+  EXPECT_EQ(acc.num_releases(), 2u);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 4.0);
+  EXPECT_TRUE(acc.ActiveQuiltsConsistent());
+}
+
+TEST(CompositionTest, ResetForgetsEverything) {
+  CompositionAccountant acc;
+  ASSERT_TRUE(acc.RecordRelease(2.0, SomeQuilt()).ok());
+  ASSERT_TRUE(
+      acc.RecordRelease(1.0, ChainQuilt(10, 5, 1, 1).ValueOrDie()).ok());
+  EXPECT_FALSE(acc.ActiveQuiltsConsistent());
+  acc.Reset();
+  EXPECT_EQ(acc.num_releases(), 0u);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilon(), 0.0);
+  EXPECT_TRUE(acc.ActiveQuiltsConsistent());
+  EXPECT_TRUE(acc.MatchesActiveQuilt(ChainQuilt(10, 5, 1, 1).ValueOrDie()));
 }
 
 // End-to-end: the same analysis re-run with identical inputs picks the same

@@ -1,0 +1,226 @@
+// PrivacyEngine: mechanism-selection policy, declarative query compilation,
+// and the compiled-query / plan caches.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graphical/markov_chain.h"
+
+namespace pf {
+namespace {
+
+MarkovChain TestChain(double p0, double p1) {
+  return MarkovChain::Make({0.5, 0.5}, Matrix{{p0, 1.0 - p0}, {1.0 - p1, p1}})
+      .ValueOrDie();
+}
+
+ModelSpec ShortChainModel(std::size_t length = 100) {
+  return ModelSpec::ChainClass({TestChain(0.8, 0.7)}, length);
+}
+
+// ------------------------------------------------------- selection policy --
+
+TEST(SelectMechanismTest, ShortChainsUseExactLongChainsUseApprox) {
+  EngineOptions options;
+  options.approx_length_cutoff = 1000;
+  EXPECT_EQ(SelectMechanism(ShortChainModel(1000), options).ValueOrDie(),
+            MechanismKind::kMqmExact);
+  EXPECT_EQ(SelectMechanism(ShortChainModel(1001), options).ValueOrDie(),
+            MechanismKind::kMqmApprox);
+}
+
+TEST(SelectMechanismTest, PolicyByModelKind) {
+  const EngineOptions options;
+  EXPECT_EQ(SelectMechanism(
+                ModelSpec::ChainClassFreeInitial(
+                    {Matrix{{0.8, 0.2}, {0.3, 0.7}}}, 50),
+                options)
+                .ValueOrDie(),
+            MechanismKind::kMqmExact);
+  ChainClassSummary summary;
+  summary.pi_min = 0.3;
+  summary.eigengap = 0.5;
+  EXPECT_EQ(SelectMechanism(ModelSpec::ChainSummary(summary, 2, 50), options)
+                .ValueOrDie(),
+            MechanismKind::kMqmApprox);
+  EXPECT_EQ(SelectMechanism(ModelSpec::Sensitivity(1.0), options).ValueOrDie(),
+            MechanismKind::kLaplaceDp);
+  EXPECT_EQ(
+      SelectMechanism(ModelSpec::GroupSensitivity(2.0), options).ValueOrDie(),
+      MechanismKind::kGroupDp);
+}
+
+TEST(SelectMechanismTest, OverrideHonoredWhenCompatible) {
+  EngineOptions options;
+  options.mechanism = MechanismKind::kMqmApprox;
+  EXPECT_EQ(SelectMechanism(ShortChainModel(), options).ValueOrDie(),
+            MechanismKind::kMqmApprox);
+  options.mechanism = MechanismKind::kGk16;
+  EXPECT_EQ(SelectMechanism(ShortChainModel(), options).ValueOrDie(),
+            MechanismKind::kGk16);
+}
+
+TEST(SelectMechanismTest, IncompatibleOverrideIsInvalidArgument) {
+  EngineOptions options;
+  options.mechanism = MechanismKind::kWasserstein;
+  const Result<MechanismKind> r = SelectMechanism(ShortChainModel(), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectMechanismTest, EmptyModelRejected) {
+  EXPECT_FALSE(
+      SelectMechanism(ModelSpec::ChainClass({}, 100), EngineOptions{}).ok());
+  EXPECT_FALSE(
+      SelectMechanism(ModelSpec::OutputPairs({}), EngineOptions{}).ok());
+}
+
+// ---------------------------------------------------------- query compile --
+
+TEST(QuerySpecTest, BuiltinLipschitzConstantsFollowTheModel) {
+  const std::size_t k = 3;
+  const std::size_t length = 50;
+  EXPECT_DOUBLE_EQ(
+      CompileQuerySpec(QuerySpec::Sum(), k, length).ValueOrDie().lipschitz,
+      2.0);  // k - 1.
+  EXPECT_DOUBLE_EQ(
+      CompileQuerySpec(QuerySpec::Mean(), k, length).ValueOrDie().lipschitz,
+      2.0 / 50.0);
+  EXPECT_DOUBLE_EQ(CompileQuerySpec(QuerySpec::StateFrequency(1), k, length)
+                       .ValueOrDie()
+                       .lipschitz,
+                   1.0 / 50.0);
+  const VectorQuery count =
+      CompileQuerySpec(QuerySpec::CountHistogram(), k, length).ValueOrDie();
+  EXPECT_DOUBLE_EQ(count.lipschitz, 2.0);
+  EXPECT_EQ(count.dim, k);
+  const VectorQuery freq =
+      CompileQuerySpec(QuerySpec::FrequencyHistogram(), k, length).ValueOrDie();
+  EXPECT_DOUBLE_EQ(freq.lipschitz, 2.0 / 50.0);
+  EXPECT_EQ(freq.dim, k);
+}
+
+TEST(QuerySpecTest, CompiledQueriesEvaluate) {
+  const StateSequence data{0, 1, 2, 1};
+  const VectorQuery mean =
+      CompileQuerySpec(QuerySpec::Mean(), 3, 4).ValueOrDie();
+  EXPECT_DOUBLE_EQ(mean.fn(data)[0], 1.0);
+  const VectorQuery freq =
+      CompileQuerySpec(QuerySpec::StateFrequency(1), 3, 4).ValueOrDie();
+  EXPECT_DOUBLE_EQ(freq.fn(data)[0], 0.5);
+}
+
+TEST(QuerySpecTest, CustomQueriesValidated) {
+  // No body.
+  QuerySpec broken;
+  broken.kind = QueryKind::kCustomScalar;
+  broken.name = "broken";
+  EXPECT_EQ(CompileQuerySpec(broken, 2, 10).status().code(),
+            StatusCode::kInvalidArgument);
+  // No name (would collide in the compiled-query cache).
+  const QuerySpec anonymous = QuerySpec::CustomScalar(
+      "", [](const StateSequence&) { return 0.0; }, 1.0);
+  EXPECT_EQ(CompileQuerySpec(anonymous, 2, 10).status().code(),
+            StatusCode::kInvalidArgument);
+  // Well-formed.
+  const QuerySpec ok = QuerySpec::CustomScalar(
+      "first", [](const StateSequence& s) { return double(s[0]); }, 1.0);
+  EXPECT_TRUE(CompileQuerySpec(ok, 2, 10).ok());
+}
+
+TEST(QuerySpecTest, NonPositiveEpsilonRejected) {
+  EXPECT_FALSE(QuerySpec::Sum(0.0).Validate().ok());
+  EXPECT_FALSE(QuerySpec::Sum(-1.0).Validate().ok());
+  EXPECT_FALSE(QuerySpec::Sum(std::nan("")).Validate().ok());
+}
+
+TEST(QuerySpecTest, StatefulKindsNeedAModelWithStatesAndLength) {
+  // num_states == 0: output-pair / sensitivity models.
+  EXPECT_EQ(CompileQuerySpec(QuerySpec::FrequencyHistogram(), 0, 0)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(CompileQuerySpec(QuerySpec::Mean(), 0, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Sum degrades to the raw L = 1 sum (sensitivity lives in the plan).
+  const VectorQuery sum = CompileQuerySpec(QuerySpec::Sum(), 0, 0).ValueOrDie();
+  EXPECT_DOUBLE_EQ(sum.lipschitz, 1.0);
+  EXPECT_DOUBLE_EQ(sum.fn({1, 0, 1, 1})[0], 3.0);
+}
+
+// ------------------------------------------------------------- the engine --
+
+TEST(PrivacyEngineTest, CompileCachesPlansAndCompiledQueries) {
+  auto engine = PrivacyEngine::Create(ShortChainModel()).ValueOrDie();
+  const auto first = engine->Compile(QuerySpec::Mean(1.0)).ValueOrDie();
+  const auto again = engine->Compile(QuerySpec::Mean(1.0)).ValueOrDie();
+  EXPECT_EQ(first.plan.get(), again.plan.get());
+  // The compiled-query cache absorbed the repeat: no second cache lookup.
+  EXPECT_EQ(engine->cache_stats().misses, 1u);
+
+  // A different query at the same epsilon shares the plan via the
+  // AnalysisCache (one analysis per (model, epsilon)).
+  const auto other = engine->Compile(QuerySpec::Sum(1.0)).ValueOrDie();
+  EXPECT_EQ(other.plan.get(), first.plan.get());
+  EXPECT_EQ(engine->cache_stats().misses, 1u);
+  EXPECT_EQ(engine->cache_stats().hits, 1u);
+
+  // A new epsilon analyzes once more.
+  const auto eps2 = engine->Compile(QuerySpec::Mean(2.0)).ValueOrDie();
+  EXPECT_NE(eps2.plan.get(), first.plan.get());
+  EXPECT_EQ(engine->cache_stats().misses, 2u);
+}
+
+TEST(PrivacyEngineTest, EngineReportsModelAndMechanism) {
+  auto engine = PrivacyEngine::Create(ShortChainModel(100)).ValueOrDie();
+  EXPECT_EQ(engine->mechanism_kind(), MechanismKind::kMqmExact);
+  EXPECT_EQ(engine->num_states(), 2u);
+  EXPECT_EQ(engine->record_length(), 100u);
+  EXPECT_GE(engine->num_threads(), 1u);
+}
+
+TEST(PrivacyEngineTest, OverrideSelectsTheMechanism) {
+  EngineOptions options;
+  options.mechanism = MechanismKind::kMqmApprox;
+  auto engine =
+      PrivacyEngine::Create(ShortChainModel(100), options).ValueOrDie();
+  EXPECT_EQ(engine->mechanism_kind(), MechanismKind::kMqmApprox);
+  // MQMApprox is never less noisy than MQMExact on the same class.
+  auto exact_engine = PrivacyEngine::Create(ShortChainModel(100)).ValueOrDie();
+  const double approx_sigma =
+      engine->Compile(QuerySpec::Mean(1.0)).ValueOrDie().plan->sigma;
+  const double exact_sigma =
+      exact_engine->Compile(QuerySpec::Mean(1.0)).ValueOrDie().plan->sigma;
+  EXPECT_LE(exact_sigma, approx_sigma + 1e-9);
+}
+
+TEST(PrivacyEngineTest, CompiledQueryCacheIsBoundedWithThePlanCache) {
+  EngineOptions options;
+  options.cache_capacity = 2;
+  auto engine =
+      PrivacyEngine::Create(ModelSpec::Sensitivity(1.0), options).ValueOrDie();
+  (void)engine->Compile(QuerySpec::Sum(1.0)).ValueOrDie();
+  (void)engine->Compile(QuerySpec::Sum(2.0)).ValueOrDie();
+  (void)engine->Compile(QuerySpec::Sum(3.0)).ValueOrDie();  // Evicts eps=1.
+  EXPECT_EQ(engine->cache_stats().misses, 3u);
+  // eps=1 was evicted from both caches: recompiling re-analyzes instead of
+  // serving a pinned plan from an unbounded compiled-query map.
+  (void)engine->Compile(QuerySpec::Sum(1.0)).ValueOrDie();
+  EXPECT_EQ(engine->cache_stats().misses, 4u);
+  // eps=3 is still resident in the compiled-query cache (no new analysis).
+  (void)engine->Compile(QuerySpec::Sum(3.0)).ValueOrDie();
+  EXPECT_EQ(engine->cache_stats().misses, 4u);
+}
+
+TEST(PrivacyEngineTest, SensitivityModelServesSumOnly) {
+  auto engine =
+      PrivacyEngine::Create(ModelSpec::Sensitivity(1.0)).ValueOrDie();
+  EXPECT_TRUE(engine->Compile(QuerySpec::Sum(1.0)).ok());
+  EXPECT_EQ(engine->Compile(QuerySpec::FrequencyHistogram(1.0)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace pf

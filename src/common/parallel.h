@@ -24,6 +24,14 @@
 
 namespace pf {
 
+/// \brief num_threads knob resolution, shared library-wide: 0 means
+/// hardware concurrency (>= 1), anything else is taken literally.
+inline std::size_t ResolveThreadCount(std::size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
 /// \brief Fixed pool of worker threads executing indexed loops.
 ///
 /// One loop runs at a time (ParallelFor serializes itself). Each loop is an
@@ -32,10 +40,12 @@ namespace pf {
 /// a straggler from a finished job can never touch the next one.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (clamped to >= 1). A pool of size 1 runs
-  /// every loop inline on the calling thread — the serial baseline.
+  /// Spawns `num_threads` workers; 0 means hardware concurrency (the
+  /// convention every `num_threads` knob in the library follows). A pool of
+  /// size 1 runs every loop inline on the calling thread — the serial
+  /// baseline.
   explicit ThreadPool(std::size_t num_threads)
-      : num_threads_(num_threads == 0 ? 1 : num_threads) {
+      : num_threads_(ResolveThreadCount(num_threads)) {
     for (std::size_t t = 1; t < num_threads_; ++t) {
       workers_.emplace_back([this] { WorkerLoop(); });
     }
@@ -137,8 +147,8 @@ class ThreadPool {
 };
 
 /// \brief One-shot helper: runs fn(i) for i in [0, n) on `num_threads`
-/// threads (inline when num_threads <= 1). Deterministic under the same
-/// contract as ThreadPool::ParallelFor.
+/// threads (0 = hardware concurrency; inline when that resolves to 1).
+/// Deterministic under the same contract as ThreadPool::ParallelFor.
 inline void ParallelFor(std::size_t num_threads, std::size_t n,
                         const std::function<void(std::size_t)>& fn) {
   ThreadPool pool(num_threads);

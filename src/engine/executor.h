@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
+
 namespace pf {
 
 /// \brief Fixed pool of workers draining a FIFO task queue.
@@ -27,11 +29,12 @@ namespace pf {
 /// submitted task runs before shutdown, so futures never dangle.
 class Executor {
  public:
-  /// Remembers the pool size (clamped to >= 1); workers are spawned
-  /// lazily on the first Submit, so engines used only for synchronous
+  /// Remembers the pool size (0 = hardware concurrency, the library-wide
+  /// convention — see common/parallel.h); workers are spawned lazily on
+  /// the first Submit, so engines used only for synchronous
   /// Compile/Release never pay for idle threads.
   explicit Executor(std::size_t num_threads)
-      : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+      : num_threads_(ResolveThreadCount(num_threads)) {}
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/fingerprint.h"
+#include "common/parallel.h"
 #include "engine/session.h"
 
 namespace pf {
@@ -293,6 +294,19 @@ PrivacyEngine::PrivacyEngine(ModelSpec model, EngineOptions options,
       executor_(num_threads),
       session_seed_state_(RandomSeedBase()) {}
 
+Result<PrivacyEngine::AnalysisStats> PrivacyEngine::AnalyzeStats(
+    double epsilon) {
+  PF_ASSIGN_OR_RETURN(std::shared_ptr<const MechanismPlan> plan,
+                      cache_.GetOrAnalyze(*mechanism_, epsilon));
+  AnalysisStats stats;
+  stats.total_nodes = plan->chain.total_nodes;
+  stats.scored_nodes = plan->chain.scored_nodes;
+  stats.dedup_ratio = plan->chain.dedup_ratio();
+  stats.ladder_peak_bytes = plan->chain.ladder_peak_bytes;
+  stats.used_stationary_shortcut = plan->chain.used_stationary_shortcut;
+  return stats;
+}
+
 std::uint64_t PrivacyEngine::NextSessionSeed() {
   // The SplitMix64 generator over a random per-engine base: every call
   // yields a distinct, well-scrambled seed.
@@ -303,10 +317,7 @@ Result<std::unique_ptr<PrivacyEngine>> PrivacyEngine::Create(
     ModelSpec model, EngineOptions options) {
   PF_ASSIGN_OR_RETURN(const MechanismKind kind,
                       SelectMechanism(model, options));
-  std::size_t num_threads = options.num_threads;
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  const std::size_t num_threads = ResolveThreadCount(options.num_threads);
   PF_ASSIGN_OR_RETURN(std::unique_ptr<Mechanism> mechanism,
                       BuildMechanism(model, options, kind, num_threads));
   return std::unique_ptr<PrivacyEngine>(new PrivacyEngine(

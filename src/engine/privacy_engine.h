@@ -163,6 +163,31 @@ class PrivacyEngine {
   /// Plan-cache statistics (hits prove re-analysis was skipped).
   AnalysisCache::Stats cache_stats() const { return cache_.stats(); }
 
+  /// \brief Analysis-cost diagnostics of a plan: how much work the sigma
+  /// analysis did and what the power ladder held. MQMExact plans fill the
+  /// node and ladder numbers; MQMApprox (whose Lemma 4.9 analysis is
+  /// already length-independent) and the non-chain mechanisms report
+  /// zeros.
+  struct AnalysisStats {
+    /// Chain nodes the analysis covered (T per theta in the class).
+    std::size_t total_nodes = 0;
+    /// sigma_i evaluations actually performed (dedup classes).
+    std::size_t scored_nodes = 0;
+    /// total_nodes / scored_nodes: work saved by the marginal-dedup scan.
+    double dedup_ratio = 1.0;
+    /// Peak bytes resident in the streamed power ladder, maximization
+    /// tables, and dedup class store — O(k^2 * max(256, max_nearby)) and
+    /// length-independent in free-initial mode, rather than the
+    /// pre-optimization O(T * k^2).
+    std::size_t ladder_peak_bytes = 0;
+    /// True when the Section 4.4.1 stationary shortcut served the plan.
+    bool used_stationary_shortcut = false;
+  };
+
+  /// \brief Stats for the plan serving `epsilon`, analyzing (or hitting
+  /// the cache) exactly like Compile does.
+  Result<AnalysisStats> AnalyzeStats(double epsilon);
+
   /// \brief A seed for a session that did not pin one: distinct per call
   /// (sequence scrambled from a random per-engine base), so default
   /// sessions never share a noise stream — see SessionOptions::seed.

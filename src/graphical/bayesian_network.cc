@@ -85,7 +85,8 @@ Status BayesianNetwork::ForEachAssignment(
 
 Result<Vector> BayesianNetwork::ConditionalJoint(
     const std::vector<int>& targets,
-    const std::vector<std::pair<int, int>>& evidence) const {
+    const std::vector<std::pair<int, int>>& evidence,
+    std::size_t limit) const {
   std::size_t cells = 1;
   for (int t : targets) {
     if (t < 0 || static_cast<std::size_t>(t) >= nodes_.size()) {
@@ -101,18 +102,21 @@ Result<Vector> BayesianNetwork::ConditionalJoint(
   }
   Vector mass(cells, 0.0);
   double evidence_mass = 0.0;
-  PF_RETURN_NOT_OK(ForEachAssignment([&](const Assignment& a, double p) {
-    for (const auto& [var, val] : evidence) {
-      if (a[static_cast<std::size_t>(var)] != val) return;
-    }
-    evidence_mass += p;
-    std::size_t idx = 0;
-    for (int t : targets) {
-      idx = idx * static_cast<std::size_t>(nodes_[static_cast<std::size_t>(t)].arity) +
-            static_cast<std::size_t>(a[static_cast<std::size_t>(t)]);
-    }
-    mass[idx] += p;
-  }));
+  PF_RETURN_NOT_OK(ForEachAssignment(
+      [&](const Assignment& a, double p) {
+        for (const auto& [var, val] : evidence) {
+          if (a[static_cast<std::size_t>(var)] != val) return;
+        }
+        evidence_mass += p;
+        std::size_t idx = 0;
+        for (int t : targets) {
+          idx = idx * static_cast<std::size_t>(
+                          nodes_[static_cast<std::size_t>(t)].arity) +
+                static_cast<std::size_t>(a[static_cast<std::size_t>(t)]);
+        }
+        mass[idx] += p;
+      },
+      limit));
   if (evidence_mass <= 0.0) {
     return Status::FailedPrecondition("evidence has probability zero");
   }

@@ -64,10 +64,12 @@ class BayesianNetwork {
   /// \brief Conditional distribution of variable set `targets` given
   /// `evidence` (pairs of variable index and value). Returned as a flat mass
   /// vector over the mixed-radix product of target arities (first target
-  /// most significant). Fails if the evidence has probability 0.
+  /// most significant). Fails if the evidence has probability 0, or with
+  /// OutOfRange if the joint-assignment space exceeds `limit`.
   Result<Vector> ConditionalJoint(
       const std::vector<int>& targets,
-      const std::vector<std::pair<int, int>>& evidence) const;
+      const std::vector<std::pair<int, int>>& evidence,
+      std::size_t limit = 1u << 24) const;
 
   /// Marginal distribution of one variable.
   Result<Vector> Marginal(int variable) const;

@@ -84,6 +84,16 @@ Result<double> QuiltMaxInfluence(const std::vector<BayesianNetwork>& thetas,
                                  std::size_t enumeration_limit) {
   PF_RETURN_NOT_OK(CheckSameShape(thetas));
   if (quilt.quilt.empty()) return 0.0;  // Trivial quilt.
+  // The enumeration inference below walks the full joint-assignment space;
+  // honor the caller's guard before fanning out. CheckSameShape guarantees
+  // every theta shares node count and arities, so one check covers all.
+  if (!thetas.front().NumAssignments(enumeration_limit).ok()) {
+    return Status::InvalidArgument(
+        "joint-assignment space exceeds enumeration_limit (" +
+        std::to_string(enumeration_limit) +
+        "); raise MqmAnalyzeOptions::enumeration_limit or use the chain "
+        "specializations (MqmExact / MqmApprox)");
+  }
   const int i = quilt.target;
   double influence = 0.0;
   for (const BayesianNetwork& bn : thetas) {
@@ -93,7 +103,7 @@ Result<double> QuiltMaxInfluence(const std::vector<BayesianNetwork>& thetas,
     std::vector<bool> feasible;
     for (int a = 0; a < arity; ++a) {
       Result<Vector> c =
-          bn.ConditionalJoint(quilt.quilt, {{i, a}});
+          bn.ConditionalJoint(quilt.quilt, {{i, a}}, enumeration_limit);
       if (!c.ok()) {
         if (c.status().code() == StatusCode::kFailedPrecondition) {
           cond.emplace_back();
@@ -119,7 +129,6 @@ Result<double> QuiltMaxInfluence(const std::vector<BayesianNetwork>& thetas,
       }
     }
   }
-  (void)enumeration_limit;
   return influence;
 }
 

@@ -45,12 +45,15 @@ struct MqmAnalysis {
 struct MqmAnalyzeOptions {
   /// Largest separator size searched when quilts are auto-enumerated.
   std::size_t max_quilt_size = 2;
-  /// Guard on the joint-assignment space of the enumeration inference.
+  /// Guard on the joint-assignment space of the enumeration inference:
+  /// networks whose product of arities exceeds it fail the analysis with
+  /// InvalidArgument instead of enumerating.
   std::size_t enumeration_limit = 1u << 22;
-  /// Worker threads for the per-node sigma_i loop. Results are identical
-  /// for every value (each node computes independently; the sigma_max
-  /// reduction is sequential).
-  std::size_t num_threads = 1;
+  /// Worker threads for the per-node sigma_i loop; 0 = hardware
+  /// concurrency (the library-wide convention, see common/parallel.h).
+  /// Results are identical for every value (each node computes
+  /// independently; the sigma_max reduction is sequential).
+  std::size_t num_threads = 0;
 };
 
 /// \brief The Algorithm 2 quilt score: card(X_N) / (epsilon - influence)
@@ -63,7 +66,9 @@ double QuiltScoreFromInfluence(std::size_t nearby_count, double epsilon,
 /// networks (Definition 4.1): the largest log-ratio
 /// log P(X_Q = x_Q | X_i = a, theta) / P(X_Q = x_Q | X_i = b, theta)
 /// over values a, b with positive probability, quilt assignments x_Q, and
-/// theta in Theta. Returns +infinity when the supports differ.
+/// theta in Theta. Returns +infinity when the supports differ, and
+/// InvalidArgument when a network's joint-assignment space exceeds
+/// `enumeration_limit`.
 Result<double> QuiltMaxInfluence(const std::vector<BayesianNetwork>& thetas,
                                  const MarkovQuilt& quilt,
                                  std::size_t enumeration_limit = 1u << 22);

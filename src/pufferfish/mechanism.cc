@@ -188,13 +188,15 @@ ChainMqmOptions ToChainOptions(const ChainUnifiedOptions& options,
   chain.epsilon = epsilon;
   chain.max_nearby = options.max_nearby;
   chain.allow_stationary_shortcut = options.allow_stationary_shortcut;
+  chain.dedup_nodes = options.dedup_nodes;
   chain.num_threads = options.num_threads;
   return chain;
 }
 
 void AddChainOptions(pf::Fingerprint* fp, const ChainUnifiedOptions& options) {
-  // num_threads deliberately excluded: results are thread-count invariant,
-  // so plans from different pool sizes are interchangeable.
+  // num_threads and dedup_nodes deliberately excluded: results are
+  // invariant to both, so plans from different pool sizes or scan
+  // strategies are interchangeable.
   fp->Add(options.max_nearby).Add(options.allow_stationary_shortcut);
 }
 }  // namespace

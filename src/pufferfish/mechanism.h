@@ -228,7 +228,13 @@ class MqmGeneralUnified : public Mechanism {
 struct ChainUnifiedOptions {
   std::size_t max_nearby = 64;
   bool allow_stationary_shortcut = true;
-  std::size_t num_threads = 1;
+  /// Marginal-dedup node scan (see ChainMqmOptions::dedup_nodes);
+  /// bit-identical either way, so excluded from the plan fingerprint.
+  bool dedup_nodes = true;
+  /// Analysis worker threads; 0 = hardware concurrency (the library-wide
+  /// convention, see common/parallel.h). Plans are bit-identical for every
+  /// value, so this too is excluded from the plan fingerprint.
+  std::size_t num_threads = 0;
 };
 
 /// Algorithm 3 (exact chain max-influence) over an explicit chain class.

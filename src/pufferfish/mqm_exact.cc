@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <unordered_map>
+#include <utility>
 
+#include "common/fingerprint.h"
 #include "common/parallel.h"
 #include "pufferfish/framework.h"
 
@@ -13,69 +17,30 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Row-parallel matrix product out = lhs * rhs: each output row depends only
-// on one row of lhs, so rows fan out across the pool with bit-identical
-// results for any thread count.
-Matrix ParallelMultiply(const Matrix& lhs, const Matrix& rhs,
-                        ThreadPool* pool) {
-  Matrix out(lhs.rows(), rhs.cols(), 0.0);
-  const auto row_product = [&](std::size_t r) {
-    for (std::size_t inner = 0; inner < lhs.cols(); ++inner) {
-      const double l = lhs(r, inner);
-      if (l == 0.0) continue;
-      for (std::size_t c = 0; c < rhs.cols(); ++c) {
-        out(r, c) += l * rhs(inner, c);
-      }
-    }
-  };
-  // Fan out only when a row is worth a pool wake-up: small state spaces
-  // (e.g. the binary Figure 4 chains) run the whole multiply inline.
-  constexpr std::size_t kMinFlopsForPool = 1u << 15;
-  if (pool != nullptr && lhs.rows() > 1 &&
-      lhs.rows() * lhs.cols() * rhs.cols() >= kMinFlopsForPool) {
-    pool->ParallelFor(lhs.rows(), row_product);
-  } else {
-    for (std::size_t r = 0; r < lhs.rows(); ++r) row_product(r);
-  }
-  return out;
-}
-
 // Evaluates the Eq. (5) terms for one transition matrix. Two-phase use:
-// Prepare() builds every matrix power and per-distance maximization table
-// (optionally in parallel), after which all queries are read-only and safe
-// to issue from many threads at once. Supports two modes:
-//  - explicit initial distribution (marginals precomputed for every node);
-//  - free initial distribution (Appendix C.4): the marginal log-ratio terms
-//    become maxima over rows of matrix powers.
+// PrepareDistances() builds the matrix powers P^0..P^max_distance and the
+// per-distance maximization tables (optionally in parallel), after which
+// all queries are read-only and safe to issue from many threads at once.
+// Supports two modes:
+//  - explicit initial distribution: the caller streams the marginal vector
+//    of each node into ContextFromMarginal;
+//  - free initial distribution (Appendix C.4): the caller streams P^i into
+//    ContextFromPower, and the marginal log-ratio terms become maxima over
+//    matrix-power rows.
+//
+// Unlike the pre-optimization evaluator, nothing here scales with the
+// chain length T: the node-dependent inputs (marginals / powers) are
+// streamed in by the scan, so resident memory is O(max_distance * k^2).
 class ExactEvaluator {
  public:
-  // Explicit-q mode.
-  ExactEvaluator(const Matrix& transition, const Vector& initial,
-                 std::size_t length)
-      : p_(transition),
-        k_(transition.rows()),
-        length_(length),
-        free_initial_(false) {
-    powers_.push_back(Matrix::Identity(k_));
-    marginals_.reserve(length);
-    Vector m = initial;
-    marginals_.push_back(m);
-    for (std::size_t t = 1; t < length; ++t) {
-      m = p_.ApplyLeft(m);
-      marginals_.push_back(m);
-    }
-  }
-
-  // Free-initial (C.4) mode.
-  ExactEvaluator(const Matrix& transition, std::size_t length)
-      : p_(transition), k_(transition.rows()), length_(length),
-        free_initial_(true) {
+  ExactEvaluator(const Matrix& transition, bool free_initial)
+      : p_(transition), k_(transition.rows()), free_initial_(free_initial) {
     powers_.push_back(Matrix::Identity(k_));
   }
 
-  // Builds powers P^0..P^max_power and the left/right maximization tables
-  // for distances 1..max_distance. Must be called before any query; after
-  // it returns the evaluator is immutable and thread-safe.
+  // Builds powers P^0..P^max_distance and the left/right maximization
+  // tables for distances 1..max_distance. Must be called before any query;
+  // after it returns the evaluator is immutable and thread-safe.
   void Prepare(std::size_t max_distance, ThreadPool* pool) {
     std::vector<std::size_t> distances;
     distances.reserve(max_distance);
@@ -89,11 +54,8 @@ class ExactEvaluator {
                         ThreadPool* pool) {
     std::size_t max_distance = 0;
     for (std::size_t t : distances) max_distance = std::max(max_distance, t);
-    // Free-initial mode reads P^i for every node index in Term1/feasibility.
-    const std::size_t max_power =
-        free_initial_ ? std::max(length_ - 1, max_distance) : max_distance;
     // The power chain is sequential in n; each multiply is row-parallel.
-    while (powers_.size() <= max_power) {
+    while (powers_.size() <= max_distance) {
       powers_.push_back(ParallelMultiply(powers_.back(), p_, pool));
     }
     // Per-distance tables are independent once the powers exist.
@@ -114,19 +76,84 @@ class ExactEvaluator {
   }
 
   std::size_t max_distance() const { return max_distance_; }
+  std::size_t num_states() const { return k_; }
+  bool free_initial() const { return free_initial_; }
+  const Matrix& transition() const { return p_; }
+
+  // Doubles resident in the prepared powers and tables (ladder accounting).
+  std::size_t StoredDoubles() const {
+    std::size_t n = 0;
+    for (const Matrix& m : powers_) n += m.rows() * m.cols();
+    for (const Matrix& m : left_tables_) n += m.rows() * m.cols();
+    for (const Matrix& m : right_tables_) n += m.rows() * m.cols();
+    return n;
+  }
 
   // Per-node state reused across a node's whole quilt family: the Term1
-  // marginal table and the feasibility mask. Building it once per node (not
-  // per quilt) keeps the family scan at O(k^2) per quilt with no shared
-  // mutable cache, so concurrent node scans stay lock-free.
+  // marginal table and the feasibility mask. Building it once per scored
+  // node (not per quilt) keeps the family scan at O(k^2) per quilt with no
+  // shared mutable cache, so concurrent scans stay lock-free.
   struct NodeContext {
     std::size_t node = 0;
     Matrix term1;
     std::vector<char> feasible;
   };
 
-  NodeContext MakeNodeContext(std::size_t i) const {
-    return NodeContext{i, Term1(i), FeasibleStates(i)};
+  // Context for an explicit-initial node with marginal vector m = P(X_i).
+  NodeContext ContextFromMarginal(std::size_t i, const Vector& m) const {
+    NodeContext ctx;
+    ctx.node = i;
+    ctx.term1 = Matrix(k_, k_, 0.0);
+    for (std::size_t x = 0; x < k_; ++x) {
+      for (std::size_t xp = 0; xp < k_; ++xp) {
+        if (x == xp) continue;
+        if (m[x] > 0.0 && m[xp] > 0.0) {
+          ctx.term1(x, xp) = std::log(m[xp] / m[x]);
+        } else {
+          ctx.term1(x, xp) = -kInf;  // Pair filtered by feasibility anyway.
+        }
+      }
+    }
+    ctx.feasible.assign(k_, 0);
+    for (std::size_t x = 0; x < k_; ++x) ctx.feasible[x] = m[x] > 0.0 ? 1 : 0;
+    return ctx;
+  }
+
+  // Context for a free-initial node with power matrix pi = P^i: the sup
+  // over initial distributions of the marginal log-ratio term equals the
+  // max over rows z of log P^i(z, x') / P^i(z, x) (Appendix C.4), +inf on
+  // support mismatch; a state is feasible iff some row reaches it.
+  NodeContext ContextFromPower(std::size_t i, const Matrix& pi) const {
+    NodeContext ctx;
+    ctx.node = i;
+    ctx.term1 = Matrix(k_, k_, 0.0);
+    for (std::size_t x = 0; x < k_; ++x) {
+      for (std::size_t xp = 0; xp < k_; ++xp) {
+        if (x == xp) continue;
+        double best = -kInf;
+        for (std::size_t z = 0; z < k_; ++z) {
+          const double num = pi(z, xp);
+          const double den = pi(z, x);
+          if (num <= 0.0) continue;
+          if (den <= 0.0) {
+            best = kInf;
+            break;
+          }
+          best = std::max(best, std::log(num / den));
+        }
+        ctx.term1(x, xp) = best;
+      }
+    }
+    ctx.feasible.assign(k_, 0);
+    for (std::size_t x = 0; x < k_; ++x) {
+      for (std::size_t z = 0; z < k_; ++z) {
+        if (pi(z, x) > 0.0) {
+          ctx.feasible[x] = 1;
+          break;
+        }
+      }
+    }
+    return ctx;
   }
 
   // Max-influence of the two-sided quilt {X_{i-a}, X_{i+b}} at node i.
@@ -158,30 +185,6 @@ class ExactEvaluator {
 
  private:
   const Matrix& Pow(std::size_t n) const { return powers_[n]; }
-
-  // States x with P(X_i = x) > 0 (under any allowed initial distribution in
-  // free mode).
-  std::vector<char> FeasibleStates(std::size_t i) const {
-    std::vector<char> f(k_, 0);
-    if (free_initial_) {
-      if (i == 0) {
-        std::fill(f.begin(), f.end(), 1);
-        return f;
-      }
-      const Matrix& pi = Pow(i);
-      for (std::size_t x = 0; x < k_; ++x) {
-        for (std::size_t z = 0; z < k_; ++z) {
-          if (pi(z, x) > 0.0) {
-            f[x] = 1;
-            break;
-          }
-        }
-      }
-      return f;
-    }
-    for (std::size_t x = 0; x < k_; ++x) f[x] = marginals_[i][x] > 0.0 ? 1 : 0;
-    return f;
-  }
 
   // right(x, x') = max over y with P^b(x,y) > 0 of log P^b(x,y)/P^b(x',y);
   // +inf when the support of row x is not contained in the support of x'.
@@ -237,47 +240,6 @@ class ExactEvaluator {
     return table;
   }
 
-  // Marginal log-ratio term t1(x, x') = log P(X_i=x') / P(X_i=x); in free
-  // mode, sup over initial distributions = max over rows z of
-  // log P^i(z,x') / P^i(z,x) (Appendix C.4), +inf on support mismatch.
-  // Pure in the prepared powers; cached per node in NodeContext.
-  Matrix Term1(std::size_t i) const {
-    Matrix table(k_, k_, 0.0);
-    if (!free_initial_) {
-      const Vector& m = marginals_[i];
-      for (std::size_t x = 0; x < k_; ++x) {
-        for (std::size_t xp = 0; xp < k_; ++xp) {
-          if (x == xp) continue;
-          if (m[x] > 0.0 && m[xp] > 0.0) {
-            table(x, xp) = std::log(m[xp] / m[x]);
-          } else {
-            table(x, xp) = -kInf;  // Pair filtered by feasibility anyway.
-          }
-        }
-      }
-    } else {
-      const Matrix& pi = Pow(i);
-      for (std::size_t x = 0; x < k_; ++x) {
-        for (std::size_t xp = 0; xp < k_; ++xp) {
-          if (x == xp) continue;
-          double best = -kInf;
-          for (std::size_t z = 0; z < k_; ++z) {
-            const double num = pi(z, xp);
-            const double den = pi(z, x);
-            if (num <= 0.0) continue;
-            if (den <= 0.0) {
-              best = kInf;
-              break;
-            }
-            best = std::max(best, std::log(num / den));
-          }
-          table(x, xp) = best;
-        }
-      }
-    }
-    return table;
-  }
-
   // max over feasible ordered pairs (x, x') of t1 + right + left (either
   // table may be null when the quilt lacks that side).
   double MaxOverPairs(const NodeContext& ctx, const Matrix* right,
@@ -302,14 +264,90 @@ class ExactEvaluator {
 
   const Matrix& p_;
   const std::size_t k_;
-  const std::size_t length_;
   const bool free_initial_;
   std::size_t max_distance_ = 0;
   std::vector<Matrix> powers_;
-  std::vector<Vector> marginals_;
   // Indexed by distance; slot 0 unused.
   std::vector<Matrix> left_tables_;
   std::vector<Matrix> right_tables_;
+};
+
+// Streams the node-dependent input of the scan — the marginal vector
+// P(X_i) in explicit mode, the power P^i in free-initial mode — one node
+// at a time, with bitwise cycle detection: once one step leaves the value
+// unchanged (period 1, the generic ergodic case) or returns the value of
+// two steps ago (period 2, near-periodic chains whose values ulp-oscillate
+// around the limit), every later value is determined by induction on the
+// deterministic recurrence and the per-step work (an O(k^2) ApplyLeft or
+// an O(k^3) multiply) stops. The recurrences are the exact ones the
+// pre-optimization path used to materialize its O(T)-sized tables, so
+// streamed values are bit-identical to the stored ones.
+class NodeValueStream {
+ public:
+  // Explicit mode: marginal recurrence m_0 = initial, m_{t+1} = m_t P.
+  NodeValueStream(const Matrix& transition, const Vector& initial)
+      : p_(transition), marginal_(initial), free_initial_(false) {}
+
+  // Free-initial mode: power recurrence P^0 = I, P^{t+1} = P^t P.
+  NodeValueStream(const Matrix& transition, ThreadPool* pool)
+      : p_(transition),
+        power_(Matrix::Identity(transition.rows())),
+        free_initial_(true),
+        pool_(pool) {}
+
+  bool free_initial() const { return free_initial_; }
+  // 0 while the value is still changing; 1 once fixed; 2 on a two-cycle.
+  std::size_t period() const { return period_; }
+  const Vector& marginal() const { return marginal_; }
+  const Matrix& power() const { return power_; }
+
+  // Doubles resident in the streaming cursor (current + previous value).
+  std::size_t StoredDoubles() const {
+    return free_initial_
+               ? power_.rows() * power_.cols() +
+                     prev_power_.rows() * prev_power_.cols()
+               : marginal_.size() + prev_marginal_.size();
+  }
+
+  // Steps to the next node's value.
+  void Advance() {
+    if (period_ == 1) return;
+    if (period_ == 2) {
+      if (free_initial_) {
+        std::swap(power_, prev_power_);
+      } else {
+        std::swap(marginal_, prev_marginal_);
+      }
+      return;
+    }
+    if (free_initial_) {
+      Matrix next = ParallelMultiply(power_, p_, pool_);
+      if (next == power_) {
+        period_ = 1;
+        return;
+      }
+      if (next == prev_power_) period_ = 2;
+      prev_power_ = std::move(power_);
+      power_ = std::move(next);
+    } else {
+      Vector next = p_.ApplyLeft(marginal_);
+      if (next == marginal_) {
+        period_ = 1;
+        return;
+      }
+      if (next == prev_marginal_) period_ = 2;
+      prev_marginal_ = std::move(marginal_);
+      marginal_ = std::move(next);
+    }
+  }
+
+ private:
+  const Matrix& p_;
+  Vector marginal_, prev_marginal_;
+  Matrix power_, prev_power_;
+  bool free_initial_;
+  std::size_t period_ = 0;
+  ThreadPool* pool_ = nullptr;
 };
 
 // Largest endpoint distance any quilt in the Lemma 4.6 family (capped at
@@ -338,25 +376,92 @@ struct NodeScore {
 };
 
 // sigma_i = min over the Lemma 4.6 family (capped at max_nearby) of the
-// quilt score for node i. Read-only on the prepared evaluator.
-NodeScore ScoreNode(const ExactEvaluator& eval, std::size_t length, int node,
-                    double epsilon, std::size_t max_nearby) {
+// quilt score for node i, given the node's prepared context. Read-only on
+// the evaluator.
+//
+// Enumerates the family inline, in exactly ChainQuiltFamily's order and
+// with its skip rules (two-sided a asc then b asc, left-only, right-only,
+// trivial), but materializes only the winning quilt: the full family is
+// ~max_nearby^2/2 heap-backed quilt objects per scored node, which used to
+// dominate the scan's profile.
+NodeScore ScoreNode(const ExactEvaluator& eval, std::size_t length,
+                    const ExactEvaluator::NodeContext& ctx, double epsilon,
+                    std::size_t max_nearby) {
+  const int node = static_cast<int>(ctx.node);
+  const int n = static_cast<int>(length);
   NodeScore out;
   out.best.score = kInf;
-  const std::vector<MarkovQuilt> family =
-      ChainQuiltFamily(length, node, max_nearby);
-  const ExactEvaluator::NodeContext ctx =
-      eval.MakeNodeContext(static_cast<std::size_t>(node));
-  for (const MarkovQuilt& quilt : family) {
-    const double e = EvaluateQuilt(eval, ctx, quilt);
-    const double score = QuiltScoreFromInfluence(quilt.NearbyCount(), epsilon, e);
+  int best_a = 0, best_b = 0;  // (0, 0) encodes the trivial quilt.
+  bool have_best = false;
+  const auto consider = [&](int a, int b, std::size_t nearby_count,
+                            double influence) {
+    const double score =
+        QuiltScoreFromInfluence(nearby_count, epsilon, influence);
     if (score < out.best.score) {
-      out.best.quilt = quilt;
-      out.best.influence = e;
+      best_a = a;
+      best_b = b;
+      have_best = true;
+      out.best.influence = influence;
       out.best.score = score;
     }
+  };
+  // Two-sided quilts {X_{i-a}, X_{i+b}}: nearby count a + b - 1.
+  for (int a = 1; a <= node; ++a) {
+    if (static_cast<std::size_t>(a) > max_nearby) break;
+    for (int b = 1; node + b < n; ++b) {
+      if (static_cast<std::size_t>(a + b - 1) > max_nearby) break;
+      consider(a, b, static_cast<std::size_t>(a + b - 1),
+               eval.TwoSided(ctx, a, b));
+    }
   }
+  // Left-only quilts {X_{i-a}}: nearby count (n-1) - (i-a), strictly
+  // increasing in a, so the first overflow ends the loop (same quilt set
+  // and order as ChainQuiltFamily's skip).
+  for (int a = 1; a <= node; ++a) {
+    const std::size_t near_count = static_cast<std::size_t>(n - 1 - (node - a));
+    if (near_count > max_nearby) break;
+    consider(a, 0, near_count, eval.LeftOnly(ctx, a));
+  }
+  // Right-only quilts {X_{i+b}}: nearby count i + b.
+  for (int b = 1; node + b < n; ++b) {
+    const std::size_t near_count = static_cast<std::size_t>(node + b);
+    if (near_count > max_nearby) break;
+    consider(0, b, near_count, eval.RightOnly(ctx, b));
+  }
+  // The trivial quilt (always searched, as Theorem 4.3 requires).
+  consider(0, 0, length, 0.0);
+  out.best.quilt = have_best && (best_a > 0 || best_b > 0)
+                       ? ChainQuilt(length, node, best_a, best_b).ValueOrDie()
+                       : TrivialQuilt(node, length);
   return out;
+}
+
+// The node context for node i given the current stream value.
+ExactEvaluator::NodeContext ContextFromStream(const ExactEvaluator& eval,
+                                              const NodeValueStream& stream,
+                                              std::size_t i) {
+  return stream.free_initial() ? eval.ContextFromPower(i, stream.power())
+                               : eval.ContextFromMarginal(i, stream.marginal());
+}
+
+// Scores n nodes as one block, fanning out over the pool when present.
+// make_ctx(j) supplies the j-th node's context (by reference or value);
+// deterministic for any thread count (per-index slots, no shared state).
+template <typename MakeCtx>
+std::vector<NodeScore> ScoreBlock(const ExactEvaluator& eval,
+                                  std::size_t length, std::size_t n,
+                                  double epsilon, std::size_t max_nearby,
+                                  ThreadPool* pool, MakeCtx make_ctx) {
+  std::vector<NodeScore> scores(n);
+  const auto score_one = [&](std::size_t j) {
+    scores[j] = ScoreNode(eval, length, make_ctx(j), epsilon, max_nearby);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, score_one);
+  } else {
+    for (std::size_t j = 0; j < n; ++j) score_one(j);
+  }
+  return scores;
 }
 
 // True iff the quilt is two-sided with both endpoints strictly inside the
@@ -367,32 +472,293 @@ bool IsInteriorTwoSided(const MarkovQuilt& quilt, std::size_t length) {
          quilt.quilt.back() <= static_cast<int>(length) - 1;
 }
 
-// Scans every node (in parallel when a pool is supplied) and keeps the
-// worst sigma_i; the reduction runs sequentially over the per-node slots so
-// ties always resolve to the lowest node index.
-ChainMqmResult ScanAllNodes(const ExactEvaluator& eval, std::size_t length,
-                            const ChainMqmOptions& options, ThreadPool* pool) {
-  std::vector<NodeScore> scores(length);
-  const auto score_one = [&](std::size_t i) {
-    scores[i] = ScoreNode(eval, length, static_cast<int>(i), options.epsilon,
-                          options.max_nearby);
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(length, score_one);
+// Re-targets a scored quilt from its representative node to `node`. Valid
+// because nodes in one dedup class have identical quilt families up to
+// translation: the offsets (a, b) exist at `node` with the same
+// nearby_count (see the class-key invariant below).
+MarkovQuilt TranslateQuilt(const MarkovQuilt& quilt, int node,
+                           std::size_t length) {
+  if (quilt.IsTrivial()) return TrivialQuilt(node, length);
+  if (quilt.target == node) return quilt;
+  const auto [a, b] = ChainQuiltOffsets(quilt);
+  return ChainQuilt(length, node, a, b).ValueOrDie();
+}
+
+// One dedup class: nodes sharing (stream value, boundary-clip distances).
+//
+// Invariant (why members provably share sigma_i): ChainQuiltFamily(T, i,
+// ell) depends on i only through dl = min(i, ell) and dr = min(T-1-i,
+// ell) — two-sided quilts range over a <= dl, b <= min(dr, ell-a+1);
+// left-only quilts exist only when dr < ell (then their count dr + a is
+// exact in dr); right-only only when dl < ell (count dl + b) — and the
+// Eq. (5) terms depend on i only through the marginal (or P^i) and the
+// shared distance tables. Equal key ==> identical family (same offsets,
+// same order, same nearby counts) and identical influences ==> identical
+// sigma_i, argmin offsets, and influence, bit for bit.
+struct NodeClass {
+  std::size_t representative = 0;  // Lowest node index in the class.
+  std::size_t dl = 0, dr = 0;
+  Vector marginal;  // Explicit-mode value.
+  Matrix power;     // Free-initial-mode value.
+  NodeScore score;  // Filled by the scoring phase.
+};
+
+// Caps the class store so slowly-converging value streams cannot grow
+// memory past O(max(256, 4 * max_nearby) * k^2): overflow nodes are
+// scored in bounded blocks and folded into a running best-candidate, so
+// even the fully-degraded path holds O(block) transient state.
+std::size_t MaxClasses(std::size_t max_nearby) {
+  return std::max<std::size_t>(256, 4 * max_nearby);
+}
+
+constexpr std::uint32_t kNoClass = std::numeric_limits<std::uint32_t>::max();
+
+std::uint64_t ClassKeyHash(const NodeValueStream& stream, std::size_t dl,
+                           std::size_t dr) {
+  Fingerprint fp;
+  if (stream.free_initial()) {
+    fp.Add(stream.power());
   } else {
-    for (std::size_t i = 0; i < length; ++i) score_one(i);
+    fp.Add(stream.marginal());
   }
+  fp.Add(dl).Add(dr);
+  return fp.hash();
+}
+
+bool ClassMatches(const NodeClass& cls, const NodeValueStream& stream,
+                  std::size_t dl, std::size_t dr) {
+  if (cls.dl != dl || cls.dr != dr) return false;
+  return stream.free_initial() ? cls.power == stream.power()
+                               : cls.marginal == stream.marginal();
+}
+
+// The deduplicated scan. Phase 1 walks the chain once, streaming the
+// node value and assigning every node to a class (hash lookup verified by
+// exact value comparison); phase 2 scores one representative per class in
+// parallel; phase 3 reduces sequentially over nodes in index order —
+// bit-identical to the exhaustive scan, including worst-node tie-breaks
+// and the active quilt's absolute indices.
+ChainMqmResult ScanDedup(const ExactEvaluator& eval, NodeValueStream* stream,
+                         std::size_t length, const ChainMqmOptions& options,
+                         ThreadPool* pool) {
+  const std::size_t ell = options.max_nearby;
+  const std::size_t tail = length - 1;
+  const std::size_t max_classes = MaxClasses(ell);
+
+  std::vector<std::uint32_t> node_class(length, kNoClass);
+  std::vector<NodeClass> classes;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+  // Once the stream value cycles (period 1 or 2) and both clip distances
+  // are saturated, the key sequence repeats with the cycle until the right
+  // boundary region — reuse the classes of one period without hashing.
+  std::uint32_t steady_class[2] = {kNoClass, kNoClass};
+  std::size_t class_value_doubles = 0;
+
+  // Overflow nodes (class store at capacity) buffer their contexts and
+  // score in parallel blocks, so a pathological non-cycling stream
+  // degrades to the exhaustive scan's speed, not to a serial one. Scores
+  // are folded into one running candidate instead of an O(T) store:
+  // flushes happen in ascending node order with a strictly-greater
+  // update, so the fold keeps exactly the lowest overflow node attaining
+  // the overflow maximum — the same tie-break the exhaustive walk uses.
+  struct PendingNode {
+    std::size_t node;
+    ExactEvaluator::NodeContext ctx;
+  };
+  std::vector<PendingNode> pending;
+  const std::size_t pending_block = std::max<std::size_t>(
+      64, 4 * (pool != nullptr ? pool->num_threads() : 1));
+  std::size_t pending_peak_doubles = 0;
+  std::size_t overflow_count = 0;
+  double overflow_best_score = -kInf;
+  std::size_t overflow_best_node = 0;
+  NodeScore overflow_best;
+  const auto flush_pending = [&] {
+    if (pending.empty()) return;
+    std::size_t doubles = 0;
+    for (const PendingNode& p : pending) {
+      doubles += p.ctx.term1.rows() * p.ctx.term1.cols();
+    }
+    pending_peak_doubles = std::max(pending_peak_doubles, doubles);
+    std::vector<NodeScore> scores = ScoreBlock(
+        eval, length, pending.size(), options.epsilon, ell, pool,
+        [&](std::size_t j) -> const ExactEvaluator::NodeContext& {
+          return pending[j].ctx;
+        });
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      if (scores[j].best.score > overflow_best_score) {
+        overflow_best_score = scores[j].best.score;
+        overflow_best_node = pending[j].node;
+        overflow_best = std::move(scores[j]);
+      }
+    }
+    overflow_count += pending.size();
+    pending.clear();
+  };
+
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::size_t dl = std::min(i, ell);
+    const std::size_t dr = std::min(tail - i, ell);
+    const std::size_t period = stream->period();
+    const std::size_t phase = period == 2 ? (i & 1) : 0;
+    if (period != 0 && dl == ell && dr == ell &&
+        steady_class[phase] != kNoClass) {
+      node_class[i] = steady_class[phase];
+      stream->Advance();
+      continue;
+    }
+    const std::uint64_t h = ClassKeyHash(*stream, dl, dr);
+    std::uint32_t found = kNoClass;
+    // find() rather than operator[]: overflow nodes must not leave O(T)
+    // empty buckets behind in the degraded path.
+    const auto it = index.find(h);
+    if (it != index.end()) {
+      for (std::uint32_t id : it->second) {
+        if (ClassMatches(classes[id], *stream, dl, dr)) {
+          found = id;
+          break;
+        }
+      }
+    }
+    if (found == kNoClass) {
+      // Period-detected values always get a slot, even past the cap: a
+      // slow-mixing chain can exhaust the store with bit-distinct
+      // transients before the marginal fixes, and without a stored class
+      // the steady-state fast path could never engage — every remaining
+      // node would fall to overflow scoring. Post-period keys are bounded
+      // by O(max_nearby) (two phases x the clipped-distance combinations),
+      // so the memory bound is unchanged.
+      if (classes.size() < max_classes || stream->period() != 0) {
+        NodeClass cls;
+        cls.representative = i;
+        cls.dl = dl;
+        cls.dr = dr;
+        if (stream->free_initial()) {
+          cls.power = stream->power();
+        } else {
+          cls.marginal = stream->marginal();
+        }
+        class_value_doubles += cls.power.rows() * cls.power.cols() +
+                               cls.marginal.size();
+        found = static_cast<std::uint32_t>(classes.size());
+        classes.push_back(std::move(cls));
+        index[h].push_back(found);
+      } else {
+        // Class store full: buffer for blocked parallel scoring.
+        pending.push_back(
+            PendingNode{i, ContextFromStream(eval, *stream, i)});
+        if (pending.size() >= pending_block) flush_pending();
+      }
+    }
+    node_class[i] = found;
+    if (found != kNoClass && period != 0 && dl == ell && dr == ell) {
+      steady_class[phase] = found;
+    }
+    stream->Advance();
+  }
+  flush_pending();
+
+  // Score one representative per class; classes are independent (each
+  // worker builds its representative's context from the stored value).
+  std::vector<NodeScore> class_scores = ScoreBlock(
+      eval, length, classes.size(), options.epsilon, ell, pool,
+      [&](std::size_t c) {
+        const NodeClass& cls = classes[c];
+        return stream->free_initial()
+                   ? eval.ContextFromPower(cls.representative, cls.power)
+                   : eval.ContextFromMarginal(cls.representative,
+                                              cls.marginal);
+      });
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    classes[c].score = std::move(class_scores[c]);
+  }
+
+  // Reduce over classed nodes in index order (the lowest node attaining
+  // the maximum wins, exactly like the exhaustive walk), then merge the
+  // overflow candidate: on a score tie the lower node index prevails.
   ChainMqmResult result;
   result.sigma_max = -kInf;
+  bool have_classed = false;
   for (std::size_t i = 0; i < length; ++i) {
-    if (scores[i].best.score > result.sigma_max) {
-      result.sigma_max = scores[i].best.score;
+    if (node_class[i] == kNoClass) continue;
+    const NodeScore& s = classes[node_class[i]].score;
+    if (s.best.score > result.sigma_max) {
+      result.sigma_max = s.best.score;
       result.worst_node = static_cast<int>(i);
-      result.active_quilt = scores[i].best.quilt;
-      result.influence = scores[i].best.influence;
+      result.active_quilt =
+          TranslateQuilt(s.best.quilt, static_cast<int>(i), length);
+      result.influence = s.best.influence;
+      have_classed = true;
     }
   }
+  if (overflow_count > 0 &&
+      (!have_classed || overflow_best_score > result.sigma_max ||
+       (overflow_best_score == result.sigma_max &&
+        overflow_best_node < static_cast<std::size_t>(result.worst_node)))) {
+    result.sigma_max = overflow_best_score;
+    result.worst_node = static_cast<int>(overflow_best_node);
+    result.active_quilt = overflow_best.best.quilt;
+    result.influence = overflow_best.best.influence;
+  }
+  result.total_nodes = length;
+  result.scored_nodes = classes.size() + overflow_count;
+  result.ladder_peak_bytes =
+      sizeof(double) * (eval.StoredDoubles() + stream->StoredDoubles() +
+                        class_value_doubles + pending_peak_doubles);
   return result;
+}
+
+// The exhaustive reference scan (dedup_nodes = false): every node scored,
+// in streamed blocks of bounded memory. Kept for verification and the
+// long-chain benchmark's pre-optimization baseline.
+ChainMqmResult ScanExhaustive(const ExactEvaluator& eval,
+                              NodeValueStream* stream, std::size_t length,
+                              const ChainMqmOptions& options,
+                              ThreadPool* pool) {
+  const std::size_t threads = pool != nullptr ? pool->num_threads() : 1;
+  const std::size_t block = std::max<std::size_t>(64, 4 * threads);
+  std::vector<ExactEvaluator::NodeContext> contexts(
+      std::min(block, length));
+  ChainMqmResult result;
+  result.sigma_max = -kInf;
+  std::size_t peak_context_doubles = 0;
+  for (std::size_t start = 0; start < length; start += block) {
+    const std::size_t n = std::min(block, length - start);
+    std::size_t context_doubles = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      contexts[j] = ContextFromStream(eval, *stream, start + j);
+      context_doubles += contexts[j].term1.rows() * contexts[j].term1.cols();
+      stream->Advance();
+    }
+    peak_context_doubles = std::max(peak_context_doubles, context_doubles);
+    const std::vector<NodeScore> scores = ScoreBlock(
+        eval, length, n, options.epsilon, options.max_nearby, pool,
+        [&](std::size_t j) -> const ExactEvaluator::NodeContext& {
+          return contexts[j];
+        });
+    for (std::size_t j = 0; j < n; ++j) {
+      if (scores[j].best.score > result.sigma_max) {
+        result.sigma_max = scores[j].best.score;
+        result.worst_node = static_cast<int>(start + j);
+        result.active_quilt = scores[j].best.quilt;
+        result.influence = scores[j].best.influence;
+      }
+    }
+  }
+  result.total_nodes = length;
+  result.scored_nodes = length;
+  result.ladder_peak_bytes =
+      sizeof(double) *
+      (eval.StoredDoubles() + stream->StoredDoubles() + peak_context_doubles);
+  return result;
+}
+
+ChainMqmResult ScanAllNodes(const ExactEvaluator& eval,
+                            NodeValueStream* stream, std::size_t length,
+                            const ChainMqmOptions& options, ThreadPool* pool) {
+  return options.dedup_nodes
+             ? ScanDedup(eval, stream, length, options, pool)
+             : ScanExhaustive(eval, stream, length, options, pool);
 }
 
 Result<ChainMqmResult> AnalyzeOneTheta(const MarkovChain& theta,
@@ -412,24 +778,34 @@ Result<ChainMqmResult> AnalyzeOneTheta(const MarkovChain& theta,
       shortcut = true;
     }
   }
-  ExactEvaluator eval(theta.transition(), theta.initial(), length);
+  ExactEvaluator eval(theta.transition(), /*free_initial=*/false);
   eval.Prepare(FamilyMaxDistance(length, options.max_nearby), pool);
   if (shortcut) {
-    const int mid = static_cast<int>(length / 2);
+    const std::size_t mid = length / 2;
+    // The marginal at the middle node, by the same recurrence the full
+    // scan streams (bit-identical to the exhaustive path's value).
+    NodeValueStream stream(theta.transition(), theta.initial());
+    for (std::size_t t = 0; t < mid; ++t) stream.Advance();
     NodeScore mid_score =
-        ScoreNode(eval, length, mid, options.epsilon, options.max_nearby);
+        ScoreNode(eval, length, ContextFromStream(eval, stream, mid),
+                  options.epsilon, options.max_nearby);
     if (IsInteriorTwoSided(mid_score.best.quilt, length) ||
         mid_score.best.quilt.quilt.empty()) {
       result.sigma_max = mid_score.best.score;
-      result.worst_node = mid;
+      result.worst_node = static_cast<int>(mid);
       result.active_quilt = mid_score.best.quilt;
       result.influence = mid_score.best.influence;
       result.used_stationary_shortcut = true;
+      result.total_nodes = length;
+      result.scored_nodes = 1;
+      result.ladder_peak_bytes =
+          sizeof(double) * (eval.StoredDoubles() + stream.StoredDoubles());
       return result;
     }
     // One-sided optimum at the middle: fall through to the full scan.
   }
-  return ScanAllNodes(eval, length, options, pool);
+  NodeValueStream stream(theta.transition(), theta.initial());
+  return ScanAllNodes(eval, &stream, length, options, pool);
 }
 
 }  // namespace
@@ -451,7 +827,7 @@ Result<double> ChainQuiltInfluenceExact(const MarkovChain& theta,
       return Status::InvalidArgument("quilt must not contain its target");
     }
   }
-  ExactEvaluator eval(theta.transition(), theta.initial(), length);
+  ExactEvaluator eval(theta.transition(), /*free_initial=*/false);
   // One quilt only needs the tables at its own endpoint distances — not the
   // full sweep the analysis entry points prepare.
   const auto [a, b] = ChainQuiltOffsets(quilt);
@@ -459,8 +835,11 @@ Result<double> ChainQuiltInfluenceExact(const MarkovChain& theta,
   if (a > 0) distances.push_back(static_cast<std::size_t>(a));
   if (b > 0 && b != a) distances.push_back(static_cast<std::size_t>(b));
   eval.PrepareDistances(distances, nullptr);
+  NodeValueStream stream(theta.transition(), theta.initial());
+  for (int t = 0; t < quilt.target; ++t) stream.Advance();
   return EvaluateQuilt(
-      eval, eval.MakeNodeContext(static_cast<std::size_t>(quilt.target)),
+      eval,
+      ContextFromStream(eval, stream, static_cast<std::size_t>(quilt.target)),
       quilt);
 }
 
@@ -479,14 +858,21 @@ Result<ChainMqmResult> MqmExactAnalyze(const std::vector<MarkovChain>& thetas,
     }
   }
   ThreadPool pool(options.num_threads);
-  ThreadPool* pool_ptr = options.num_threads > 1 ? &pool : nullptr;
+  ThreadPool* pool_ptr = pool.num_threads() > 1 ? &pool : nullptr;
   ChainMqmResult worst;
   worst.sigma_max = -kInf;
+  std::size_t total_nodes = 0, scored_nodes = 0, ladder_peak = 0;
   for (const MarkovChain& theta : thetas) {
     PF_ASSIGN_OR_RETURN(ChainMqmResult r,
                         AnalyzeOneTheta(theta, length, options, pool_ptr));
+    total_nodes += r.total_nodes;
+    scored_nodes += r.scored_nodes;
+    ladder_peak = std::max(ladder_peak, r.ladder_peak_bytes);
     if (r.sigma_max > worst.sigma_max) worst = r;
   }
+  worst.total_nodes = total_nodes;
+  worst.scored_nodes = scored_nodes;
+  worst.ladder_peak_bytes = ladder_peak;
   return worst;
 }
 
@@ -497,19 +883,28 @@ Result<ChainMqmResult> MqmExactAnalyzeFreeInitial(
   if (transitions.empty()) return Status::InvalidArgument("empty class");
   if (length == 0) return Status::InvalidArgument("length must be positive");
   ThreadPool pool(options.num_threads);
-  ThreadPool* pool_ptr = options.num_threads > 1 ? &pool : nullptr;
+  ThreadPool* pool_ptr = pool.num_threads() > 1 ? &pool : nullptr;
   ChainMqmResult worst;
   worst.sigma_max = -kInf;
+  std::size_t total_nodes = 0, scored_nodes = 0, ladder_peak = 0;
   for (const Matrix& p : transitions) {
     if (p.rows() != p.cols() || p.rows() > 64 || !p.IsRowStochastic(1e-8)) {
       return Status::InvalidArgument(
           "transition matrices must be row-stochastic with <= 64 states");
     }
-    ExactEvaluator eval(p, length);
+    ExactEvaluator eval(p, /*free_initial=*/true);
     eval.Prepare(FamilyMaxDistance(length, options.max_nearby), pool_ptr);
-    const ChainMqmResult r = ScanAllNodes(eval, length, options, pool_ptr);
+    NodeValueStream stream(p, pool_ptr);
+    const ChainMqmResult r =
+        ScanAllNodes(eval, &stream, length, options, pool_ptr);
+    total_nodes += r.total_nodes;
+    scored_nodes += r.scored_nodes;
+    ladder_peak = std::max(ladder_peak, r.ladder_peak_bytes);
     if (r.sigma_max > worst.sigma_max) worst = r;
   }
+  worst.total_nodes = total_nodes;
+  worst.scored_nodes = scored_nodes;
+  worst.ladder_peak_bytes = ladder_peak;
   return worst;
 }
 

@@ -38,11 +38,22 @@ struct ChainMqmOptions {
   /// Permit the stationary-initial shortcut (used only when the initial
   /// distribution matches the stationary distribution within tolerance).
   bool allow_stationary_shortcut = true;
-  /// Worker threads for the per-node sigma_i scan and the matrix-power /
-  /// maximization-table precomputation. Results are bit-identical for every
-  /// value: tables are built up front, nodes score independently, and the
-  /// sigma_max reduction is sequential.
-  std::size_t num_threads = 1;
+  /// \brief Score one representative node per dedup class instead of every
+  /// node. Nodes are keyed by (their marginal vector — or P^i in
+  /// free-initial mode — and the boundary-clipped distances min(i, ell),
+  /// min(T-1-i, ell)); nodes with equal keys provably share sigma_i, the
+  /// active-quilt offsets, and the influence, so the O(T) node scan
+  /// collapses to O(marginal mixing time + ell) scored nodes. Class
+  /// membership is verified by exact value comparison (never by hash
+  /// alone), so results are bit-identical to the exhaustive scan. Off =
+  /// the exhaustive reference scan, kept for verification and benchmarks.
+  bool dedup_nodes = true;
+  /// Worker threads for the per-class sigma_i scan and the matrix-power /
+  /// maximization-table precomputation; 0 = hardware concurrency (the
+  /// library-wide convention, see common/parallel.h). Results are
+  /// bit-identical for every value: tables are built up front, classes
+  /// score independently, and the sigma_max reduction is sequential.
+  std::size_t num_threads = 0;
 };
 
 /// Outcome of a chain quilt search.
@@ -58,6 +69,28 @@ struct ChainMqmResult {
   double influence = 0.0;
   /// True if the stationary shortcut was used.
   bool used_stationary_shortcut = false;
+
+  // ---- Analysis-cost diagnostics (summed / maxed over Theta) ----
+  /// Chain nodes the analysis covered (T per theta in the class).
+  std::size_t total_nodes = 0;
+  /// sigma_i evaluations actually performed: one per dedup class (plus the
+  /// single middle node under the stationary shortcut).
+  std::size_t scored_nodes = 0;
+  /// Peak bytes resident in the streamed power ladder, the per-distance
+  /// maximization tables, and the dedup class store (max over Theta). In
+  /// free-initial mode this is O(k^2 * max(256, max_nearby)) — the class
+  /// store caps at max(256, 4 * max_nearby) entries — and in particular
+  /// length-independent, where the pre-optimization path materialized
+  /// O(T * k^2). (The scan's per-node class-index array, 4 bytes per
+  /// node, is not counted here.)
+  std::size_t ladder_peak_bytes = 0;
+  /// Work saved by the dedup scan: total_nodes / scored_nodes (1.0 when
+  /// every node was scored).
+  double dedup_ratio() const {
+    return scored_nodes == 0
+               ? 1.0
+               : static_cast<double>(total_nodes) / static_cast<double>(scored_nodes);
+  }
 };
 
 /// \brief Exact max-influence e_{theta}(X_Q | X_i) of a chain quilt

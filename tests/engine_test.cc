@@ -222,5 +222,35 @@ TEST(PrivacyEngineTest, SensitivityModelServesSumOnly) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST(PrivacyEngineTest, AnalyzeStatsSurfaceDedupAndLadder) {
+  EngineOptions options;
+  options.exact_max_nearby = 8;
+  options.allow_stationary_shortcut = false;
+  auto engine =
+      PrivacyEngine::Create(ShortChainModel(2000), options).ValueOrDie();
+  ASSERT_EQ(engine->mechanism_kind(), MechanismKind::kMqmExact);
+  const PrivacyEngine::AnalysisStats stats =
+      engine->AnalyzeStats(1.0).ValueOrDie();
+  EXPECT_EQ(stats.total_nodes, 2000u);
+  EXPECT_GT(stats.scored_nodes, 0u);
+  EXPECT_LT(stats.scored_nodes, stats.total_nodes);
+  EXPECT_GT(stats.dedup_ratio, 1.0);
+  EXPECT_GT(stats.ladder_peak_bytes, 0u);
+  // Served from the plan cache: a second call must not re-analyze.
+  const auto before = engine->cache_stats();
+  EXPECT_TRUE(engine->AnalyzeStats(1.0).ok());
+  EXPECT_EQ(engine->cache_stats().misses, before.misses);
+}
+
+TEST(PrivacyEngineTest, NonChainMechanismsReportZeroStats) {
+  auto engine =
+      PrivacyEngine::Create(ModelSpec::Sensitivity(1.0)).ValueOrDie();
+  const PrivacyEngine::AnalysisStats stats =
+      engine->AnalyzeStats(1.0).ValueOrDie();
+  EXPECT_EQ(stats.total_nodes, 0u);
+  EXPECT_EQ(stats.scored_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.dedup_ratio, 1.0);
+}
+
 }  // namespace
 }  // namespace pf

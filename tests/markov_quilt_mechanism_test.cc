@@ -129,6 +129,32 @@ TEST(MarkovQuiltMechanismTest, ReleaseHelpers) {
   EXPECT_DOUBLE_EQ(noisy[0], 1.0);  // sigma = 0: no noise.
 }
 
+TEST(MarkovQuiltMechanismTest, EnumerationLimitEnforced) {
+  // A 12-node binary chain has 4096 joint assignments: a limit below that
+  // must fail the influence computation (and the full analysis) with
+  // InvalidArgument instead of silently enumerating past the guard.
+  const BayesianNetwork bn =
+      Chain({0.5, 0.5}, Matrix{{0.9, 0.1}, {0.4, 0.6}}, 12);
+  const MoralGraph g(bn);
+  const MarkovQuilt quilt = QuiltFromSeparator(g, 5, {3, 7});
+  const Result<double> blocked = QuiltMaxInfluence({bn}, quilt, 1000);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kInvalidArgument);
+  // A limit that admits the space computes normally.
+  EXPECT_TRUE(QuiltMaxInfluence({bn}, quilt, 4096).ok());
+  // The trivial quilt never enumerates, so it passes under any limit.
+  EXPECT_DOUBLE_EQ(
+      QuiltMaxInfluence({bn}, TrivialQuilt(5, 12), 1).ValueOrDie(), 0.0);
+  MqmAnalyzeOptions options;
+  options.enumeration_limit = 1000;
+  const Result<MqmAnalysis> analysis =
+      AnalyzeMarkovQuiltMechanism({bn}, 1.0, options);
+  ASSERT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.status().code(), StatusCode::kInvalidArgument);
+  options.enumeration_limit = 1u << 14;
+  EXPECT_TRUE(AnalyzeMarkovQuiltMechanism({bn}, 1.0, options).ok());
+}
+
 TEST(MarkovQuiltMechanismTest, RejectsMismatchedThetas) {
   const BayesianNetwork a = Chain({0.5, 0.5}, Matrix{{0.9, 0.1}, {0.4, 0.6}}, 3);
   const BayesianNetwork b = Chain({0.5, 0.5}, Matrix{{0.9, 0.1}, {0.4, 0.6}}, 4);

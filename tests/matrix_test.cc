@@ -4,8 +4,22 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+#include "common/random.h"
+
 namespace pf {
 namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng* rng,
+                    double zero_fraction = 0.0) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng->Uniform() < zero_fraction ? 0.0 : rng->Uniform(-2.0, 2.0);
+    }
+  }
+  return m;
+}
 
 TEST(MatrixTest, ConstructionAndAccess) {
   Matrix m{{1.0, 2.0}, {3.0, 4.0}};
@@ -151,6 +165,61 @@ TEST(VectorOpsTest, ProbabilityVectorCheck) {
   EXPECT_TRUE(IsProbabilityVector({0.25, 0.75}));
   EXPECT_FALSE(IsProbabilityVector({0.5, 0.4}));
   EXPECT_FALSE(IsProbabilityVector({1.2, -0.2}));
+}
+
+// ----------------------------------------------------- blocked multiply --
+
+TEST(BlockedMultiplyTest, MatchesNaiveOnRandomSquare) {
+  Rng rng(7);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 8u, 17u, 64u, 100u}) {
+    const Matrix a = RandomMatrix(n, n, &rng);
+    const Matrix b = RandomMatrix(n, n, &rng);
+    EXPECT_EQ(MultiplyBlocked(a, b), MultiplyNaive(a, b)) << "n=" << n;
+  }
+}
+
+TEST(BlockedMultiplyTest, MatchesNaiveOnNonSquare) {
+  Rng rng(11);
+  const std::size_t shapes[][3] = {
+      {1, 7, 3}, {7, 1, 5}, {5, 13, 1}, {3, 9, 31}, {61, 4, 18}, {2, 600, 6}};
+  for (const auto& s : shapes) {
+    const Matrix a = RandomMatrix(s[0], s[1], &rng);
+    const Matrix b = RandomMatrix(s[1], s[2], &rng);
+    const Matrix blocked = MultiplyBlocked(a, b);
+    EXPECT_EQ(blocked.rows(), s[0]);
+    EXPECT_EQ(blocked.cols(), s[2]);
+    EXPECT_EQ(blocked, MultiplyNaive(a, b));
+  }
+}
+
+TEST(BlockedMultiplyTest, MatchesNaiveOnZeroHeavy) {
+  Rng rng(13);
+  for (double zero_fraction : {0.5, 0.9, 1.0}) {
+    const Matrix a = RandomMatrix(23, 31, &rng, zero_fraction);
+    const Matrix b = RandomMatrix(31, 19, &rng, zero_fraction);
+    EXPECT_EQ(MultiplyBlocked(a, b), MultiplyNaive(a, b))
+        << "zero_fraction=" << zero_fraction;
+  }
+}
+
+TEST(BlockedMultiplyTest, OperatorStarUsesSameKernel) {
+  Rng rng(17);
+  const Matrix a = RandomMatrix(12, 20, &rng, 0.3);
+  const Matrix b = RandomMatrix(20, 9, &rng, 0.3);
+  EXPECT_EQ(a * b, MultiplyBlocked(a, b));
+}
+
+TEST(ParallelMultiplyTest, ThreadCountInvariant) {
+  Rng rng(19);
+  // Big enough to clear the pool fan-out threshold (rows * k^2 >= 2^15).
+  const Matrix a = RandomMatrix(40, 40, &rng, 0.2);
+  const Matrix b = RandomMatrix(40, 40, &rng, 0.2);
+  const Matrix serial = ParallelMultiply(a, b, nullptr);
+  EXPECT_EQ(serial, MultiplyNaive(a, b));
+  for (std::size_t threads : {1u, 2u, 5u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(ParallelMultiply(a, b, &pool), serial) << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -167,6 +167,148 @@ TEST(MqmExactTest, DeterministicChainHasInfiniteInfluenceQuilts) {
   EXPECT_LE(r.sigma_max, 50.0 / 0.1 + 1e-9);
 }
 
+// ------------------------------------------------- marginal-dedup scan --
+//
+// The dedup fast path must be BIT-identical to the exhaustive scan —
+// sigma_max, worst node, active quilt, and influence — since the two are
+// interchangeable under one plan fingerprint.
+
+void ExpectBitIdentical(const ChainMqmResult& dedup,
+                        const ChainMqmResult& exhaustive) {
+  EXPECT_EQ(dedup.sigma_max, exhaustive.sigma_max);
+  EXPECT_EQ(dedup.worst_node, exhaustive.worst_node);
+  EXPECT_EQ(dedup.influence, exhaustive.influence);
+  EXPECT_EQ(dedup.active_quilt.target, exhaustive.active_quilt.target);
+  EXPECT_EQ(dedup.active_quilt.quilt, exhaustive.active_quilt.quilt);
+  EXPECT_EQ(dedup.active_quilt.nearby_count,
+            exhaustive.active_quilt.nearby_count);
+  EXPECT_EQ(dedup.used_stationary_shortcut,
+            exhaustive.used_stationary_shortcut);
+}
+
+TEST(MqmExactDedupTest, BitIdenticalAcrossInitialDistributions) {
+  const Matrix p{{0.9, 0.1}, {0.4, 0.6}};
+  // Stationary (the shortcut's home turf), a point mass, and a generic
+  // non-stationary initial — with the shortcut both allowed and disabled.
+  const Vector stationary =
+      MarkovChain::Make({0.5, 0.5}, p).ValueOrDie().StationaryDistribution()
+          .ValueOrDie();
+  for (const Vector& q :
+       {stationary, Vector{1.0, 0.0}, Vector{0.3, 0.7}}) {
+    const MarkovChain chain = MarkovChain::Make(q, p).ValueOrDie();
+    for (bool shortcut : {true, false}) {
+      ChainMqmOptions options;
+      options.epsilon = 1.0;
+      options.max_nearby = 12;
+      options.allow_stationary_shortcut = shortcut;
+      options.num_threads = 1;
+      ChainMqmOptions exhaustive = options;
+      exhaustive.dedup_nodes = false;
+      const ChainMqmResult rd =
+          MqmExactAnalyze({chain}, 150, options).ValueOrDie();
+      const ChainMqmResult re =
+          MqmExactAnalyze({chain}, 150, exhaustive).ValueOrDie();
+      ExpectBitIdentical(rd, re);
+    }
+  }
+}
+
+TEST(MqmExactDedupTest, BitIdenticalOnThreeStateChainAndThreads) {
+  // Non-reversible 3-state chain, delta initial; also cross-check that the
+  // dedup result is thread-count invariant.
+  const Matrix p{{0.7, 0.2, 0.1}, {0.1, 0.6, 0.3}, {0.3, 0.1, 0.6}};
+  const MarkovChain chain = MarkovChain::Make({0.0, 1.0, 0.0}, p).ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 0.8;
+  options.max_nearby = 9;
+  options.num_threads = 1;
+  ChainMqmOptions exhaustive = options;
+  exhaustive.dedup_nodes = false;
+  const ChainMqmResult rd = MqmExactAnalyze({chain}, 90, options).ValueOrDie();
+  const ChainMqmResult re =
+      MqmExactAnalyze({chain}, 90, exhaustive).ValueOrDie();
+  ExpectBitIdentical(rd, re);
+  options.num_threads = 8;
+  ExpectBitIdentical(MqmExactAnalyze({chain}, 90, options).ValueOrDie(), re);
+}
+
+TEST(MqmExactDedupTest, FreeInitialBitIdentical) {
+  const Matrix p{{0.85, 0.15}, {0.25, 0.75}};
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 10;
+  options.num_threads = 1;
+  ChainMqmOptions exhaustive = options;
+  exhaustive.dedup_nodes = false;
+  const ChainMqmResult rd =
+      MqmExactAnalyzeFreeInitial({p}, 80, options).ValueOrDie();
+  const ChainMqmResult re =
+      MqmExactAnalyzeFreeInitial({p}, 80, exhaustive).ValueOrDie();
+  ExpectBitIdentical(rd, re);
+}
+
+TEST(MqmExactDedupTest, BitIdenticalWhenClassStoreOverflows) {
+  // A slow-mixing chain produces more bit-distinct transient marginals
+  // than the class store holds (cap >= 256), forcing the blocked-overflow
+  // scoring and the folded reduction — which must still be bit-identical
+  // to the exhaustive scan.
+  const MarkovChain chain =
+      MarkovChain::Make({1.0, 0.0}, Matrix{{0.99, 0.01}, {0.03, 0.97}})
+          .ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 4;
+  options.allow_stationary_shortcut = false;
+  options.num_threads = 1;
+  ChainMqmOptions exhaustive = options;
+  exhaustive.dedup_nodes = false;
+  const ChainMqmResult rd =
+      MqmExactAnalyze({chain}, 1500, options).ValueOrDie();
+  const ChainMqmResult re =
+      MqmExactAnalyze({chain}, 1500, exhaustive).ValueOrDie();
+  // The transient really must exceed the class-store cap for this test to
+  // exercise the overflow path.
+  EXPECT_GT(rd.scored_nodes, 256u);
+  ExpectBitIdentical(rd, re);
+  options.num_threads = 4;
+  ExpectBitIdentical(MqmExactAnalyze({chain}, 1500, options).ValueOrDie(), re);
+}
+
+TEST(MqmExactDedupTest, StatsReportCollapsedScan) {
+  // On a long mixing chain almost all interior nodes share one class, so
+  // the scan must score far fewer nodes than it covers.
+  const MarkovChain chain =
+      MarkovChain::Make({1.0, 0.0}, Matrix{{0.9, 0.1}, {0.4, 0.6}})
+          .ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 8;
+  options.allow_stationary_shortcut = false;
+  const ChainMqmResult r = MqmExactAnalyze({chain}, 5000, options).ValueOrDie();
+  EXPECT_EQ(r.total_nodes, 5000u);
+  EXPECT_GT(r.scored_nodes, 0u);
+  EXPECT_LT(r.scored_nodes, 500u);  // Mixing time + boundary classes only.
+  EXPECT_GT(r.dedup_ratio(), 10.0);
+  EXPECT_GT(r.ladder_peak_bytes, 0u);
+}
+
+TEST(MqmExactDedupTest, FreeInitialLadderMemoryIsLengthIndependent) {
+  // The streamed power ladder must hold O(k^2 * max_nearby) doubles no
+  // matter how long the chain is: growing T by 50x may not grow memory.
+  const Matrix p{{0.85, 0.15}, {0.25, 0.75}};
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 8;
+  const std::size_t short_bytes =
+      MqmExactAnalyzeFreeInitial({p}, 2000, options).ValueOrDie()
+          .ladder_peak_bytes;
+  const std::size_t long_bytes =
+      MqmExactAnalyzeFreeInitial({p}, 20000, options).ValueOrDie()
+          .ladder_peak_bytes;
+  EXPECT_GT(short_bytes, 0u);
+  EXPECT_EQ(short_bytes, long_bytes);
+}
+
 TEST(MqmExactTest, ValidatesInputs) {
   ChainMqmOptions options;
   options.epsilon = -1.0;

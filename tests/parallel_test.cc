@@ -37,6 +37,15 @@ TEST(ThreadPoolTest, ReusableAcrossLoops) {
   }
 }
 
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  // The library-wide num_threads convention: 0 resolves to the hardware
+  // thread count (>= 1), never to a serial pool by accident.
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.num_threads(), ResolveThreadCount(0));
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+}
+
 TEST(ThreadPoolTest, SingleThreadRunsInline) {
   ThreadPool pool(1);
   EXPECT_EQ(pool.num_threads(), 1u);

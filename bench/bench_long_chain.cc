@@ -127,6 +127,53 @@ BENCHMARK(BM_LongChain_FreeInitial)
     ->ArgsProduct({{1000, 10000, 100000}, {2, 8, 32}})
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------ streaming / appends --
+//
+// The continual-release workload: a chain that grows by delta observations
+// per serving tick. BM_Streaming_Append measures the steady-state cost of
+// ChainMqmAnalysis::ExtendTo (the retained analysis re-keys O(max_nearby)
+// boundary nodes and streams the delta appended ones); BM_Streaming_Cold
+// is the pre-PR behavior — throw the analysis away and re-run the full
+// dedup scan — and the baseline the ISSUE's >= 10x criterion compares
+// against (Append/<T>/<delta<=100> vs Cold/<T>). Fixed iteration counts
+// keep the growing T near its nominal value across the run.
+
+constexpr std::size_t kStreamK = 8;
+
+void BM_Streaming_Append(benchmark::State& state) {
+  const std::size_t base = static_cast<std::size_t>(state.range(0));
+  const std::size_t delta = static_cast<std::size_t>(state.range(1));
+  const MarkovChain chain = DeltaChain(kStreamK);
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({chain}, base, Options(true)).ValueOrDie();
+  std::size_t t = base;
+  for (auto _ : state) {
+    t += delta;
+    if (!analysis.ExtendTo(t).ok()) state.SkipWithError("ExtendTo failed");
+    benchmark::DoNotOptimize(analysis.result().sigma_max);
+  }
+  state.counters["final_T"] = static_cast<double>(t);
+  ReportChainCounters(state, analysis.result());
+}
+BENCHMARK(BM_Streaming_Append)
+    ->ArgsProduct({{10000, 100000}, {1, 100, 10000}})
+    ->Iterations(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Streaming_Cold(benchmark::State& state) {
+  const std::size_t length = static_cast<std::size_t>(state.range(0));
+  const MarkovChain chain = DeltaChain(kStreamK);
+  ChainMqmResult last;
+  for (auto _ : state) {
+    last = MqmExactAnalyze({chain}, length, Options(true)).ValueOrDie();
+    benchmark::DoNotOptimize(last.sigma_max);
+  }
+  ReportChainCounters(state, last);
+}
+BENCHMARK(BM_Streaming_Cold)
+    ->ArgsProduct({{10000, 100000}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace pf
 

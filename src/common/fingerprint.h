@@ -21,6 +21,20 @@ inline std::uint64_t DoubleBits(double v) {
   return bits;
 }
 
+/// \brief Domain-separation tag for PREFIX fingerprints: hashes of a model
+/// with its record-length dimension removed (Mechanism::PrefixFingerprint).
+/// Folding the tag guarantees a prefix fingerprint never collides with the
+/// full fingerprint of the same model by construction — the two key
+/// different cache namespaces (plans vs resumable analyses).
+inline constexpr std::uint64_t kPrefixTag = 0x5741505045454E44u;  // "append"
+
+/// \brief Maps the one reserved value (0 = "no prefix fingerprint" in
+/// Mechanism::PrefixFingerprint) away so a real hash can never be mistaken
+/// for the sentinel. Deterministic: equal inputs stay equal.
+inline std::uint64_t EnsureNonZeroFingerprint(std::uint64_t h) {
+  return h == 0 ? kPrefixTag : h;
+}
+
 /// \brief One SplitMix64 scramble step: a cheap, well-distributed 64-bit
 /// mix shared by the cache key hash and the per-session/per-ticket seed
 /// derivations (keep the constants in one place).

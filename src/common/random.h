@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/status.h"
 
 namespace pf {
 
@@ -30,8 +31,17 @@ class Rng {
   /// (Algorithms 1-4 all end with "return F(D) + Lap(sigma) noise").
   double Laplace(double scale);
 
-  /// Index drawn from a categorical distribution given by `probs`
+  /// \brief Index drawn from a categorical distribution given by `probs`
   /// (need not be exactly normalized; sampled proportionally).
+  ///
+  /// Degenerate weight vectors — empty, containing a negative or
+  /// non-finite entry, or summing to zero — are rejected: TryCategorical
+  /// returns InvalidArgument, and Categorical (the assert-like convenience
+  /// used by the samplers, whose inputs are validated distributions)
+  /// aborts with a message. The pre-fix behavior silently returned index 0
+  /// for an all-zero vector and the last index for a NaN-poisoned one,
+  /// which turned modeling bugs into quietly skewed samples.
+  Result<std::size_t> TryCategorical(const Vector& probs);
   std::size_t Categorical(const Vector& probs);
 
   /// A point drawn uniformly from the probability simplex of dimension k
@@ -48,6 +58,16 @@ class Rng {
 /// Expected absolute value of Laplace(0, b) noise, i.e. b.
 /// Provided for readability when predicting L1 errors in tests/benches.
 inline double LaplaceExpectedAbs(double scale) { return scale; }
+
+/// \brief Inverse-CDF map from a uniform draw u in [0, 1) to
+/// Laplace(0, scale). Finite for EVERY input: the boundary region
+/// (u so close to 0 that 1 - 2|u - 1/2| underflows to 0, where the naive
+/// formula returns -infinity) is clamped to the distribution's finite
+/// extreme. Rng::Laplace additionally redraws the exact boundary u = 0, so
+/// generator streams never even reach the clamp. Exposed so the boundary
+/// behavior is testable without steering the generator onto the
+/// measure-zero draw.
+double LaplaceInverseCdf(double u, double scale);
 
 /// \brief value + Lap(scale): the release primitive shared by every
 /// mechanism in the library (Algorithms 1-4 all end with this line).

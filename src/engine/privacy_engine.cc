@@ -294,10 +294,71 @@ PrivacyEngine::PrivacyEngine(ModelSpec model, EngineOptions options,
       executor_(num_threads),
       session_seed_state_(RandomSeedBase()) {}
 
+MechanismKind PrivacyEngine::mechanism_kind() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return mechanism_->kind();
+}
+
+std::shared_ptr<const Mechanism> PrivacyEngine::mechanism() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return mechanism_;
+}
+
+std::size_t PrivacyEngine::record_length() const {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return model_.length;
+}
+
+Status PrivacyEngine::AppendObservations(std::size_t delta) {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return SetRecordLengthLocked(model_.length + delta);
+}
+
+Status PrivacyEngine::SetRecordLength(std::size_t new_length) {
+  std::lock_guard<std::mutex> lock(model_mutex_);
+  return SetRecordLengthLocked(new_length);
+}
+
+Status PrivacyEngine::SetRecordLengthLocked(std::size_t new_length) {
+  switch (model_.kind) {
+    case ModelSpec::Kind::kChainClass:
+    case ModelSpec::Kind::kChainClassFreeInitial:
+    case ModelSpec::Kind::kChainSummary:
+      break;
+    default:
+      return Status::NotSupported(
+          std::string("model kind ") + model_.KindName() +
+          " has no record-length dimension to hot-swap");
+  }
+  if (new_length == 0) {
+    return Status::InvalidArgument("record length must be positive");
+  }
+  if (new_length == model_.length) return Status::OK();
+  ModelSpec updated = model_;
+  updated.length = new_length;
+  PF_ASSIGN_OR_RETURN(const MechanismKind kind,
+                      SelectMechanism(updated, options_));
+  PF_ASSIGN_OR_RETURN(
+      std::unique_ptr<Mechanism> mechanism,
+      BuildMechanism(updated, options_, kind, executor_.num_threads()));
+  model_ = std::move(updated);
+  mechanism_ = std::move(mechanism);
+  // Bump the generation BEFORE clearing so a Compile racing this swap can
+  // never re-insert an entry compiled against the old length.
+  model_generation_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> compiled_lock(compiled_mutex_);
+    compiled_.clear();
+    compiled_order_.clear();
+  }
+  return Status::OK();
+}
+
 Result<PrivacyEngine::AnalysisStats> PrivacyEngine::AnalyzeStats(
     double epsilon) {
+  std::shared_ptr<const Mechanism> mechanism = this->mechanism();
   PF_ASSIGN_OR_RETURN(std::shared_ptr<const MechanismPlan> plan,
-                      cache_.GetOrAnalyze(*mechanism_, epsilon));
+                      cache_.GetOrExtend(*mechanism, epsilon));
   AnalysisStats stats;
   stats.total_nodes = plan->chain.total_nodes;
   stats.scored_nodes = plan->chain.scored_nodes;
@@ -326,7 +387,42 @@ Result<std::unique_ptr<PrivacyEngine>> PrivacyEngine::Create(
 
 Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
     const QuerySpec& spec) {
-  const std::string key = spec.CacheKey();
+  return Compile(spec, /*window_length=*/0);
+}
+
+Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
+    const QuerySpec& spec, std::size_t window_length) {
+  // Snapshot the mutable model state once; the compiled entry is tagged
+  // with the generation so a hot-swap racing this compile can never be
+  // served a stale (wrong-length) entry later.
+  std::shared_ptr<const Mechanism> mechanism;
+  std::size_t model_length = 0;
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    mechanism = mechanism_;
+    model_length = model_.length;
+    generation = model_generation_.load(std::memory_order_relaxed);
+  }
+  if (window_length > model_length) {
+    return Status::InvalidArgument(
+        "window of " + std::to_string(window_length) +
+        " observations exceeds the record length " +
+        std::to_string(model_length));
+  }
+  // A full-record window IS the full-record query: normalize so it hits
+  // the existing cache entry instead of compiling a duplicate.
+  if (window_length == model_length) window_length = 0;
+  const std::size_t compile_length =
+      window_length == 0 ? model_length : window_length;
+  // The window term is PREFIXED: CacheKey() ends with the free-form
+  // custom-query name, so a window suffix could collide with a full-record
+  // query whose name ends in "@wN". Keys always start with the fixed kind
+  // name, never '@', so the prefixed form is unambiguous.
+  const std::string key =
+      window_length == 0
+          ? spec.CacheKey()
+          : "@w" + std::to_string(window_length) + "/" + spec.CacheKey();
   {
     std::lock_guard<std::mutex> lock(compiled_mutex_);
     auto it = compiled_.find(key);
@@ -334,11 +430,16 @@ Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
   }
   PF_ASSIGN_OR_RETURN(
       VectorQuery query,
-      CompileQuerySpec(spec, model_.num_states, model_.length));
+      CompileQuerySpec(spec, model_.num_states, compile_length));
   PF_ASSIGN_OR_RETURN(std::shared_ptr<const MechanismPlan> plan,
-                      cache_.GetOrAnalyze(*mechanism_, spec.epsilon));
+                      cache_.GetOrExtend(*mechanism, spec.epsilon));
   CompiledQuery compiled{std::move(query), std::move(plan)};
   std::lock_guard<std::mutex> lock(compiled_mutex_);
+  if (model_generation_.load(std::memory_order_acquire) != generation) {
+    // The model was hot-swapped while we compiled: serve the (still
+    // self-consistent) result but do not cache it under the new model.
+    return compiled;
+  }
   auto [it, inserted] = compiled_.emplace(key, std::move(compiled));
   if (inserted) {
     // Bounded like the plan cache: compiled entries pin their plans, so

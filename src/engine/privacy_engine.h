@@ -122,8 +122,9 @@ Result<MechanismKind> SelectMechanism(const ModelSpec& model,
 
 /// \brief Owns the model, the selected mechanism, the plan cache, the
 /// compiled-query cache, and the serving thread pool. Immutable after
-/// Create apart from the caches; safe to share across threads. Must
-/// outlive its Sessions.
+/// Create apart from the caches and the record length (which
+/// AppendObservations / SetRecordLength hot-swap under a lock); safe to
+/// share across threads. Must outlive its Sessions.
 class PrivacyEngine {
  public:
   /// A query compiled against the engine's model: the concrete vector
@@ -139,21 +140,56 @@ class PrivacyEngine {
   PrivacyEngine(const PrivacyEngine&) = delete;
   PrivacyEngine& operator=(const PrivacyEngine&) = delete;
 
-  /// The mechanism selected at Create (policy or override).
-  MechanismKind mechanism_kind() const { return mechanism_->kind(); }
-  /// SPI escape hatch: the underlying mechanism (for diagnostics).
-  const Mechanism& mechanism() const { return *mechanism_; }
+  /// The currently selected mechanism kind (policy or override; may change
+  /// across SetRecordLength when the length crosses approx_length_cutoff).
+  MechanismKind mechanism_kind() const;
+  /// SPI escape hatch: a snapshot of the underlying mechanism (for
+  /// diagnostics). Snapshots stay valid across hot-swaps.
+  std::shared_ptr<const Mechanism> mechanism() const;
 
   std::size_t num_states() const { return model_.num_states; }
-  std::size_t record_length() const { return model_.length; }
+  /// Current record length T (grows under AppendObservations).
+  std::size_t record_length() const;
   const EngineOptions& options() const { return options_; }
   /// Resolved worker-thread count (options.num_threads or hardware).
   std::size_t num_threads() const { return executor_.num_threads(); }
+
+  /// \brief Grows the model's record length by `delta` observations — the
+  /// streaming / continual-release path. The compiled-query cache is
+  /// invalidated (compiled Lipschitz constants and plans are
+  /// length-dependent), but cached MQMExact analyses are NOT discarded:
+  /// the next Compile at the new length EXTENDS the retained resumable
+  /// analysis (AnalysisCache::GetOrExtend), which costs O(max_nearby +
+  /// delta) instead of a cold O(T) re-analysis and is bit-identical to
+  /// one. Sessions opened before the append keep their spent budget;
+  /// releases they make afterwards are priced on the new plan, and the
+  /// Theorem 4.4 ledger refuses them (FailedPrecondition) if the new
+  /// active quilt differs from the session's earlier releases — open a
+  /// session per append epoch, or use sliding-window queries from a fresh
+  /// session, to compose soundly.
+  Status AppendObservations(std::size_t delta);
+
+  /// \brief Hot-swaps the record length outright (same semantics as
+  /// AppendObservations; shrinking re-analyzes cold since analyses only
+  /// extend forward). Only models with a chain length dimension support
+  /// this; the mechanism is re-selected by policy, so crossing
+  /// approx_length_cutoff may switch MQMExact <-> MQMApprox.
+  Status SetRecordLength(std::size_t new_length);
 
   /// \brief Compiles a declarative query to (VectorQuery, MechanismPlan),
   /// analyzing at the spec's epsilon at most once per (model, epsilon):
   /// both the plan (AnalysisCache) and the compiled pair are cached.
   Result<CompiledQuery> Compile(const QuerySpec& spec);
+
+  /// \brief Compiles `spec` against a window of `window_length`
+  /// observations instead of the full record: built-in Lipschitz constants
+  /// that depend on the record length (mean, frequencies) are derived from
+  /// the window length — a window query is exactly that much more
+  /// sensitive per record — while the plan (noise calibration) is the full
+  /// model's. window_length = 0 means the full record; longer than the
+  /// record is InvalidArgument.
+  Result<CompiledQuery> Compile(const QuerySpec& spec,
+                                std::size_t window_length);
 
   /// \brief Opens a per-tenant session with its own privacy budget and RNG
   /// seed. The engine must outlive the session.
@@ -200,9 +236,21 @@ class PrivacyEngine {
   PrivacyEngine(ModelSpec model, EngineOptions options,
                 std::unique_ptr<Mechanism> mechanism, std::size_t num_threads);
 
-  const ModelSpec model_;
+  /// Body of SetRecordLength; caller holds model_mutex_.
+  Status SetRecordLengthLocked(std::size_t new_length);
+
+  /// model_.length and mechanism_ are the only mutable model state; both
+  /// are guarded by model_mutex_ (everything else in model_ is immutable
+  /// after Create). model_generation_ tags compiled-cache entries so a
+  /// Compile racing a hot-swap can never insert a stale entry.
+  mutable std::mutex model_mutex_;
+  ModelSpec model_;
   const EngineOptions options_;
-  const std::unique_ptr<Mechanism> mechanism_;
+  std::shared_ptr<const Mechanism> mechanism_;
+  /// Atomic so the compiled-cache insert can re-check it without nesting
+  /// model_mutex_ inside compiled_mutex_ (the swap path nests the other
+  /// way). Written only under model_mutex_.
+  std::atomic<std::uint64_t> model_generation_{0};
   AnalysisCache cache_;
   Executor executor_;
 

@@ -56,6 +56,44 @@ std::future<Result<ReleaseResult>> ReadyError(Status status) {
   return promise.get_future();
 }
 
+/// Resolves a DataWindow against a record of `size` observations into a
+/// concrete (offset, length) slice; empty or out-of-range windows are
+/// refused here, before anything is charged.
+Result<std::pair<std::size_t, std::size_t>> ResolveWindow(
+    const DataWindow& window, std::size_t size) {
+  std::size_t offset = window.offset;
+  std::size_t length = window.length;
+  if (window.from_end) {
+    if (length == 0 || length > size) {
+      return Status::InvalidArgument(
+          "suffix window of " + std::to_string(length) +
+          " observations does not fit a record of " + std::to_string(size));
+    }
+    offset = size - length;
+  } else {
+    if (offset >= size) {
+      return Status::InvalidArgument(
+          "window offset " + std::to_string(offset) +
+          " is outside the record of " + std::to_string(size));
+    }
+    if (length == 0) length = size - offset;
+    // Overflow-safe form of offset + length > size (offset < size here).
+    if (length > size - offset) {
+      return Status::InvalidArgument(
+          "window [" + std::to_string(offset) + ", " +
+          std::to_string(offset + length) + ") exceeds the record of " +
+          std::to_string(size));
+    }
+  }
+  return std::make_pair(offset, length);
+}
+
+StateSequence SliceWindow(const StateSequence& data, std::size_t offset,
+                          std::size_t length) {
+  const auto begin = data.begin() + static_cast<std::ptrdiff_t>(offset);
+  return StateSequence(begin, begin + static_cast<std::ptrdiff_t>(length));
+}
+
 }  // namespace
 
 Session::Session(PrivacyEngine* engine, const SessionOptions& options)
@@ -79,16 +117,17 @@ Result<std::uint64_t> Session::ChargeLocked(const MechanismPlan& plan) {
         "plan has no finite noise scale; nothing was charged");
   }
   // Price the release before committing it: K+1 releases compose to
-  // (K+1) * max epsilon (Theorem 4.4). The slack is relative to the
-  // computed total (whose rounding error is ulp-relative,
-  // ~1e-16 * prospective), so it forgives the floating-point dust of
-  // repeated equal-epsilon releases at any magnitude without ever
-  // admitting a release that genuinely exceeds the budget.
-  const double prospective =
-      static_cast<double>(accountant_.num_releases() + 1) *
-      std::max(accountant_.MaxEpsilon(), plan.epsilon);
+  // (K+1) * max epsilon (Theorem 4.4). Admission uses the shared
+  // deterministic tie rule (ComposedBudgetAdmits): floating-point dust at
+  // exact-fit boundaries like B = 0.3, eps = 0.1 is forgiven, genuine
+  // overruns never are, so a budget of B admits exactly floor(B / eps)
+  // equal-epsilon releases on every platform.
+  const double max_epsilon = std::max(accountant_.MaxEpsilon(), plan.epsilon);
   const double budget = options_.epsilon_budget;
-  if (prospective > budget + 1e-12 * prospective) {
+  if (!ComposedBudgetAdmits(accountant_.num_releases() + 1, max_epsilon,
+                            budget)) {
+    const double prospective =
+        static_cast<double>(accountant_.num_releases() + 1) * max_epsilon;
     return Status::ResourceExhausted(
         "privacy budget exhausted: this release would compose to epsilon " +
         std::to_string(prospective) + " > budget " + std::to_string(budget));
@@ -141,10 +180,48 @@ Result<ReleaseResult> Session::Release(const QuerySpec& spec,
   return Execute(compiled, data, seed_, ticket);
 }
 
+Result<ReleaseResult> Session::Release(const QuerySpec& spec,
+                                       const StateSequence& data,
+                                       const DataWindow& window) {
+  PF_ASSIGN_OR_RETURN(const auto span, ResolveWindow(window, data.size()));
+  PF_ASSIGN_OR_RETURN(PrivacyEngine::CompiledQuery compiled,
+                      engine_->Compile(spec, span.second));
+  const StateSequence slice = SliceWindow(data, span.first, span.second);
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PF_ASSIGN_OR_RETURN(ticket, ChargeLocked(*compiled.plan));
+  }
+  return Execute(compiled, slice, seed_, ticket);
+}
+
 std::future<Result<ReleaseResult>> Session::Submit(const QuerySpec& spec,
                                                    StateSequence data) {
   return Submit(spec,
                 std::make_shared<const StateSequence>(std::move(data)));
+}
+
+std::future<Result<ReleaseResult>> Session::Submit(const QuerySpec& spec,
+                                                   const StateSequence& data,
+                                                   const DataWindow& window) {
+  Result<std::pair<std::size_t, std::size_t>> span =
+      ResolveWindow(window, data.size());
+  if (!span.ok()) return ReadyError(span.status());
+  Result<PrivacyEngine::CompiledQuery> compiled =
+      engine_->Compile(spec, span.value().second);
+  if (!compiled.ok()) return ReadyError(compiled.status());
+  auto slice = std::make_shared<const StateSequence>(
+      SliceWindow(data, span.value().first, span.value().second));
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Result<std::uint64_t> charged = ChargeLocked(*compiled.value().plan);
+    if (!charged.ok()) return ReadyError(charged.status());
+    ticket = charged.value();
+  }
+  return engine_->executor().Submit(
+      [q = std::move(compiled).value(), data = std::move(slice),
+       seed = seed_, ticket] { return Execute(q, *data, seed, ticket); });
 }
 
 std::future<Result<ReleaseResult>> Session::Submit(

@@ -40,6 +40,38 @@ struct SessionOptions {
   std::optional<std::uint64_t> seed;
 };
 
+/// \brief A contiguous window of a (growing) record for sliding-window
+/// queries: resolved against the database size at submit time. The engine
+/// compiles the query against the WINDOW length (a window query is exactly
+/// that much more sensitive per in-window record), while the plan — and
+/// hence the Theorem 4.4 active quilt the release is ledgered under — is
+/// the full model's, so suffix queries of any width compose in one ledger.
+struct DataWindow {
+  /// First observation index (ignored when from_end is set).
+  std::size_t offset = 0;
+  /// Number of observations; 0 means "from offset to the end".
+  std::size_t length = 0;
+  /// Take the LAST `length` observations (the streaming suffix query).
+  bool from_end = false;
+
+  /// The last n observations.
+  static DataWindow Last(std::size_t n) {
+    DataWindow w;
+    w.length = n;
+    w.from_end = true;
+    return w;
+  }
+  /// Observations [offset, offset + length).
+  static DataWindow Range(std::size_t offset, std::size_t length) {
+    DataWindow w;
+    w.offset = offset;
+    w.length = length;
+    return w;
+  }
+  /// The whole record.
+  static DataWindow All() { return DataWindow{}; }
+};
+
 /// One released query: the noisy value plus its accounting facts.
 struct ReleaseResult {
   /// The released (noisy) query value; dimension 1 for scalar kinds.
@@ -68,6 +100,14 @@ class Session {
   Result<ReleaseResult> Release(const QuerySpec& spec,
                                 const StateSequence& data);
 
+  /// \brief As Release, over a window of the record (sliding-window /
+  /// suffix serving for appended streams). The window is resolved against
+  /// `data` now; an out-of-range window is InvalidArgument and charges
+  /// nothing.
+  Result<ReleaseResult> Release(const QuerySpec& spec,
+                                const StateSequence& data,
+                                const DataWindow& window);
+
   /// \brief Asynchronous release: compilation and budget charging happen
   /// now (in call order — tickets and the ledger are deterministic), the
   /// query evaluation and noise draw run on the engine's executor. A spec
@@ -78,6 +118,14 @@ class Session {
   /// As above, sharing an already-wrapped database (no copy per call).
   std::future<Result<ReleaseResult>> Submit(
       const QuerySpec& spec, std::shared_ptr<const StateSequence> data);
+
+  /// \brief Asynchronous sliding-window release: the window slice (O(W))
+  /// and the budget charge happen now, in call order; evaluation and the
+  /// noise draw run on the executor. Out-of-range windows return an
+  /// already-resolved errored future and charge nothing.
+  std::future<Result<ReleaseResult>> Submit(const QuerySpec& spec,
+                                            const StateSequence& data,
+                                            const DataWindow& window);
 
   /// Many queries against one database (the serving batch path); the
   /// database is wrapped once and shared by every task, not copied per

@@ -14,10 +14,8 @@ void BumpPlanHitCounter(const MechanismPlan& plan) {
 }
 }  // namespace
 
-Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrAnalyze(
-    const Mechanism& mechanism, double epsilon) {
-  const Key key{mechanism.Fingerprint(), DoubleBits(epsilon),
-                mechanism.kind()};
+std::shared_ptr<const MechanismPlan> AnalysisCache::TryGetPlan(
+    const Key& key) {
   std::shared_ptr<const MechanismPlan> found;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -33,18 +31,30 @@ Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrAnalyze(
     // concurrent eviction.
     hits_.fetch_add(1, std::memory_order_relaxed);
     BumpPlanHitCounter(*found);
-    return found;
   }
+  return found;
+}
+
+Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrAnalyze(
+    const Mechanism& mechanism, double epsilon) {
+  const Key key{mechanism.Fingerprint(), DoubleBits(epsilon),
+                mechanism.kind()};
+  if (auto found = TryGetPlan(key)) return found;
   // Analyze outside the lock: analyses of different keys overlap, and a
   // duplicated analysis of the same key is merely wasted work, not an error.
   Result<MechanismPlan> plan = mechanism.Analyze(epsilon);
   if (!plan.ok()) return plan.status();
-  auto shared = std::make_shared<const MechanismPlan>(std::move(plan).value());
+  return StorePlan(key,
+                   std::make_shared<const MechanismPlan>(std::move(plan).value()));
+}
+
+std::shared_ptr<const MechanismPlan> AnalysisCache::StorePlan(
+    const Key& key, std::shared_ptr<const MechanismPlan> plan) {
   std::shared_ptr<const MechanismPlan> winner;
   bool raced = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = plans_.emplace(key, shared);
+    auto [it, inserted] = plans_.emplace(key, std::move(plan));
     winner = it->second;
     raced = !inserted;
     if (inserted) {
@@ -63,6 +73,63 @@ Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrAnalyze(
   return winner;
 }
 
+Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrExtend(
+    const Mechanism& mechanism, double epsilon) {
+  const std::uint64_t prefix = mechanism.PrefixFingerprint();
+  const std::size_t target_length = mechanism.ExtendableLength();
+  if (prefix == 0 || target_length == 0) {
+    return GetOrAnalyze(mechanism, epsilon);
+  }
+  // Exact-key fast path first: a plan for this very length is already the
+  // cheapest answer.
+  const Key key{mechanism.Fingerprint(), DoubleBits(epsilon),
+                mechanism.kind()};
+  if (auto found = TryGetPlan(key)) return found;
+  // Exact miss: find (or create) the chain entry for the length-free model
+  // at this epsilon. The map lock only covers the lookup; the per-entry
+  // lock serializes extensions of one chain without blocking others.
+  const Key chain_key{prefix, DoubleBits(epsilon), mechanism.kind()};
+  std::shared_ptr<ChainEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(chains_mutex_);
+    auto it = chains_.find(chain_key);
+    if (it != chains_.end()) {
+      entry = it->second;
+    } else {
+      entry = std::make_shared<ChainEntry>();
+      chains_.emplace(chain_key, entry);
+      chains_order_.push_back(chain_key);
+      // Chain entries hold O(T) scan state; bound them like plans. An
+      // evicted entry only forfeits future extension reuse — in-flight
+      // users hold the shared_ptr.
+      if (max_entries_ != 0) {
+        while (chains_.size() > max_entries_ && !chains_order_.empty()) {
+          chains_.erase(chains_order_.front());
+          chains_order_.pop_front();
+        }
+      }
+    }
+  }
+  std::lock_guard<std::mutex> entry_lock(entry->mutex);
+  const bool can_extend = entry->analysis != nullptr &&
+                          entry->analysis->length() <= target_length;
+  if (!can_extend) {
+    // No retained analysis (or it is already past the target — records
+    // only grow, so a longer entry means a different serving timeline):
+    // seed the chain cold so future appends extend from here.
+    Result<std::unique_ptr<ResumableAnalysis>> fresh =
+        mechanism.AnalyzeResumable(epsilon);
+    if (!fresh.ok()) return fresh.status();
+    entry->analysis = std::move(fresh).value();
+  }
+  const bool extended = entry->analysis->length() < target_length;
+  Result<MechanismPlan> plan = entry->analysis->ExtendTo(target_length);
+  if (!plan.ok()) return plan.status();
+  if (extended) extensions_.fetch_add(1, std::memory_order_relaxed);
+  return StorePlan(
+      key, std::make_shared<const MechanismPlan>(std::move(plan).value()));
+}
+
 void AnalysisCache::EvictIfFull() {
   if (max_entries_ == 0) return;
   while (plans_.size() > max_entries_ && !insertion_order_.empty()) {
@@ -75,6 +142,7 @@ AnalysisCache::Stats AnalysisCache::stats() const {
   Stats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.extensions = extensions_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -84,11 +152,17 @@ std::size_t AnalysisCache::size() const {
 }
 
 void AnalysisCache::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(chains_mutex_);
+    chains_.clear();
+    chains_order_.clear();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   plans_.clear();
   insertion_order_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  extensions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace pf

@@ -29,6 +29,9 @@ class AnalysisCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Plans produced by extending a cached resumable analysis to a longer
+    /// record length instead of a cold Analyze (GetOrExtend's fast path).
+    std::uint64_t extensions = 0;
   };
 
   /// `max_entries` bounds resident plans (plans can hold O(nodes) quilt
@@ -48,6 +51,18 @@ class AnalysisCache {
   /// the hit/miss stats are bumped outside the lock (relaxed atomics), so
   /// concurrent hits on one hot plan never serialize on the cache mutex.
   Result<std::shared_ptr<const MechanismPlan>> GetOrAnalyze(
+      const Mechanism& mechanism, double epsilon);
+
+  /// \brief GetOrAnalyze with prefix-fingerprint chaining for growing
+  /// records: on an exact-key miss, if the mechanism has a resumable
+  /// analysis (Mechanism::PrefixFingerprint() != 0) the cache looks up the
+  /// retained analysis for (length-free model, epsilon) and ExtendTo()s it
+  /// to the mechanism's current length — bit-identical to a cold Analyze,
+  /// but O(max_nearby + delta) instead of O(T) (stats().extensions counts
+  /// these). A missing or longer-than-target chain entry falls back to a
+  /// cold resumable analysis, which seeds the chain for future appends;
+  /// mechanisms without resumable support behave exactly like GetOrAnalyze.
+  Result<std::shared_ptr<const MechanismPlan>> GetOrExtend(
       const Mechanism& mechanism, double epsilon);
 
   Stats stats() const;
@@ -85,14 +100,40 @@ class AnalysisCache {
   /// mutex_.
   void EvictIfFull();
 
+  /// One retained resumable analysis, chained by prefix fingerprint. The
+  /// per-entry mutex serializes extensions (ExtendTo mutates) without
+  /// blocking the plan map or other chains.
+  struct ChainEntry {
+    std::mutex mutex;
+    std::unique_ptr<ResumableAnalysis> analysis;
+  };
+
+  /// The exact-key hit path shared by GetOrAnalyze and GetOrExtend:
+  /// returns the cached plan (bumping hit counters) or nullptr.
+  std::shared_ptr<const MechanismPlan> TryGetPlan(const Key& key);
+
+  /// Stores `plan` under the exact key (duplicate-insert race keeps the
+  /// incumbent) and returns the stored plan, bumping hit/miss stats.
+  std::shared_ptr<const MechanismPlan> StorePlan(
+      const Key& key, std::shared_ptr<const MechanismPlan> plan);
+
   const std::size_t max_entries_;
   mutable std::mutex mutex_;
   std::unordered_map<Key, std::shared_ptr<const MechanismPlan>, KeyHash> plans_;
   std::deque<Key> insertion_order_;  // FIFO eviction queue.
+
+  /// Resumable analyses keyed like plans but by PREFIX fingerprint (length
+  /// removed). Entries hold O(T) scan state, so the store is bounded by
+  /// max_entries_ with the same FIFO rule.
+  mutable std::mutex chains_mutex_;
+  std::unordered_map<Key, std::shared_ptr<ChainEntry>, KeyHash> chains_;
+  std::deque<Key> chains_order_;
+
   // Lock-free counters: stats() and the hot hit path never contend on
   // mutex_ beyond the map lookup itself.
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> extensions_{0};
 };
 
 }  // namespace pf

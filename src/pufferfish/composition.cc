@@ -1,8 +1,31 @@
 #include "pufferfish/composition.h"
 
+#include <cmath>
+#include <limits>
+
 #include "pufferfish/framework.h"
 
 namespace pf {
+
+namespace {
+/// Relative tie slack of ComposedBudgetAdmits, in units of machine
+/// epsilon: covers the representation error of decimal epsilon/budget
+/// literals (<= 1 ulp each) plus the single product rounding, with room to
+/// spare, while staying ~13 orders of magnitude below the smallest genuine
+/// overrun (one whole epsilon = 1/K relative).
+constexpr double kBudgetTieUlps = 16.0;
+}  // namespace
+
+bool ComposedBudgetAdmits(std::size_t num_releases, double max_epsilon,
+                          double budget) {
+  if (std::isinf(budget) && budget > 0.0) return true;  // Unmetered.
+  const double composed = static_cast<double>(num_releases) * max_epsilon;
+  if (!std::isfinite(composed)) return false;
+  const double slack = kBudgetTieUlps *
+                       std::numeric_limits<double>::epsilon() *
+                       std::max(std::fabs(budget), std::fabs(composed));
+  return composed <= budget + slack;
+}
 
 std::string CompositionAccountant::QuiltSignature(const MarkovQuilt& q) {
   std::string sig = std::to_string(q.target) + ":";

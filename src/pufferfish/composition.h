@@ -7,6 +7,7 @@
 #ifndef PUFFERFISH_PUFFERFISH_COMPOSITION_H_
 #define PUFFERFISH_PUFFERFISH_COMPOSITION_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,25 @@
 #include "graphical/markov_quilt.h"
 
 namespace pf {
+
+/// \brief Deterministic budget-admission predicate shared by every ledger:
+/// true iff `num_releases` releases at a worst per-release level of
+/// `max_epsilon` fit a budget of `budget` under Theorem 4.4 pricing
+/// (composed level K * max_epsilon).
+///
+/// The comparison forgives only floating-point dust: the product
+/// K * max_epsilon is admitted when it exceeds the budget by at most
+/// kBudgetTieUlps relative units (~3.6e-15 relative — decimal epsilons and
+/// budgets carry ~1 ulp of representation error each and the product one
+/// more rounding, so a true tie like B = 0.3, eps = 0.1, K = 3 lands
+/// within 2 ulps). A genuine overrun is off by a whole epsilon — at least
+/// 1/K relative — so the documented "exactly floor(B / eps) equal-epsilon
+/// releases" guarantee holds on every platform for any K below ~1e13,
+/// and no release that truly exceeds the budget is ever admitted. The rule
+/// is a pure function of its arguments: the same ledger history admits the
+/// same release everywhere, deterministically.
+bool ComposedBudgetAdmits(std::size_t num_releases, double max_epsilon,
+                          double budget);
 
 /// \brief Tracks repeated MQM releases over the same database and reports
 /// the composed privacy guarantee of Theorem 4.4.

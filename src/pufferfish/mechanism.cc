@@ -28,6 +28,12 @@ MechanismPlan Mechanism::NewPlan(double epsilon, double sigma) const {
   return plan;
 }
 
+Result<std::unique_ptr<ResumableAnalysis>> Mechanism::AnalyzeResumable(
+    double /*epsilon*/) const {
+  return Status::NotSupported(name() +
+                              " has no resumable (append-aware) analysis");
+}
+
 namespace {
 Status CheckReleasable(const MechanismPlan& plan, double lipschitz) {
   if (!plan.applicable) {
@@ -199,6 +205,50 @@ void AddChainOptions(pf::Fingerprint* fp, const ChainUnifiedOptions& options) {
   // strategies are interchangeable.
   fp->Add(options.max_nearby).Add(options.allow_stationary_shortcut);
 }
+
+// Adapter wrapping a ChainMqmAnalysis as a ResumableAnalysis: every
+// ExtendTo emits a plan exactly as the owning mechanism's Analyze would
+// build it at that length (ExtendTo itself guarantees the analysis bits
+// match a cold run).
+class ChainResumableAnalysis : public ResumableAnalysis {
+ public:
+  explicit ChainResumableAnalysis(ChainMqmAnalysis analysis)
+      : analysis_(std::move(analysis)) {}
+
+  std::size_t length() const override { return analysis_.length(); }
+
+  Result<MechanismPlan> ExtendTo(std::size_t new_length) override {
+    PF_RETURN_NOT_OK(analysis_.ExtendTo(new_length));
+    return CurrentPlan();
+  }
+
+  Result<MechanismPlan> CurrentPlan() const {
+    const ChainMqmResult& analysis = analysis_.result();
+    MechanismPlan plan;
+    plan.kind = MechanismKind::kMqmExact;
+    plan.epsilon = epsilon_;
+    plan.sigma = analysis.sigma_max;
+    plan.applicable = std::isfinite(analysis.sigma_max);
+    plan.chain = analysis;
+    plan.cache_hits = std::make_shared<std::atomic<std::uint64_t>>(0);
+    return plan;
+  }
+
+  void set_epsilon(double epsilon) { epsilon_ = epsilon; }
+
+ private:
+  ChainMqmAnalysis analysis_;
+  double epsilon_ = 0.0;
+};
+
+Result<std::unique_ptr<ResumableAnalysis>> WrapChainAnalysis(
+    Result<ChainMqmAnalysis> analysis, double epsilon) {
+  if (!analysis.ok()) return analysis.status();
+  auto wrapped = std::make_unique<ChainResumableAnalysis>(
+      std::move(analysis).value());
+  wrapped->set_epsilon(epsilon);
+  return std::unique_ptr<ResumableAnalysis>(std::move(wrapped));
+}
 }  // namespace
 
 Result<MechanismPlan> MqmExactUnified::Analyze(double epsilon) const {
@@ -222,6 +272,27 @@ std::uint64_t MqmExactUnified::Fingerprint() const {
   return fp.hash();
 }
 
+std::uint64_t MqmExactUnified::PrefixFingerprint() const {
+  // Fingerprint() minus the length term: equal across chain lengths of the
+  // same class/config, so cached resumable analyses chain length-to-length.
+  pf::Fingerprint fp;
+  fp.Add(static_cast<int>(kind())).Add(kPrefixTag);
+  AddChainOptions(&fp, options_);
+  fp.Add(thetas_.size());
+  for (const MarkovChain& theta : thetas_) {
+    fp.Add(theta.initial()).Add(theta.transition());
+  }
+  return EnsureNonZeroFingerprint(fp.hash());
+}
+
+Result<std::unique_ptr<ResumableAnalysis>> MqmExactUnified::AnalyzeResumable(
+    double epsilon) const {
+  return WrapChainAnalysis(
+      ChainMqmAnalysis::Analyze(thetas_, length_,
+                                ToChainOptions(options_, epsilon)),
+      epsilon);
+}
+
 Result<MechanismPlan> MqmExactFreeInitialUnified::Analyze(double epsilon) const {
   PF_ASSIGN_OR_RETURN(ChainMqmResult analysis,
                       MqmExactAnalyzeFreeInitial(
@@ -242,6 +313,25 @@ std::uint64_t MqmExactFreeInitialUnified::Fingerprint() const {
   fp.Add(transitions_.size());
   for (const Matrix& p : transitions_) fp.Add(p);
   return fp.hash();
+}
+
+std::uint64_t MqmExactFreeInitialUnified::PrefixFingerprint() const {
+  pf::Fingerprint fp;
+  fp.Add(static_cast<int>(kind()))
+      .Add(std::uint64_t{0xF1EE})  // Distinguish the free-initial class.
+      .Add(kPrefixTag);
+  AddChainOptions(&fp, options_);
+  fp.Add(transitions_.size());
+  for (const Matrix& p : transitions_) fp.Add(p);
+  return EnsureNonZeroFingerprint(fp.hash());
+}
+
+Result<std::unique_ptr<ResumableAnalysis>>
+MqmExactFreeInitialUnified::AnalyzeResumable(double epsilon) const {
+  return WrapChainAnalysis(
+      ChainMqmAnalysis::AnalyzeFreeInitial(transitions_, length_,
+                                           ToChainOptions(options_, epsilon)),
+      epsilon);
 }
 
 // -------------------------------------------------------------- MQMApprox --

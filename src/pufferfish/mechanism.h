@@ -90,6 +90,30 @@ struct MechanismPlan {
   std::shared_ptr<std::atomic<std::uint64_t>> cache_hits;
 };
 
+/// \brief A resumable (append-aware) analysis handle: the streaming
+/// counterpart of Mechanism::Analyze for mechanisms whose model has a
+/// record-length dimension that can grow (chains serving appended
+/// observations). Produced by Mechanism::AnalyzeResumable; the
+/// AnalysisCache chains these across lengths (see PrefixFingerprint), so a
+/// plan for length T' is computed by extending the retained analysis at T
+/// instead of re-analyzing from scratch.
+///
+/// Not thread-safe: ExtendTo mutates the retained state, so callers
+/// serialize per handle (the AnalysisCache holds a per-entry mutex).
+class ResumableAnalysis {
+ public:
+  virtual ~ResumableAnalysis() = default;
+
+  /// Record length the analysis currently covers.
+  virtual std::size_t length() const = 0;
+
+  /// \brief Extends to new_length >= length() and returns the plan at the
+  /// new length — bit-identical to a cold Analyze at new_length (same
+  /// sigma, active quilt, and diagnostics). new_length == length() returns
+  /// the current plan; new_length < length() is InvalidArgument.
+  virtual Result<MechanismPlan> ExtendTo(std::size_t new_length) = 0;
+};
+
 /// \brief A mechanism = model + configuration, ready to be analyzed at any
 /// privacy level. Implementations are immutable after construction, so one
 /// mechanism can be analyzed concurrently at several epsilons.
@@ -110,6 +134,24 @@ class Mechanism {
   /// AnalysisCache. Mechanisms with equal fingerprints must produce equal
   /// plans.
   virtual std::uint64_t Fingerprint() const = 0;
+
+  /// \brief Fingerprint of the model and configuration with the record
+  /// length REMOVED: two mechanisms that differ only in chain length share
+  /// it, which is what lets the AnalysisCache seed the analysis for
+  /// (model, epsilon, T') from the cached one for (model, epsilon, T)
+  /// instead of a cold Analyze. Returns 0 (never a valid chain key) for
+  /// mechanisms with no extendable length dimension — the default.
+  virtual std::uint64_t PrefixFingerprint() const { return 0; }
+
+  /// Record length the model covers, for mechanisms whose
+  /// PrefixFingerprint() is nonzero; 0 otherwise.
+  virtual std::size_t ExtendableLength() const { return 0; }
+
+  /// \brief Starts a resumable analysis at `epsilon` covering
+  /// ExtendableLength(). Default: NotSupported (only the MQMExact chain
+  /// mechanisms retain per-length state worth resuming).
+  virtual Result<std::unique_ptr<ResumableAnalysis>> AnalyzeResumable(
+      double epsilon) const;
 
  protected:
   /// Helper for Analyze implementations: a plan skeleton with the counter
@@ -225,6 +267,13 @@ class MqmGeneralUnified : public Mechanism {
 
 /// Per-Analyze knobs shared by the chain mechanisms; epsilon lives in
 /// Analyze, everything else here. Mirrors ChainMqmOptions minus epsilon.
+///
+/// Streaming note: the MQMExact mechanisms also support
+/// AnalyzeResumable/ExtendTo (see ResumableAnalysis) — an analysis at
+/// length T extends to T' > T bit-identically to a cold Analyze at T',
+/// re-scoring only the O(max_nearby) boundary classes. These options are
+/// part of the prefix fingerprint, so changing any of them (not the
+/// length) starts a fresh analysis chain.
 struct ChainUnifiedOptions {
   std::size_t max_nearby = 64;
   bool allow_stationary_shortcut = true;
@@ -247,6 +296,12 @@ class MqmExactUnified : public Mechanism {
   std::string name() const override { return "MQMExact"; }
   Result<MechanismPlan> Analyze(double epsilon) const override;
   std::uint64_t Fingerprint() const override;
+  /// Chain-length-free fingerprint + resumable analysis: plans for longer
+  /// chains of the same class extend instead of re-analyzing.
+  std::uint64_t PrefixFingerprint() const override;
+  std::size_t ExtendableLength() const override { return length_; }
+  Result<std::unique_ptr<ResumableAnalysis>> AnalyzeResumable(
+      double epsilon) const override;
 
  private:
   std::vector<MarkovChain> thetas_;
@@ -268,6 +323,12 @@ class MqmExactFreeInitialUnified : public Mechanism {
   std::string name() const override { return "MQMExact(free-initial)"; }
   Result<MechanismPlan> Analyze(double epsilon) const override;
   std::uint64_t Fingerprint() const override;
+  /// Chain-length-free fingerprint + resumable analysis: plans for longer
+  /// chains of the same class extend instead of re-analyzing.
+  std::uint64_t PrefixFingerprint() const override;
+  std::size_t ExtendableLength() const override { return length_; }
+  Result<std::unique_ptr<ResumableAnalysis>> AnalyzeResumable(
+      double epsilon) const override;
 
  private:
   std::vector<Matrix> transitions_;

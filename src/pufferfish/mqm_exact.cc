@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -31,6 +33,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // Unlike the pre-optimization evaluator, nothing here scales with the
 // chain length T: the node-dependent inputs (marginals / powers) are
 // streamed in by the scan, so resident memory is O(max_distance * k^2).
+//
+// Preparation is EXTEND-ONLY: asking for a larger max distance builds just
+// the missing powers (the same sequential recurrence) and the missing
+// tables, reusing every existing entry verbatim — which is what makes a
+// retained evaluator bit-identical to one built cold at the longer length.
 class ExactEvaluator {
  public:
   ExactEvaluator(const Matrix& transition, bool free_initial)
@@ -40,7 +47,8 @@ class ExactEvaluator {
 
   // Builds powers P^0..P^max_distance and the left/right maximization
   // tables for distances 1..max_distance. Must be called before any query;
-  // after it returns the evaluator is immutable and thread-safe.
+  // between calls the evaluator is immutable and thread-safe. May be called
+  // again with a larger distance to extend.
   void Prepare(std::size_t max_distance, ThreadPool* pool) {
     std::vector<std::size_t> distances;
     distances.reserve(max_distance);
@@ -52,25 +60,31 @@ class ExactEvaluator {
   // distances — the single-quilt entry point needs just two of them.
   void PrepareDistances(const std::vector<std::size_t>& distances,
                         ThreadPool* pool) {
-    std::size_t max_distance = 0;
+    std::size_t max_distance = max_distance_;
     for (std::size_t t : distances) max_distance = std::max(max_distance, t);
     // The power chain is sequential in n; each multiply is row-parallel.
     while (powers_.size() <= max_distance) {
       powers_.push_back(ParallelMultiply(powers_.back(), p_, pool));
     }
-    // Per-distance tables are independent once the powers exist.
-    left_tables_.assign(max_distance + 1, Matrix());
-    right_tables_.assign(max_distance + 1, Matrix());
+    if (left_tables_.size() <= max_distance) {
+      left_tables_.resize(max_distance + 1);
+      right_tables_.resize(max_distance + 1);
+    }
+    // Per-distance tables are independent once the powers exist; only the
+    // missing ones are built, so extension reuses existing tables.
+    std::vector<std::size_t> todo;
+    for (std::size_t t : distances) {
+      if (t != 0 && left_tables_[t].rows() == 0) todo.push_back(t);
+    }
     const auto build = [&](std::size_t idx) {
-      const std::size_t t = distances[idx];
-      if (t == 0) return;
+      const std::size_t t = todo[idx];
       left_tables_[t] = BuildLeftTable(t);
       right_tables_[t] = BuildRightTable(t);
     };
     if (pool != nullptr) {
-      pool->ParallelFor(distances.size(), build);
+      pool->ParallelFor(todo.size(), build);
     } else {
-      for (std::size_t idx = 0; idx < distances.size(); ++idx) build(idx);
+      for (std::size_t idx = 0; idx < todo.size(); ++idx) build(idx);
     }
     max_distance_ = max_distance;
   }
@@ -272,6 +286,8 @@ class ExactEvaluator {
   std::vector<Matrix> right_tables_;
 };
 
+struct FreeInitialTag {};
+
 // Streams the node-dependent input of the scan — the marginal vector
 // P(X_i) in explicit mode, the power P^i in free-initial mode — one node
 // at a time, with bitwise cycle detection: once one step leaves the value
@@ -281,7 +297,9 @@ class ExactEvaluator {
 // deterministic recurrence and the per-step work (an O(k^2) ApplyLeft or
 // an O(k^3) multiply) stops. The recurrences are the exact ones the
 // pre-optimization path used to materialize its O(T)-sized tables, so
-// streamed values are bit-identical to the stored ones.
+// streamed values are bit-identical to the stored ones — and a cursor
+// retained across ExtendTo calls produces the same value sequence as a
+// fresh cursor advanced the same total number of steps.
 class NodeValueStream {
  public:
   // Explicit mode: marginal recurrence m_0 = initial, m_{t+1} = m_t P.
@@ -289,11 +307,10 @@ class NodeValueStream {
       : p_(transition), marginal_(initial), free_initial_(false) {}
 
   // Free-initial mode: power recurrence P^0 = I, P^{t+1} = P^t P.
-  NodeValueStream(const Matrix& transition, ThreadPool* pool)
+  NodeValueStream(const Matrix& transition, FreeInitialTag)
       : p_(transition),
         power_(Matrix::Identity(transition.rows())),
-        free_initial_(true),
-        pool_(pool) {}
+        free_initial_(true) {}
 
   bool free_initial() const { return free_initial_; }
   // 0 while the value is still changing; 1 once fixed; 2 on a two-cycle.
@@ -309,8 +326,10 @@ class NodeValueStream {
                : marginal_.size() + prev_marginal_.size();
   }
 
-  // Steps to the next node's value.
-  void Advance() {
+  // Steps to the next node's value. The pool (used only by the free-initial
+  // matrix multiply, which is thread-count invariant) is passed per call so
+  // a retained cursor never outlives the pool it was created under.
+  void Advance(ThreadPool* pool = nullptr) {
     if (period_ == 1) return;
     if (period_ == 2) {
       if (free_initial_) {
@@ -321,7 +340,7 @@ class NodeValueStream {
       return;
     }
     if (free_initial_) {
-      Matrix next = ParallelMultiply(power_, p_, pool_);
+      Matrix next = ParallelMultiply(power_, p_, pool);
       if (next == power_) {
         period_ = 1;
         return;
@@ -347,7 +366,6 @@ class NodeValueStream {
   Matrix power_, prev_power_;
   bool free_initial_;
   std::size_t period_ = 0;
-  ThreadPool* pool_ = nullptr;
 };
 
 // Largest endpoint distance any quilt in the Lemma 4.6 family (capped at
@@ -371,38 +389,80 @@ double EvaluateQuilt(const ExactEvaluator& eval,
   return eval.RightOnly(ctx, b);
 }
 
-struct NodeScore {
-  QuiltScore best;
+// A scored quilt candidate in offset form. (a, b) with a, b > 0 is the
+// two-sided quilt {X_{i-a}, X_{i+b}}; b == 0 the left-only {X_{i-a}};
+// a == 0 the right-only {X_{i+b}}; (0, 0) the trivial quilt. Offsets (not
+// materialized quilts) are what the resumable analysis stores: they are
+// valid at any node of a dedup class and any chain length consistent with
+// the class key, so extension re-materializes instead of re-scoring.
+struct QuiltCand {
+  double score = kInf;
+  double influence = 0.0;
+  int a = 0;
+  int b = 0;
 };
+
+// A node's scored quilt family, decomposed for resumability: the best
+// NON-trivial candidate only. The trivial quilt's score (length / epsilon)
+// is the one quilt score that depends on the chain length directly, so it
+// is folded in at reduce time (NodeWinner) — this is what lets an
+// interior dedup class keep its score verbatim when the chain grows.
+struct NodeScore {
+  bool has_nontrivial = false;
+  QuiltCand nontrivial;
+};
+
+// The node's winning candidate at a given chain length: the stored best
+// non-trivial quilt versus the trivial quilt, with the exhaustive scan's
+// tie rule (the trivial quilt is considered last, with strict <).
+QuiltCand NodeWinner(const NodeScore& s, std::size_t length, double epsilon) {
+  const double trivial_score = QuiltScoreFromInfluence(length, epsilon, 0.0);
+  if (s.has_nontrivial && !(trivial_score < s.nontrivial.score)) {
+    return s.nontrivial;
+  }
+  QuiltCand trivial;
+  trivial.score = trivial_score;
+  trivial.influence = 0.0;
+  return trivial;
+}
+
+// Materializes a candidate's quilt at a concrete node and length.
+MarkovQuilt MaterializeQuilt(const QuiltCand& cand, int node,
+                             std::size_t length) {
+  if (cand.a == 0 && cand.b == 0) return TrivialQuilt(node, length);
+  return ChainQuilt(length, node, cand.a, cand.b).ValueOrDie();
+}
 
 // sigma_i = min over the Lemma 4.6 family (capped at max_nearby) of the
 // quilt score for node i, given the node's prepared context. Read-only on
 // the evaluator.
 //
 // Enumerates the family inline, in exactly ChainQuiltFamily's order and
-// with its skip rules (two-sided a asc then b asc, left-only, right-only,
-// trivial), but materializes only the winning quilt: the full family is
-// ~max_nearby^2/2 heap-backed quilt objects per scored node, which used to
-// dominate the scan's profile.
+// with its skip rules (two-sided a asc then b asc, left-only, right-only),
+// tracking only the winning candidate. The trivial quilt — always part of
+// the family per Theorem 4.3 — is deliberately NOT folded in here: its
+// score depends on the length, so NodeWinner adds it at reduce time.
+//
+// The output depends on i and length only through the class key
+// (node value, dl = min(i, ell), dr = min(length-1-i, ell)): every loop
+// bound below reduces to dl/dr arithmetic, which is the invariant the
+// dedup classes and the append path both rely on.
 NodeScore ScoreNode(const ExactEvaluator& eval, std::size_t length,
                     const ExactEvaluator::NodeContext& ctx, double epsilon,
                     std::size_t max_nearby) {
   const int node = static_cast<int>(ctx.node);
   const int n = static_cast<int>(length);
   NodeScore out;
-  out.best.score = kInf;
-  int best_a = 0, best_b = 0;  // (0, 0) encodes the trivial quilt.
-  bool have_best = false;
   const auto consider = [&](int a, int b, std::size_t nearby_count,
                             double influence) {
     const double score =
         QuiltScoreFromInfluence(nearby_count, epsilon, influence);
-    if (score < out.best.score) {
-      best_a = a;
-      best_b = b;
-      have_best = true;
-      out.best.influence = influence;
-      out.best.score = score;
+    if (score < out.nontrivial.score) {
+      out.has_nontrivial = true;
+      out.nontrivial.a = a;
+      out.nontrivial.b = b;
+      out.nontrivial.influence = influence;
+      out.nontrivial.score = score;
     }
   };
   // Two-sided quilts {X_{i-a}, X_{i+b}}: nearby count a + b - 1.
@@ -428,11 +488,6 @@ NodeScore ScoreNode(const ExactEvaluator& eval, std::size_t length,
     if (near_count > max_nearby) break;
     consider(0, b, near_count, eval.RightOnly(ctx, b));
   }
-  // The trivial quilt (always searched, as Theorem 4.3 requires).
-  consider(0, 0, length, 0.0);
-  out.best.quilt = have_best && (best_a > 0 || best_b > 0)
-                       ? ChainQuilt(length, node, best_a, best_b).ValueOrDie()
-                       : TrivialQuilt(node, length);
   return out;
 }
 
@@ -472,18 +527,6 @@ bool IsInteriorTwoSided(const MarkovQuilt& quilt, std::size_t length) {
          quilt.quilt.back() <= static_cast<int>(length) - 1;
 }
 
-// Re-targets a scored quilt from its representative node to `node`. Valid
-// because nodes in one dedup class have identical quilt families up to
-// translation: the offsets (a, b) exist at `node` with the same
-// nearby_count (see the class-key invariant below).
-MarkovQuilt TranslateQuilt(const MarkovQuilt& quilt, int node,
-                           std::size_t length) {
-  if (quilt.IsTrivial()) return TrivialQuilt(node, length);
-  if (quilt.target == node) return quilt;
-  const auto [a, b] = ChainQuiltOffsets(quilt);
-  return ChainQuilt(length, node, a, b).ValueOrDie();
-}
-
 // One dedup class: nodes sharing (stream value, boundary-clip distances).
 //
 // Invariant (why members provably share sigma_i): ChainQuiltFamily(T, i,
@@ -494,13 +537,26 @@ MarkovQuilt TranslateQuilt(const MarkovQuilt& quilt, int node,
 // Eq. (5) terms depend on i only through the marginal (or P^i) and the
 // shared distance tables. Equal key ==> identical family (same offsets,
 // same order, same nearby counts) and identical influences ==> identical
-// sigma_i, argmin offsets, and influence, bit for bit.
+// sigma_i, argmin offsets, and influence, bit for bit. The same invariant
+// is what makes the class score valid at ANY (node, length) consistent
+// with the key — the append path's license to reuse interior classes.
 struct NodeClass {
-  std::size_t representative = 0;  // Lowest node index in the class.
+  /// Lowest node index currently in the class — the invariant the
+  /// class-level reduce's tie-break rests on. Maintained by construction:
+  /// nodes join in ascending order, members only leave when the append
+  /// path re-keys the right boundary, and a class re-joined after emptying
+  /// resets its representative to the joining node.
+  std::size_t representative = 0;
   std::size_t dl = 0, dr = 0;
+  std::uint32_t member_count = 0;
+  bool scored = false;
   Vector marginal;  // Explicit-mode value.
   Matrix power;     // Free-initial-mode value.
   NodeScore score;  // Filled by the scoring phase.
+
+  std::size_t value_doubles() const {
+    return power.rows() * power.cols() + marginal.size();
+  }
 };
 
 // Caps the class store so slowly-converging value streams cannot grow
@@ -525,6 +581,19 @@ std::uint64_t ClassKeyHash(const NodeValueStream& stream, std::size_t dl,
   return fp.hash();
 }
 
+// Key hash recomputed from a stored class (append path re-keying).
+std::uint64_t ClassKeyHash(const NodeClass& cls, bool free_initial,
+                           std::size_t dl, std::size_t dr) {
+  Fingerprint fp;
+  if (free_initial) {
+    fp.Add(cls.power);
+  } else {
+    fp.Add(cls.marginal);
+  }
+  fp.Add(dl).Add(dr);
+  return fp.hash();
+}
+
 bool ClassMatches(const NodeClass& cls, const NodeValueStream& stream,
                   std::size_t dl, std::size_t dr) {
   if (cls.dl != dl || cls.dr != dr) return false;
@@ -532,20 +601,39 @@ bool ClassMatches(const NodeClass& cls, const NodeValueStream& stream,
                                : cls.marginal == stream.marginal();
 }
 
-// The deduplicated scan. Phase 1 walks the chain once, streaming the
-// node value and assigning every node to a class (hash lookup verified by
-// exact value comparison); phase 2 scores one representative per class in
-// parallel; phase 3 reduces sequentially over nodes in index order —
-// bit-identical to the exhaustive scan, including worst-node tie-breaks
-// and the active quilt's absolute indices.
-ChainMqmResult ScanDedup(const ExactEvaluator& eval, NodeValueStream* stream,
-                         std::size_t length, const ChainMqmOptions& options,
-                         ThreadPool* pool) {
-  const std::size_t ell = options.max_nearby;
-  const std::size_t tail = length - 1;
-  const std::size_t max_classes = MaxClasses(ell);
+// Exact-value match between a stored class and a (value-donor class, new
+// clip distances) key — the append path's re-keying lookup.
+bool ClassMatches(const NodeClass& cls, const NodeClass& donor,
+                  bool free_initial, std::size_t dl, std::size_t dr) {
+  if (cls.dl != dl || cls.dr != dr) return false;
+  return free_initial ? cls.power == donor.power
+                      : cls.marginal == donor.marginal;
+}
 
-  std::vector<std::uint32_t> node_class(length, kNoClass);
+// Folded best-candidate over overflow-scored nodes (class store at
+// capacity). Flushes happen in ascending node order with a
+// strictly-greater update, so the fold keeps exactly the lowest overflow
+// node attaining the overflow maximum — the same tie-break the exhaustive
+// walk uses. An analysis that ever overflowed is NOT resumable (overflow
+// nodes have no stored per-node state); ExtendTo then falls back to a
+// cold scan.
+struct OverflowFold {
+  std::size_t count = 0;
+  double best_score = -kInf;
+  std::size_t best_node = 0;
+  QuiltCand best;
+  std::size_t pending_peak_doubles = 0;
+};
+
+// Persistent state of one theta's deduplicated scan — everything the
+// append path needs to continue where the scan stopped: the class store
+// with exact values and scores, the per-node class assignment, the
+// steady-state shortcut cache, and the stream cursor (positioned at node
+// `length`, i.e. holding the value the next appended node will use).
+struct DedupScanState {
+  std::size_t length = 0;
+  std::unique_ptr<NodeValueStream> stream;
+  std::vector<std::uint32_t> node_class;
   std::vector<NodeClass> classes;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
   // Once the stream value cycles (period 1 or 2) and both clip distances
@@ -553,14 +641,34 @@ ChainMqmResult ScanDedup(const ExactEvaluator& eval, NodeValueStream* stream,
   // boundary region — reuse the classes of one period without hashing.
   std::uint32_t steady_class[2] = {kNoClass, kNoClass};
   std::size_t class_value_doubles = 0;
+  // False once any node went to overflow scoring: per-node state was
+  // folded away, so the scan can only be redone cold.
+  bool resumable = true;
+  // Overflow fold of the (non-resumable) cold scan that produced this
+  // state; participates in the reduce.
+  OverflowFold fold;
+  ChainMqmResult result;
+};
+
+// Classifies nodes [begin, length) into dedup classes, streaming values
+// through the retained cursor. The initial scan calls with begin = 0 and
+// overflow allowed; the append path calls with begin = old length and
+// overflow forbidden (returns false so the caller falls back to a cold
+// scan — a bailed append leaves the state partially advanced, which is
+// fine because the fallback rebuilds it from scratch).
+bool ClassifyNodes(DedupScanState& st, const ExactEvaluator& eval,
+                   std::size_t begin, std::size_t length,
+                   const ChainMqmOptions& options, ThreadPool* pool,
+                   bool allow_overflow) {
+  const std::size_t ell = options.max_nearby;
+  const std::size_t tail = length - 1;
+  const std::size_t max_classes = MaxClasses(ell);
+  NodeValueStream& stream = *st.stream;
+  st.node_class.resize(length, kNoClass);
 
   // Overflow nodes (class store at capacity) buffer their contexts and
   // score in parallel blocks, so a pathological non-cycling stream
-  // degrades to the exhaustive scan's speed, not to a serial one. Scores
-  // are folded into one running candidate instead of an O(T) store:
-  // flushes happen in ascending node order with a strictly-greater
-  // update, so the fold keeps exactly the lowest overflow node attaining
-  // the overflow maximum — the same tie-break the exhaustive walk uses.
+  // degrades to the exhaustive scan's speed, not to a serial one.
   struct PendingNode {
     std::size_t node;
     ExactEvaluator::NodeContext ctx;
@@ -568,53 +676,51 @@ ChainMqmResult ScanDedup(const ExactEvaluator& eval, NodeValueStream* stream,
   std::vector<PendingNode> pending;
   const std::size_t pending_block = std::max<std::size_t>(
       64, 4 * (pool != nullptr ? pool->num_threads() : 1));
-  std::size_t pending_peak_doubles = 0;
-  std::size_t overflow_count = 0;
-  double overflow_best_score = -kInf;
-  std::size_t overflow_best_node = 0;
-  NodeScore overflow_best;
   const auto flush_pending = [&] {
     if (pending.empty()) return;
     std::size_t doubles = 0;
     for (const PendingNode& p : pending) {
       doubles += p.ctx.term1.rows() * p.ctx.term1.cols();
     }
-    pending_peak_doubles = std::max(pending_peak_doubles, doubles);
+    st.fold.pending_peak_doubles =
+        std::max(st.fold.pending_peak_doubles, doubles);
     std::vector<NodeScore> scores = ScoreBlock(
         eval, length, pending.size(), options.epsilon, ell, pool,
         [&](std::size_t j) -> const ExactEvaluator::NodeContext& {
           return pending[j].ctx;
         });
     for (std::size_t j = 0; j < pending.size(); ++j) {
-      if (scores[j].best.score > overflow_best_score) {
-        overflow_best_score = scores[j].best.score;
-        overflow_best_node = pending[j].node;
-        overflow_best = std::move(scores[j]);
+      const QuiltCand w = NodeWinner(scores[j], length, options.epsilon);
+      if (w.score > st.fold.best_score) {
+        st.fold.best_score = w.score;
+        st.fold.best_node = pending[j].node;
+        st.fold.best = w;
       }
     }
-    overflow_count += pending.size();
+    st.fold.count += pending.size();
     pending.clear();
   };
 
-  for (std::size_t i = 0; i < length; ++i) {
+  for (std::size_t i = begin; i < length; ++i) {
     const std::size_t dl = std::min(i, ell);
     const std::size_t dr = std::min(tail - i, ell);
-    const std::size_t period = stream->period();
+    const std::size_t period = stream.period();
     const std::size_t phase = period == 2 ? (i & 1) : 0;
     if (period != 0 && dl == ell && dr == ell &&
-        steady_class[phase] != kNoClass) {
-      node_class[i] = steady_class[phase];
-      stream->Advance();
+        st.steady_class[phase] != kNoClass) {
+      st.node_class[i] = st.steady_class[phase];
+      ++st.classes[st.steady_class[phase]].member_count;  // Never empty here.
+      stream.Advance(pool);
       continue;
     }
-    const std::uint64_t h = ClassKeyHash(*stream, dl, dr);
+    const std::uint64_t h = ClassKeyHash(stream, dl, dr);
     std::uint32_t found = kNoClass;
     // find() rather than operator[]: overflow nodes must not leave O(T)
     // empty buckets behind in the degraded path.
-    const auto it = index.find(h);
-    if (it != index.end()) {
+    const auto it = st.index.find(h);
+    if (it != st.index.end()) {
       for (std::uint32_t id : it->second) {
-        if (ClassMatches(classes[id], *stream, dl, dr)) {
+        if (ClassMatches(st.classes[id], stream, dl, dr)) {
           found = id;
           break;
         }
@@ -628,89 +734,277 @@ ChainMqmResult ScanDedup(const ExactEvaluator& eval, NodeValueStream* stream,
       // node would fall to overflow scoring. Post-period keys are bounded
       // by O(max_nearby) (two phases x the clipped-distance combinations),
       // so the memory bound is unchanged.
-      if (classes.size() < max_classes || stream->period() != 0) {
+      if (st.classes.size() < max_classes || stream.period() != 0) {
         NodeClass cls;
         cls.representative = i;
         cls.dl = dl;
         cls.dr = dr;
-        if (stream->free_initial()) {
-          cls.power = stream->power();
+        cls.member_count = 1;
+        if (stream.free_initial()) {
+          cls.power = stream.power();
         } else {
-          cls.marginal = stream->marginal();
+          cls.marginal = stream.marginal();
         }
-        class_value_doubles += cls.power.rows() * cls.power.cols() +
-                               cls.marginal.size();
-        found = static_cast<std::uint32_t>(classes.size());
-        classes.push_back(std::move(cls));
-        index[h].push_back(found);
-      } else {
+        st.class_value_doubles += cls.value_doubles();
+        found = static_cast<std::uint32_t>(st.classes.size());
+        st.classes.push_back(std::move(cls));
+        st.index[h].push_back(found);
+      } else if (allow_overflow) {
         // Class store full: buffer for blocked parallel scoring.
-        pending.push_back(
-            PendingNode{i, ContextFromStream(eval, *stream, i)});
+        st.resumable = false;
+        pending.push_back(PendingNode{i, ContextFromStream(eval, stream, i)});
         if (pending.size() >= pending_block) flush_pending();
+      } else {
+        return false;  // Append path: fall back to a cold scan.
       }
+    } else {
+      NodeClass& cls = st.classes[found];
+      if (cls.member_count == 0) cls.representative = i;  // Re-joined stale.
+      ++cls.member_count;
     }
-    node_class[i] = found;
+    st.node_class[i] = found;
     if (found != kNoClass && period != 0 && dl == ell && dr == ell) {
-      steady_class[phase] = found;
+      st.steady_class[phase] = found;
     }
-    stream->Advance();
+    stream.Advance(pool);
   }
   flush_pending();
+  return true;
+}
 
-  // Score one representative per class; classes are independent (each
-  // worker builds its representative's context from the stored value).
-  std::vector<NodeScore> class_scores = ScoreBlock(
-      eval, length, classes.size(), options.epsilon, ell, pool,
-      [&](std::size_t c) {
-        const NodeClass& cls = classes[c];
-        return stream->free_initial()
+// Scores every class that does not have a stored score yet (all of them
+// after a cold classification; only the re-keyed/appended ones after an
+// append). Classes are independent; each worker builds its
+// representative's context from the stored value.
+void ScoreUnscoredClasses(DedupScanState& st, const ExactEvaluator& eval,
+                          std::size_t length, const ChainMqmOptions& options,
+                          ThreadPool* pool) {
+  std::vector<std::uint32_t> todo;
+  for (std::uint32_t c = 0; c < st.classes.size(); ++c) {
+    if (!st.classes[c].scored) todo.push_back(c);
+  }
+  std::vector<NodeScore> scores = ScoreBlock(
+      eval, length, todo.size(), options.epsilon, options.max_nearby, pool,
+      [&](std::size_t j) {
+        const NodeClass& cls = st.classes[todo[j]];
+        return st.stream->free_initial()
                    ? eval.ContextFromPower(cls.representative, cls.power)
                    : eval.ContextFromMarginal(cls.representative,
                                               cls.marginal);
       });
-  for (std::size_t c = 0; c < classes.size(); ++c) {
-    classes[c].score = std::move(class_scores[c]);
+  for (std::size_t j = 0; j < todo.size(); ++j) {
+    st.classes[todo[j]].score = scores[j];
+    st.classes[todo[j]].scored = true;
   }
+}
 
-  // Reduce over classed nodes in index order (the lowest node attaining
-  // the maximum wins, exactly like the exhaustive walk), then merge the
-  // overflow candidate: on a score tie the lower node index prevails.
+// Reduces over CLASSES (O(mixing + max_nearby), not O(T) — this is what
+// keeps a delta = 1 append sublinear in T). Equivalent to the exhaustive
+// walk's per-node reduce: every node scores exactly its class's winner,
+// and a class's representative is its lowest member, so "lowest node
+// attaining the maximum" is "lowest representative among classes attaining
+// it". The overflow candidate merges after with the same tie rule. The
+// trivial-quilt score is folded in per class at the CURRENT length
+// (NodeWinner), which is the one place length-dependence re-enters after
+// an append.
+void ReduceDedup(DedupScanState& st, const ExactEvaluator& eval,
+                 std::size_t length, const ChainMqmOptions& options) {
   ChainMqmResult result;
   result.sigma_max = -kInf;
   bool have_classed = false;
-  for (std::size_t i = 0; i < length; ++i) {
-    if (node_class[i] == kNoClass) continue;
-    const NodeScore& s = classes[node_class[i]].score;
-    if (s.best.score > result.sigma_max) {
-      result.sigma_max = s.best.score;
-      result.worst_node = static_cast<int>(i);
-      result.active_quilt =
-          TranslateQuilt(s.best.quilt, static_cast<int>(i), length);
-      result.influence = s.best.influence;
+  QuiltCand best_cand;
+  for (const NodeClass& cls : st.classes) {
+    const QuiltCand w = NodeWinner(cls.score, length, options.epsilon);
+    if (w.score > result.sigma_max ||
+        (w.score == result.sigma_max && have_classed &&
+         cls.representative < static_cast<std::size_t>(result.worst_node))) {
+      result.sigma_max = w.score;
+      result.worst_node = static_cast<int>(cls.representative);
+      result.influence = w.influence;
+      best_cand = w;
       have_classed = true;
     }
   }
-  if (overflow_count > 0 &&
-      (!have_classed || overflow_best_score > result.sigma_max ||
-       (overflow_best_score == result.sigma_max &&
-        overflow_best_node < static_cast<std::size_t>(result.worst_node)))) {
-    result.sigma_max = overflow_best_score;
-    result.worst_node = static_cast<int>(overflow_best_node);
-    result.active_quilt = overflow_best.best.quilt;
-    result.influence = overflow_best.best.influence;
+  if (st.fold.count > 0 &&
+      (!have_classed || st.fold.best_score > result.sigma_max ||
+       (st.fold.best_score == result.sigma_max &&
+        st.fold.best_node < static_cast<std::size_t>(result.worst_node)))) {
+    result.sigma_max = st.fold.best_score;
+    result.worst_node = static_cast<int>(st.fold.best_node);
+    result.influence = st.fold.best.influence;
+    best_cand = st.fold.best;
   }
+  result.active_quilt = MaterializeQuilt(best_cand, result.worst_node, length);
   result.total_nodes = length;
-  result.scored_nodes = classes.size() + overflow_count;
+  result.scored_nodes = st.classes.size() + st.fold.count;
   result.ladder_peak_bytes =
-      sizeof(double) * (eval.StoredDoubles() + stream->StoredDoubles() +
-                        class_value_doubles + pending_peak_doubles);
-  return result;
+      sizeof(double) *
+      (eval.StoredDoubles() + st.stream->StoredDoubles() +
+       st.class_value_doubles + st.fold.pending_peak_doubles);
+  st.result = result;
+}
+
+}  // namespace
+
+// The remainder of the scan machinery (cold scans, the append path, the
+// resumable analysis object, and the public entry points) continues below;
+// split so each piece stays reviewable.
+
+namespace {
+
+// A cold deduplicated scan at `length`: fresh stream, fresh class store.
+// make_stream() builds the mode-appropriate cursor.
+template <typename MakeStream>
+void ColdDedupScan(DedupScanState& st, const ExactEvaluator& eval,
+                   std::size_t length, const ChainMqmOptions& options,
+                   ThreadPool* pool, MakeStream make_stream) {
+  st = DedupScanState{};
+  st.stream = make_stream();
+  ClassifyNodes(st, eval, 0, length, options, pool, /*allow_overflow=*/true);
+  ScoreUnscoredClasses(st, eval, length, options, pool);
+  ReduceDedup(st, eval, length, options);
+  st.length = length;
+}
+
+// The append path: re-keys the O(max_nearby) right-boundary nodes whose
+// clipped distance dr = min(T-1-i, ell) changed, classifies the appended
+// nodes with the retained stream cursor, drops classes that lost all
+// members, scores only the new classes, and re-reduces. Returns false when
+// the incremental invariants cannot be maintained (class store at
+// capacity) — the caller then falls back to a cold scan, which is always
+// correct.
+//
+// Bit-identity argument: after the re-key + compaction, the class store
+// holds exactly the classes a cold scan at new_length builds (same keys,
+// same partition — values are compared exactly, never by hash alone), and
+// every retained class score is valid at the new length because scores
+// depend on (value, dl, dr) only (see the NodeClass invariant). The
+// reduce then re-applies the only length-dependent term (the trivial
+// quilt) per node, in the same order with the same tie rules as cold.
+bool AppendDedupScan(DedupScanState& st, const ExactEvaluator& eval,
+                     std::size_t new_length, const ChainMqmOptions& options,
+                     ThreadPool* pool) {
+  const std::size_t ell = options.max_nearby;
+  const std::size_t old_length = st.length;
+  const std::size_t max_classes = MaxClasses(ell);
+  const bool free_initial = st.stream->free_initial();
+
+  // Phase A: re-key boundary nodes i in [old_length - ell, old_length) —
+  // exactly those with old dr < ell — in ascending order (the order a cold
+  // scan first meets their new keys).
+  const std::size_t first =
+      old_length > ell ? old_length - ell : 0;
+  for (std::size_t i = first; i < old_length; ++i) {
+    const std::uint32_t old_id = st.node_class[i];
+    if (old_id == kNoClass) return false;  // Only on non-resumable state.
+    const std::size_t dl = std::min(i, ell);
+    const std::size_t dr = std::min(new_length - 1 - i, ell);
+    const std::uint64_t h = ClassKeyHash(st.classes[old_id], free_initial,
+                                         dl, dr);
+    std::uint32_t found = kNoClass;
+    const auto it = st.index.find(h);
+    if (it != st.index.end()) {
+      for (std::uint32_t id : it->second) {
+        if (ClassMatches(st.classes[id], st.classes[old_id], free_initial, dl,
+                         dr)) {
+          found = id;
+          break;
+        }
+      }
+    }
+    if (found == kNoClass) {
+      if (st.classes.size() >= max_classes) return false;
+      NodeClass cls;
+      cls.representative = i;
+      cls.dl = dl;
+      cls.dr = dr;
+      cls.member_count = 0;  // Incremented below.
+      // Copy the value before push_back: the donor reference would dangle
+      // across a reallocation.
+      if (free_initial) {
+        cls.power = st.classes[old_id].power;
+      } else {
+        cls.marginal = st.classes[old_id].marginal;
+      }
+      st.class_value_doubles += cls.value_doubles();
+      found = static_cast<std::uint32_t>(st.classes.size());
+      st.classes.push_back(std::move(cls));
+      st.index[h].push_back(found);
+    }
+    --st.classes[old_id].member_count;
+    // Re-joining a class that emptied makes this node its lowest member
+    // (any original members with this boundary key sat at lower indices
+    // and re-keyed away earlier in this ascending pass).
+    if (st.classes[found].member_count == 0) {
+      st.classes[found].representative = i;
+    }
+    ++st.classes[found].member_count;
+    st.node_class[i] = found;
+  }
+
+  // Phase B: classify the appended nodes with the retained cursor (which
+  // holds exactly the value a cold scan would stream at node old_length).
+  // Runs BEFORE compaction on purpose: in the steady state the appended
+  // boundary nodes re-join the very classes the re-key just emptied (the
+  // key set is shift-invariant once the marginal has mixed), so compaction
+  // — an O(T) node_class remap — almost never fires on the hot
+  // delta-append path.
+  if (!ClassifyNodes(st, eval, old_length, new_length, options, pool,
+                     /*allow_overflow=*/false)) {
+    return false;
+  }
+
+  // Phase C: compact away classes that lost their last member (stale
+  // boundary keys a cold scan at new_length would never create), so the
+  // class store — and scored_nodes — matches the cold scan exactly.
+  bool any_empty = false;
+  for (const NodeClass& cls : st.classes) {
+    if (cls.member_count == 0) {
+      any_empty = true;
+      break;
+    }
+  }
+  if (any_empty) {
+    std::vector<std::uint32_t> remap(st.classes.size(), kNoClass);
+    std::vector<NodeClass> kept;
+    kept.reserve(st.classes.size());
+    for (std::uint32_t c = 0; c < st.classes.size(); ++c) {
+      if (st.classes[c].member_count == 0) {
+        st.class_value_doubles -= st.classes[c].value_doubles();
+        continue;
+      }
+      remap[c] = static_cast<std::uint32_t>(kept.size());
+      kept.push_back(std::move(st.classes[c]));
+    }
+    st.classes = std::move(kept);
+    st.index.clear();
+    for (std::uint32_t c = 0; c < st.classes.size(); ++c) {
+      const NodeClass& cls = st.classes[c];
+      st.index[ClassKeyHash(cls, free_initial, cls.dl, cls.dr)].push_back(c);
+    }
+    for (std::uint32_t& id : st.node_class) {
+      if (id != kNoClass) id = remap[id];
+    }
+    for (std::uint32_t& id : st.steady_class) {
+      // Steady classes are interior (dl == dr == ell) and keep all their
+      // members, so they always survive compaction.
+      if (id != kNoClass) id = remap[id];
+    }
+  }
+
+  // Phase D + E: score the classes created above, re-reduce at the new
+  // length.
+  ScoreUnscoredClasses(st, eval, new_length, options, pool);
+  ReduceDedup(st, eval, new_length, options);
+  st.length = new_length;
+  return true;
 }
 
 // The exhaustive reference scan (dedup_nodes = false): every node scored,
 // in streamed blocks of bounded memory. Kept for verification and the
-// long-chain benchmark's pre-optimization baseline.
+// long-chain benchmark's pre-optimization baseline. Not resumable — each
+// call streams from node 0 (the retained evaluator still amortizes the
+// table construction across extensions).
 ChainMqmResult ScanExhaustive(const ExactEvaluator& eval,
                               NodeValueStream* stream, std::size_t length,
                               const ChainMqmOptions& options,
@@ -721,6 +1015,7 @@ ChainMqmResult ScanExhaustive(const ExactEvaluator& eval,
       std::min(block, length));
   ChainMqmResult result;
   result.sigma_max = -kInf;
+  QuiltCand best_cand;
   std::size_t peak_context_doubles = 0;
   for (std::size_t start = 0; start < length; start += block) {
     const std::size_t n = std::min(block, length - start);
@@ -728,7 +1023,7 @@ ChainMqmResult ScanExhaustive(const ExactEvaluator& eval,
     for (std::size_t j = 0; j < n; ++j) {
       contexts[j] = ContextFromStream(eval, *stream, start + j);
       context_doubles += contexts[j].term1.rows() * contexts[j].term1.cols();
-      stream->Advance();
+      stream->Advance(pool);
     }
     peak_context_doubles = std::max(peak_context_doubles, context_doubles);
     const std::vector<NodeScore> scores = ScoreBlock(
@@ -737,14 +1032,16 @@ ChainMqmResult ScanExhaustive(const ExactEvaluator& eval,
           return contexts[j];
         });
     for (std::size_t j = 0; j < n; ++j) {
-      if (scores[j].best.score > result.sigma_max) {
-        result.sigma_max = scores[j].best.score;
+      const QuiltCand w = NodeWinner(scores[j], length, options.epsilon);
+      if (w.score > result.sigma_max) {
+        result.sigma_max = w.score;
         result.worst_node = static_cast<int>(start + j);
-        result.active_quilt = scores[j].best.quilt;
-        result.influence = scores[j].best.influence;
+        result.influence = w.influence;
+        best_cand = w;
       }
     }
   }
+  result.active_quilt = MaterializeQuilt(best_cand, result.worst_node, length);
   result.total_nodes = length;
   result.scored_nodes = length;
   result.ladder_peak_bytes =
@@ -753,62 +1050,269 @@ ChainMqmResult ScanExhaustive(const ExactEvaluator& eval,
   return result;
 }
 
-ChainMqmResult ScanAllNodes(const ExactEvaluator& eval,
-                            NodeValueStream* stream, std::size_t length,
-                            const ChainMqmOptions& options, ThreadPool* pool) {
-  return options.dedup_nodes
-             ? ScanDedup(eval, stream, length, options, pool)
-             : ScanExhaustive(eval, stream, length, options, pool);
-}
+// Constructs the worker pool on first request only. Results are
+// bit-identical for every thread count, so the scan paths are free to
+// skip the pool entirely — which matters for the streaming append: a
+// delta = 1 ExtendTo does ~O(max_nearby * k^2) work, and spawning (then
+// joining) hardware-concurrency OS threads around it would dominate the
+// serving tick this path exists to make cheap. Cold scans and bulk
+// appends request the pool; small appends never do.
+class LazyPool {
+ public:
+  explicit LazyPool(std::size_t num_threads) : num_threads_(num_threads) {}
 
-Result<ChainMqmResult> AnalyzeOneTheta(const MarkovChain& theta,
-                                       std::size_t length,
-                                       const ChainMqmOptions& options,
-                                       ThreadPool* pool) {
-  ChainMqmResult result;
-  // Stationary shortcut: if q == pi (and pi > 0), the max-influence of every
-  // interior quilt is independent of i and the middle node attains
-  // sigma_max (Lemma C.4's argument applies verbatim to exact influences:
-  // each Eq. (5) term is nonnegative after adding the marginal term).
-  bool shortcut = false;
-  if (options.allow_stationary_shortcut && length >= 3) {
-    Result<Vector> pi = theta.StationaryDistribution();
-    if (pi.ok() && DistanceL1(pi.value(), theta.initial()) < 1e-9 &&
-        *std::min_element(pi.value().begin(), pi.value().end()) > 0.0) {
-      shortcut = true;
-    }
+  // The pool, spawning it on first call; nullptr when one thread resolves
+  // (the same convention the one-shot entry points used).
+  ThreadPool* get() {
+    if (!pool_.has_value()) pool_.emplace(num_threads_);
+    return pool_->num_threads() > 1 ? &*pool_ : nullptr;
   }
-  ExactEvaluator eval(theta.transition(), /*free_initial=*/false);
-  eval.Prepare(FamilyMaxDistance(length, options.max_nearby), pool);
-  if (shortcut) {
+
+ private:
+  std::size_t num_threads_;
+  std::optional<ThreadPool> pool_;
+};
+
+// Persistent per-theta analysis state: the evaluator (extend-only), the
+// stationary-shortcut cursor, and the dedup scan state. One ThetaState per
+// element of the class Theta.
+struct ThetaState {
+  // Exactly one of these is set: the chain (explicit mode) or the bare
+  // transition (free-initial mode). Both point into the owning
+  // ChainMqmAnalysis::Impl, whose vectors never reallocate after creation.
+  const MarkovChain* theta = nullptr;
+  const Matrix* transition = nullptr;
+
+  ExactEvaluator eval;
+  // True iff the initial distribution matches the stationary distribution
+  // (the Section 4.4.1 shortcut precondition; length-independent, so it is
+  // computed once). Always false in free-initial mode.
+  bool stationary_initial = false;
+  // Shortcut cursor: the marginal stream advanced to mid_pos (<= the
+  // current middle node; middles are monotone in length).
+  std::unique_ptr<NodeValueStream> mid_stream;
+  std::size_t mid_pos = 0;
+
+  std::unique_ptr<DedupScanState> scan;
+  ChainMqmResult result;
+
+  ThetaState(const MarkovChain* chain, const Matrix& p, bool free_initial)
+      : theta(chain), transition(&p), eval(p, free_initial) {}
+
+  std::unique_ptr<NodeValueStream> MakeStream() const {
+    return theta != nullptr
+               ? std::make_unique<NodeValueStream>(*transition,
+                                                   theta->initial())
+               : std::make_unique<NodeValueStream>(*transition,
+                                                   FreeInitialTag{});
+  }
+};
+
+// Analyzes (or re-analyzes after an extension) one theta at `length`,
+// reusing whatever retained state applies. Mirrors the cold control flow
+// exactly — shortcut attempt first, full scan on fall-through — so the
+// mode decisions (and hence every result bit, including
+// used_stationary_shortcut) match a cold analysis at `length`.
+void AnalyzeThetaAt(ThetaState& st, std::size_t length,
+                    const ChainMqmOptions& options, LazyPool* lazy) {
+  const std::size_t family_distance =
+      FamilyMaxDistance(length, options.max_nearby);
+  // The table build is the one O(ell * k^3) step; request the pool only
+  // when there is actually something to build.
+  st.eval.Prepare(family_distance,
+                  st.eval.max_distance() < family_distance ? lazy->get()
+                                                           : nullptr);
+  if (options.allow_stationary_shortcut && st.stationary_initial &&
+      length >= 3) {
+    // Stationary shortcut: the max-influence of every interior quilt is
+    // independent of i and the middle node attains sigma_max (Lemma C.4's
+    // argument applies verbatim to exact influences: each Eq. (5) term is
+    // nonnegative after adding the marginal term).
     const std::size_t mid = length / 2;
-    // The marginal at the middle node, by the same recurrence the full
-    // scan streams (bit-identical to the exhaustive path's value).
-    NodeValueStream stream(theta.transition(), theta.initial());
-    for (std::size_t t = 0; t < mid; ++t) stream.Advance();
-    NodeScore mid_score =
-        ScoreNode(eval, length, ContextFromStream(eval, stream, mid),
+    if (st.mid_stream == nullptr) {
+      st.mid_stream = st.MakeStream();
+      st.mid_pos = 0;
+    }
+    while (st.mid_pos < mid) {
+      st.mid_stream->Advance();
+      ++st.mid_pos;
+    }
+    const NodeScore mid_score =
+        ScoreNode(st.eval, length,
+                  ContextFromStream(st.eval, *st.mid_stream, mid),
                   options.epsilon, options.max_nearby);
-    if (IsInteriorTwoSided(mid_score.best.quilt, length) ||
-        mid_score.best.quilt.quilt.empty()) {
-      result.sigma_max = mid_score.best.score;
+    const QuiltCand w = NodeWinner(mid_score, length, options.epsilon);
+    const MarkovQuilt quilt =
+        MaterializeQuilt(w, static_cast<int>(mid), length);
+    if (IsInteriorTwoSided(quilt, length) || quilt.quilt.empty()) {
+      ChainMqmResult result;
+      result.sigma_max = w.score;
       result.worst_node = static_cast<int>(mid);
-      result.active_quilt = mid_score.best.quilt;
-      result.influence = mid_score.best.influence;
+      result.active_quilt = quilt;
+      result.influence = w.influence;
       result.used_stationary_shortcut = true;
       result.total_nodes = length;
       result.scored_nodes = 1;
       result.ladder_peak_bytes =
-          sizeof(double) * (eval.StoredDoubles() + stream.StoredDoubles());
-      return result;
+          sizeof(double) *
+          (st.eval.StoredDoubles() + st.mid_stream->StoredDoubles());
+      st.result = result;
+      return;
     }
     // One-sided optimum at the middle: fall through to the full scan.
   }
-  NodeValueStream stream(theta.transition(), theta.initial());
-  return ScanAllNodes(eval, &stream, length, options, pool);
+  if (!options.dedup_nodes) {
+    auto stream = st.MakeStream();
+    st.result =
+        ScanExhaustive(st.eval, stream.get(), length, options, lazy->get());
+    return;
+  }
+  if (st.scan == nullptr || !st.scan->resumable ||
+      st.scan->length > length) {
+    st.scan = std::make_unique<DedupScanState>();
+    ColdDedupScan(*st.scan, st.eval, length, options, lazy->get(),
+                  [&] { return st.MakeStream(); });
+  } else if (st.scan->length < length) {
+    // Small appends run poolless (the work is O(max_nearby + delta), far
+    // below thread-spawn cost); bulk appends fan out like a cold scan.
+    constexpr std::size_t kParallelAppendThreshold = 1024;
+    ThreadPool* pool = length - st.scan->length >= kParallelAppendThreshold
+                           ? lazy->get()
+                           : nullptr;
+    if (!AppendDedupScan(*st.scan, st.eval, length, options, pool)) {
+      st.scan = std::make_unique<DedupScanState>();
+      ColdDedupScan(*st.scan, st.eval, length, options, lazy->get(),
+                    [&] { return st.MakeStream(); });
+    }
+  }
+  // st.scan->length == length: the stored result is current.
+  st.result = st.scan->result;
 }
 
 }  // namespace
+
+// ------------------------------------------------------ ChainMqmAnalysis --
+
+struct ChainMqmAnalysis::Impl {
+  ChainMqmOptions options;
+  std::size_t length = 0;
+  bool free_initial = false;
+  // Owned model; ThetaStates hold pointers into these vectors (stable: the
+  // vectors are filled once and never resized afterwards).
+  std::vector<MarkovChain> thetas;
+  std::vector<Matrix> transitions;
+  std::vector<std::unique_ptr<ThetaState>> states;
+  ChainMqmResult result;
+
+  // Runs every theta at `new_length` and reduces across the class (worst
+  // sigma wins; the first theta attaining it, like the one-shot scan).
+  void RunAt(std::size_t new_length) {
+    // Lazy: a steady-state small append never pays thread spawn/join.
+    LazyPool lazy(options.num_threads);
+    ChainMqmResult worst;
+    worst.sigma_max = -kInf;
+    std::size_t total_nodes = 0, scored_nodes = 0, ladder_peak = 0;
+    for (auto& st : states) {
+      AnalyzeThetaAt(*st, new_length, options, &lazy);
+      total_nodes += st->result.total_nodes;
+      scored_nodes += st->result.scored_nodes;
+      ladder_peak = std::max(ladder_peak, st->result.ladder_peak_bytes);
+      if (st->result.sigma_max > worst.sigma_max) worst = st->result;
+    }
+    worst.total_nodes = total_nodes;
+    worst.scored_nodes = scored_nodes;
+    worst.ladder_peak_bytes = ladder_peak;
+    result = worst;
+    length = new_length;
+  }
+};
+
+ChainMqmAnalysis::ChainMqmAnalysis(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+ChainMqmAnalysis::ChainMqmAnalysis(ChainMqmAnalysis&&) noexcept = default;
+ChainMqmAnalysis& ChainMqmAnalysis::operator=(ChainMqmAnalysis&&) noexcept =
+    default;
+ChainMqmAnalysis::~ChainMqmAnalysis() = default;
+
+std::size_t ChainMqmAnalysis::length() const { return impl_->length; }
+const ChainMqmResult& ChainMqmAnalysis::result() const {
+  return impl_->result;
+}
+
+Result<ChainMqmAnalysis> ChainMqmAnalysis::Analyze(
+    std::vector<MarkovChain> thetas, std::size_t length,
+    const ChainMqmOptions& options) {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({options.epsilon}));
+  if (thetas.empty()) return Status::InvalidArgument("empty chain class");
+  if (length == 0) return Status::InvalidArgument("length must be positive");
+  for (const MarkovChain& theta : thetas) {
+    if (theta.num_states() > 64) {
+      return Status::NotSupported("exact influence supports at most 64 states");
+    }
+    if (theta.num_states() != thetas.front().num_states()) {
+      return Status::InvalidArgument("state-space mismatch in Theta");
+    }
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  impl->free_initial = false;
+  impl->thetas = std::move(thetas);
+  impl->states.reserve(impl->thetas.size());
+  for (const MarkovChain& theta : impl->thetas) {
+    auto st = std::make_unique<ThetaState>(&theta, theta.transition(),
+                                           /*free_initial=*/false);
+    // The shortcut precondition q == pi (and pi > 0) is length-independent;
+    // decide it once so every later extension makes the same mode choice a
+    // cold analysis would.
+    Result<Vector> pi = theta.StationaryDistribution();
+    if (pi.ok() && DistanceL1(pi.value(), theta.initial()) < 1e-9 &&
+        *std::min_element(pi.value().begin(), pi.value().end()) > 0.0) {
+      st->stationary_initial = true;
+    }
+    impl->states.push_back(std::move(st));
+  }
+  impl->RunAt(length);
+  return ChainMqmAnalysis(std::move(impl));
+}
+
+Result<ChainMqmAnalysis> ChainMqmAnalysis::AnalyzeFreeInitial(
+    std::vector<Matrix> transitions, std::size_t length,
+    const ChainMqmOptions& options) {
+  PF_RETURN_NOT_OK(ValidatePrivacyParams({options.epsilon}));
+  if (transitions.empty()) return Status::InvalidArgument("empty class");
+  if (length == 0) return Status::InvalidArgument("length must be positive");
+  for (const Matrix& p : transitions) {
+    if (p.rows() != p.cols() || p.rows() > 64 || !p.IsRowStochastic(1e-8)) {
+      return Status::InvalidArgument(
+          "transition matrices must be row-stochastic with <= 64 states");
+    }
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  impl->free_initial = true;
+  impl->transitions = std::move(transitions);
+  impl->states.reserve(impl->transitions.size());
+  for (const Matrix& p : impl->transitions) {
+    impl->states.push_back(
+        std::make_unique<ThetaState>(nullptr, p, /*free_initial=*/true));
+  }
+  impl->RunAt(length);
+  return ChainMqmAnalysis(std::move(impl));
+}
+
+Status ChainMqmAnalysis::ExtendTo(std::size_t new_length) {
+  if (new_length < impl_->length) {
+    return Status::InvalidArgument(
+        "ExtendTo can only grow the chain: analysis is at length " +
+        std::to_string(impl_->length) + ", requested " +
+        std::to_string(new_length) + "; create a new analysis to shrink");
+  }
+  if (new_length == impl_->length) return Status::OK();
+  impl_->RunAt(new_length);
+  return Status::OK();
+}
+
+// ---------------------------------------------------- one-shot entry points
 
 Result<double> ChainQuiltInfluenceExact(const MarkovChain& theta,
                                         std::size_t length,
@@ -846,66 +1350,18 @@ Result<double> ChainQuiltInfluenceExact(const MarkovChain& theta,
 Result<ChainMqmResult> MqmExactAnalyze(const std::vector<MarkovChain>& thetas,
                                        std::size_t length,
                                        const ChainMqmOptions& options) {
-  PF_RETURN_NOT_OK(ValidatePrivacyParams({options.epsilon}));
-  if (thetas.empty()) return Status::InvalidArgument("empty chain class");
-  if (length == 0) return Status::InvalidArgument("length must be positive");
-  for (const MarkovChain& theta : thetas) {
-    if (theta.num_states() > 64) {
-      return Status::NotSupported("exact influence supports at most 64 states");
-    }
-    if (theta.num_states() != thetas.front().num_states()) {
-      return Status::InvalidArgument("state-space mismatch in Theta");
-    }
-  }
-  ThreadPool pool(options.num_threads);
-  ThreadPool* pool_ptr = pool.num_threads() > 1 ? &pool : nullptr;
-  ChainMqmResult worst;
-  worst.sigma_max = -kInf;
-  std::size_t total_nodes = 0, scored_nodes = 0, ladder_peak = 0;
-  for (const MarkovChain& theta : thetas) {
-    PF_ASSIGN_OR_RETURN(ChainMqmResult r,
-                        AnalyzeOneTheta(theta, length, options, pool_ptr));
-    total_nodes += r.total_nodes;
-    scored_nodes += r.scored_nodes;
-    ladder_peak = std::max(ladder_peak, r.ladder_peak_bytes);
-    if (r.sigma_max > worst.sigma_max) worst = r;
-  }
-  worst.total_nodes = total_nodes;
-  worst.scored_nodes = scored_nodes;
-  worst.ladder_peak_bytes = ladder_peak;
-  return worst;
+  PF_ASSIGN_OR_RETURN(ChainMqmAnalysis analysis,
+                      ChainMqmAnalysis::Analyze(thetas, length, options));
+  return analysis.result();
 }
 
 Result<ChainMqmResult> MqmExactAnalyzeFreeInitial(
     const std::vector<Matrix>& transitions, std::size_t length,
     const ChainMqmOptions& options) {
-  PF_RETURN_NOT_OK(ValidatePrivacyParams({options.epsilon}));
-  if (transitions.empty()) return Status::InvalidArgument("empty class");
-  if (length == 0) return Status::InvalidArgument("length must be positive");
-  ThreadPool pool(options.num_threads);
-  ThreadPool* pool_ptr = pool.num_threads() > 1 ? &pool : nullptr;
-  ChainMqmResult worst;
-  worst.sigma_max = -kInf;
-  std::size_t total_nodes = 0, scored_nodes = 0, ladder_peak = 0;
-  for (const Matrix& p : transitions) {
-    if (p.rows() != p.cols() || p.rows() > 64 || !p.IsRowStochastic(1e-8)) {
-      return Status::InvalidArgument(
-          "transition matrices must be row-stochastic with <= 64 states");
-    }
-    ExactEvaluator eval(p, /*free_initial=*/true);
-    eval.Prepare(FamilyMaxDistance(length, options.max_nearby), pool_ptr);
-    NodeValueStream stream(p, pool_ptr);
-    const ChainMqmResult r =
-        ScanAllNodes(eval, &stream, length, options, pool_ptr);
-    total_nodes += r.total_nodes;
-    scored_nodes += r.scored_nodes;
-    ladder_peak = std::max(ladder_peak, r.ladder_peak_bytes);
-    if (r.sigma_max > worst.sigma_max) worst = r;
-  }
-  worst.total_nodes = total_nodes;
-  worst.scored_nodes = scored_nodes;
-  worst.ladder_peak_bytes = ladder_peak;
-  return worst;
+  PF_ASSIGN_OR_RETURN(
+      ChainMqmAnalysis analysis,
+      ChainMqmAnalysis::AnalyzeFreeInitial(transitions, length, options));
+  return analysis.result();
 }
 
 }  // namespace pf

@@ -18,6 +18,7 @@
 #define PUFFERFISH_PUFFERFISH_MQM_EXACT_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/random.h"
@@ -28,7 +29,10 @@
 
 namespace pf {
 
-/// Options for the chain-specialized quilt searches.
+/// Options for the chain-specialized quilt searches. Fixed per analysis:
+/// a resumable ChainMqmAnalysis carries its options across ExtendTo calls
+/// (the growing length is the only thing that changes), and the cache
+/// layer keys analysis chains by (options, model, epsilon) minus length.
 struct ChainMqmOptions {
   /// Privacy parameter epsilon.
   double epsilon = 1.0;
@@ -91,6 +95,65 @@ struct ChainMqmResult {
                ? 1.0
                : static_cast<double>(total_nodes) / static_cast<double>(scored_nodes);
   }
+};
+
+/// \brief A resumable MQMExact analysis for growing chains (the streaming /
+/// continual-release workload).
+///
+/// The sigma analysis is data-independent, and when a chain grows from T to
+/// T' = T + delta almost every per-node score is provably unchanged: only
+/// the O(max_nearby) right-boundary nodes whose clipped distance
+/// min(T-1-i, ell) changed need re-keying, plus the delta appended nodes.
+/// ChainMqmAnalysis therefore retains the analysis state between lengths —
+/// the power/table evaluator (extend-only), the dedup class store with its
+/// boundary-clipped distance keys, the streaming value cursor, and (under
+/// the stationary shortcut) the middle-node cursor — and ExtendTo(T')
+/// reuses every interior class verbatim.
+///
+/// Guarantees:
+///  - ExtendTo(T') is BIT-identical to a cold analysis at T' — sigma_max,
+///    worst node, active quilt, influence, shortcut flag, and the dedup
+///    diagnostics (scored_nodes, ladder_peak_bytes) — for every chain
+///    variant (stationary / non-stationary / free-initial), shortcut
+///    setting, and thread count. Chained extensions (T -> T+1 -> ... ->
+///    T+delta) equal the one-shot analysis at T+delta.
+///  - ExtendTo only grows: new_length < length() is InvalidArgument (build
+///    a fresh analysis to shrink); new_length == length() is a no-op.
+///  - Cost: O(max_nearby) rescored classes + O(delta) streamed nodes +
+///    an O(T') reduce of stored per-class scores — no per-node sigma_i
+///    work on the interior. Paths that keep no per-node state (the
+///    exhaustive reference scan, or a dedup scan whose class store
+///    overflowed) transparently fall back to a cold re-analysis, which is
+///    always correct, just not incremental.
+///
+/// Not thread-safe: callers serialize ExtendTo (the AnalysisCache does).
+class ChainMqmAnalysis {
+ public:
+  /// Algorithm 3 over an explicit class of chains, resumably.
+  static Result<ChainMqmAnalysis> Analyze(std::vector<MarkovChain> thetas,
+                                          std::size_t length,
+                                          const ChainMqmOptions& options);
+  /// Algorithm 3 with the Appendix C.4 free-initial class, resumably.
+  static Result<ChainMqmAnalysis> AnalyzeFreeInitial(
+      std::vector<Matrix> transitions, std::size_t length,
+      const ChainMqmOptions& options);
+
+  ChainMqmAnalysis(ChainMqmAnalysis&&) noexcept;
+  ChainMqmAnalysis& operator=(ChainMqmAnalysis&&) noexcept;
+  ~ChainMqmAnalysis();
+
+  /// Chain length the analysis currently covers.
+  std::size_t length() const;
+  /// The analysis result at length() — identical to what MqmExactAnalyze
+  /// (or the free-initial variant) returns for the same model and length.
+  const ChainMqmResult& result() const;
+  /// Re-analyzes at new_length >= length(), incrementally where possible.
+  Status ExtendTo(std::size_t new_length);
+
+ private:
+  struct Impl;
+  explicit ChainMqmAnalysis(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
 };
 
 /// \brief Exact max-influence e_{theta}(X_Q | X_i) of a chain quilt

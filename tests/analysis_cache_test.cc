@@ -123,6 +123,84 @@ TEST(AnalysisCacheTest, ConcurrentGetOrAnalyzeServesOnePlan) {
   }
 }
 
+// ------------------------------------------- prefix-fingerprint chaining --
+
+void ExpectPlansBitIdentical(const MechanismPlan& got,
+                             const MechanismPlan& want) {
+  EXPECT_EQ(got.kind, want.kind);
+  EXPECT_EQ(got.epsilon, want.epsilon);
+  EXPECT_EQ(got.sigma, want.sigma);
+  EXPECT_EQ(got.applicable, want.applicable);
+  EXPECT_EQ(got.chain.sigma_max, want.chain.sigma_max);
+  EXPECT_EQ(got.chain.worst_node, want.chain.worst_node);
+  EXPECT_EQ(got.chain.influence, want.chain.influence);
+  EXPECT_EQ(got.chain.active_quilt.quilt, want.chain.active_quilt.quilt);
+  EXPECT_EQ(got.chain.scored_nodes, want.chain.scored_nodes);
+  EXPECT_EQ(got.chain.ladder_peak_bytes, want.chain.ladder_peak_bytes);
+}
+
+TEST(AnalysisCacheTest, GetOrExtendChainsPlansAcrossLengths) {
+  AnalysisCache cache;
+  const MqmExactUnified at100({TestChain(0.8, 0.7)}, 100);
+  const MqmExactUnified at130({TestChain(0.8, 0.7)}, 130);
+  EXPECT_NE(at100.Fingerprint(), at130.Fingerprint());
+  EXPECT_EQ(at100.PrefixFingerprint(), at130.PrefixFingerprint());
+
+  const auto short_plan = cache.GetOrExtend(at100, 1.0).ValueOrDie();
+  EXPECT_EQ(cache.stats().extensions, 0u);  // Cold seed, nothing to extend.
+  const auto long_plan = cache.GetOrExtend(at130, 1.0).ValueOrDie();
+  EXPECT_EQ(cache.stats().extensions, 1u);  // Extended 100 -> 130.
+  EXPECT_NE(short_plan.get(), long_plan.get());
+
+  // The extended plan is bit-identical to a cold analysis at 130.
+  const MechanismPlan cold = at130.Analyze(1.0).ValueOrDie();
+  ExpectPlansBitIdentical(*long_plan, cold);
+
+  // The exact key is now warm: repeating is a plain hit, no new extension.
+  const auto again = cache.GetOrExtend(at130, 1.0).ValueOrDie();
+  EXPECT_EQ(again.get(), long_plan.get());
+  EXPECT_EQ(cache.stats().extensions, 1u);
+}
+
+TEST(AnalysisCacheTest, GetOrExtendChainedAppendsStayIdentical) {
+  AnalysisCache cache;
+  double prev_sigma = 0.0;
+  for (std::size_t t : {std::size_t{50}, std::size_t{51}, std::size_t{60},
+                        std::size_t{200}}) {
+    const MqmExactUnified mech({TestChain(0.9, 0.6)}, t);
+    const auto plan = cache.GetOrExtend(mech, 1.0).ValueOrDie();
+    ExpectPlansBitIdentical(*plan, mech.Analyze(1.0).ValueOrDie());
+    prev_sigma = plan->sigma;
+  }
+  EXPECT_GT(prev_sigma, 0.0);
+  EXPECT_EQ(cache.stats().extensions, 3u);
+}
+
+TEST(AnalysisCacheTest, GetOrExtendFreeInitialAndFallbacks) {
+  AnalysisCache cache;
+  const Matrix p{{0.85, 0.15}, {0.25, 0.75}};
+  const MqmExactFreeInitialUnified at80({p}, 80);
+  const MqmExactFreeInitialUnified at95({p}, 95);
+  (void)cache.GetOrExtend(at80, 1.0).ValueOrDie();
+  const auto extended = cache.GetOrExtend(at95, 1.0).ValueOrDie();
+  EXPECT_EQ(cache.stats().extensions, 1u);
+  ExpectPlansBitIdentical(*extended, at95.Analyze(1.0).ValueOrDie());
+
+  // Shrinking re-seeds cold (analyses only extend forward) but still
+  // serves a correct plan.
+  const MqmExactFreeInitialUnified at60({p}, 60);
+  const auto shrunk = cache.GetOrExtend(at60, 1.0).ValueOrDie();
+  ExpectPlansBitIdentical(*shrunk, at60.Analyze(1.0).ValueOrDie());
+  EXPECT_EQ(cache.stats().extensions, 1u);
+
+  // Mechanisms without resumable analyses degrade to GetOrAnalyze.
+  const LaplaceDpUnified laplace(1.0);
+  EXPECT_EQ(laplace.PrefixFingerprint(), 0u);
+  const auto a = cache.GetOrExtend(laplace, 1.0).ValueOrDie();
+  const auto b = cache.GetOrExtend(laplace, 1.0).ValueOrDie();
+  EXPECT_EQ(a.get(), b.get());
+}
+
 TEST(AnalysisCacheTest, ConcurrentHitsCountExactly) {
   // The hit path bumps the per-plan counter and the stats outside the
   // cache mutex (relaxed atomics); nothing may be lost or double-counted.

@@ -101,6 +101,30 @@ TEST(CompositionTest, ResetForgetsEverything) {
   EXPECT_TRUE(acc.MatchesActiveQuilt(ChainQuilt(10, 5, 1, 1).ValueOrDie()));
 }
 
+// The deterministic budget-admission tie rule: floating-point dust at
+// exact-fit boundaries is forgiven, genuine overruns never are.
+TEST(CompositionTest, ComposedBudgetAdmitsTieRule) {
+  // Exact-fit ties (K * eps == B in the reals, off by ulps in doubles).
+  EXPECT_TRUE(ComposedBudgetAdmits(3, 0.1, 0.3));
+  EXPECT_TRUE(ComposedBudgetAdmits(7, 0.1, 0.7));
+  EXPECT_TRUE(ComposedBudgetAdmits(3, 0.2, 0.6));
+  EXPECT_TRUE(ComposedBudgetAdmits(7, 0.7, 4.9));
+  EXPECT_TRUE(ComposedBudgetAdmits(1000000, 0.1, 100000.0));
+  // One release past the tie is a genuine overrun.
+  EXPECT_FALSE(ComposedBudgetAdmits(4, 0.1, 0.3));
+  EXPECT_FALSE(ComposedBudgetAdmits(8, 0.1, 0.7));
+  EXPECT_FALSE(ComposedBudgetAdmits(1000001, 0.1, 100000.0));
+  // Tiny-but-real overruns beyond rounding dust are refused too.
+  EXPECT_FALSE(ComposedBudgetAdmits(3, 0.100000001, 0.3));
+  // Strictly-under fits always admit; unmetered budgets admit anything
+  // finite; an infinite composed level never fits a finite budget.
+  EXPECT_TRUE(ComposedBudgetAdmits(2, 0.1, 0.3));
+  EXPECT_TRUE(ComposedBudgetAdmits(1u << 20, 1e6,
+                                   std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(
+      ComposedBudgetAdmits(1, std::numeric_limits<double>::infinity(), 1.0));
+}
+
 // End-to-end: the same analysis re-run with identical inputs picks the same
 // active quilt, so repeated releases compose (the Theorem 4.4 setting).
 TEST(CompositionTest, RepeatedAnalysesShareActiveQuilt) {

@@ -242,6 +242,63 @@ TEST(PrivacyEngineTest, AnalyzeStatsSurfaceDedupAndLadder) {
   EXPECT_EQ(engine->cache_stats().misses, before.misses);
 }
 
+// ------------------------------------------------- streaming / appends --
+
+TEST(PrivacyEngineTest, AppendObservationsExtendsCachedAnalyses) {
+  EngineOptions options;
+  options.exact_max_nearby = 10;
+  auto engine =
+      PrivacyEngine::Create(ShortChainModel(100), options).ValueOrDie();
+  const auto at100 = engine->Compile(QuerySpec::Mean(1.0)).ValueOrDie();
+  EXPECT_EQ(engine->cache_stats().extensions, 0u);
+
+  ASSERT_TRUE(engine->AppendObservations(25).ok());
+  EXPECT_EQ(engine->record_length(), 125u);
+  const auto at125 = engine->Compile(QuerySpec::Mean(1.0)).ValueOrDie();
+  // The plan was EXTENDED from the cached T=100 analysis, not re-analyzed.
+  EXPECT_EQ(engine->cache_stats().extensions, 1u);
+  // The compiled query was invalidated: its Lipschitz constant follows the
+  // new length ((k-1)/T for the mean).
+  EXPECT_DOUBLE_EQ(at100.query.lipschitz, 1.0 / 100.0);
+  EXPECT_DOUBLE_EQ(at125.query.lipschitz, 1.0 / 125.0);
+
+  // And the extended plan is bit-identical to a cold engine built at 125.
+  auto cold = PrivacyEngine::Create(ShortChainModel(125), options).ValueOrDie();
+  const auto cold_plan = cold->Compile(QuerySpec::Mean(1.0)).ValueOrDie();
+  EXPECT_EQ(at125.plan->sigma, cold_plan.plan->sigma);
+  EXPECT_EQ(at125.plan->chain.worst_node, cold_plan.plan->chain.worst_node);
+  EXPECT_EQ(at125.plan->chain.active_quilt.quilt,
+            cold_plan.plan->chain.active_quilt.quilt);
+  EXPECT_EQ(at125.plan->chain.scored_nodes,
+            cold_plan.plan->chain.scored_nodes);
+}
+
+TEST(PrivacyEngineTest, AppendCanCrossThePolicyCutoff) {
+  EngineOptions options;
+  options.approx_length_cutoff = 150;
+  auto engine =
+      PrivacyEngine::Create(ShortChainModel(100), options).ValueOrDie();
+  EXPECT_EQ(engine->mechanism_kind(), MechanismKind::kMqmExact);
+  ASSERT_TRUE(engine->AppendObservations(100).ok());
+  // Past the cutoff the policy re-selects MQMApprox (length-independent
+  // analysis); serving keeps working.
+  EXPECT_EQ(engine->mechanism_kind(), MechanismKind::kMqmApprox);
+  EXPECT_TRUE(engine->Compile(QuerySpec::Mean(1.0)).ok());
+}
+
+TEST(PrivacyEngineTest, SetRecordLengthValidation) {
+  auto engine = PrivacyEngine::Create(ShortChainModel(100)).ValueOrDie();
+  EXPECT_EQ(engine->SetRecordLength(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(engine->SetRecordLength(100).ok());  // No-op.
+  EXPECT_TRUE(engine->SetRecordLength(40).ok());   // Shrink re-analyzes cold.
+  EXPECT_EQ(engine->record_length(), 40u);
+  EXPECT_TRUE(engine->Compile(QuerySpec::Mean(1.0)).ok());
+
+  // Models without a record-length dimension refuse the hot-swap.
+  auto laplace = PrivacyEngine::Create(ModelSpec::Sensitivity(1.0)).ValueOrDie();
+  EXPECT_EQ(laplace->AppendObservations(5).code(), StatusCode::kNotSupported);
+}
+
 TEST(PrivacyEngineTest, NonChainMechanismsReportZeroStats) {
   auto engine =
       PrivacyEngine::Create(ModelSpec::Sensitivity(1.0)).ValueOrDie();

@@ -1,0 +1,247 @@
+// Streaming bit-identity suite: ChainMqmAnalysis::ExtendTo(T') must equal
+// a cold analysis at T' — sigma_max, worst node, active quilt, influence,
+// shortcut flag, AND the dedup diagnostics (scored_nodes /
+// ladder_peak_bytes, which certify that the retained class store ends up
+// in exactly the state a cold scan builds) — across stationary /
+// non-stationary / free-initial chains, shortcut on/off, and thread
+// counts; plus chained extensions equal the one-shot analysis.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "graphical/markov_chain.h"
+#include "pufferfish/mqm_exact.h"
+
+namespace pf {
+namespace {
+
+void ExpectBitIdentical(const ChainMqmResult& got,
+                        const ChainMqmResult& want) {
+  EXPECT_EQ(got.sigma_max, want.sigma_max);
+  EXPECT_EQ(got.worst_node, want.worst_node);
+  EXPECT_EQ(got.influence, want.influence);
+  EXPECT_EQ(got.active_quilt.target, want.active_quilt.target);
+  EXPECT_EQ(got.active_quilt.quilt, want.active_quilt.quilt);
+  EXPECT_EQ(got.active_quilt.nearby_count, want.active_quilt.nearby_count);
+  EXPECT_EQ(got.used_stationary_shortcut, want.used_stationary_shortcut);
+  EXPECT_EQ(got.total_nodes, want.total_nodes);
+  EXPECT_EQ(got.scored_nodes, want.scored_nodes);
+  EXPECT_EQ(got.ladder_peak_bytes, want.ladder_peak_bytes);
+}
+
+const Matrix kBinary{{0.9, 0.1}, {0.4, 0.6}};
+
+Vector StationaryOf(const Matrix& p) {
+  return MarkovChain::Make(Vector(p.rows(), 1.0 / p.rows()), p)
+      .ValueOrDie()
+      .StationaryDistribution()
+      .ValueOrDie();
+}
+
+TEST(MqmStreamingTest, ExtendMatchesColdAcrossVariantsAndThreads) {
+  const std::vector<Vector> initials = {StationaryOf(kBinary),
+                                        Vector{1.0, 0.0}, Vector{0.3, 0.7}};
+  for (const Vector& q : initials) {
+    const MarkovChain chain = MarkovChain::Make(q, kBinary).ValueOrDie();
+    for (bool shortcut : {true, false}) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        ChainMqmOptions options;
+        options.epsilon = 1.0;
+        options.max_nearby = 12;
+        options.allow_stationary_shortcut = shortcut;
+        options.num_threads = threads;
+        for (std::size_t delta : {std::size_t{1}, std::size_t{13},
+                                  std::size_t{100}}) {
+          ChainMqmAnalysis analysis =
+              ChainMqmAnalysis::Analyze({chain}, 120, options).ValueOrDie();
+          ASSERT_TRUE(analysis.ExtendTo(120 + delta).ok());
+          EXPECT_EQ(analysis.length(), 120 + delta);
+          const ChainMqmResult cold =
+              MqmExactAnalyze({chain}, 120 + delta, options).ValueOrDie();
+          ExpectBitIdentical(analysis.result(), cold);
+        }
+      }
+    }
+  }
+}
+
+TEST(MqmStreamingTest, FreeInitialExtendMatchesCold) {
+  const Matrix p{{0.85, 0.15}, {0.25, 0.75}};
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ChainMqmOptions options;
+    options.epsilon = 1.0;
+    options.max_nearby = 10;
+    options.num_threads = threads;
+    for (std::size_t delta :
+         {std::size_t{1}, std::size_t{10}, std::size_t{80}}) {
+      ChainMqmAnalysis analysis =
+          ChainMqmAnalysis::AnalyzeFreeInitial({p}, 80, options).ValueOrDie();
+      ASSERT_TRUE(analysis.ExtendTo(80 + delta).ok());
+      const ChainMqmResult cold =
+          MqmExactAnalyzeFreeInitial({p}, 80 + delta, options).ValueOrDie();
+      ExpectBitIdentical(analysis.result(), cold);
+    }
+  }
+}
+
+TEST(MqmStreamingTest, FreeInitialThreeStateExtend) {
+  const Matrix p{{0.7, 0.2, 0.1}, {0.1, 0.6, 0.3}, {0.3, 0.1, 0.6}};
+  ChainMqmOptions options;
+  options.epsilon = 0.8;
+  options.max_nearby = 9;
+  options.num_threads = 1;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::AnalyzeFreeInitial({p}, 60, options).ValueOrDie();
+  ASSERT_TRUE(analysis.ExtendTo(150).ok());
+  ExpectBitIdentical(
+      analysis.result(),
+      MqmExactAnalyzeFreeInitial({p}, 150, options).ValueOrDie());
+}
+
+TEST(MqmStreamingTest, ChainedExtensionsEqualOneShot) {
+  const MarkovChain chain =
+      MarkovChain::Make({1.0, 0.0}, kBinary).ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 8;
+  options.allow_stationary_shortcut = false;
+  options.num_threads = 1;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({chain}, 100, options).ValueOrDie();
+  // T -> T+1 -> ... -> T+10 -> T+47: every step must stay bit-identical.
+  for (std::size_t t = 101; t <= 110; ++t) {
+    ASSERT_TRUE(analysis.ExtendTo(t).ok());
+    ExpectBitIdentical(analysis.result(),
+                       MqmExactAnalyze({chain}, t, options).ValueOrDie());
+  }
+  ASSERT_TRUE(analysis.ExtendTo(157).ok());
+  ExpectBitIdentical(analysis.result(),
+                     MqmExactAnalyze({chain}, 157, options).ValueOrDie());
+}
+
+TEST(MqmStreamingTest, ExtendThroughMixingTransient) {
+  // Start inside the mixing transient (T smaller than the mixing time), so
+  // extensions re-key nodes whose marginals are still bit-distinct.
+  const MarkovChain chain =
+      MarkovChain::Make({1.0, 0.0}, Matrix{{0.97, 0.03}, {0.02, 0.98}})
+          .ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 6;
+  options.allow_stationary_shortcut = false;
+  options.num_threads = 1;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({chain}, 20, options).ValueOrDie();
+  for (std::size_t t : {std::size_t{21}, std::size_t{35}, std::size_t{90},
+                        std::size_t{400}}) {
+    ASSERT_TRUE(analysis.ExtendTo(t).ok());
+    ExpectBitIdentical(analysis.result(),
+                       MqmExactAnalyze({chain}, t, options).ValueOrDie());
+  }
+}
+
+TEST(MqmStreamingTest, MultiThetaClassExtend) {
+  const MarkovChain theta1 =
+      MarkovChain::Make({1.0, 0.0}, kBinary).ValueOrDie();
+  const MarkovChain theta2 =
+      MarkovChain::Make({0.9, 0.1}, Matrix{{0.8, 0.2}, {0.3, 0.7}})
+          .ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 15;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({theta1, theta2}, 100, options).ValueOrDie();
+  ASSERT_TRUE(analysis.ExtendTo(130).ok());
+  ExpectBitIdentical(
+      analysis.result(),
+      MqmExactAnalyze({theta1, theta2}, 130, options).ValueOrDie());
+}
+
+TEST(MqmStreamingTest, ShortcutModeSwitchOnExtend) {
+  // T = 2 is below the shortcut's length floor; the extension crosses it,
+  // and must make the same mode decision (and produce the same bits) as a
+  // cold analysis at the new length.
+  const Vector pi = StationaryOf(kBinary);
+  const MarkovChain chain = MarkovChain::Make(pi, kBinary).ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 10;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({chain}, 2, options).ValueOrDie();
+  ASSERT_TRUE(analysis.ExtendTo(50).ok());
+  const ChainMqmResult cold =
+      MqmExactAnalyze({chain}, 50, options).ValueOrDie();
+  EXPECT_TRUE(cold.used_stationary_shortcut);
+  ExpectBitIdentical(analysis.result(), cold);
+}
+
+TEST(MqmStreamingTest, ExhaustiveModeExtendMatchesCold) {
+  // dedup_nodes = false keeps no per-node state; ExtendTo transparently
+  // re-scans and must still match cold exactly.
+  const MarkovChain chain =
+      MarkovChain::Make({0.3, 0.7}, kBinary).ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 8;
+  options.dedup_nodes = false;
+  options.num_threads = 1;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({chain}, 70, options).ValueOrDie();
+  ASSERT_TRUE(analysis.ExtendTo(95).ok());
+  ExpectBitIdentical(analysis.result(),
+                     MqmExactAnalyze({chain}, 95, options).ValueOrDie());
+}
+
+TEST(MqmStreamingTest, OverflowedScanFallsBackToColdOnExtend) {
+  // A slow-mixing chain overflows the class store (non-resumable state);
+  // ExtendTo must detect that and still return cold-identical results.
+  const MarkovChain chain =
+      MarkovChain::Make({1.0, 0.0}, Matrix{{0.99, 0.01}, {0.03, 0.97}})
+          .ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 4;
+  options.allow_stationary_shortcut = false;
+  options.num_threads = 1;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({chain}, 1500, options).ValueOrDie();
+  EXPECT_GT(analysis.result().scored_nodes, 256u);  // Overflow engaged.
+  ASSERT_TRUE(analysis.ExtendTo(1600).ok());
+  ExpectBitIdentical(analysis.result(),
+                     MqmExactAnalyze({chain}, 1600, options).ValueOrDie());
+}
+
+TEST(MqmStreamingTest, ExtendValidation) {
+  const MarkovChain chain =
+      MarkovChain::Make({0.3, 0.7}, kBinary).ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 8;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({chain}, 50, options).ValueOrDie();
+  EXPECT_FALSE(analysis.ExtendTo(49).ok());  // Shrink refused.
+  EXPECT_TRUE(analysis.ExtendTo(50).ok());   // Same length is a no-op.
+  EXPECT_EQ(analysis.length(), 50u);
+}
+
+TEST(MqmStreamingTest, ExtendIsIncrementallyCheap) {
+  // The work counter must show the append reused the interior: after a
+  // +1 extension, scored_nodes grows by at most O(max_nearby), not O(T).
+  const MarkovChain chain =
+      MarkovChain::Make({1.0, 0.0}, kBinary).ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 8;
+  options.allow_stationary_shortcut = false;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({chain}, 5000, options).ValueOrDie();
+  const std::size_t before = analysis.result().scored_nodes;
+  ASSERT_TRUE(analysis.ExtendTo(5001).ok());
+  const std::size_t after = analysis.result().scored_nodes;
+  EXPECT_LE(after, before + options.max_nearby + 2);
+}
+
+}  // namespace
+}  // namespace pf

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace pf {
 namespace {
@@ -43,6 +44,35 @@ TEST(RandomTest, LaplaceZeroScaleIsZero) {
   for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(rng.Laplace(0.0), 0.0);
 }
 
+// Regression: Uniform() can return exactly 0.0, and the inverse CDF maps
+// the boundary draw to log(0) = -infinity — an infinite released noise
+// value. Laplace() must redraw past the boundary; the inverse-CDF map must
+// be finite everywhere on its open-interval domain.
+TEST(RandomTest, LaplaceInverseCdfFiniteOnOpenInterval) {
+  const double scale = 1.5;
+  // Every draw — including the boundary that used to map to log(0) =
+  // -infinity and its representable neighbors — yields finite noise.
+  for (const double u :
+       {0.0, std::nextafter(0.0, 1.0), std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::denorm_min(), 1e-300, 1e-17,
+        std::exp2(-53.0), 0.25, 0.5, 0.75, 1.0 - 1e-16,
+        std::nextafter(1.0, 0.0)}) {
+    const double x = LaplaceInverseCdf(u, scale);
+    EXPECT_TRUE(std::isfinite(x)) << "u = " << u << " -> " << x;
+  }
+  // Median and symmetry about it.
+  EXPECT_DOUBLE_EQ(LaplaceInverseCdf(0.5, scale), 0.0);
+  EXPECT_DOUBLE_EQ(LaplaceInverseCdf(0.25, scale),
+                   -LaplaceInverseCdf(0.75, scale));
+}
+
+TEST(RandomTest, LaplaceDrawsAreAlwaysFinite) {
+  Rng rng(123);
+  for (int i = 0; i < 200000; ++i) {
+    EXPECT_TRUE(std::isfinite(rng.Laplace(3.0)));
+  }
+}
+
 TEST(RandomTest, CategoricalFrequencies) {
   Rng rng(11);
   const Vector probs = {0.2, 0.5, 0.3};
@@ -58,6 +88,28 @@ TEST(RandomTest, CategoricalDegenerate) {
   Rng rng(5);
   const Vector probs = {0.0, 1.0, 0.0};
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(probs), 1u);
+}
+
+// Regression: an all-zero weight vector used to return index 0 silently
+// (r = Uniform() * 0 satisfied r <= 0 immediately) and a NaN-poisoned one
+// returned the last index; both must now be rejected explicitly.
+TEST(RandomTest, CategoricalRejectsDegenerateWeights) {
+  Rng rng(5);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const Vector& bad :
+       {Vector{}, Vector{0.0, 0.0, 0.0}, Vector{0.2, nan, 0.3},
+        Vector{0.2, -0.1, 0.9}, Vector{1.0, inf},
+        Vector{1e308, 1e308, 1e308}}) {  // Finite weights, overflowing sum.
+    const auto draw = rng.TryCategorical(bad);
+    ASSERT_FALSE(draw.ok()) << "weights of size " << bad.size();
+    EXPECT_EQ(draw.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Valid weights still draw, and rejected calls consumed no randomness:
+  // the next accepted draw matches a fresh generator with the same seed.
+  Rng fresh(5);
+  EXPECT_EQ(rng.TryCategorical({0.5, 0.5}).ValueOrDie(),
+            fresh.TryCategorical({0.5, 0.5}).ValueOrDie());
 }
 
 TEST(RandomTest, UniformSimplexIsDistribution) {

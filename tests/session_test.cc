@@ -51,6 +51,46 @@ TEST(SessionBudgetTest, ExactlyFloorBudgetOverEpsilonReleases) {
   }
 }
 
+// Regression: the "exactly floor(B / eps) equal-epsilon releases"
+// guarantee at floating-point tie boundaries. 3 * 0.1 > 0.3 and
+// 7 * 0.1 > 0.7 in doubles by one ulp, so a naive <= comparison refuses
+// the final legitimate release; the deterministic tie rule
+// (ComposedBudgetAdmits) must forgive the dust — and still refuse a
+// genuine overrun, which is off by a whole epsilon.
+TEST(SessionBudgetTest, FloorGuaranteeHoldsAtFpTieBoundaries) {
+  auto engine = LaplaceEngine();
+  struct Case {
+    double budget;
+    double epsilon;
+    int allowed;
+  };
+  for (const Case& c :
+       {Case{0.3, 0.1, 3}, Case{0.7, 0.1, 7}, Case{0.6, 0.2, 3},
+        Case{0.3 + 0.00001, 0.1, 3}, Case{1.2, 0.4, 3}, Case{4.9, 0.7, 7}}) {
+    SessionOptions options;
+    options.epsilon_budget = c.budget;
+    auto session = engine->CreateSession(options);
+    for (int k = 0; k < c.allowed; ++k) {
+      ASSERT_TRUE(session->Release(QuerySpec::Sum(c.epsilon), kData).ok())
+          << "budget " << c.budget << " eps " << c.epsilon << " release " << k;
+    }
+    const auto refused = session->Release(QuerySpec::Sum(c.epsilon), kData);
+    ASSERT_FALSE(refused.ok()) << "budget " << c.budget << " eps " << c.epsilon;
+    EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(session->num_releases(), static_cast<std::size_t>(c.allowed));
+  }
+  // A genuinely over-budget epsilon is refused at the true floor: eps just
+  // above 0.1 fits only twice in 0.3.
+  SessionOptions options;
+  options.epsilon_budget = 0.3;
+  auto session = engine->CreateSession(options);
+  const double eps_over = 0.100000001;
+  ASSERT_TRUE(session->Release(QuerySpec::Sum(eps_over), kData).ok());
+  ASSERT_TRUE(session->Release(QuerySpec::Sum(eps_over), kData).ok());
+  EXPECT_EQ(session->Release(QuerySpec::Sum(eps_over), kData).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
 TEST(SessionBudgetTest, RefusedReleaseChargesNothing) {
   auto engine = LaplaceEngine();
   SessionOptions options;
@@ -301,6 +341,111 @@ TEST(SessionTest, ReleaseResultCarriesAccountingFacts) {
   const ReleaseResult second =
       session->Release(QuerySpec::Sum(2.0), kData).ValueOrDie();
   EXPECT_EQ(second.ticket, 1u);
+}
+
+// ----------------------------------------------------- sliding windows --
+
+std::unique_ptr<PrivacyEngine> ChainEngine(std::size_t length) {
+  return PrivacyEngine::Create(
+             ModelSpec::ChainClass({TestChain(0.8, 0.7)}, length))
+      .ValueOrDie();
+}
+
+TEST(SessionWindowTest, SuffixWindowQueriesTheLastObservations) {
+  auto engine = ChainEngine(12);
+  SessionOptions options;
+  options.seed = 7;
+  auto session = engine->CreateSession(options);
+  // 12 observations with 7 ones; the last 4 are all ones, so at a huge
+  // epsilon (tiny noise) the windowed mean must be ~1 while the full mean
+  // is ~7/12.
+  const StateSequence data{0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 1, 1};
+  const double eps = 1e9;
+  const ReleaseResult full =
+      session->Release(QuerySpec::Mean(eps), data).ValueOrDie();
+  const ReleaseResult window =
+      session->Release(QuerySpec::Mean(eps), data, DataWindow::Last(4))
+          .ValueOrDie();
+  EXPECT_NEAR(full.value[0], 7.0 / 12.0, 1e-6);
+  EXPECT_NEAR(window.value[0], 1.0, 1e-6);
+  // Range windows address any contiguous slice.
+  const ReleaseResult range =
+      session->Release(QuerySpec::Mean(eps), data, DataWindow::Range(0, 4))
+          .ValueOrDie();
+  EXPECT_NEAR(range.value[0], 1.0 / 4.0, 1e-6);
+  // All three releases ledger together (same plan, same active quilt).
+  EXPECT_EQ(session->num_releases(), 3u);
+}
+
+TEST(SessionWindowTest, WindowCompilesAtWindowSensitivity) {
+  auto engine = ChainEngine(100);
+  // The mean over a 10-wide window is (k-1)/10-Lipschitz in each in-window
+  // record — 10x the full-record constant; the engine must derive it from
+  // the window, or window releases would be under-noised.
+  const auto full = engine->Compile(QuerySpec::Mean(1.0)).ValueOrDie();
+  const auto windowed = engine->Compile(QuerySpec::Mean(1.0), 10).ValueOrDie();
+  EXPECT_DOUBLE_EQ(full.query.lipschitz, 1.0 / 100.0);
+  EXPECT_DOUBLE_EQ(windowed.query.lipschitz, 1.0 / 10.0);
+  // Same plan serves both (the window changes the query, not the model).
+  EXPECT_EQ(full.plan.get(), windowed.plan.get());
+}
+
+TEST(SessionWindowTest, WindowKeyCannotCollideWithCustomQueryNames) {
+  // Regression: the compiled-query key for (custom query "f", window 5)
+  // must differ from the full-record key of a custom query NAMED "f@w5" —
+  // a suffix-style key made them equal, serving the wrong query body.
+  auto engine = ChainEngine(10);
+  const auto suffix_named = engine->Compile(
+      QuerySpec::CustomScalar("f@w5", [](const StateSequence&) { return 1.0; },
+                              /*lipschitz=*/1.0, /*epsilon=*/1.0));
+  ASSERT_TRUE(suffix_named.ok());
+  const auto windowed = engine->Compile(
+      QuerySpec::CustomScalar("f", [](const StateSequence&) { return 2.0; },
+                              /*lipschitz=*/1.0, /*epsilon=*/1.0),
+      /*window_length=*/5);
+  ASSERT_TRUE(windowed.ok());
+  const StateSequence data(5, 0);
+  EXPECT_DOUBLE_EQ(suffix_named.ValueOrDie().query.fn(data)[0], 1.0);
+  EXPECT_DOUBLE_EQ(windowed.ValueOrDie().query.fn(data)[0], 2.0);
+}
+
+TEST(SessionWindowTest, InvalidWindowsRefusedWithoutCharging) {
+  auto engine = ChainEngine(10);
+  SessionOptions options;
+  options.epsilon_budget = 5.0;
+  auto session = engine->CreateSession(options);
+  const StateSequence data(10, 1);
+  for (const DataWindow& bad :
+       {DataWindow::Last(11), DataWindow::Last(0), DataWindow::Range(10, 1),
+        DataWindow::Range(4, 7)}) {
+    const auto refused = session->Release(QuerySpec::Mean(1.0), data, bad);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+    auto future = session->Submit(QuerySpec::Mean(1.0), data, bad);
+    EXPECT_FALSE(future.get().ok());
+  }
+  EXPECT_EQ(session->num_releases(), 0u);
+  EXPECT_DOUBLE_EQ(session->EpsilonSpent(), 0.0);
+}
+
+TEST(SessionWindowTest, AsyncWindowSubmitMatchesSyncRelease) {
+  auto engine = ChainEngine(20);
+  SessionOptions options;
+  options.seed = 42;
+  const StateSequence data{0, 0, 1, 1, 0, 1, 0, 1, 1, 0,
+                           1, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  const ReleaseResult sync =
+      engine->CreateSession(options)
+          ->Release(QuerySpec::Mean(1.0), data, DataWindow::Last(8))
+          .ValueOrDie();
+  const ReleaseResult async =
+      engine->CreateSession(options)
+          ->Submit(QuerySpec::Mean(1.0), data, DataWindow::Last(8))
+          .get()
+          .ValueOrDie();
+  // Same seed, same ticket, same window: bit-identical releases.
+  EXPECT_EQ(sync.value[0], async.value[0]);
+  EXPECT_EQ(sync.epsilon, async.epsilon);
 }
 
 TEST(SessionTest, SubmitBatchManyQueriesOneDatabase) {

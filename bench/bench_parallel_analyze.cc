@@ -44,19 +44,27 @@ const std::vector<BayesianNetwork>& TwentyNodeClass() {
 }
 
 // The acceptance workload: Algorithm 2 on a 20-node network, scaled over
-// the per-node sigma_i loop.
+// the per-node sigma_i loop. The enumeration backend is pinned — the
+// library default is now variable elimination (see
+// bench_general_network), which would turn this from a thread-scaling
+// workload into a microbenchmark.
 void BM_GeneralAnalyze20Nodes(benchmark::State& state) {
   MqmAnalyzeOptions options;
   options.max_quilt_size = 1;  // Width-1 separators: ~20 quilts per node.
+  options.backend = InferenceBackend::kEnumeration;
+  options.quilt_search = QuiltSearchMode::kExhaustive;
   options.num_threads = static_cast<std::size_t>(state.range(0));
-  double sigma = 0.0;
+  MqmAnalysis analysis;
   for (auto _ : state) {
-    const auto analysis =
-        AnalyzeMarkovQuiltMechanism(TwentyNodeClass(), kEpsilon, options);
-    sigma = analysis.ValueOrDie().sigma_max;
-    benchmark::DoNotOptimize(sigma);
+    analysis =
+        AnalyzeMarkovQuiltMechanism(TwentyNodeClass(), kEpsilon, options)
+            .ValueOrDie();
+    // Pass an rvalue: the mutable-lvalue DoNotOptimize overload ("+m,r"
+    // inline asm) miscompiles under GCC 12 / benchmark 1.7, leaving the
+    // variable clobbered after the loop (counters then report garbage).
+    benchmark::DoNotOptimize(analysis.sigma_max + 0.0);
   }
-  state.counters["sigma_max"] = sigma;
+  state.counters["sigma_max"] = analysis.sigma_max;
   state.counters["threads"] = static_cast<double>(options.num_threads);
 }
 BENCHMARK(BM_GeneralAnalyze20Nodes)

@@ -1,0 +1,74 @@
+// A tree-structured sensor deployment served through the PrivacyEngine —
+// the general-network (Algorithm 2) path at a size the enumeration-based
+// seed could never analyze.
+//
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/example_sensor_tree
+//
+// Scenario: 127 binary sensors relay readings down a binary distribution
+// tree (a gateway at the root, repeaters inside, leaves at the edge); each
+// sensor's state is a noisy copy of its parent's, so readings are
+// correlated and entry DP under-protects them. The NetworkClass engine
+// routes to the general Markov Quilt Mechanism: max-influence inference by
+// variable elimination (cost exponential only in the tree's width, 1) and
+// one sigma_i search per canonical node class rather than per node.
+#include <algorithm>
+#include <cstdio>
+
+#include "data/topologies.h"
+#include "engine/engine.h"
+
+int main() {
+  // 1. The adversary's model class: two plausible relay-noise levels.
+  const pf::Vector root = pf::BinaryRoot(0.3);
+  const std::size_t kSensors = 127;
+  std::vector<pf::BayesianNetwork> thetas;
+  for (const double flip : {0.35, 0.4}) {
+    thetas.push_back(
+        pf::TreeNetwork(kSensors, 2, root, pf::BinaryNoisyCopyCpt(flip))
+            .ValueOrDie());
+  }
+
+  // 2. The engine. The policy screens the model's min-fill width (1 for a
+  // tree — any node count passes) and selects MQM-general; a 127-node
+  // binary network has 2^127 joint assignments, so the old enumeration
+  // guard would have refused outright.
+  auto engine =
+      pf::PrivacyEngine::Create(pf::ModelSpec::NetworkClass(thetas))
+          .ValueOrDie();
+
+  // 3. The data: one reading per sensor, drawn from the first model.
+  pf::Rng rng(7);
+  const pf::Assignment assignment = thetas.front().Sample(&rng);
+  const pf::StateSequence data(assignment.begin(), assignment.end());
+
+  // 4. Release the fraction of triggered sensors under a budget.
+  pf::SessionOptions session_options;
+  session_options.epsilon_budget = 6.0;
+  session_options.seed = 11;
+  auto session = engine->CreateSession(session_options);
+  const pf::QuerySpec query = pf::QuerySpec::StateFrequency(1, /*epsilon=*/2.0);
+  const pf::ReleaseResult noisy = session->Release(query, data).ValueOrDie();
+
+  const double truth = static_cast<double>(
+                           std::count(data.begin(), data.end(), 1)) /
+                       static_cast<double>(kSensors);
+  std::printf("sensors                    : %zu (binary tree, width 1)\n",
+              kSensors);
+  std::printf("true triggered fraction    : %.4f\n", truth);
+  std::printf("private release (eps = 2)  : %.4f   [%s, sigma = %.3f]\n",
+              noisy.value[0], pf::MechanismKindName(noisy.mechanism),
+              noisy.sigma);
+
+  // 5. What the analysis cost: canonical node classes instead of nodes,
+  // and elimination tables instead of a 2^127 joint walk.
+  const auto stats = engine->AnalyzeStats(2.0).ValueOrDie();
+  std::printf("sigma_i searches           : %zu classes for %zu nodes "
+              "(%.1fx dedup)\n",
+              stats.scored_nodes, stats.total_nodes, stats.dedup_ratio);
+  std::printf("treewidth bound / observed : %zu / %zu, peak factor tables "
+              "%.1f KiB\n",
+              stats.treewidth_bound, stats.induced_width,
+              static_cast<double>(stats.peak_factor_bytes) / 1024.0);
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "data/topologies.h"
 #include "dist/wasserstein.h"
 
 namespace pf {
@@ -114,6 +115,30 @@ std::vector<int> FluNetwork::Sample(Rng* rng) const {
     all.insert(all.end(), s.begin(), s.end());
   }
   return all;
+}
+
+Result<BayesianNetwork> FluContactNetwork(std::size_t households,
+                                          std::size_t household_size,
+                                          double community_rate,
+                                          double transmission) {
+  if (!(community_rate >= 0.0) || community_rate > 1.0 ||
+      !(transmission >= 0.0) || transmission > 1.0) {
+    return Status::InvalidArgument("rates must lie in [0, 1]");
+  }
+  // Infection probability given an infected contact: the contact's
+  // transmission on top of the ambient rate.
+  const auto exposed = [&](double ambient) {
+    return ambient + (1.0 - ambient) * transmission;
+  };
+  const double member_ambient = community_rate / 2.0;
+  const Matrix hub_cpt{{1.0 - community_rate, community_rate},
+                       {1.0 - exposed(community_rate), exposed(community_rate)}};
+  const Matrix spoke_cpt{
+      {1.0 - member_ambient, member_ambient},
+      {1.0 - exposed(member_ambient), exposed(member_ambient)}};
+  return HubSpokeNetwork(households, household_size,
+                         {1.0 - community_rate, community_rate}, hub_cpt,
+                         spoke_cpt);
 }
 
 }  // namespace pf

@@ -19,6 +19,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "dist/discrete_distribution.h"
+#include "graphical/bayesian_network.h"
 #include "pufferfish/wasserstein_mechanism.h"
 
 namespace pf {
@@ -94,6 +95,25 @@ class FluNetwork {
  private:
   std::vector<FluCliqueModel> cliques_;
 };
+
+/// \brief Flu propagation over a household contact network, as a Bayesian
+/// network for the general Markov Quilt Mechanism (Algorithm 2) — the
+/// structured-inference companion of the clique/Wasserstein flu model
+/// above, and a workload that only became servable once max-influence
+/// inference moved to variable elimination (a network of `households *
+/// (1 + household_size)` binary nodes is far past any enumeration guard).
+///
+/// Each household has one commuter (hub) and `household_size` members
+/// (spokes). Commuters form a community backbone chain: commuter h
+/// catches flu from the community at `community_rate`, plus from commuter
+/// h-1 with probability `transmission`; members catch it from their
+/// commuter with probability `transmission` on top of half the community
+/// rate. All nodes are binary (0 healthy, 1 infected); the moral graph is
+/// a tree, so the engine's treewidth screen admits it at any size.
+Result<BayesianNetwork> FluContactNetwork(std::size_t households,
+                                          std::size_t household_size,
+                                          double community_rate,
+                                          double transmission);
 
 }  // namespace pf
 

@@ -1,0 +1,117 @@
+#include "data/topologies.h"
+
+#include <string>
+
+namespace pf {
+
+namespace {
+
+Status CheckDistribution(const Vector& root) {
+  if (root.empty()) return Status::InvalidArgument("empty root distribution");
+  double sum = 0.0;
+  for (double p : root) {
+    if (!(p >= 0.0)) {
+      return Status::InvalidArgument("root probabilities must be nonnegative");
+    }
+    sum += p;
+  }
+  if (sum <= 0.0) return Status::InvalidArgument("root distribution sums to 0");
+  return Status::OK();
+}
+
+Matrix RowMatrix(const Vector& row) {
+  Matrix m(1, row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) m(0, j) = row[j];
+  return m;
+}
+
+}  // namespace
+
+Vector BinaryRoot(double p1) { return {1.0 - p1, p1}; }
+
+Matrix BinaryNoisyCopyCpt(double flip) {
+  return Matrix{{1.0 - flip, flip}, {flip, 1.0 - flip}};
+}
+
+Matrix BinaryNoisyOrCpt(double flip) {
+  // Rows: parent assignment 00, 01, 10, 11; OR = 0 only for 00.
+  return Matrix{{1.0 - flip, flip},
+                {flip, 1.0 - flip},
+                {flip, 1.0 - flip},
+                {flip, 1.0 - flip}};
+}
+
+Result<BayesianNetwork> TreeNetwork(std::size_t num_nodes,
+                                    std::size_t branching, const Vector& root,
+                                    const Matrix& edge_cpt) {
+  if (num_nodes == 0) return Status::InvalidArgument("tree needs >= 1 node");
+  if (branching == 0) return Status::InvalidArgument("branching must be >= 1");
+  PF_RETURN_NOT_OK(CheckDistribution(root));
+  const int k = static_cast<int>(root.size());
+  BayesianNetwork bn;
+  PF_RETURN_NOT_OK(bn.AddNode("T0", k, {}, RowMatrix(root)));
+  for (std::size_t i = 1; i < num_nodes; ++i) {
+    const int parent = static_cast<int>((i - 1) / branching);
+    PF_RETURN_NOT_OK(
+        bn.AddNode("T" + std::to_string(i), k, {parent}, edge_cpt));
+  }
+  return bn;
+}
+
+Result<BayesianNetwork> GridNetwork(std::size_t rows, std::size_t cols,
+                                    const Vector& root, const Matrix& edge_cpt,
+                                    const Matrix& merge_cpt) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("grid needs positive dimensions");
+  }
+  PF_RETURN_NOT_OK(CheckDistribution(root));
+  const int k = static_cast<int>(root.size());
+  BayesianNetwork bn;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string name =
+          "G" + std::to_string(r) + "_" + std::to_string(c);
+      const int up = static_cast<int>((r - 1) * cols + c);
+      const int left = static_cast<int>(r * cols + c - 1);
+      if (r == 0 && c == 0) {
+        PF_RETURN_NOT_OK(bn.AddNode(name, k, {}, RowMatrix(root)));
+      } else if (r == 0) {
+        PF_RETURN_NOT_OK(bn.AddNode(name, k, {left}, edge_cpt));
+      } else if (c == 0) {
+        PF_RETURN_NOT_OK(bn.AddNode(name, k, {up}, edge_cpt));
+      } else {
+        PF_RETURN_NOT_OK(bn.AddNode(name, k, {up, left}, merge_cpt));
+      }
+    }
+  }
+  return bn;
+}
+
+Result<BayesianNetwork> HubSpokeNetwork(std::size_t num_hubs,
+                                        std::size_t spokes_per_hub,
+                                        const Vector& root,
+                                        const Matrix& hub_cpt,
+                                        const Matrix& spoke_cpt) {
+  if (num_hubs == 0) return Status::InvalidArgument("need >= 1 hub");
+  PF_RETURN_NOT_OK(CheckDistribution(root));
+  const int k = static_cast<int>(root.size());
+  BayesianNetwork bn;
+  int prev_hub = -1;
+  for (std::size_t h = 0; h < num_hubs; ++h) {
+    const int hub = static_cast<int>(bn.num_nodes());
+    const std::string hub_name = "H" + std::to_string(h);
+    if (prev_hub < 0) {
+      PF_RETURN_NOT_OK(bn.AddNode(hub_name, k, {}, RowMatrix(root)));
+    } else {
+      PF_RETURN_NOT_OK(bn.AddNode(hub_name, k, {prev_hub}, hub_cpt));
+    }
+    for (std::size_t s = 0; s < spokes_per_hub; ++s) {
+      PF_RETURN_NOT_OK(bn.AddNode(hub_name + "S" + std::to_string(s), k,
+                                  {hub}, spoke_cpt));
+    }
+    prev_hub = hub;
+  }
+  return bn;
+}
+
+}  // namespace pf

@@ -1,0 +1,64 @@
+// Structured Bayesian-network topology generators — the general-network
+// (Algorithm 2) counterpart of the synthetic chain workloads: trees,
+// grids, and hub-and-spoke networks of arbitrary size with shared CPTs.
+// Their moral graphs have small induced treewidth (1 for trees and stars,
+// min(rows, cols) for grids), so variable-elimination inference — and with
+// it the Markov Quilt Mechanism — scales to hundreds of nodes where
+// enumeration caps out near 20. Uniform CPTs also make many nodes
+// structurally interchangeable, which is exactly what the canonical
+// node-class dedup (pufferfish/node_classes.h) collapses.
+#ifndef PUFFERFISH_DATA_TOPOLOGIES_H_
+#define PUFFERFISH_DATA_TOPOLOGIES_H_
+
+#include <cstddef>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "graphical/bayesian_network.h"
+
+namespace pf {
+
+/// \brief Binary root distribution (p1 = P(X = 1)).
+Vector BinaryRoot(double p1);
+
+/// \brief Binary symmetric-channel CPT: the child copies its parent and
+/// flips with probability `flip`. Rows {1-flip, flip}, {flip, 1-flip}.
+/// flip = 0.25 (and other dyadic rationals) keeps every conditional
+/// exactly representable — handy for bit-exact backend comparisons.
+Matrix BinaryNoisyCopyCpt(double flip);
+
+/// \brief Binary two-parent CPT: the child copies the OR of its parents
+/// and flips with probability `flip` (rows ordered 00, 01, 10, 11).
+Matrix BinaryNoisyOrCpt(double flip);
+
+/// \brief Complete-ish rooted tree: node 0 is the root with distribution
+/// `root`; node i > 0 hangs off parent (i-1)/branching with CPT
+/// `edge_cpt`. branching = 1 degenerates to a chain. The moral graph is
+/// the undirected tree (treewidth 1).
+Result<BayesianNetwork> TreeNetwork(std::size_t num_nodes,
+                                    std::size_t branching, const Vector& root,
+                                    const Matrix& edge_cpt);
+
+/// \brief rows x cols lattice in row-major order: node (r, c) has parents
+/// (r-1, c) and (r, c-1) where they exist — `root` at the origin,
+/// `edge_cpt` for one parent, `merge_cpt` (k^2 rows: first parent most
+/// significant) for two. Moralization marries the two parents, giving
+/// induced width min(rows, cols).
+Result<BayesianNetwork> GridNetwork(std::size_t rows, std::size_t cols,
+                                    const Vector& root, const Matrix& edge_cpt,
+                                    const Matrix& merge_cpt);
+
+/// \brief Hub-and-spoke: `num_hubs` hubs form a backbone chain (hub 0 from
+/// `root`, hub h from hub h-1 via `hub_cpt`); each hub carries
+/// `spokes_per_hub` leaf children via `spoke_cpt`. Interleaved layout: a
+/// hub precedes its spokes. Treewidth 1; spokes of one hub are
+/// structurally interchangeable.
+Result<BayesianNetwork> HubSpokeNetwork(std::size_t num_hubs,
+                                        std::size_t spokes_per_hub,
+                                        const Vector& root,
+                                        const Matrix& hub_cpt,
+                                        const Matrix& spoke_cpt);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_DATA_TOPOLOGIES_H_

@@ -9,6 +9,8 @@
 #include "common/fingerprint.h"
 #include "common/parallel.h"
 #include "engine/session.h"
+#include "graphical/elimination.h"
+#include "pufferfish/node_classes.h"
 
 namespace pf {
 
@@ -198,6 +200,8 @@ Result<std::unique_ptr<Mechanism>> BuildMechanism(const ModelSpec& model,
       MqmAnalyzeOptions mqm;
       mqm.max_quilt_size = options.max_quilt_size;
       mqm.num_threads = num_threads;
+      mqm.backend = options.network_backend;
+      mqm.separator = options.network_separator;
       return std::unique_ptr<Mechanism>(
           new MqmGeneralUnified(model.networks, mqm));
     }
@@ -250,8 +254,26 @@ Result<MechanismKind> SelectMechanism(const ModelSpec& model,
       return MechanismKind::kMqmExact;
     case ModelSpec::Kind::kChainSummary:
       return MechanismKind::kMqmApprox;
-    case ModelSpec::Kind::kNetworkClass:
+    case ModelSpec::Kind::kNetworkClass: {
+      // Structured networks of any size route to Algorithm 2 — its
+      // variable-elimination inference is exponential only in treewidth —
+      // but a model whose min-fill width already exceeds the cutoff would
+      // build elimination tables of >= arity^(width+1) cells, so the
+      // policy refuses it up front with the number in hand rather than
+      // timing out in Analyze. (An explicit mechanism override skips this
+      // screen: the caller opted in.)
+      const std::size_t width =
+          MinFillWidth(UnionMoralGraph(model.networks).adjacency());
+      if (width > options.network_width_cutoff) {
+        return Status::InvalidArgument(
+            "network class min-fill width " + std::to_string(width) +
+            " exceeds EngineOptions::network_width_cutoff (" +
+            std::to_string(options.network_width_cutoff) +
+            "): structured inference would be exponential in it; simplify "
+            "the model, raise the cutoff, or override the mechanism");
+      }
       return MechanismKind::kMqmGeneral;
+    }
     case ModelSpec::Kind::kOutputPairs:
       return MechanismKind::kWasserstein;
     case ModelSpec::Kind::kSensitivity:
@@ -360,11 +382,20 @@ Result<PrivacyEngine::AnalysisStats> PrivacyEngine::AnalyzeStats(
   PF_ASSIGN_OR_RETURN(std::shared_ptr<const MechanismPlan> plan,
                       cache_.GetOrExtend(*mechanism, epsilon));
   AnalysisStats stats;
-  stats.total_nodes = plan->chain.total_nodes;
-  stats.scored_nodes = plan->chain.scored_nodes;
-  stats.dedup_ratio = plan->chain.dedup_ratio();
-  stats.ladder_peak_bytes = plan->chain.ladder_peak_bytes;
-  stats.used_stationary_shortcut = plan->chain.used_stationary_shortcut;
+  if (plan->kind == MechanismKind::kMqmGeneral) {
+    stats.total_nodes = plan->mqm.total_nodes;
+    stats.scored_nodes = plan->mqm.scored_nodes;
+    stats.dedup_ratio = plan->mqm.dedup_ratio();
+    stats.induced_width = plan->mqm.induced_width;
+    stats.treewidth_bound = plan->mqm.treewidth_bound;
+    stats.peak_factor_bytes = plan->mqm.peak_factor_bytes;
+  } else {
+    stats.total_nodes = plan->chain.total_nodes;
+    stats.scored_nodes = plan->chain.scored_nodes;
+    stats.dedup_ratio = plan->chain.dedup_ratio();
+    stats.ladder_peak_bytes = plan->chain.ladder_peak_bytes;
+    stats.used_stationary_shortcut = plan->chain.used_stationary_shortcut;
+  }
   return stats;
 }
 

@@ -103,8 +103,22 @@ struct EngineOptions {
   /// Auto policy: chain classes longer than this use MQMApprox (whose
   /// analysis is length-independent) instead of MQMExact.
   std::size_t approx_length_cutoff = 100000;
-  /// Separator-size cap for the general-network quilt search (Algorithm 2).
+  /// Separator-size cap for the exhaustive general-network quilt search
+  /// (Algorithm 2 on small networks).
   std::size_t max_quilt_size = 2;
+  /// Radius / sphere-size caps for the separator-driven quilt search that
+  /// large networks switch to (see SeparatorQuilts).
+  SeparatorSearchOptions network_separator;
+  /// Inference backend for general-network (Algorithm 2) max-influence
+  /// conditionals; kAuto resolves to variable elimination, whose cost is
+  /// exponential only in the network's induced treewidth.
+  InferenceBackend network_backend = InferenceBackend::kAuto;
+  /// Auto policy: NetworkClass models whose min-fill induced width (a
+  /// treewidth upper bound) exceeds this are refused at Create — the
+  /// elimination tables would be exponential in it. Structured models
+  /// (trees, stars, grids) pass at any node count; an explicit
+  /// `mechanism` override bypasses the screen.
+  std::size_t network_width_cutoff = 16;
   /// Backend for the W_inf computation (Algorithm 1 models).
   WassersteinBackend wasserstein_backend = WassersteinBackend::kQuantile;
 };
@@ -200,24 +214,36 @@ class PrivacyEngine {
   AnalysisCache::Stats cache_stats() const { return cache_.stats(); }
 
   /// \brief Analysis-cost diagnostics of a plan: how much work the sigma
-  /// analysis did and what the power ladder held. MQMExact plans fill the
-  /// node and ladder numbers; MQMApprox (whose Lemma 4.9 analysis is
-  /// already length-independent) and the non-chain mechanisms report
-  /// zeros.
+  /// analysis did and what its tables held. MQMExact plans fill the node
+  /// and ladder numbers; MQM-general (network) plans fill the node,
+  /// treewidth, and factor-table numbers; MQMApprox (whose Lemma 4.9
+  /// analysis is already length-independent) and the remaining mechanisms
+  /// report zeros.
   struct AnalysisStats {
-    /// Chain nodes the analysis covered (T per theta in the class).
+    /// Nodes the sigma_i loop covered: T per theta for chains, the node
+    /// count for networks.
     std::size_t total_nodes = 0;
     /// sigma_i evaluations actually performed (dedup classes).
     std::size_t scored_nodes = 0;
-    /// total_nodes / scored_nodes: work saved by the marginal-dedup scan.
+    /// total_nodes / scored_nodes: work saved by the dedup scan (marginal
+    /// keys on chains, canonical node classes on networks).
     double dedup_ratio = 1.0;
     /// Peak bytes resident in the streamed power ladder, maximization
     /// tables, and dedup class store — O(k^2 * max(256, max_nearby)) and
     /// length-independent in free-initial mode, rather than the
-    /// pre-optimization O(T * k^2).
+    /// pre-optimization O(T * k^2). Chain plans only.
     std::size_t ladder_peak_bytes = 0;
     /// True when the Section 4.4.1 stationary shortcut served the plan.
     bool used_stationary_shortcut = false;
+    /// Network plans: largest elimination clique (minus one) the influence
+    /// inferences actually materialized. 0 under the enumeration backend.
+    std::size_t induced_width = 0;
+    /// Network plans: min-fill induced width of the (union) moral graph —
+    /// the treewidth upper bound the selection policy screened against.
+    std::size_t treewidth_bound = 0;
+    /// Network plans: peak bytes of simultaneously live factor tables in
+    /// any single influence inference.
+    std::size_t peak_factor_bytes = 0;
   };
 
   /// \brief Stats for the plan serving `epsilon`, analyzing (or hitting

@@ -83,10 +83,33 @@ Status BayesianNetwork::ForEachAssignment(
   return Status::OK();
 }
 
+std::vector<Factor> BayesianNetwork::Factors() const {
+  std::vector<Factor> factors;
+  factors.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    std::vector<int> parent_arities;
+    parent_arities.reserve(n.parents.size());
+    for (int p : n.parents) {
+      parent_arities.push_back(nodes_[static_cast<std::size_t>(p)].arity);
+    }
+    factors.push_back(CptFactor(n.parents, parent_arities,
+                                static_cast<int>(i), n.arity, n.cpt));
+  }
+  return factors;
+}
+
+std::vector<int> BayesianNetwork::Arities() const {
+  std::vector<int> arities;
+  arities.reserve(nodes_.size());
+  for (const Node& n : nodes_) arities.push_back(n.arity);
+  return arities;
+}
+
 Result<Vector> BayesianNetwork::ConditionalJoint(
     const std::vector<int>& targets,
-    const std::vector<std::pair<int, int>>& evidence,
-    std::size_t limit) const {
+    const std::vector<std::pair<int, int>>& evidence, std::size_t limit,
+    InferenceBackend backend) const {
   std::size_t cells = 1;
   for (int t : targets) {
     if (t < 0 || static_cast<std::size_t>(t) >= nodes_.size()) {
@@ -100,6 +123,11 @@ Result<Vector> BayesianNetwork::ConditionalJoint(
       return Status::InvalidArgument("evidence out of range");
     }
   }
+  if (backend != InferenceBackend::kEnumeration) {
+    return FactorConditionalJoint(Factors(), Arities(), targets, evidence,
+                                  limit, InferenceBackend::kVariableElimination);
+  }
+  // Reference path: the original full-joint enumeration, byte-for-byte.
   Vector mass(cells, 0.0);
   double evidence_mass = 0.0;
   PF_RETURN_NOT_OK(ForEachAssignment(

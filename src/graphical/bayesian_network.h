@@ -3,9 +3,11 @@
 // with conditional probability tables; the joint factorizes as
 // P(X_1..X_n) = prod_i P(X_i | parents(X_i)).
 //
-// Inference here is exact enumeration, intended for the small networks on
-// which the *general* mechanisms (Algorithms 1-2) are run; the Markov-chain
-// specializations (Algorithms 3-4) never enumerate.
+// Inference defaults to variable elimination (graphical/elimination.h),
+// whose cost is exponential only in the induced treewidth — trees, stars,
+// and grids of hundreds of nodes are fine. The original full-joint
+// enumeration survives as InferenceBackend::kEnumeration, the reference
+// ground truth (exponential in node count, so ~20 binary nodes).
 #ifndef PUFFERFISH_GRAPHICAL_BAYESIAN_NETWORK_H_
 #define PUFFERFISH_GRAPHICAL_BAYESIAN_NETWORK_H_
 
@@ -17,6 +19,7 @@
 #include "common/matrix.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "graphical/elimination.h"
 
 namespace pf {
 
@@ -65,14 +68,25 @@ class BayesianNetwork {
   /// `evidence` (pairs of variable index and value). Returned as a flat mass
   /// vector over the mixed-radix product of target arities (first target
   /// most significant). Fails if the evidence has probability 0, or with
-  /// OutOfRange if the joint-assignment space exceeds `limit`.
+  /// an error if the backend's guarded cost measure exceeds `limit`: the
+  /// joint-assignment space for kEnumeration (OutOfRange, the historical
+  /// behavior), the largest elimination clique table for the
+  /// variable-elimination default (InvalidArgument).
   Result<Vector> ConditionalJoint(
       const std::vector<int>& targets,
       const std::vector<std::pair<int, int>>& evidence,
-      std::size_t limit = 1u << 24) const;
+      std::size_t limit = 1u << 24,
+      InferenceBackend backend = InferenceBackend::kAuto) const;
 
   /// Marginal distribution of one variable.
   Result<Vector> Marginal(int variable) const;
+
+  /// \brief The network as a factor list (one CPT factor per node, in node
+  /// order) plus the per-variable arity table — the inputs of
+  /// FactorConditionalJoint. Exposed so callers can run many inference
+  /// queries without rebuilding the factors each time.
+  std::vector<Factor> Factors() const;
+  std::vector<int> Arities() const;
 
   /// \brief Markov blanket of node i: parents, children, and co-parents
   /// (Section 4.2's baseline notion that the Markov quilt generalizes).

@@ -1,0 +1,423 @@
+#include "graphical/elimination.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <string>
+
+namespace pf {
+
+const char* InferenceBackendName(InferenceBackend backend) {
+  switch (backend) {
+    case InferenceBackend::kAuto: return "auto";
+    case InferenceBackend::kVariableElimination: return "elimination";
+    case InferenceBackend::kEnumeration: return "enumeration";
+  }
+  return "unknown";
+}
+
+void EliminationStats::MergeMax(const EliminationStats& other) {
+  induced_width = std::max(induced_width, other.induced_width);
+  peak_factor_bytes = std::max(peak_factor_bytes, other.peak_factor_bytes);
+}
+
+std::vector<int> MinFillOrder(const std::vector<std::vector<int>>& adjacency,
+                              const std::vector<bool>& eliminable,
+                              std::size_t* induced_width) {
+  const std::size_t n = adjacency.size();
+  std::vector<std::set<int>> adj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int w : adjacency[v]) {
+      if (w != static_cast<int>(v)) adj[v].insert(w);
+    }
+  }
+  std::vector<bool> removed(n, false);
+  std::vector<int> order;
+  std::size_t width = 0;
+  std::size_t to_remove = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (eliminable[v]) ++to_remove;
+  }
+  order.reserve(to_remove);
+  for (std::size_t step = 0; step < to_remove; ++step) {
+    int best = -1;
+    std::size_t best_fill = std::numeric_limits<std::size_t>::max();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!eliminable[v] || removed[v]) continue;
+      std::size_t fill = 0;
+      for (auto a = adj[v].begin(); a != adj[v].end(); ++a) {
+        auto b = a;
+        for (++b; b != adj[v].end(); ++b) {
+          if (adj[static_cast<std::size_t>(*a)].count(*b) == 0) ++fill;
+        }
+      }
+      if (fill < best_fill) {  // Ties resolve to the smallest id (scan order).
+        best_fill = fill;
+        best = static_cast<int>(v);
+      }
+    }
+    const std::size_t bv = static_cast<std::size_t>(best);
+    width = std::max(width, adj[bv].size());
+    for (auto a = adj[bv].begin(); a != adj[bv].end(); ++a) {
+      auto b = a;
+      for (++b; b != adj[bv].end(); ++b) {
+        adj[static_cast<std::size_t>(*a)].insert(*b);
+        adj[static_cast<std::size_t>(*b)].insert(*a);
+      }
+    }
+    for (int a : adj[bv]) adj[static_cast<std::size_t>(a)].erase(best);
+    adj[bv].clear();
+    removed[bv] = true;
+    order.push_back(best);
+  }
+  if (induced_width != nullptr) *induced_width = width;
+  return order;
+}
+
+std::size_t MinFillWidth(const std::vector<std::vector<int>>& adjacency) {
+  std::size_t width = 0;
+  MinFillOrder(adjacency, std::vector<bool>(adjacency.size(), true), &width);
+  return width;
+}
+
+namespace {
+
+Status ValidateQuery(const std::vector<int>& arities,
+                     const std::vector<int>& targets,
+                     const std::vector<std::pair<int, int>>& evidence) {
+  const int n = static_cast<int>(arities.size());
+  for (int t : targets) {
+    if (t < 0 || t >= n) return Status::InvalidArgument("target index out of range");
+  }
+  for (const auto& [var, val] : evidence) {
+    if (var < 0 || var >= n || val < 0 ||
+        val >= arities[static_cast<std::size_t>(var)]) {
+      return Status::InvalidArgument("evidence out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::size_t> CheckedCells(const std::vector<int>& arities,
+                                 std::size_t limit, const char* what) {
+  std::size_t cells = 1;
+  for (int a : arities) {
+    if (cells > limit / static_cast<std::size_t>(a)) {
+      return Status::InvalidArgument(
+          std::string(what) + " exceeds the inference limit (" +
+          std::to_string(limit) + ")");
+    }
+    cells *= static_cast<std::size_t>(a);
+  }
+  return cells;
+}
+
+// Reference backend: walks the full joint-assignment space with
+// incrementally maintained per-factor indices. Exponential in the variable
+// count; `limit` guards the assignment-space size.
+Result<Vector> EnumerationConditionalJoint(
+    const std::vector<Factor>& factors, const std::vector<int>& arities,
+    const std::vector<int>& targets,
+    const std::vector<std::pair<int, int>>& evidence, std::size_t limit) {
+  PF_ASSIGN_OR_RETURN(const std::size_t cells,
+                      CheckedCells(arities, limit, "joint-assignment space"));
+  const std::size_t n = arities.size();
+  // Per-factor stride of each variable digit (0 when absent from scope).
+  std::vector<std::vector<std::size_t>> stride(
+      factors.size(), std::vector<std::size_t>(n, 0));
+  for (std::size_t fi = 0; fi < factors.size(); ++fi) {
+    const Factor& f = factors[fi];
+    for (std::size_t p = 0; p < f.scope.size(); ++p) {
+      std::size_t s = 1;
+      for (std::size_t i = p + 1; i < f.scope.size(); ++i) {
+        s *= static_cast<std::size_t>(f.arity[i]);
+      }
+      stride[fi][static_cast<std::size_t>(f.scope[p])] = s;
+    }
+  }
+  std::size_t target_cells = 1;
+  for (int t : targets) {
+    target_cells *= static_cast<std::size_t>(arities[static_cast<std::size_t>(t)]);
+  }
+  Vector mass(target_cells, 0.0);
+  double evidence_mass = 0.0;
+  std::vector<int> digits(n, 0);
+  std::vector<std::size_t> idx(factors.size(), 0);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    bool matches = true;
+    for (const auto& [var, val] : evidence) {
+      if (digits[static_cast<std::size_t>(var)] != val) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) {
+      double p = 1.0;
+      for (std::size_t fi = 0; fi < factors.size(); ++fi) {
+        p *= factors[fi].values[idx[fi]];
+      }
+      if (p > 0.0) {
+        evidence_mass += p;
+        std::size_t ti = 0;
+        for (int t : targets) {
+          ti = ti * static_cast<std::size_t>(arities[static_cast<std::size_t>(t)]) +
+               static_cast<std::size_t>(digits[static_cast<std::size_t>(t)]);
+        }
+        mass[ti] += p;
+      }
+    }
+    for (std::size_t d = n; d-- > 0;) {
+      ++digits[d];
+      for (std::size_t fi = 0; fi < factors.size(); ++fi) idx[fi] += stride[fi][d];
+      if (digits[d] < arities[d]) break;
+      digits[d] = 0;
+      for (std::size_t fi = 0; fi < factors.size(); ++fi) {
+        idx[fi] -= stride[fi][d] * static_cast<std::size_t>(arities[d]);
+      }
+    }
+  }
+  if (!(evidence_mass > 0.0)) {
+    return Status::FailedPrecondition("evidence has probability zero");
+  }
+  for (double& v : mass) v /= evidence_mass;
+  return mass;
+}
+
+// One elimination step: multiplies every factor containing `var` and sums
+// `var` out. Pairs of 2-variable factors (the dominant shape on chains and
+// trees) route through the cache-blocked matrix kernel.
+Result<Factor> EliminateVar(std::vector<Factor>* working, int var,
+                            std::size_t limit, std::size_t live_bytes,
+                            EliminationStats* stats) {
+  std::vector<const Factor*> involved;
+  std::vector<int> combined_scope, combined_arity;
+  for (const Factor& f : *working) {
+    if (!f.Contains(var)) continue;
+    involved.push_back(&f);
+    for (std::size_t p = 0; p < f.scope.size(); ++p) {
+      if (f.scope[p] == var) continue;
+      if (std::find(combined_scope.begin(), combined_scope.end(), f.scope[p]) ==
+          combined_scope.end()) {
+        combined_scope.push_back(f.scope[p]);
+        combined_arity.push_back(f.arity[p]);
+      }
+    }
+  }
+  int var_arity = 0;
+  for (const Factor* f : involved) {
+    for (std::size_t p = 0; p < f->scope.size(); ++p) {
+      if (f->scope[p] == var) var_arity = f->arity[p];
+    }
+  }
+  std::vector<int> table_arity = combined_arity;
+  table_arity.push_back(var_arity);
+  PF_ASSIGN_OR_RETURN(
+      const std::size_t cells,
+      CheckedCells(table_arity, limit,
+                   "elimination clique table (induced width too large)"));
+  if (stats != nullptr) {
+    stats->induced_width = std::max(stats->induced_width, combined_scope.size());
+    stats->peak_factor_bytes = std::max(stats->peak_factor_bytes,
+                                        live_bytes + cells * sizeof(double));
+  }
+  // Fast path: exactly two pairwise factors sharing only `var` — the
+  // product-then-marginalize is literally a matrix product A(x, var) *
+  // B(var, y), served by the blocked kernel.
+  if (involved.size() == 2 && combined_scope.size() == 2 &&
+      involved[0]->scope.size() == 2 && involved[1]->scope.size() == 2) {
+    auto as_matrix = [var](const Factor& f, bool var_as_cols) {
+      const bool var_last = f.scope[1] == var;
+      const std::size_t rows = static_cast<std::size_t>(f.arity[0]);
+      const std::size_t cols = static_cast<std::size_t>(f.arity[1]);
+      Matrix m(rows, cols);
+      for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) m(r, c) = f.values[r * cols + c];
+      }
+      // Orient so `var` sits on the requested side.
+      if (var_last != var_as_cols) {
+        return m.Transpose();
+      }
+      return m;
+    };
+    const Factor& fa =
+        involved[0]->scope[0] == combined_scope[0] ||
+                involved[0]->scope[1] == combined_scope[0]
+            ? *involved[0]
+            : *involved[1];
+    const Factor& fb = &fa == involved[0] ? *involved[1] : *involved[0];
+    const Matrix a = as_matrix(fa, /*var_as_cols=*/true);
+    const Matrix b = as_matrix(fb, /*var_as_cols=*/false);
+    const Matrix prod = MultiplyBlocked(a, b);
+    Factor out;
+    out.scope = combined_scope;
+    out.arity = combined_arity;
+    out.values.reserve(prod.rows() * prod.cols());
+    for (std::size_t r = 0; r < prod.rows(); ++r) {
+      const double* row = prod.RowPtr(r);
+      out.values.insert(out.values.end(), row, row + prod.cols());
+    }
+    return out;
+  }
+  std::vector<int> table_scope = combined_scope;
+  table_scope.push_back(var);
+  const Factor combined = MultiplyAll(involved, table_scope, table_arity);
+  return MarginalizeLast(combined);
+}
+
+Result<Vector> EliminationConditionalJoint(
+    const std::vector<Factor>& factors, const std::vector<int>& arities,
+    const std::vector<int>& targets,
+    const std::vector<std::pair<int, int>>& evidence, std::size_t limit,
+    EliminationStats* stats) {
+  const std::size_t n = arities.size();
+  // Pin evidence: reduce it out of every factor up front. Conflicting
+  // duplicate pairs pin the same variable to two values — no assignment
+  // matches, which is exactly the zero-probability-evidence condition the
+  // enumeration reference reports (first-wins reduction would silently
+  // answer as if only the first pair existed).
+  std::vector<int> pinned(n, -1);
+  for (const auto& [var, val] : evidence) {
+    int& pin = pinned[static_cast<std::size_t>(var)];
+    if (pin >= 0 && pin != val) {
+      return Status::FailedPrecondition("evidence has probability zero");
+    }
+    pin = val;
+  }
+  std::vector<Factor> working;
+  working.reserve(factors.size());
+  for (const Factor& f : factors) {
+    Factor g = f;
+    for (const auto& [var, val] : evidence) {
+      if (g.Contains(var)) g = Reduce(g, var, val);
+    }
+    working.push_back(std::move(g));
+  }
+  // Free targets: distinct target variables that the evidence did not pin,
+  // in first-occurrence order (the output expansion restores duplicates
+  // and pinned coordinates).
+  std::vector<int> free_targets, free_arity;
+  std::vector<bool> is_free(n, false);
+  for (int t : targets) {
+    const std::size_t tv = static_cast<std::size_t>(t);
+    if (pinned[tv] >= 0 || is_free[tv]) continue;
+    is_free[tv] = true;
+    free_targets.push_back(t);
+    free_arity.push_back(arities[tv]);
+  }
+  // Interaction graph of the reduced factor scopes.
+  std::vector<std::set<int>> adj_sets(n);
+  for (const Factor& f : working) {
+    for (std::size_t a = 0; a < f.scope.size(); ++a) {
+      for (std::size_t b = a + 1; b < f.scope.size(); ++b) {
+        adj_sets[static_cast<std::size_t>(f.scope[a])].insert(f.scope[b]);
+        adj_sets[static_cast<std::size_t>(f.scope[b])].insert(f.scope[a]);
+      }
+    }
+  }
+  std::vector<std::vector<int>> adjacency(n);
+  std::vector<bool> eliminable(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    adjacency[v].assign(adj_sets[v].begin(), adj_sets[v].end());
+    eliminable[v] = pinned[v] < 0 && !is_free[v];
+  }
+  const std::vector<int> order = MinFillOrder(adjacency, eliminable, nullptr);
+  std::size_t live_bytes = 0;
+  for (const Factor& f : working) live_bytes += f.bytes();
+  if (stats != nullptr) {
+    stats->peak_factor_bytes = std::max(stats->peak_factor_bytes, live_bytes);
+  }
+  for (int var : order) {
+    bool present = false;
+    for (const Factor& f : working) present = present || f.Contains(var);
+    if (!present) continue;  // Reduced away or never in a scope.
+    PF_ASSIGN_OR_RETURN(Factor merged,
+                        EliminateVar(&working, var, limit, live_bytes, stats));
+    std::vector<Factor> next;
+    next.reserve(working.size());
+    for (Factor& f : working) {
+      if (!f.Contains(var)) next.push_back(std::move(f));
+    }
+    next.push_back(std::move(merged));
+    working = std::move(next);
+    live_bytes = 0;
+    for (const Factor& f : working) live_bytes += f.bytes();
+    if (stats != nullptr) {
+      stats->peak_factor_bytes =
+          std::max(stats->peak_factor_bytes, live_bytes);
+    }
+  }
+  // Every remaining scope variable is a free target; their product is the
+  // unnormalized conditional joint.
+  for (const Factor& f : working) {
+    for (int v : f.scope) {
+      if (!is_free[static_cast<std::size_t>(v)]) {
+        return Status::Internal("variable survived elimination unexpectedly");
+      }
+    }
+  }
+  PF_RETURN_NOT_OK(
+      CheckedCells(free_arity, limit, "target joint table").status());
+  std::vector<const Factor*> remaining;
+  remaining.reserve(working.size());
+  for (const Factor& f : working) remaining.push_back(&f);
+  const Factor joint = MultiplyAll(remaining, free_targets, free_arity);
+  double total = 0.0;
+  for (double v : joint.values) total += v;
+  if (!(total > 0.0)) {
+    return Status::FailedPrecondition("evidence has probability zero");
+  }
+  // Expand to the caller's full target tuple: duplicates must agree,
+  // pinned targets must match their evidence value, everything else reads
+  // from the free-target joint.
+  std::size_t out_cells = 1;
+  for (int t : targets) {
+    out_cells *= static_cast<std::size_t>(arities[static_cast<std::size_t>(t)]);
+  }
+  Vector out(out_cells, 0.0);
+  std::vector<int> digits(targets.size(), 0);
+  std::vector<int> assigned(n, -1);
+  for (std::size_t cell = 0; cell < out_cells; ++cell) {
+    bool consistent = true;
+    for (std::size_t d = 0; d < targets.size() && consistent; ++d) {
+      const std::size_t tv = static_cast<std::size_t>(targets[d]);
+      if (assigned[tv] >= 0 && assigned[tv] != digits[d]) consistent = false;
+      if (pinned[tv] >= 0 && pinned[tv] != digits[d]) consistent = false;
+      assigned[tv] = digits[d];
+    }
+    if (consistent) {
+      std::size_t ji = 0;
+      for (std::size_t p = 0; p < free_targets.size(); ++p) {
+        ji = ji * static_cast<std::size_t>(free_arity[p]) +
+             static_cast<std::size_t>(
+                 assigned[static_cast<std::size_t>(free_targets[p])]);
+      }
+      out[cell] = joint.values[ji] / total;
+    }
+    for (std::size_t d = 0; d < targets.size(); ++d) {
+      assigned[static_cast<std::size_t>(targets[d])] = -1;
+    }
+    for (std::size_t d = targets.size(); d-- > 0;) {
+      if (++digits[d] < arities[static_cast<std::size_t>(targets[d])]) break;
+      digits[d] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Vector> FactorConditionalJoint(
+    const std::vector<Factor>& factors, const std::vector<int>& arities,
+    const std::vector<int>& targets,
+    const std::vector<std::pair<int, int>>& evidence, std::size_t limit,
+    InferenceBackend backend, EliminationStats* stats) {
+  PF_RETURN_NOT_OK(ValidateQuery(arities, targets, evidence));
+  if (backend == InferenceBackend::kEnumeration) {
+    return EnumerationConditionalJoint(factors, arities, targets, evidence,
+                                       limit);
+  }
+  return EliminationConditionalJoint(factors, arities, targets, evidence,
+                                     limit, stats);
+}
+
+}  // namespace pf

@@ -124,6 +124,41 @@ void EnumerateSubsets(const MoralGraph& graph, int target,
     current->pop_back();
   }
 }
+
+// The canonical ordering every quilt generator pins: (size, node ids,
+// nearby count). Full-field comparison so dedup with std::unique is exact.
+bool QuiltLess(const MarkovQuilt& a, const MarkovQuilt& b) {
+  if (a.quilt.size() != b.quilt.size()) return a.quilt.size() < b.quilt.size();
+  if (a.quilt != b.quilt) return a.quilt < b.quilt;
+  if (a.nearby_count != b.nearby_count) return a.nearby_count < b.nearby_count;
+  if (a.nearby != b.nearby) return a.nearby < b.nearby;
+  return a.remote < b.remote;
+}
+
+bool QuiltEqual(const MarkovQuilt& a, const MarkovQuilt& b) {
+  return a.target == b.target && a.quilt == b.quilt &&
+         a.nearby_count == b.nearby_count && a.nearby == b.nearby &&
+         a.remote == b.remote;
+}
+
+// Sorts by the canonical order and drops exact duplicates.
+void CanonicalizeQuiltList(std::vector<MarkovQuilt>* quilts) {
+  std::sort(quilts->begin(), quilts->end(), QuiltLess);
+  quilts->erase(std::unique(quilts->begin(), quilts->end(), QuiltEqual),
+                quilts->end());
+}
+
+// On disconnected graphs the empty separator already splits off every
+// other component: X_Q = {} has max-influence 0 by definition and
+// card(X_N) = |component(target)| < n, strictly better than the trivial
+// quilt. Returns true (and appends) when the graph is disconnected.
+bool AppendComponentQuilt(const MoralGraph& graph, int target,
+                          std::vector<MarkovQuilt>* out) {
+  MarkovQuilt q = QuiltFromSeparator(graph, target, {});
+  if (q.remote.empty()) return false;
+  out->push_back(std::move(q));
+  return true;
+}
 }  // namespace
 
 std::vector<MarkovQuilt> EnumerateQuilts(const MoralGraph& graph, int target,
@@ -135,7 +170,40 @@ std::vector<MarkovQuilt> EnumerateQuilts(const MoralGraph& graph, int target,
   std::vector<MarkovQuilt> out;
   std::vector<int> current;
   EnumerateSubsets(graph, target, candidates, 0, &current, max_quilt_size, &out);
+  AppendComponentQuilt(graph, target, &out);
   out.push_back(TrivialQuilt(target, graph.num_nodes()));
+  CanonicalizeQuiltList(&out);
+  return out;
+}
+
+std::vector<MarkovQuilt> SeparatorQuilts(const MoralGraph& graph, int target,
+                                         const SeparatorSearchOptions& options) {
+  std::vector<MarkovQuilt> out;
+  AppendComponentQuilt(graph, target, &out);
+  const std::vector<int> dist = graph.Distances(target);
+  for (std::size_t r = 1; r <= options.max_radius; ++r) {
+    std::vector<int> sphere, pruned;
+    for (std::size_t v = 0; v < dist.size(); ++v) {
+      if (dist[v] != static_cast<int>(r)) continue;
+      sphere.push_back(static_cast<int>(v));
+      for (int w : graph.neighbors(static_cast<int>(v))) {
+        if (dist[static_cast<std::size_t>(w)] > static_cast<int>(r)) {
+          pruned.push_back(static_cast<int>(v));
+          break;
+        }
+      }
+    }
+    // No sphere node borders anything farther: the component ends here and
+    // larger radii cannot produce new cuts.
+    if (pruned.empty()) break;
+    for (const std::vector<int>* cut : {&sphere, &pruned}) {
+      if (cut->size() > options.max_quilt_size) continue;
+      MarkovQuilt q = QuiltFromSeparator(graph, target, *cut);
+      if (!q.remote.empty()) out.push_back(std::move(q));
+    }
+  }
+  out.push_back(TrivialQuilt(target, graph.num_nodes()));
+  CanonicalizeQuiltList(&out);
   return out;
 }
 

@@ -78,9 +78,38 @@ MarkovQuilt QuiltFromSeparator(const MoralGraph& graph, int target,
 /// `max_quilt_size` (brute force over subsets; exponential — intended for
 /// the small networks where Algorithm 2 runs), plus the trivial quilt.
 /// Separators yielding an empty remote set are skipped (dominated by the
-/// trivial quilt, whose max-influence is 0).
+/// trivial quilt, whose max-influence is 0). On disconnected graphs the
+/// empty separator already splits off the other components, so the
+/// empty-quilt candidate with X_R = those components is included too.
+///
+/// The result is deduplicated and deterministically ordered — sorted by
+/// (quilt size, quilt node ids, nearby count) — so repeated calls and
+/// structurally identical graphs built in any insertion order produce
+/// byte-identical lists.
 std::vector<MarkovQuilt> EnumerateQuilts(const MoralGraph& graph, int target,
                                          std::size_t max_quilt_size);
+
+/// Knobs for the separator-driven quilt search on large networks.
+struct SeparatorSearchOptions {
+  /// Largest BFS radius around the target whose sphere is tried as a cut.
+  std::size_t max_radius = 6;
+  /// Spheres with more nodes than this are skipped (they would make the
+  /// max-influence inference exponential in the sphere size).
+  std::size_t max_quilt_size = 8;
+};
+
+/// \brief Scalable quilt candidates for general networks: for each radius
+/// r <= max_radius, the BFS sphere S_r around the target (every node at
+/// distance exactly r) is a vertex cut separating the ball B_{r-1} from
+/// the rest, and its pruned variant (sphere nodes that actually border a
+/// strictly farther node) trades a smaller separator for a larger nearby
+/// set. Both are emitted, plus the other-components cut on disconnected
+/// graphs and always the trivial quilt (Theorem 4.3). Candidate count is
+/// O(max_radius) instead of the exhaustive search's O(n^max_quilt_size);
+/// ordering and dedup follow the EnumerateQuilts convention.
+std::vector<MarkovQuilt> SeparatorQuilts(
+    const MoralGraph& graph, int target,
+    const SeparatorSearchOptions& options = {});
 
 }  // namespace pf
 

@@ -29,6 +29,69 @@ MoralGraph::MoralGraph(const BayesianNetwork& bn) {
   }
 }
 
+MoralGraph::MoralGraph(const std::vector<std::vector<int>>& adjacency) {
+  const std::size_t n = adjacency.size();
+  std::vector<std::set<int>> adj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int w : adjacency[v]) {
+      if (w == static_cast<int>(v)) continue;
+      adj[v].insert(w);
+      adj[static_cast<std::size_t>(w)].insert(static_cast<int>(v));
+    }
+  }
+  adjacency_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    adjacency_[v].assign(adj[v].begin(), adj[v].end());
+  }
+}
+
+std::vector<int> MoralGraph::Distances(int start) const {
+  std::vector<int> dist(num_nodes(), -1);
+  std::queue<int> q;
+  dist[static_cast<std::size_t>(start)] = 0;
+  q.push(start);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int w : neighbors(v)) {
+      if (dist[static_cast<std::size_t>(w)] < 0) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> MoralGraph::NeighborsWithin(int node,
+                                             std::size_t radius) const {
+  const std::vector<int> dist = Distances(node);
+  std::vector<int> out;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] > 0 && dist[v] <= static_cast<int>(radius)) {
+      out.push_back(static_cast<int>(v));
+    }
+  }
+  return out;
+}
+
+std::vector<int> MoralGraph::ConnectedComponent(int node) const {
+  return ReachableAvoiding(node, {});
+}
+
+std::size_t MoralGraph::NumComponents() const {
+  std::vector<bool> seen(num_nodes(), false);
+  std::size_t components = 0;
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    if (seen[v]) continue;
+    ++components;
+    for (int w : ConnectedComponent(static_cast<int>(v))) {
+      seen[static_cast<std::size_t>(w)] = true;
+    }
+  }
+  return components;
+}
+
 std::vector<int> MoralGraph::ReachableAvoiding(
     int start, const std::vector<int>& blocked) const {
   std::vector<bool> is_blocked(num_nodes(), false);

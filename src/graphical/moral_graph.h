@@ -18,10 +18,17 @@ class MoralGraph {
  public:
   explicit MoralGraph(const BayesianNetwork& bn);
 
+  /// \brief Wraps an explicit undirected adjacency list (used for
+  /// canonically relabeled networks, where no BayesianNetwork object
+  /// exists). The input is symmetrized, deduplicated, and sorted.
+  explicit MoralGraph(const std::vector<std::vector<int>>& adjacency);
+
   std::size_t num_nodes() const { return adjacency_.size(); }
   const std::vector<int>& neighbors(int v) const {
     return adjacency_[static_cast<std::size_t>(v)];
   }
+  /// The raw adjacency lists (sorted), e.g. for MinFillWidth.
+  const std::vector<std::vector<int>>& adjacency() const { return adjacency_; }
 
   /// Nodes reachable from `start` without entering any node of `blocked`.
   /// `start` must not be in `blocked`; the result includes `start`.
@@ -30,6 +37,20 @@ class MoralGraph {
 
   /// True iff `blocked` separates `a` from `b` (no path avoiding `blocked`).
   bool Separates(const std::vector<int>& blocked, int a, int b) const;
+
+  /// \brief BFS distance from `start` to every node; -1 for nodes in other
+  /// connected components.
+  std::vector<int> Distances(int start) const;
+
+  /// \brief Nodes at BFS distance 1..radius from `node` (excluding `node`
+  /// itself), sorted ascending. radius 0 returns an empty set.
+  std::vector<int> NeighborsWithin(int node, std::size_t radius) const;
+
+  /// Connected component containing `node`, sorted ascending (includes it).
+  std::vector<int> ConnectedComponent(int node) const;
+
+  /// Number of connected components.
+  std::size_t NumComponents() const;
 
  private:
   std::vector<std::vector<int>> adjacency_;

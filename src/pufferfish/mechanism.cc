@@ -168,10 +168,23 @@ Result<MechanismPlan> MqmGeneralUnified::Analyze(double epsilon) const {
 }
 
 std::uint64_t MqmGeneralUnified::Fingerprint() const {
+  // dedup_nodes and num_threads deliberately excluded (the library-wide
+  // convention, see AddChainOptions): the noise calibration and active
+  // quilts are bit-identical for every value of both, so cached plans are
+  // interchangeable. Only the analysis-COST diagnostics (scored_nodes,
+  // dedup_ratio) reflect whichever scan filled the cache first — callers
+  // comparing scan costs must use separate caches. Everything that can
+  // change the released noise — search mode, separator caps, backend
+  // (ulp-level), guards — is keyed.
   pf::Fingerprint fp;
   fp.Add(static_cast<int>(kind()))
       .Add(options_.max_quilt_size)  // The quilt-width cap changes the plan.
       .Add(options_.enumeration_limit)
+      .Add(static_cast<int>(options_.backend))
+      .Add(static_cast<int>(options_.quilt_search))
+      .Add(options_.exhaustive_node_limit)
+      .Add(options_.separator.max_radius)
+      .Add(options_.separator.max_quilt_size)
       .Add(thetas_.size());
   for (const BayesianNetwork& bn : thetas_) {
     fp.Add(bn.num_nodes());

@@ -1,0 +1,234 @@
+#include "pufferfish/node_classes.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/fingerprint.h"
+
+namespace pf {
+
+namespace {
+
+// Label-independent node attributes that seed the refinement: arity,
+// moral degree, and the raw CPT content under every theta. Root-independent
+// by construction, so corresponding nodes of isomorphic rooted views start
+// with equal colors.
+std::vector<std::uint64_t> InitialColors(
+    const std::vector<BayesianNetwork>& thetas, const MoralGraph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::uint64_t> colors(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    Fingerprint fp;
+    fp.Add(thetas.front().node(v).arity);
+    fp.Add(graph.neighbors(static_cast<int>(v)).size());
+    for (const BayesianNetwork& bn : thetas) {
+      const BayesianNetwork::Node& node = bn.node(v);
+      fp.Add(node.parents.size());
+      fp.Add(node.cpt);
+    }
+    colors[v] = fp.hash();
+  }
+  return colors;
+}
+
+// Dense ranks of a color vector (sorted-unique position). Iso-invariant:
+// equal colors share a rank, and ranks only depend on the color multiset.
+std::vector<std::uint64_t> DenseRanks(const std::vector<std::uint64_t>& colors,
+                                      std::size_t* num_classes) {
+  std::vector<std::uint64_t> sorted = colors;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<std::uint64_t> ranks(colors.size());
+  for (std::size_t v = 0; v < colors.size(); ++v) {
+    ranks[v] = static_cast<std::uint64_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), colors[v]) -
+        sorted.begin());
+  }
+  *num_classes = sorted.size();
+  return ranks;
+}
+
+// Permutes a factor's scope to positions `perm` (perm[i] = old position of
+// the new i-th scope variable), moving the value table to match. Pure data
+// movement — every output cell is a copy of an input cell.
+Factor PermuteFactor(const Factor& f, const std::vector<std::size_t>& perm) {
+  Factor out;
+  const std::size_t dims = f.scope.size();
+  out.scope.resize(dims);
+  out.arity.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    out.scope[d] = f.scope[perm[d]];
+    out.arity[d] = f.arity[perm[d]];
+  }
+  // Stride of each OLD position, then walk the new table in row-major
+  // order reading through the permutation.
+  std::vector<std::size_t> old_stride(dims, 1);
+  for (std::size_t d = dims; d-- > 1;) {
+    old_stride[d - 1] =
+        old_stride[d] * static_cast<std::size_t>(f.arity[d]);
+  }
+  out.values.assign(f.size(), 0.0);
+  std::vector<int> digits(dims, 0);
+  for (std::size_t cell = 0; cell < out.values.size(); ++cell) {
+    std::size_t src = 0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      src += old_stride[perm[d]] * static_cast<std::size_t>(digits[d]);
+    }
+    out.values[cell] = f.values[src];
+    for (std::size_t d = dims; d-- > 0;) {
+      if (++digits[d] < out.arity[d]) break;
+      digits[d] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> CanonicalNodeOrder(const std::vector<BayesianNetwork>& thetas,
+                                    const MoralGraph& graph, int target) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<int> dist = graph.Distances(target);
+  for (int& d : dist) {
+    if (d < 0) d = static_cast<int>(n);  // Other components sort last.
+  }
+  // Weisfeiler-Leman refinement of (distance, attributes): iterate until
+  // the partition stops splitting (refinement is monotone, so an unchanged
+  // class count means a stable partition), capped at n rounds.
+  std::size_t num_classes = 0;
+  std::vector<std::uint64_t> colors =
+      DenseRanks(InitialColors(thetas, graph), &num_classes);
+  for (std::size_t round = 0; round < n; ++round) {
+    std::vector<std::uint64_t> next(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      Fingerprint fp;
+      fp.Add(static_cast<std::uint64_t>(static_cast<std::int64_t>(dist[v])));
+      fp.Add(colors[v]);
+      std::vector<std::uint64_t> around;
+      for (int w : graph.neighbors(static_cast<int>(v))) {
+        around.push_back(colors[static_cast<std::size_t>(w)]);
+      }
+      std::sort(around.begin(), around.end());
+      fp.Add(around.size());
+      for (std::uint64_t c : around) fp.Add(c);
+      next[v] = fp.hash();
+    }
+    std::size_t refined = 0;
+    next = DenseRanks(next, &refined);
+    if (refined == num_classes) break;
+    num_classes = refined;
+    colors = std::move(next);
+  }
+  std::vector<int> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<int>(v);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const std::size_t ua = static_cast<std::size_t>(a);
+    const std::size_t ub = static_cast<std::size_t>(b);
+    if (dist[ua] != dist[ub]) return dist[ua] < dist[ub];
+    if (colors[ua] != colors[ub]) return colors[ua] < colors[ub];
+    return a < b;  // Ties here are (believed) automorphic; any order works.
+  });
+  return order;
+}
+
+NodeCanonicalForm CanonicalizeNode(const std::vector<BayesianNetwork>& thetas,
+                                   const MoralGraph& graph, int target) {
+  NodeCanonicalForm form;
+  form.order = CanonicalNodeOrder(thetas, graph, target);
+  const std::size_t n = form.order.size();
+  std::vector<int> inv(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    inv[static_cast<std::size_t>(form.order[v])] = static_cast<int>(v);
+  }
+  form.arities.resize(n);
+  form.adjacency.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t old_v = static_cast<std::size_t>(form.order[v]);
+    form.arities[v] = thetas.front().node(old_v).arity;
+    for (int w : graph.neighbors(static_cast<int>(old_v))) {
+      form.adjacency[v].push_back(inv[static_cast<std::size_t>(w)]);
+    }
+    std::sort(form.adjacency[v].begin(), form.adjacency[v].end());
+  }
+  form.factors.reserve(thetas.size());
+  for (const BayesianNetwork& bn : thetas) {
+    std::vector<Factor> relabeled = bn.Factors();
+    for (Factor& f : relabeled) {
+      for (int& v : f.scope) v = inv[static_cast<std::size_t>(v)];
+      // Normalize the scope to ascending canonical ids so factors that
+      // merely list the same variables in a different stored-parent order
+      // compare (and hash) equal.
+      std::vector<std::size_t> perm(f.scope.size());
+      for (std::size_t d = 0; d < perm.size(); ++d) perm[d] = d;
+      std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+        return f.scope[a] < f.scope[b];
+      });
+      bool identity = true;
+      for (std::size_t d = 0; d < perm.size(); ++d) identity &= perm[d] == d;
+      if (!identity) f = PermuteFactor(f, perm);
+    }
+    // CPT scopes are distinct as sets (equal sets would imply a parent
+    // cycle), so sorting by scope is a strict, canonical order.
+    std::sort(relabeled.begin(), relabeled.end(),
+              [](const Factor& a, const Factor& b) { return a.scope < b.scope; });
+    form.factors.push_back(std::move(relabeled));
+  }
+  Fingerprint fp;
+  fp.Add(n);
+  for (int a : form.arities) fp.Add(a);
+  for (const std::vector<int>& adj : form.adjacency) {
+    fp.Add(adj.size());
+    for (int w : adj) fp.Add(w);
+  }
+  fp.Add(form.factors.size());
+  for (const std::vector<Factor>& theta : form.factors) {
+    fp.Add(theta.size());
+    for (const Factor& f : theta) {
+      fp.Add(f.scope.size());
+      for (int v : f.scope) fp.Add(v);
+      for (int a : f.arity) fp.Add(a);
+      for (double x : f.values) fp.Add(x);
+    }
+  }
+  form.key = fp.hash();
+  return form;
+}
+
+bool NodeCanonicalForm::SameProblem(const NodeCanonicalForm& other) const {
+  if (arities != other.arities || adjacency != other.adjacency) return false;
+  if (factors.size() != other.factors.size()) return false;
+  for (std::size_t t = 0; t < factors.size(); ++t) {
+    if (factors[t].size() != other.factors[t].size()) return false;
+    for (std::size_t i = 0; i < factors[t].size(); ++i) {
+      const Factor& a = factors[t][i];
+      const Factor& b = other.factors[t][i];
+      if (a.scope != b.scope || a.arity != b.arity) return false;
+      if (a.values.size() != b.values.size()) return false;
+      // Bitwise value equality: the dedup contract is byte-identical
+      // problems, so -0.0 vs 0.0 (different bits, equal under ==) must
+      // NOT merge.
+      for (std::size_t c = 0; c < a.values.size(); ++c) {
+        if (DoubleBits(a.values[c]) != DoubleBits(b.values[c])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+MoralGraph UnionMoralGraph(const std::vector<BayesianNetwork>& thetas) {
+  const std::size_t n = thetas.front().num_nodes();
+  std::vector<std::set<int>> adj(n);
+  for (const BayesianNetwork& bn : thetas) {
+    const MoralGraph g(bn);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (int w : g.neighbors(static_cast<int>(v))) adj[v].insert(w);
+    }
+  }
+  std::vector<std::vector<int>> lists(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    lists[v].assign(adj[v].begin(), adj[v].end());
+  }
+  return MoralGraph(lists);
+}
+
+}  // namespace pf

@@ -1,0 +1,85 @@
+// Per-node-class deduplication for Algorithm 2 on general Bayesian
+// networks — the PR-3 convention (key cheaply, verify exactly, never trust
+// a hash alone) applied to arbitrary topologies.
+//
+// The invariant that makes general-network dedup sound: sigma_i is a pure
+// function of the network AS SEEN FROM node i — the isomorphism class of
+// the network rooted at i, with CPTs attached. We therefore compute each
+// node's score on its CANONICAL FORM: the factor system relabeled by a
+// deterministic BFS-refinement order rooted at the target (which becomes
+// variable 0), with factor scopes normalized to ascending canonical ids.
+// Two nodes with byte-identical canonical forms pose byte-identical
+// scoring problems, so they share sigma_i, the active-quilt shape, and the
+// influence BIT-identically — the dedup path just caches the function.
+//
+// Key = 64-bit fingerprint of the form (local-topology signature + CPT
+// content + the target-rooted distance layering); membership is verified
+// by exact comparison of the full canonical form (SameProblem), so a hash
+// collision can only cost a wasted compare, never a wrong score. Nodes in
+// symmetric positions (leaves of a star, same-depth nodes of a uniform
+// tree, quadrant images of a grid) collapse into one class; nodes that
+// merely look alike locally but differ anywhere in their rooted view do
+// not — exactness over hit rate.
+#ifndef PUFFERFISH_PUFFERFISH_NODE_CLASSES_H_
+#define PUFFERFISH_PUFFERFISH_NODE_CLASSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graphical/bayesian_network.h"
+#include "graphical/factor.h"
+#include "graphical/moral_graph.h"
+
+namespace pf {
+
+/// \brief One protected node's scoring problem, canonically relabeled so
+/// the target is variable 0 and everything else follows the rooted
+/// canonical order. Self-contained: quilt generation runs on `adjacency`,
+/// influence inference on `factors`/`arities`.
+struct NodeCanonicalForm {
+  /// order[new_id] = original node id (the inverse relabeling, used to map
+  /// the chosen active quilt back to the caller's node ids).
+  std::vector<int> order;
+  /// Per-variable arity, canonical ids.
+  std::vector<int> arities;
+  /// Moral adjacency (undirected, sorted), canonical ids.
+  std::vector<std::vector<int>> adjacency;
+  /// Per theta: the network's CPT factors with scopes renumbered and
+  /// normalized to ascending canonical ids (table permuted to match — pure
+  /// data movement, no arithmetic), the list sorted by scope.
+  std::vector<std::vector<Factor>> factors;
+  /// Cheap class key: fingerprint of everything above except `order`.
+  std::uint64_t key = 0;
+
+  /// Exact class-membership check: byte equality of arities, adjacency,
+  /// and every factor (scope, arity, and value BITS) — the relabelings
+  /// (`order`) may differ, that is the point.
+  bool SameProblem(const NodeCanonicalForm& other) const;
+};
+
+/// \brief The canonical order rooted at `target`: nodes sorted by
+/// (BFS distance from target, refined color, original id). The color is an
+/// iterated Weisfeiler-Leman refinement seeded with label-independent node
+/// attributes (arity, degree, CPT bytes per theta), so structurally
+/// interchangeable nodes tie — and ties between genuinely automorphic
+/// nodes are harmless, any resolution yields the same canonical bytes.
+/// Nodes in other components sort after the target's component (distance
+/// treated as num_nodes).
+std::vector<int> CanonicalNodeOrder(const std::vector<BayesianNetwork>& thetas,
+                                    const MoralGraph& graph, int target);
+
+/// \brief Builds the canonical form of `target`'s scoring problem. `graph`
+/// must be the (union) moral graph of `thetas`.
+NodeCanonicalForm CanonicalizeNode(const std::vector<BayesianNetwork>& thetas,
+                                   const MoralGraph& graph, int target);
+
+/// \brief The union moral graph of a network class: an edge wherever ANY
+/// theta's moralization has one. Quilts generated from separators of the
+/// union graph separate in every theta, which is what Definition 4.2
+/// requires of the whole class (structurally identical thetas — the common
+/// case — make this the ordinary moral graph).
+MoralGraph UnionMoralGraph(const std::vector<BayesianNetwork>& thetas);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_PUFFERFISH_NODE_CLASSES_H_

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "data/topologies.h"
 #include "graphical/markov_chain.h"
 
 namespace pf {
@@ -307,6 +308,73 @@ TEST(PrivacyEngineTest, NonChainMechanismsReportZeroStats) {
   EXPECT_EQ(stats.total_nodes, 0u);
   EXPECT_EQ(stats.scored_nodes, 0u);
   EXPECT_DOUBLE_EQ(stats.dedup_ratio, 1.0);
+}
+
+TEST(PrivacyEngineTest, LargeStructuredNetworksRouteToMqmGeneral) {
+  // 100 binary nodes: far past any enumeration guard, but treewidth 1 —
+  // the policy admits it and the structured analysis serves it.
+  auto model = ModelSpec::NetworkClass(
+      {TreeNetwork(100, 2, BinaryRoot(0.5), BinaryNoisyCopyCpt(0.25))
+           .ValueOrDie()});
+  EXPECT_EQ(SelectMechanism(model, EngineOptions{}).ValueOrDie(),
+            MechanismKind::kMqmGeneral);
+  auto engine = PrivacyEngine::Create(std::move(model)).ValueOrDie();
+  EXPECT_EQ(engine->mechanism_kind(), MechanismKind::kMqmGeneral);
+  EXPECT_EQ(engine->record_length(), 100u);
+
+  const PrivacyEngine::AnalysisStats stats =
+      engine->AnalyzeStats(1.0).ValueOrDie();
+  EXPECT_EQ(stats.total_nodes, 100u);
+  EXPECT_LT(stats.scored_nodes, stats.total_nodes);
+  EXPECT_GT(stats.dedup_ratio, 1.0);
+  EXPECT_EQ(stats.treewidth_bound, 1u);
+  EXPECT_GE(stats.induced_width, 1u);
+  EXPECT_GT(stats.peak_factor_bytes, 0u);
+
+  // The analysis is cached: serving a release re-uses the plan.
+  SessionOptions session_options;
+  session_options.seed = 7;
+  auto session = engine->CreateSession(session_options);
+  StateSequence data(100, 1);
+  const ReleaseResult release =
+      session->Release(QuerySpec::Sum(1.0), data).ValueOrDie();
+  EXPECT_TRUE(std::isfinite(release.value[0]));
+  EXPECT_GT(engine->cache_stats().hits, 0u);
+}
+
+TEST(PrivacyEngineTest, NetworkWidthCutoffRefusesDenseModels) {
+  // An 18-node collider: the child's 17 parents all marry, a 17-clique —
+  // min-fill width 17 > the default cutoff of 16.
+  BayesianNetwork dense;
+  Rng rng(3);
+  ASSERT_TRUE(dense.AddNode("p0", 2, {}, Matrix{{0.5, 0.5}}).ok());
+  std::vector<int> parents = {0};
+  for (int i = 1; i < 17; ++i) {
+    ASSERT_TRUE(dense.AddNode("p" + std::to_string(i), 2, {},
+                              Matrix{{0.4, 0.6}}).ok());
+    parents.push_back(i);
+  }
+  Matrix cpt(1u << 17, 2);
+  for (std::size_t r = 0; r < cpt.rows(); ++r) {
+    cpt(r, 0) = 0.25;
+    cpt(r, 1) = 0.75;
+  }
+  ASSERT_TRUE(dense.AddNode("child", 2, parents, cpt).ok());
+
+  const auto model = ModelSpec::NetworkClass({dense});
+  const Result<MechanismKind> refused = SelectMechanism(model, EngineOptions{});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+  // Raising the cutoff admits it again...
+  EngineOptions relaxed;
+  relaxed.network_width_cutoff = 20;
+  EXPECT_EQ(SelectMechanism(model, relaxed).ValueOrDie(),
+            MechanismKind::kMqmGeneral);
+  // ... and an explicit override bypasses the screen entirely.
+  EngineOptions forced;
+  forced.mechanism = MechanismKind::kMqmGeneral;
+  EXPECT_EQ(SelectMechanism(model, forced).ValueOrDie(),
+            MechanismKind::kMqmGeneral);
 }
 
 }  // namespace

@@ -147,11 +147,18 @@ TEST(MarkovQuiltMechanismTest, EnumerationLimitEnforced) {
       QuiltMaxInfluence({bn}, TrivialQuilt(5, 12), 1).ValueOrDie(), 0.0);
   MqmAnalyzeOptions options;
   options.enumeration_limit = 1000;
+  options.backend = InferenceBackend::kEnumeration;
   const Result<MqmAnalysis> analysis =
       AnalyzeMarkovQuiltMechanism({bn}, 1.0, options);
   ASSERT_FALSE(analysis.ok());
   EXPECT_EQ(analysis.status().code(), StatusCode::kInvalidArgument);
   options.enumeration_limit = 1u << 14;
+  EXPECT_TRUE(AnalyzeMarkovQuiltMechanism({bn}, 1.0, options).ok());
+  // The variable-elimination default is guarded by clique-table size, not
+  // the joint-assignment space: the same network passes under the same
+  // tiny limit (chain cliques are 4 cells).
+  options.enumeration_limit = 1000;
+  options.backend = InferenceBackend::kAuto;
   EXPECT_TRUE(AnalyzeMarkovQuiltMechanism({bn}, 1.0, options).ok());
 }
 

@@ -119,5 +119,108 @@ TEST(MarkovQuiltTest, ToStringRendering) {
   EXPECT_EQ(q.ToString(), "quilt{X2,X12} near=9");
 }
 
+bool SameQuiltList(const std::vector<MarkovQuilt>& a,
+                   const std::vector<MarkovQuilt>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].target != b[i].target || a[i].quilt != b[i].quilt ||
+        a[i].nearby_count != b[i].nearby_count || a[i].nearby != b[i].nearby ||
+        a[i].remote != b[i].remote) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(MarkovQuiltTest, EnumerateQuiltsDeduplicatedAndDeterministic) {
+  // A 5-cycle described twice with permuted, partially one-directional
+  // adjacency entries: structurally the same graph, so the canonicalized
+  // quilt lists must be byte-identical — and identical across repeated
+  // calls.
+  const MoralGraph g1({{1, 4}, {2}, {3}, {4}, {}});
+  const MoralGraph g2({{4, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 0}});
+  const std::vector<MarkovQuilt> a = EnumerateQuilts(g1, 2, 2);
+  const std::vector<MarkovQuilt> b = EnumerateQuilts(g2, 2, 2);
+  const std::vector<MarkovQuilt> again = EnumerateQuilts(g1, 2, 2);
+  EXPECT_TRUE(SameQuiltList(a, b));
+  EXPECT_TRUE(SameQuiltList(a, again));
+  // No duplicates survive canonicalization.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_FALSE(a[i - 1].quilt == a[i].quilt &&
+                 a[i - 1].nearby == a[i].nearby &&
+                 a[i - 1].remote == a[i].remote);
+  }
+  // ... and the order is the canonical (size, ids) one.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].quilt.size(), a[i].quilt.size());
+  }
+}
+
+TEST(MarkovQuiltTest, EnumerateQuiltsOnDisconnectedGraphs) {
+  // Path 0-1-2 plus a separate edge 3-4: the empty separator splits off
+  // the other component, so an empty-quilt candidate with X_R = {3, 4}
+  // must appear (strictly better than the trivial quilt).
+  const MoralGraph g({{1}, {2}, {}, {4}, {}});
+  const std::vector<MarkovQuilt> quilts = EnumerateQuilts(g, 0, 1);
+  bool has_component_cut = false, has_trivial = false;
+  for (const MarkovQuilt& q : quilts) {
+    if (!q.quilt.empty()) continue;
+    if (q.remote == std::vector<int>{3, 4}) {
+      has_component_cut = true;
+      // X_N contains the protected node itself (Definition 4.2).
+      EXPECT_EQ(q.nearby, (std::vector<int>{0, 1, 2}));
+      EXPECT_EQ(q.NearbyCount(), 3u);
+    } else if (q.remote.empty() && q.NearbyCount() == g.num_nodes()) {
+      has_trivial = true;
+    }
+  }
+  EXPECT_TRUE(has_component_cut);
+  EXPECT_TRUE(has_trivial);
+}
+
+TEST(MarkovQuiltTest, SeparatorQuiltsAreValidCuts) {
+  // 3-ary tree of 13 nodes: node 0 root, children 1..3, grandchildren 4..12.
+  std::vector<std::vector<int>> adj(13);
+  for (int i = 1; i <= 3; ++i) adj[0].push_back(i);
+  for (int i = 4; i <= 12; ++i) adj[static_cast<std::size_t>((i - 4) / 3 + 1)].push_back(i);
+  const MoralGraph g(adj);
+  const std::vector<MarkovQuilt> quilts = SeparatorQuilts(g, 4, {});
+  ASSERT_GE(quilts.size(), 2u);
+  bool has_trivial = false;
+  for (const MarkovQuilt& q : quilts) {
+    if (q.IsTrivial()) {
+      has_trivial = true;
+      continue;
+    }
+    EXPECT_FALSE(q.remote.empty());
+    for (int r : q.remote) {
+      EXPECT_TRUE(g.Separates(q.quilt, 4, r))
+          << q.ToString() << " fails to block node " << r;
+    }
+    // X_Q, X_N (which contains the target), and X_R partition the nodes.
+    EXPECT_EQ(q.NearbyCount() + q.quilt.size() + q.remote.size(),
+              g.num_nodes());
+  }
+  EXPECT_TRUE(has_trivial);
+  // Radius 1 around a leaf-adjacent node: its parent is a singleton cut.
+  bool has_parent_cut = false;
+  for (const MarkovQuilt& q : quilts) {
+    if (q.quilt == std::vector<int>{1}) has_parent_cut = true;
+  }
+  EXPECT_TRUE(has_parent_cut);
+}
+
+TEST(MarkovQuiltTest, SeparatorQuiltsDeterministicAndCapped) {
+  std::vector<std::vector<int>> adj(20);
+  for (int i = 1; i < 20; ++i) adj[static_cast<std::size_t>((i - 1) / 2)].push_back(i);
+  const MoralGraph g(adj);
+  SeparatorSearchOptions options;
+  options.max_quilt_size = 2;
+  const std::vector<MarkovQuilt> a = SeparatorQuilts(g, 9, options);
+  const std::vector<MarkovQuilt> b = SeparatorQuilts(g, 9, options);
+  EXPECT_TRUE(SameQuiltList(a, b));
+  for (const MarkovQuilt& q : a) EXPECT_LE(q.quilt.size(), 2u);
+}
+
 }  // namespace
 }  // namespace pf

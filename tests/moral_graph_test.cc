@@ -65,5 +65,40 @@ TEST(MoralGraphTest, DiamondSeparation) {
   EXPECT_FALSE(g.Separates({1}, 0, 3));
 }
 
+TEST(MoralGraphTest, AdjacencyConstructorSymmetrizesAndDedups) {
+  // One-directional, duplicated, and self-loop entries all normalize.
+  const MoralGraph g({{1, 1, 0}, {}, {1}});
+  EXPECT_EQ(g.neighbors(0), (std::vector<int>{1}));
+  EXPECT_EQ(g.neighbors(1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(g.neighbors(2), (std::vector<int>{1}));
+}
+
+TEST(MoralGraphTest, DistancesAndNeighborsWithin) {
+  const MoralGraph g(ChainNetwork(6));
+  const std::vector<int> dist = g.Distances(2);
+  EXPECT_EQ(dist, (std::vector<int>{2, 1, 0, 1, 2, 3}));
+  EXPECT_TRUE(g.NeighborsWithin(2, 0).empty());
+  EXPECT_EQ(g.NeighborsWithin(2, 1), (std::vector<int>{1, 3}));
+  EXPECT_EQ(g.NeighborsWithin(2, 2), (std::vector<int>{0, 1, 3, 4}));
+  // A radius past the diameter returns everything but the node itself.
+  EXPECT_EQ(g.NeighborsWithin(2, 99).size(), 5u);
+}
+
+TEST(MoralGraphTest, ComponentsOnDisconnectedGraphs) {
+  // Two components: a path 0-1-2 and an edge 3-4.
+  const MoralGraph g({{1}, {2}, {}, {4}, {}});
+  EXPECT_EQ(g.NumComponents(), 2u);
+  EXPECT_EQ(g.ConnectedComponent(1), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(g.ConnectedComponent(4), (std::vector<int>{3, 4}));
+  // Cross-component nodes are unreachable at every radius...
+  const std::vector<int> dist = g.Distances(0);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[4], -1);
+  EXPECT_EQ(g.NeighborsWithin(0, 99), (std::vector<int>{1, 2}));
+  // ... and the empty set already separates them.
+  EXPECT_TRUE(g.Separates({}, 0, 3));
+  EXPECT_FALSE(g.Separates({}, 0, 2));
+}
+
 }  // namespace
 }  // namespace pf

@@ -1,0 +1,76 @@
+#include "data/topologies.h"
+
+#include <gtest/gtest.h>
+
+#include "data/flu.h"
+#include "graphical/moral_graph.h"
+
+namespace pf {
+namespace {
+
+const Vector kRoot = {0.5, 0.5};
+const Matrix kEdge = BinaryNoisyCopyCpt(0.25);
+const Matrix kMerge = BinaryNoisyOrCpt(0.25);
+
+TEST(TopologiesTest, CptHelpers) {
+  EXPECT_EQ(BinaryRoot(0.25), (Vector{0.75, 0.25}));
+  const Matrix copy = BinaryNoisyCopyCpt(0.1);
+  EXPECT_DOUBLE_EQ(copy(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(copy(1, 0), 0.1);
+  const Matrix orr = BinaryNoisyOrCpt(0.1);
+  EXPECT_DOUBLE_EQ(orr(0, 1), 0.1);   // OR(0,0) = 0, flipped w.p. 0.1.
+  EXPECT_DOUBLE_EQ(orr(3, 1), 0.9);   // OR(1,1) = 1.
+}
+
+TEST(TopologiesTest, TreeShape) {
+  const BayesianNetwork bn = TreeNetwork(7, 2, kRoot, kEdge).ValueOrDie();
+  ASSERT_EQ(bn.num_nodes(), 7u);
+  EXPECT_TRUE(bn.node(0).parents.empty());
+  EXPECT_EQ(bn.node(1).parents, (std::vector<int>{0}));
+  EXPECT_EQ(bn.node(2).parents, (std::vector<int>{0}));
+  EXPECT_EQ(bn.node(5).parents, (std::vector<int>{2}));
+  // branching = 1 is a chain.
+  const BayesianNetwork chain = TreeNetwork(4, 1, kRoot, kEdge).ValueOrDie();
+  EXPECT_EQ(chain.node(3).parents, (std::vector<int>{2}));
+  EXPECT_FALSE(TreeNetwork(0, 2, kRoot, kEdge).ok());
+  EXPECT_FALSE(TreeNetwork(4, 0, kRoot, kEdge).ok());
+  // CPT shape mismatches surface as InvalidArgument from AddNode.
+  EXPECT_FALSE(TreeNetwork(4, 2, kRoot, kMerge).ok());
+}
+
+TEST(TopologiesTest, GridShapeAndParents) {
+  const BayesianNetwork bn =
+      GridNetwork(2, 3, kRoot, kEdge, kMerge).ValueOrDie();
+  ASSERT_EQ(bn.num_nodes(), 6u);
+  EXPECT_TRUE(bn.node(0).parents.empty());
+  EXPECT_EQ(bn.node(1).parents, (std::vector<int>{0}));      // (0,1): left.
+  EXPECT_EQ(bn.node(3).parents, (std::vector<int>{0}));      // (1,0): up.
+  EXPECT_EQ(bn.node(4).parents, (std::vector<int>{1, 3}));   // (1,1): both.
+  EXPECT_FALSE(GridNetwork(0, 3, kRoot, kEdge, kMerge).ok());
+}
+
+TEST(TopologiesTest, HubSpokeShape) {
+  const BayesianNetwork bn =
+      HubSpokeNetwork(2, 3, kRoot, kEdge, kEdge).ValueOrDie();
+  ASSERT_EQ(bn.num_nodes(), 8u);
+  EXPECT_TRUE(bn.node(0).parents.empty());         // Hub 0.
+  EXPECT_EQ(bn.node(1).parents, (std::vector<int>{0}));  // Its spokes.
+  EXPECT_EQ(bn.node(4).parents, (std::vector<int>{0}));  // Hub 1 off hub 0.
+  EXPECT_EQ(bn.node(5).parents, (std::vector<int>{4}));
+  EXPECT_EQ(bn.node(0).name, "H0");
+  EXPECT_EQ(bn.node(5).name, "H1S0");
+}
+
+TEST(TopologiesTest, FluContactNetworkIsATreeAtScale) {
+  const BayesianNetwork bn = FluContactNetwork(30, 4, 0.05, 0.3).ValueOrDie();
+  ASSERT_EQ(bn.num_nodes(), 150u);
+  EXPECT_EQ(MinFillWidth(MoralGraph(bn).adjacency()), 1u);
+  // An infected commuter raises a household member's risk.
+  const BayesianNetwork::Node& member = bn.node(1);
+  EXPECT_GT(member.cpt(1, 1), member.cpt(0, 1));
+  EXPECT_FALSE(FluContactNetwork(3, 2, -0.1, 0.3).ok());
+  EXPECT_FALSE(FluContactNetwork(3, 2, 0.1, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace pf

@@ -81,7 +81,7 @@ void ReportCounters(benchmark::State& state, const MqmAnalysis& analysis) {
   state.counters["dedup_ratio"] = analysis.dedup_ratio();
   state.counters["width"] = static_cast<double>(analysis.induced_width);
   state.counters["peak_kb"] =
-      static_cast<double>(analysis.peak_factor_bytes) / 1024.0;
+      static_cast<double>(analysis.memory.peak_bytes) / 1024.0;
 }
 
 // ---- Elimination backend (the fast path): sizes x topologies x threads.

@@ -73,7 +73,7 @@ void ReportChainCounters(benchmark::State& state, const ChainMqmResult& r) {
   state.counters["scored_nodes"] = static_cast<double>(r.scored_nodes);
   state.counters["dedup_ratio"] = r.dedup_ratio();
   state.counters["ladder_mb"] =
-      static_cast<double>(r.ladder_peak_bytes) / (1024.0 * 1024.0);
+      static_cast<double>(r.memory.peak_bytes) / (1024.0 * 1024.0);
 }
 
 void BM_LongChain_Dedup(benchmark::State& state) {

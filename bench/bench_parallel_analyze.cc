@@ -18,6 +18,7 @@
 
 #include <cassert>
 
+#include "bench/bench_util.h"
 #include "graphical/bayesian_network.h"
 #include "graphical/markov_chain.h"
 #include "pufferfish/analysis_cache.h"
@@ -59,10 +60,12 @@ void BM_GeneralAnalyze20Nodes(benchmark::State& state) {
     analysis =
         AnalyzeMarkovQuiltMechanism(TwentyNodeClass(), kEpsilon, options)
             .ValueOrDie();
-    // Pass an rvalue: the mutable-lvalue DoNotOptimize overload ("+m,r"
-    // inline asm) miscompiles under GCC 12 / benchmark 1.7, leaving the
-    // variable clobbered after the loop (counters then report garbage).
-    benchmark::DoNotOptimize(analysis.sigma_max + 0.0);
+    // bench_util's const-ref DoNotOptimize, not benchmark::DoNotOptimize:
+    // the library's mutable-lvalue overload ("+m,r" inline asm)
+    // miscompiles under GCC 12 / benchmark 1.7, leaving the variable
+    // clobbered after the loop (counters then report garbage). The
+    // const-ref version only escapes the address, so the value survives.
+    bench::DoNotOptimize(analysis.sigma_max);
   }
   state.counters["sigma_max"] = analysis.sigma_max;
   state.counters["threads"] = static_cast<double>(options.num_threads);
@@ -89,7 +92,7 @@ void BM_ExactFreeInitialThreads(benchmark::State& state) {
   options.num_threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     const auto result = MqmExactAnalyzeFreeInitial(transitions, 1000, options);
-    benchmark::DoNotOptimize(result.ValueOrDie().sigma_max);
+    bench::DoNotOptimize(result.ValueOrDie().sigma_max);
   }
   state.counters["threads"] = static_cast<double>(options.num_threads);
 }
@@ -111,7 +114,7 @@ void BM_WarmAnalysisCache(benchmark::State& state) {
   const auto cold = cache.GetOrAnalyze(mechanism, kEpsilon).ValueOrDie();
   for (auto _ : state) {
     const auto warm = cache.GetOrAnalyze(mechanism, kEpsilon).ValueOrDie();
-    benchmark::DoNotOptimize(warm->sigma);
+    bench::DoNotOptimize(warm->sigma);
   }
   assert(cold->cache_hit_count() > 0);
   state.counters["cache_hits"] = static_cast<double>(cold->cache_hit_count());

@@ -17,6 +17,19 @@
 namespace pf {
 namespace bench {
 
+/// \brief Forces the compiler to consider `value` live without reading or
+/// mutating it: the hot-loop guard for benchmarked results. Takes a const
+/// reference on purpose — the escaped asm operand is the object's address,
+/// so the value itself is never copied, and a `const T&` overload (unlike
+/// the common `T&` one) accepts rvalues and computed temporaries directly.
+/// The "memory" clobber stops the optimizer from hoisting or deleting the
+/// computation that produced `value`; it does NOT let the compiler assume
+/// the value changed type or content.
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
 /// Mean L1 error of `trials` noisy releases of `truth` with i.i.d.
 /// Laplace(scale) noise per coordinate (the quantity every utility table in
 /// the paper reports).

@@ -69,6 +69,6 @@ int main() {
   std::printf("treewidth bound / observed : %zu / %zu, peak factor tables "
               "%.1f KiB\n",
               stats.treewidth_bound, stats.induced_width,
-              static_cast<double>(stats.peak_factor_bytes) / 1024.0);
+              static_cast<double>(stats.memory.peak_bytes) / 1024.0);
   return 0;
 }

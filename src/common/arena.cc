@@ -1,0 +1,105 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pf {
+
+namespace {
+
+constexpr std::size_t kAlign = 16;
+
+std::size_t RoundUp(std::size_t bytes) {
+  return (bytes + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+// Process-wide instrumentation: every arena folds its block events here so
+// stats reporting can aggregate the thread_local subsystem arenas without
+// enumerating threads.
+std::atomic<std::uint64_t>& TotalBlocks() {
+  static std::atomic<std::uint64_t> total{0};
+  return total;
+}
+
+std::atomic<std::uint64_t>& TotalRetained() {
+  static std::atomic<std::uint64_t> total{0};
+  return total;
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t min_block_bytes)
+    : min_block_bytes_(std::max<std::size_t>(RoundUp(min_block_bytes), kAlign)) {}
+
+Arena::~Arena() { Release(); }
+
+void* Arena::Allocate(std::size_t bytes) {
+  bytes = RoundUp(std::max<std::size_t>(bytes, 1));
+  if (block_ < blocks_.size() && offset_ + bytes <= blocks_[block_].size) {
+    void* p = blocks_[block_].data.get() + offset_;
+    offset_ += bytes;
+    in_use_ += bytes;
+    peak_ = std::max(peak_, in_use_);
+    return p;
+  }
+  return AllocateSlow(bytes);
+}
+
+void* Arena::AllocateSlow(std::size_t bytes) {
+  // Advance past retained blocks that cannot fit the request (their unused
+  // tails are dead until the next Reset/Rewind — the usual bump-arena
+  // trade; block doubling keeps the waste a constant fraction).
+  if (block_ < blocks_.size()) {
+    ++block_;
+    offset_ = 0;
+    while (block_ < blocks_.size() && bytes > blocks_[block_].size) {
+      ++block_;
+    }
+  }
+  if (block_ == blocks_.size()) {
+    std::size_t size = std::max(min_block_bytes_, bytes);
+    if (!blocks_.empty()) size = std::max(size, blocks_.back().size * 2);
+    Block b;
+    b.data.reset(new char[size]);
+    b.size = size;
+    blocks_.push_back(std::move(b));
+    retained_ += size;
+    ++block_allocations_;
+    TotalBlocks().fetch_add(1, std::memory_order_relaxed);
+    TotalRetained().fetch_add(size, std::memory_order_relaxed);
+  }
+  void* p = blocks_[block_].data.get() + offset_;
+  offset_ += bytes;
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+  return p;
+}
+
+void Arena::Rewind(const Checkpoint& cp) {
+  block_ = cp.block;
+  offset_ = cp.offset;
+  in_use_ = cp.in_use;
+}
+
+void Arena::Reset() {
+  block_ = 0;
+  offset_ = 0;
+  in_use_ = 0;
+}
+
+void Arena::Release() {
+  TotalRetained().fetch_sub(retained_, std::memory_order_relaxed);
+  blocks_.clear();
+  retained_ = 0;
+  Reset();
+}
+
+std::uint64_t Arena::TotalBlockAllocations() {
+  return TotalBlocks().load(std::memory_order_relaxed);
+}
+
+std::uint64_t Arena::TotalRetainedBytes() {
+  return TotalRetained().load(std::memory_order_relaxed);
+}
+
+}  // namespace pf

@@ -1,0 +1,99 @@
+// Bump/pool allocator for analysis scratch. The hot analysis paths
+// (factor products, elimination tables, power-ladder scratch) allocate
+// short-lived buffers in bursts with identical lifetimes; an arena turns
+// each burst into pointer bumps over a few retained blocks, so a warm
+// thread performs ZERO heap allocations per Analyze/ExtendTo.
+//
+// Lifetime rules (pinned by tests/arena_test.cc and the ASan stress test):
+//  - Allocate() results live until the next Reset()/Rewind past them or
+//    Release(); the arena never runs destructors (POD buffers only).
+//  - Reset() rewinds to empty but RETAINS the blocks — the steady-state
+//    entry point, called once per top-level analysis.
+//  - Checkpoint/Rewind bracket nested scratch (per elimination step) so
+//    in-use bytes stay bounded within one analysis.
+//  - One arena serves one thread; cross-thread use requires external
+//    serialization (the library keeps one thread_local arena per hot
+//    subsystem instead).
+#ifndef PUFFERFISH_COMMON_ARENA_H_
+#define PUFFERFISH_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace pf {
+
+/// \brief Growable bump allocator with retained blocks.
+class Arena {
+ public:
+  /// `min_block_bytes` sizes the first block; later blocks double (and a
+  /// single oversized request gets a block of its own size), so any
+  /// steady-state working set is reached after O(log(size)) mallocs.
+  explicit Arena(std::size_t min_block_bytes = 1u << 16);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena();
+
+  /// 16-byte-aligned uninitialized storage; valid until Reset/Release or a
+  /// Rewind past the current cursor.
+  void* Allocate(std::size_t bytes);
+
+  /// `n` uninitialized doubles.
+  double* AllocDoubles(std::size_t n) {
+    return static_cast<double*>(Allocate(n * sizeof(double)));
+  }
+
+  /// Cursor position for nested scratch (see Rewind).
+  struct Checkpoint {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+    std::size_t in_use = 0;
+  };
+  Checkpoint Save() const { return {block_, offset_, in_use_}; }
+  /// Frees (logically) everything allocated after `cp`. The blocks stay.
+  void Rewind(const Checkpoint& cp);
+
+  /// Rewinds to empty, retaining every block for reuse.
+  void Reset();
+  /// Frees the blocks themselves (retained bytes drop to zero).
+  void Release();
+
+  /// Bytes currently handed out (since construction or the last Reset).
+  std::size_t in_use_bytes() const { return in_use_; }
+  /// High-water mark of in_use_bytes() over the arena's lifetime.
+  std::size_t peak_bytes() const { return peak_; }
+  /// Capacity held by retained blocks (what Reset keeps around).
+  std::size_t retained_bytes() const { return retained_; }
+  /// Heap-block acquisitions over the arena's lifetime. Stops increasing
+  /// once the working set is warm — the zero-steady-state-malloc witness.
+  std::size_t block_allocations() const { return block_allocations_; }
+
+  /// Process-wide totals over every Arena (atomic, relaxed): lets stats
+  /// reporting aggregate the thread_local subsystem arenas without a
+  /// registry walk.
+  static std::uint64_t TotalBlockAllocations();
+  static std::uint64_t TotalRetainedBytes();
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Moves the cursor to a block that fits `bytes`, allocating if needed.
+  void* AllocateSlow(std::size_t bytes);
+
+  const std::size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   // Cursor block index (== blocks_.size() when empty).
+  std::size_t offset_ = 0;  // Bump offset within blocks_[block_].
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t retained_ = 0;
+  std::size_t block_allocations_ = 0;
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_COMMON_ARENA_H_

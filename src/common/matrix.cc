@@ -1,10 +1,16 @@
 #include "common/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
 #include "common/parallel.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PF_SIMD_X86 1
+#include <immintrin.h>
+#endif
 
 namespace pf {
 
@@ -54,7 +60,143 @@ void MultiplyRowsBlocked(const Matrix& lhs, const Matrix& rhs_t,
   }
 }
 
+#ifdef PF_SIMD_X86
+// AVX2 kernel: rhs is read UNtransposed — for a 4-wide (or 16-wide
+// unrolled) panel of output columns, step k broadcasts lhs(r, k) and
+// multiplies it against the contiguous 4-double slices of rhs row k. Each
+// output lane keeps its own accumulator and sums its k-terms in ascending
+// order, exactly like the naive/portable kernels, so the result is
+// bit-identical to them (no horizontal reductions, no reassociation; mul
+// and add stay separate instructions — the build pins -ffp-contract=off).
+// The 16-column main loop gives four independent add chains to hide FP-add
+// latency, matching the portable kernel's ILP at 4x the width.
+__attribute__((target("avx2"))) void MultiplyRowsAvx2(
+    const Matrix& lhs, const Matrix& rhs, std::size_t row_begin,
+    std::size_t row_end, Matrix* out) {
+  const std::size_t inner = lhs.cols();
+  const std::size_t cols = rhs.cols();
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const double* a = lhs.RowPtr(r);
+    double* o = out->RowPtr(r);
+    std::size_t j = 0;
+    for (; j + 16 <= cols; j += 16) {
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      for (std::size_t k = 0; k < inner; ++k) {
+        const __m256d l = _mm256_set1_pd(a[k]);
+        const double* b = rhs.RowPtr(k) + j;
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(l, _mm256_loadu_pd(b)));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(l, _mm256_loadu_pd(b + 4)));
+        acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(l, _mm256_loadu_pd(b + 8)));
+        acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(l, _mm256_loadu_pd(b + 12)));
+      }
+      _mm256_storeu_pd(o + j, acc0);
+      _mm256_storeu_pd(o + j + 4, acc1);
+      _mm256_storeu_pd(o + j + 8, acc2);
+      _mm256_storeu_pd(o + j + 12, acc3);
+    }
+    for (; j + 4 <= cols; j += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t k = 0; k < inner; ++k) {
+        const __m256d l = _mm256_set1_pd(a[k]);
+        acc = _mm256_add_pd(acc,
+                            _mm256_mul_pd(l, _mm256_loadu_pd(rhs.RowPtr(k) + j)));
+      }
+      _mm256_storeu_pd(o + j, acc);
+    }
+    for (; j < cols; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) s += a[k] * rhs(k, j);
+      o[j] = s;
+    }
+  }
+}
+#endif  // PF_SIMD_X86
+
+// The dispatch level: -1 = not yet resolved (lazily set to the detected
+// level on first use).
+std::atomic<int> g_simd_level{-1};
+
+void TransposeInto(const Matrix& m, Matrix* out) {
+  out->ResizeUninitialized(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) (*out)(c, r) = m(r, c);
+  }
+}
+
+// Shared core of the blocked products: dispatches rows [0, lhs.rows()) of
+// lhs * rhs into out (which must already have the result shape), fanning
+// out across `pool` when the problem is worth a wake-up. The portable
+// path's transpose lives in a thread-local scratch matrix, so warm calls
+// allocate nothing.
+void MultiplyCore(const Matrix& lhs, const Matrix& rhs, ThreadPool* pool,
+                  Matrix* out) {
+  assert(lhs.cols() == rhs.rows());
+  assert(out != &lhs && out != &rhs);
+  const bool avx2 = ActiveSimdLevel() == SimdLevel::kAvx2;
+  static thread_local Matrix rhs_t_scratch;
+  const Matrix* rhs_t = nullptr;
+  if (!avx2) {
+    TransposeInto(rhs, &rhs_t_scratch);
+    rhs_t = &rhs_t_scratch;
+  }
+  const auto run_rows = [&](std::size_t begin, std::size_t end) {
+#ifdef PF_SIMD_X86
+    if (avx2) {
+      MultiplyRowsAvx2(lhs, rhs, begin, end, out);
+      return;
+    }
+#endif
+    MultiplyRowsBlocked(lhs, *rhs_t, begin, end, out);
+  };
+  // Fan out only when a row is worth a pool wake-up: small state spaces
+  // (e.g. the binary Figure 4 chains) run the whole multiply inline.
+  constexpr std::size_t kMinFlopsForPool = 1u << 15;
+  if (pool != nullptr && lhs.rows() > 1 &&
+      lhs.rows() * lhs.cols() * rhs.cols() >= kMinFlopsForPool) {
+    pool->ParallelFor(lhs.rows(),
+                      [&](std::size_t r) { run_rows(r, r + 1); });
+  } else {
+    run_rows(0, lhs.rows());
+  }
+}
+
 }  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kPortable: return "portable";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectedSimdLevel() {
+#ifdef PF_SIMD_X86
+  static const bool avx2 = __builtin_cpu_supports("avx2");
+  return avx2 ? SimdLevel::kAvx2 : SimdLevel::kPortable;
+#else
+  return SimdLevel::kPortable;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_simd_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(DetectedSimdLevel());
+    g_simd_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+void SetSimdLevel(SimdLevel level) {
+  if (static_cast<int>(level) > static_cast<int>(DetectedSimdLevel())) {
+    level = DetectedSimdLevel();
+  }
+  g_simd_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
@@ -117,30 +259,27 @@ Matrix MultiplyNaive(const Matrix& lhs, const Matrix& rhs) {
 }
 
 Matrix MultiplyBlocked(const Matrix& lhs, const Matrix& rhs) {
-  assert(lhs.cols() == rhs.rows());
-  const Matrix rhs_t = rhs.Transpose();
-  Matrix out(lhs.rows(), rhs.cols(), 0.0);
-  MultiplyRowsBlocked(lhs, rhs_t, 0, lhs.rows(), &out);
+  Matrix out(lhs.rows(), rhs.cols());
+  MultiplyCore(lhs, rhs, nullptr, &out);
   return out;
+}
+
+void MultiplyBlockedInto(const Matrix& lhs, const Matrix& rhs, Matrix* out) {
+  out->ResizeUninitialized(lhs.rows(), rhs.cols());
+  MultiplyCore(lhs, rhs, nullptr, out);
 }
 
 Matrix ParallelMultiply(const Matrix& lhs, const Matrix& rhs,
                         ThreadPool* pool) {
-  assert(lhs.cols() == rhs.rows());
-  const Matrix rhs_t = rhs.Transpose();
-  Matrix out(lhs.rows(), rhs.cols(), 0.0);
-  // Fan out only when a row is worth a pool wake-up: small state spaces
-  // (e.g. the binary Figure 4 chains) run the whole multiply inline.
-  constexpr std::size_t kMinFlopsForPool = 1u << 15;
-  if (pool != nullptr && lhs.rows() > 1 &&
-      lhs.rows() * lhs.cols() * rhs.cols() >= kMinFlopsForPool) {
-    pool->ParallelFor(lhs.rows(), [&](std::size_t r) {
-      MultiplyRowsBlocked(lhs, rhs_t, r, r + 1, &out);
-    });
-  } else {
-    MultiplyRowsBlocked(lhs, rhs_t, 0, lhs.rows(), &out);
-  }
+  Matrix out(lhs.rows(), rhs.cols());
+  MultiplyCore(lhs, rhs, pool, &out);
   return out;
+}
+
+void ParallelMultiplyInto(const Matrix& lhs, const Matrix& rhs,
+                          ThreadPool* pool, Matrix* out) {
+  out->ResizeUninitialized(lhs.rows(), rhs.cols());
+  MultiplyCore(lhs, rhs, pool, out);
 }
 
 Matrix Matrix::operator+(const Matrix& other) const {
@@ -172,14 +311,20 @@ Vector Matrix::Apply(const Vector& v) const {
 }
 
 Vector Matrix::ApplyLeft(const Vector& v) const {
+  Vector out;
+  ApplyLeftInto(v, &out);
+  return out;
+}
+
+void Matrix::ApplyLeftInto(const Vector& v, Vector* out) const {
   assert(v.size() == rows_);
-  Vector out(cols_, 0.0);
+  assert(out != &v);
+  out->assign(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double a = v[r];
     if (a == 0.0) continue;
-    for (std::size_t c = 0; c < cols_; ++c) out[c] += a * (*this)(r, c);
+    for (std::size_t c = 0; c < cols_; ++c) (*out)[c] += a * (*this)(r, c);
   }
-  return out;
 }
 
 Matrix Matrix::Power(unsigned p) const {

@@ -45,6 +45,16 @@ class Matrix {
   double* RowPtr(std::size_t r) { return data_.data() + r * cols_; }
   const double* RowPtr(std::size_t r) const { return data_.data() + r * cols_; }
 
+  /// \brief Reshapes to rows x cols, reusing capacity; entry values are
+  /// unspecified afterwards. For Into-style kernels that overwrite every
+  /// cell — lets a retained output matrix be reused without a zero-fill or
+  /// a reallocation.
+  void ResizeUninitialized(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Row `r` as a vector copy.
   Vector Row(std::size_t r) const;
   /// Column `c` as a vector copy.
@@ -60,6 +70,9 @@ class Matrix {
   Vector Apply(const Vector& v) const;
   /// Vector-matrix product (v^T * this), returned as a vector.
   Vector ApplyLeft(const Vector& v) const;
+  /// ApplyLeft writing into a caller-retained vector (capacity reused; no
+  /// allocation once out has seen this width). out must not alias v.
+  void ApplyLeftInto(const Vector& v, Vector* out) const;
 
   /// This matrix raised to integer power p >= 0 by repeated squaring.
   Matrix Power(unsigned p) const;
@@ -88,22 +101,59 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// \brief Instruction set the blocked product kernels dispatch to. The
+/// portable kernel is always available; kAvx2 is an explicitly vectorized
+/// 4-wide double kernel selected at runtime when the CPU supports it.
+enum class SimdLevel {
+  kPortable,
+  kAvx2,
+};
+
+/// Human-readable level name ("portable", "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level this CPU supports (probed once per process).
+SimdLevel DetectedSimdLevel();
+
+/// \brief Level the kernels currently use: the detected level unless
+/// overridden by SetSimdLevel. Every level computes bit-identical results
+/// (see the summation-order note on MultiplyBlocked), so the override
+/// exists for benchmarks and tests comparing the paths, not correctness.
+SimdLevel ActiveSimdLevel();
+
+/// \brief Overrides the dispatch level, clamped to DetectedSimdLevel()
+/// (requesting kAvx2 on a non-AVX2 CPU leaves the portable kernel active).
+/// Process-wide; not meant to be flipped concurrently with in-flight
+/// multiplies.
+void SetSimdLevel(SimdLevel level);
+
 /// \brief Reference O(mnk) product (i,k,j loop order, zero-skip on the
 /// left operand). Ground truth for the blocked kernel's tests; not used on
 /// hot paths.
 Matrix MultiplyNaive(const Matrix& lhs, const Matrix& rhs);
 
-/// \brief Cache-conscious product with a transposed right-hand side: rhs
-/// is transposed once so the micro-kernel reduces contiguous row pairs,
-/// and the column dimension is walked in 4-wide panels (independent
-/// accumulators, FMA/SIMD friendly; all five streams are contiguous).
+/// \brief Cache-conscious product, runtime-dispatched over SimdLevel. The
+/// portable kernel transposes rhs once and reduces contiguous row pairs in
+/// 4-wide column panels (independent scalar accumulators); the AVX2 kernel
+/// reads rhs untransposed, broadcasting one lhs entry against 4-wide
+/// column vectors of rhs rows (no FMA — the library builds with
+/// -ffp-contract=off so mul+add never fuses).
 ///
-/// Each output entry accumulates its k-terms in ascending order into a
-/// single accumulator — the same order as the naive kernel — so for finite
-/// inputs the result equals MultiplyNaive entrywise (and bit-identically
-/// for matrices without negative-zero products, e.g. stochastic matrices
-/// and their powers). Used by operator*, Power and ParallelMultiply.
+/// Summation-order policy: EVERY level accumulates each output entry's
+/// k-terms in ascending order into a single (scalar or lane) accumulator —
+/// the same order as the naive kernel — so no dispatch choice ever
+/// reassociates a sum. For finite inputs the result equals MultiplyNaive
+/// entrywise, bit-identically for matrices without negative-zero products
+/// (e.g. stochastic matrices and their powers), which the tests pin. Used
+/// by operator*, Power and ParallelMultiply.
 Matrix MultiplyBlocked(const Matrix& lhs, const Matrix& rhs);
+
+/// \brief MultiplyBlocked writing into a caller-retained output (resized,
+/// capacity reused — no allocation once out has seen this shape). out must
+/// not alias lhs or rhs. Scratch (the portable kernel's transpose) lives
+/// in a thread-local buffer, so a warm thread performs zero heap
+/// allocations here.
+void MultiplyBlockedInto(const Matrix& lhs, const Matrix& rhs, Matrix* out);
 
 /// \brief Row-parallel blocked product: output rows fan out across `pool`
 /// (inline when pool is null or the problem is too small to amortize a
@@ -111,6 +161,11 @@ Matrix MultiplyBlocked(const Matrix& lhs, const Matrix& rhs);
 /// are independent and each is computed by the same kernel.
 Matrix ParallelMultiply(const Matrix& lhs, const Matrix& rhs,
                         ThreadPool* pool);
+
+/// ParallelMultiply writing into a caller-retained output (see
+/// MultiplyBlockedInto for the aliasing and allocation rules).
+void ParallelMultiplyInto(const Matrix& lhs, const Matrix& rhs,
+                          ThreadPool* pool, Matrix* out);
 
 /// Elementwise helpers on vectors. All require matching sizes.
 double Dot(const Vector& a, const Vector& b);

@@ -1,0 +1,43 @@
+// Unified allocation accounting for analysis results. Both the chain
+// (MQMExact power ladder) and general-network (elimination factor tables)
+// analyses report their memory behavior through this one struct, surfaced
+// unchanged in PrivacyEngine::AnalysisStats.
+#ifndef PUFFERFISH_COMMON_MEMORY_STATS_H_
+#define PUFFERFISH_COMMON_MEMORY_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pf {
+
+/// \brief Allocation accounting of one analysis (or the max/sum over a
+/// class Theta).
+struct MemoryStats {
+  /// Peak bytes of simultaneously live analysis tables: the streamed power
+  /// ladder + maximization tables + dedup class store for chain analyses,
+  /// the largest live factor-table set for elimination-backed analyses.
+  std::size_t peak_bytes = 0;
+  /// Bytes retained by pooled/arena buffers after the analysis for reuse
+  /// by the next one (the price of the zero-steady-state-malloc hot path):
+  /// the resumable ladder/class state for chains, the thread-local
+  /// elimination arena for networks.
+  std::size_t arena_retained_bytes = 0;
+  /// Heap-block acquisitions attributable to this analysis: arena block
+  /// allocations plus tracked scratch-buffer growths. 0 in steady state
+  /// (warm arena, warm resumable analysis) — the measurable zero-malloc
+  /// claim of the hot path.
+  std::size_t mallocs = 0;
+
+  /// Folds another analysis into this one: byte quantities max (they bound
+  /// worst-case residency), malloc events sum (they are work performed).
+  void MergeMax(const MemoryStats& other) {
+    peak_bytes = std::max(peak_bytes, other.peak_bytes);
+    arena_retained_bytes =
+        std::max(arena_retained_bytes, other.arena_retained_bytes);
+    mallocs += other.mallocs;
+  }
+};
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_COMMON_MEMORY_STATS_H_

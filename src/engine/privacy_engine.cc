@@ -11,6 +11,7 @@
 #include "engine/session.h"
 #include "graphical/elimination.h"
 #include "pufferfish/node_classes.h"
+#include "pufferfish/plan_store.h"
 
 namespace pf {
 
@@ -388,15 +389,24 @@ Result<PrivacyEngine::AnalysisStats> PrivacyEngine::AnalyzeStats(
     stats.dedup_ratio = plan->mqm.dedup_ratio();
     stats.induced_width = plan->mqm.induced_width;
     stats.treewidth_bound = plan->mqm.treewidth_bound;
-    stats.peak_factor_bytes = plan->mqm.peak_factor_bytes;
+    stats.memory = plan->mqm.memory;
   } else {
     stats.total_nodes = plan->chain.total_nodes;
     stats.scored_nodes = plan->chain.scored_nodes;
     stats.dedup_ratio = plan->chain.dedup_ratio();
-    stats.ladder_peak_bytes = plan->chain.ladder_peak_bytes;
+    stats.memory = plan->chain.memory;
     stats.used_stationary_shortcut = plan->chain.used_stationary_shortcut;
   }
   return stats;
+}
+
+Status PrivacyEngine::SaveAnalyses(const std::string& path) const {
+  return SavePlanSnapshot(path, cache_.ExportPlans());
+}
+
+Result<std::size_t> PrivacyEngine::LoadAnalyses(const std::string& path) {
+  PF_ASSIGN_OR_RETURN(std::vector<CachedPlan> entries, LoadPlanSnapshot(path));
+  return cache_.ImportPlans(entries);
 }
 
 std::uint64_t PrivacyEngine::NextSessionSeed() {

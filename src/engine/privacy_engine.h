@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_stats.h"
 #include "common/status.h"
 #include "engine/executor.h"
 #include "engine/query_spec.h"
@@ -228,11 +229,14 @@ class PrivacyEngine {
     /// total_nodes / scored_nodes: work saved by the dedup scan (marginal
     /// keys on chains, canonical node classes on networks).
     double dedup_ratio = 1.0;
-    /// Peak bytes resident in the streamed power ladder, maximization
-    /// tables, and dedup class store — O(k^2 * max(256, max_nearby)) and
-    /// length-independent in free-initial mode, rather than the
-    /// pre-optimization O(T * k^2). Chain plans only.
-    std::size_t ladder_peak_bytes = 0;
+    /// Unified memory accounting of the analysis: `peak_bytes` is the peak
+    /// resident analysis tables (power ladder + maximization tables +
+    /// class store for chain plans; largest live factor-table set for
+    /// network plans), `arena_retained_bytes` the buffers retained for
+    /// reuse by the next analysis, and `mallocs` the tracked
+    /// heap-acquisition events of the pass — 0 on a warm steady-state
+    /// re-analysis (the zero-allocation hot path).
+    MemoryStats memory;
     /// True when the Section 4.4.1 stationary shortcut served the plan.
     bool used_stationary_shortcut = false;
     /// Network plans: largest elimination clique (minus one) the influence
@@ -241,14 +245,29 @@ class PrivacyEngine {
     /// Network plans: min-fill induced width of the (union) moral graph —
     /// the treewidth upper bound the selection policy screened against.
     std::size_t treewidth_bound = 0;
-    /// Network plans: peak bytes of simultaneously live factor tables in
-    /// any single influence inference.
-    std::size_t peak_factor_bytes = 0;
   };
 
   /// \brief Stats for the plan serving `epsilon`, analyzing (or hitting
   /// the cache) exactly like Compile does.
   Result<AnalysisStats> AnalyzeStats(double epsilon);
+
+  /// \brief Writes every cached plan to a warm-restart snapshot at `path`
+  /// (atomically: temp file + rename; see pufferfish/plan_store.h for the
+  /// format). A fresh engine over the same model restores them with
+  /// LoadAnalyses, turning its first Compile per epsilon into a cache hit
+  /// instead of a cold analysis.
+  Status SaveAnalyses(const std::string& path) const;
+
+  /// \brief Loads a snapshot saved by SaveAnalyses into the plan cache and
+  /// returns the number of plans imported. Plans are keyed by (model
+  /// fingerprint, epsilon, kind), so entries from other models or
+  /// configurations simply never hit — loading a stale snapshot is safe,
+  /// just useless. Corrupt, truncated, or version-mismatched snapshots are
+  /// rejected whole (the engine then starts cold, which is always
+  /// correct). Resumable chain scan state is not persisted: after a load,
+  /// the first AppendObservations re-seeds it with one cold analysis and
+  /// appends are incremental from then on.
+  Result<std::size_t> LoadAnalyses(const std::string& path);
 
   /// \brief A seed for a session that did not pin one: distinct per call
   /// (sequence scrambled from a random per-engine base), so default

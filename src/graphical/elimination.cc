@@ -1,9 +1,12 @@
 #include "graphical/elimination.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <set>
 #include <string>
+
+#include "common/arena.h"
 
 namespace pf {
 
@@ -183,164 +186,344 @@ Result<Vector> EnumerationConditionalJoint(
   return mass;
 }
 
-// One elimination step: multiplies every factor containing `var` and sums
-// `var` out. Pairs of 2-variable factors (the dominant shape on chains and
-// trees) route through the cache-blocked matrix kernel.
-Result<Factor> EliminateVar(std::vector<Factor>* working, int var,
-                            std::size_t limit, std::size_t live_bytes,
-                            EliminationStats* stats) {
-  std::vector<const Factor*> involved;
-  std::vector<int> combined_scope, combined_arity;
-  for (const Factor& f : *working) {
+// ----------------------------------------------------------------------
+// The elimination hot path runs entirely out of a per-thread retained
+// workspace: factor tables live in a bump arena (reset per query, blocks
+// retained), scope/arity/adjacency scratch lives in pooled vectors that
+// keep their capacity, so a warm thread's query performs zero heap
+// allocations beyond the caller's output vector (and not even that via
+// FactorConditionalJointInto). Results are cell-for-cell identical to the
+// historical per-call-allocating implementation: same factor order, same
+// min-fill tie rules, same kernels.
+// ----------------------------------------------------------------------
+
+// A working factor whose table borrows storage (the caller's input factor
+// or the workspace arena); ids/arities live in pooled vectors.
+struct WorkFactor {
+  std::vector<int> scope;
+  std::vector<int> arity;
+  const double* values = nullptr;
+  std::size_t size = 0;
+
+  bool Contains(int var) const {
+    return std::find(scope.begin(), scope.end(), var) != scope.end();
+  }
+  std::size_t bytes() const { return size * sizeof(double); }
+};
+
+struct EliminationWorkspace {
+  Arena arena{1u << 16};
+  // Index-stable factor pool; [0, used) are live this query.
+  std::vector<WorkFactor> pool;
+  std::size_t used = 0;
+  std::vector<std::size_t> working;  // Pool indices of the working set.
+  // Min-fill scratch: sorted neighbor lists (the pooled equivalent of the
+  // std::set-based public MinFillOrder, identical tie rules and order).
+  std::vector<std::vector<int>> adj;
+  std::vector<char> removed;
+  std::vector<char> eliminable;
+  std::vector<int> order;
+  // Query scratch.
+  std::vector<int> pinned;
+  std::vector<int> free_targets, free_arity;
+  std::vector<char> is_free;
+  std::vector<FactorView> views;
+  std::vector<int> combined_scope, combined_arity, table_arity;
+  std::vector<int> digits, assigned;
+  // Pairwise matrix fast-path scratch.
+  Matrix mat_a, mat_b, mat_prod;
+};
+
+EliminationWorkspace& TlsWorkspace() {
+  static thread_local EliminationWorkspace ws;
+  return ws;
+}
+
+std::size_t AcquireWorkFactor(EliminationWorkspace& ws) {
+  if (ws.used == ws.pool.size()) ws.pool.emplace_back();
+  WorkFactor& f = ws.pool[ws.used];
+  f.scope.clear();
+  f.arity.clear();
+  f.values = nullptr;
+  f.size = 0;
+  return ws.used++;
+}
+
+// Min-fill order over ws.adj (sorted vectors), writing into ws.order.
+// Replicates the public std::set-based MinFillOrder step for step — same
+// fill counts, same smallest-id tie rule, same marrying — so the
+// elimination order (and therefore every table) is unchanged.
+void MinFillOrderPooled(EliminationWorkspace& ws, std::size_t n) {
+  ws.removed.assign(n, 0);
+  ws.order.clear();
+  auto contains = [](const std::vector<int>& v, int x) {
+    return std::binary_search(v.begin(), v.end(), x);
+  };
+  auto add_edge = [](std::vector<int>& v, int x) {
+    const auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it == v.end() || *it != x) v.insert(it, x);
+  };
+  std::size_t to_remove = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (ws.eliminable[v]) ++to_remove;
+  }
+  for (std::size_t step = 0; step < to_remove; ++step) {
+    int best = -1;
+    std::size_t best_fill = std::numeric_limits<std::size_t>::max();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!ws.eliminable[v] || ws.removed[v]) continue;
+      const std::vector<int>& nv = ws.adj[v];
+      std::size_t fill = 0;
+      for (std::size_t a = 0; a < nv.size(); ++a) {
+        for (std::size_t b = a + 1; b < nv.size(); ++b) {
+          if (!contains(ws.adj[static_cast<std::size_t>(nv[a])], nv[b])) ++fill;
+        }
+      }
+      if (fill < best_fill) {  // Ties resolve to the smallest id (scan order).
+        best_fill = fill;
+        best = static_cast<int>(v);
+      }
+    }
+    const std::size_t bv = static_cast<std::size_t>(best);
+    std::vector<int>& nb = ws.adj[bv];
+    for (std::size_t a = 0; a < nb.size(); ++a) {
+      for (std::size_t b = a + 1; b < nb.size(); ++b) {
+        add_edge(ws.adj[static_cast<std::size_t>(nb[a])], nb[b]);
+        add_edge(ws.adj[static_cast<std::size_t>(nb[b])], nb[a]);
+      }
+    }
+    for (int a : nb) {
+      std::vector<int>& va = ws.adj[static_cast<std::size_t>(a)];
+      const auto it = std::lower_bound(va.begin(), va.end(), best);
+      if (it != va.end() && *it == best) va.erase(it);
+    }
+    nb.clear();
+    ws.removed[bv] = 1;
+    ws.order.push_back(best);
+  }
+}
+
+// One elimination step: multiplies every working factor containing `var`
+// and sums `var` out into a fresh pool factor (table in the arena),
+// returning its pool index. Pairs of 2-variable factors (the dominant
+// shape on chains and trees) route through the blocked matrix kernel.
+Result<std::size_t> EliminateVarPooled(EliminationWorkspace& ws, int var,
+                                       std::size_t limit,
+                                       std::size_t live_bytes,
+                                       EliminationStats* stats) {
+  ws.views.clear();
+  ws.combined_scope.clear();
+  ws.combined_arity.clear();
+  int var_arity = 0;
+  for (const std::size_t wi : ws.working) {
+    const WorkFactor& f = ws.pool[wi];
     if (!f.Contains(var)) continue;
-    involved.push_back(&f);
+    FactorView view;
+    view.scope = f.scope.data();
+    view.arity = f.arity.data();
+    view.dims = f.scope.size();
+    view.values = f.values;
+    ws.views.push_back(view);
     for (std::size_t p = 0; p < f.scope.size(); ++p) {
-      if (f.scope[p] == var) continue;
-      if (std::find(combined_scope.begin(), combined_scope.end(), f.scope[p]) ==
-          combined_scope.end()) {
-        combined_scope.push_back(f.scope[p]);
-        combined_arity.push_back(f.arity[p]);
+      if (f.scope[p] == var) {
+        var_arity = f.arity[p];
+        continue;
+      }
+      if (std::find(ws.combined_scope.begin(), ws.combined_scope.end(),
+                    f.scope[p]) == ws.combined_scope.end()) {
+        ws.combined_scope.push_back(f.scope[p]);
+        ws.combined_arity.push_back(f.arity[p]);
       }
     }
   }
-  int var_arity = 0;
-  for (const Factor* f : involved) {
-    for (std::size_t p = 0; p < f->scope.size(); ++p) {
-      if (f->scope[p] == var) var_arity = f->arity[p];
-    }
-  }
-  std::vector<int> table_arity = combined_arity;
-  table_arity.push_back(var_arity);
+  ws.table_arity = ws.combined_arity;
+  ws.table_arity.push_back(var_arity);
   PF_ASSIGN_OR_RETURN(
       const std::size_t cells,
-      CheckedCells(table_arity, limit,
+      CheckedCells(ws.table_arity, limit,
                    "elimination clique table (induced width too large)"));
   if (stats != nullptr) {
-    stats->induced_width = std::max(stats->induced_width, combined_scope.size());
+    stats->induced_width =
+        std::max(stats->induced_width, ws.combined_scope.size());
     stats->peak_factor_bytes = std::max(stats->peak_factor_bytes,
                                         live_bytes + cells * sizeof(double));
   }
   // Fast path: exactly two pairwise factors sharing only `var` — the
   // product-then-marginalize is literally a matrix product A(x, var) *
   // B(var, y), served by the blocked kernel.
-  if (involved.size() == 2 && combined_scope.size() == 2 &&
-      involved[0]->scope.size() == 2 && involved[1]->scope.size() == 2) {
-    auto as_matrix = [var](const Factor& f, bool var_as_cols) {
+  if (ws.views.size() == 2 && ws.combined_scope.size() == 2 &&
+      ws.views[0].dims == 2 && ws.views[1].dims == 2) {
+    const auto fill_matrix = [var](const FactorView& f, bool var_as_cols,
+                                   Matrix* m) {
       const bool var_last = f.scope[1] == var;
       const std::size_t rows = static_cast<std::size_t>(f.arity[0]);
       const std::size_t cols = static_cast<std::size_t>(f.arity[1]);
-      Matrix m(rows, cols);
-      for (std::size_t r = 0; r < rows; ++r) {
-        for (std::size_t c = 0; c < cols; ++c) m(r, c) = f.values[r * cols + c];
-      }
       // Orient so `var` sits on the requested side.
-      if (var_last != var_as_cols) {
-        return m.Transpose();
+      if (var_last == var_as_cols) {
+        m->ResizeUninitialized(rows, cols);
+        std::memcpy(m->RowPtr(0), f.values, rows * cols * sizeof(double));
+      } else {
+        m->ResizeUninitialized(cols, rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+          for (std::size_t c = 0; c < cols; ++c) {
+            (*m)(c, r) = f.values[r * cols + c];
+          }
+        }
       }
-      return m;
     };
-    const Factor& fa =
-        involved[0]->scope[0] == combined_scope[0] ||
-                involved[0]->scope[1] == combined_scope[0]
-            ? *involved[0]
-            : *involved[1];
-    const Factor& fb = &fa == involved[0] ? *involved[1] : *involved[0];
-    const Matrix a = as_matrix(fa, /*var_as_cols=*/true);
-    const Matrix b = as_matrix(fb, /*var_as_cols=*/false);
-    const Matrix prod = MultiplyBlocked(a, b);
-    Factor out;
-    out.scope = combined_scope;
-    out.arity = combined_arity;
-    out.values.reserve(prod.rows() * prod.cols());
-    for (std::size_t r = 0; r < prod.rows(); ++r) {
-      const double* row = prod.RowPtr(r);
-      out.values.insert(out.values.end(), row, row + prod.cols());
-    }
-    return out;
+    const bool first_holds_row_var =
+        ws.views[0].scope[0] == ws.combined_scope[0] ||
+        ws.views[0].scope[1] == ws.combined_scope[0];
+    const FactorView& fa = first_holds_row_var ? ws.views[0] : ws.views[1];
+    const FactorView& fb = first_holds_row_var ? ws.views[1] : ws.views[0];
+    fill_matrix(fa, /*var_as_cols=*/true, &ws.mat_a);
+    fill_matrix(fb, /*var_as_cols=*/false, &ws.mat_b);
+    MultiplyBlockedInto(ws.mat_a, ws.mat_b, &ws.mat_prod);
+    const std::size_t gi = AcquireWorkFactor(ws);
+    WorkFactor& out = ws.pool[gi];
+    out.scope = ws.combined_scope;
+    out.arity = ws.combined_arity;
+    out.size = ws.mat_prod.rows() * ws.mat_prod.cols();
+    double* dst = ws.arena.AllocDoubles(out.size);
+    std::memcpy(dst, ws.mat_prod.RowPtr(0), out.size * sizeof(double));
+    out.values = dst;
+    return gi;
   }
-  std::vector<int> table_scope = combined_scope;
-  table_scope.push_back(var);
-  const Factor combined = MultiplyAll(involved, table_scope, table_arity);
-  return MarginalizeLast(combined);
+  const std::size_t gi = AcquireWorkFactor(ws);
+  WorkFactor& out = ws.pool[gi];
+  out.scope = ws.combined_scope;
+  out.arity = ws.combined_arity;
+  out.size = cells / static_cast<std::size_t>(var_arity);
+  double* dst = ws.arena.AllocDoubles(out.size);
+  out.values = dst;
+  // The full clique table is scratch: product into it, marginalize out of
+  // it, rewind it.
+  const Arena::Checkpoint cp = ws.arena.Save();
+  double* table = ws.arena.AllocDoubles(cells);
+  ws.combined_scope.push_back(var);  // table scope = combined + var
+  MultiplyViewsInto(ws.views.data(), ws.views.size(), ws.combined_scope.data(),
+                    ws.table_arity.data(), ws.combined_scope.size(), table,
+                    &ws.arena);
+  ws.combined_scope.pop_back();
+  MarginalizeLastInto(table, out.size, static_cast<std::size_t>(var_arity),
+                      dst);
+  ws.arena.Rewind(cp);
+  return gi;
 }
 
-Result<Vector> EliminationConditionalJoint(
+Status EliminationConditionalJointInto(
     const std::vector<Factor>& factors, const std::vector<int>& arities,
     const std::vector<int>& targets,
     const std::vector<std::pair<int, int>>& evidence, std::size_t limit,
-    EliminationStats* stats) {
+    EliminationStats* stats, Vector* result) {
   const std::size_t n = arities.size();
+  EliminationWorkspace& ws = TlsWorkspace();
+  ws.arena.Reset();
+  ws.used = 0;
+  ws.working.clear();
   // Pin evidence: reduce it out of every factor up front. Conflicting
   // duplicate pairs pin the same variable to two values — no assignment
   // matches, which is exactly the zero-probability-evidence condition the
   // enumeration reference reports (first-wins reduction would silently
   // answer as if only the first pair existed).
-  std::vector<int> pinned(n, -1);
+  ws.pinned.assign(n, -1);
   for (const auto& [var, val] : evidence) {
-    int& pin = pinned[static_cast<std::size_t>(var)];
+    int& pin = ws.pinned[static_cast<std::size_t>(var)];
     if (pin >= 0 && pin != val) {
       return Status::FailedPrecondition("evidence has probability zero");
     }
     pin = val;
   }
-  std::vector<Factor> working;
-  working.reserve(factors.size());
   for (const Factor& f : factors) {
-    Factor g = f;
+    const std::size_t gi = AcquireWorkFactor(ws);
+    WorkFactor& g = ws.pool[gi];
+    g.scope = f.scope;
+    g.arity = f.arity;
+    g.values = f.values.data();  // Borrow until a reduction copies.
+    g.size = f.values.size();
     for (const auto& [var, val] : evidence) {
-      if (g.Contains(var)) g = Reduce(g, var, val);
+      const auto it = std::find(g.scope.begin(), g.scope.end(), var);
+      if (it == g.scope.end()) continue;
+      const std::size_t pos = static_cast<std::size_t>(it - g.scope.begin());
+      std::size_t block = 1;
+      for (std::size_t i = pos + 1; i < g.scope.size(); ++i) {
+        block *= static_cast<std::size_t>(g.arity[i]);
+      }
+      const std::size_t va = static_cast<std::size_t>(g.arity[pos]);
+      const std::size_t outer = g.size / (block * va);
+      double* dst = ws.arena.AllocDoubles(outer * block);
+      for (std::size_t o = 0; o < outer; ++o) {
+        const double* src =
+            g.values + (o * va + static_cast<std::size_t>(val)) * block;
+        std::memcpy(dst + o * block, src, block * sizeof(double));
+      }
+      g.values = dst;
+      g.size = outer * block;
+      g.scope.erase(g.scope.begin() + static_cast<std::ptrdiff_t>(pos));
+      g.arity.erase(g.arity.begin() + static_cast<std::ptrdiff_t>(pos));
     }
-    working.push_back(std::move(g));
+    ws.working.push_back(gi);
   }
   // Free targets: distinct target variables that the evidence did not pin,
   // in first-occurrence order (the output expansion restores duplicates
   // and pinned coordinates).
-  std::vector<int> free_targets, free_arity;
-  std::vector<bool> is_free(n, false);
+  ws.free_targets.clear();
+  ws.free_arity.clear();
+  ws.is_free.assign(n, 0);
   for (int t : targets) {
     const std::size_t tv = static_cast<std::size_t>(t);
-    if (pinned[tv] >= 0 || is_free[tv]) continue;
-    is_free[tv] = true;
-    free_targets.push_back(t);
-    free_arity.push_back(arities[tv]);
+    if (ws.pinned[tv] >= 0 || ws.is_free[tv]) continue;
+    ws.is_free[tv] = 1;
+    ws.free_targets.push_back(t);
+    ws.free_arity.push_back(arities[tv]);
   }
-  // Interaction graph of the reduced factor scopes.
-  std::vector<std::set<int>> adj_sets(n);
-  for (const Factor& f : working) {
+  // Interaction graph of the reduced factor scopes (sorted neighbor
+  // lists — the same ascending order the historical std::set build gave).
+  if (ws.adj.size() < n) ws.adj.resize(n);
+  for (std::size_t v = 0; v < n; ++v) ws.adj[v].clear();
+  ws.eliminable.assign(n, 0);
+  const auto add_edge = [&ws](int a, int b) {
+    std::vector<int>& v = ws.adj[static_cast<std::size_t>(a)];
+    const auto it = std::lower_bound(v.begin(), v.end(), b);
+    if (it == v.end() || *it != b) v.insert(it, b);
+  };
+  for (const std::size_t wi : ws.working) {
+    const WorkFactor& f = ws.pool[wi];
     for (std::size_t a = 0; a < f.scope.size(); ++a) {
       for (std::size_t b = a + 1; b < f.scope.size(); ++b) {
-        adj_sets[static_cast<std::size_t>(f.scope[a])].insert(f.scope[b]);
-        adj_sets[static_cast<std::size_t>(f.scope[b])].insert(f.scope[a]);
+        add_edge(f.scope[a], f.scope[b]);
+        add_edge(f.scope[b], f.scope[a]);
       }
     }
   }
-  std::vector<std::vector<int>> adjacency(n);
-  std::vector<bool> eliminable(n, false);
   for (std::size_t v = 0; v < n; ++v) {
-    adjacency[v].assign(adj_sets[v].begin(), adj_sets[v].end());
-    eliminable[v] = pinned[v] < 0 && !is_free[v];
+    ws.eliminable[v] = ws.pinned[v] < 0 && !ws.is_free[v];
   }
-  const std::vector<int> order = MinFillOrder(adjacency, eliminable, nullptr);
+  MinFillOrderPooled(ws, n);
   std::size_t live_bytes = 0;
-  for (const Factor& f : working) live_bytes += f.bytes();
+  for (const std::size_t wi : ws.working) live_bytes += ws.pool[wi].bytes();
   if (stats != nullptr) {
     stats->peak_factor_bytes = std::max(stats->peak_factor_bytes, live_bytes);
   }
-  for (int var : order) {
+  for (const int var : ws.order) {
     bool present = false;
-    for (const Factor& f : working) present = present || f.Contains(var);
-    if (!present) continue;  // Reduced away or never in a scope.
-    PF_ASSIGN_OR_RETURN(Factor merged,
-                        EliminateVar(&working, var, limit, live_bytes, stats));
-    std::vector<Factor> next;
-    next.reserve(working.size());
-    for (Factor& f : working) {
-      if (!f.Contains(var)) next.push_back(std::move(f));
+    for (const std::size_t wi : ws.working) {
+      present = present || ws.pool[wi].Contains(var);
     }
-    next.push_back(std::move(merged));
-    working = std::move(next);
+    if (!present) continue;  // Reduced away or never in a scope.
+    PF_ASSIGN_OR_RETURN(const std::size_t merged,
+                        EliminateVarPooled(ws, var, limit, live_bytes, stats));
+    // Keep the non-absorbed factors in order, append the merged one — the
+    // same working-set order as the historical rebuild.
+    ws.working.erase(
+        std::remove_if(ws.working.begin(), ws.working.end(),
+                       [&ws, var](std::size_t wi) {
+                         return ws.pool[wi].Contains(var);
+                       }),
+        ws.working.end());
+    ws.working.push_back(merged);
     live_bytes = 0;
-    for (const Factor& f : working) live_bytes += f.bytes();
+    for (const std::size_t wi : ws.working) live_bytes += ws.pool[wi].bytes();
     if (stats != nullptr) {
       stats->peak_factor_bytes =
           std::max(stats->peak_factor_bytes, live_bytes);
@@ -348,21 +531,33 @@ Result<Vector> EliminationConditionalJoint(
   }
   // Every remaining scope variable is a free target; their product is the
   // unnormalized conditional joint.
-  for (const Factor& f : working) {
-    for (int v : f.scope) {
-      if (!is_free[static_cast<std::size_t>(v)]) {
+  for (const std::size_t wi : ws.working) {
+    for (int v : ws.pool[wi].scope) {
+      if (!ws.is_free[static_cast<std::size_t>(v)]) {
         return Status::Internal("variable survived elimination unexpectedly");
       }
     }
   }
   PF_RETURN_NOT_OK(
-      CheckedCells(free_arity, limit, "target joint table").status());
-  std::vector<const Factor*> remaining;
-  remaining.reserve(working.size());
-  for (const Factor& f : working) remaining.push_back(&f);
-  const Factor joint = MultiplyAll(remaining, free_targets, free_arity);
+      CheckedCells(ws.free_arity, limit, "target joint table").status());
+  std::size_t joint_cells = 1;
+  for (int a : ws.free_arity) joint_cells *= static_cast<std::size_t>(a);
+  double* joint = ws.arena.AllocDoubles(joint_cells);
+  ws.views.clear();
+  for (const std::size_t wi : ws.working) {
+    const WorkFactor& f = ws.pool[wi];
+    FactorView view;
+    view.scope = f.scope.data();
+    view.arity = f.arity.data();
+    view.dims = f.scope.size();
+    view.values = f.values;
+    ws.views.push_back(view);
+  }
+  MultiplyViewsInto(ws.views.data(), ws.views.size(), ws.free_targets.data(),
+                    ws.free_arity.data(), ws.free_targets.size(), joint,
+                    &ws.arena);
   double total = 0.0;
-  for (double v : joint.values) total += v;
+  for (std::size_t i = 0; i < joint_cells; ++i) total += joint[i];
   if (!(total > 0.0)) {
     return Status::FailedPrecondition("evidence has probability zero");
   }
@@ -373,35 +568,40 @@ Result<Vector> EliminationConditionalJoint(
   for (int t : targets) {
     out_cells *= static_cast<std::size_t>(arities[static_cast<std::size_t>(t)]);
   }
-  Vector out(out_cells, 0.0);
-  std::vector<int> digits(targets.size(), 0);
-  std::vector<int> assigned(n, -1);
+  result->assign(out_cells, 0.0);
+  Vector& out = *result;
+  ws.digits.assign(targets.size(), 0);
+  ws.assigned.assign(n, -1);
   for (std::size_t cell = 0; cell < out_cells; ++cell) {
     bool consistent = true;
     for (std::size_t d = 0; d < targets.size() && consistent; ++d) {
       const std::size_t tv = static_cast<std::size_t>(targets[d]);
-      if (assigned[tv] >= 0 && assigned[tv] != digits[d]) consistent = false;
-      if (pinned[tv] >= 0 && pinned[tv] != digits[d]) consistent = false;
-      assigned[tv] = digits[d];
+      if (ws.assigned[tv] >= 0 && ws.assigned[tv] != ws.digits[d]) {
+        consistent = false;
+      }
+      if (ws.pinned[tv] >= 0 && ws.pinned[tv] != ws.digits[d]) {
+        consistent = false;
+      }
+      ws.assigned[tv] = ws.digits[d];
     }
     if (consistent) {
       std::size_t ji = 0;
-      for (std::size_t p = 0; p < free_targets.size(); ++p) {
-        ji = ji * static_cast<std::size_t>(free_arity[p]) +
+      for (std::size_t p = 0; p < ws.free_targets.size(); ++p) {
+        ji = ji * static_cast<std::size_t>(ws.free_arity[p]) +
              static_cast<std::size_t>(
-                 assigned[static_cast<std::size_t>(free_targets[p])]);
+                 ws.assigned[static_cast<std::size_t>(ws.free_targets[p])]);
       }
-      out[cell] = joint.values[ji] / total;
+      out[cell] = joint[ji] / total;
     }
     for (std::size_t d = 0; d < targets.size(); ++d) {
-      assigned[static_cast<std::size_t>(targets[d])] = -1;
+      ws.assigned[static_cast<std::size_t>(targets[d])] = -1;
     }
     for (std::size_t d = targets.size(); d-- > 0;) {
-      if (++digits[d] < arities[static_cast<std::size_t>(targets[d])]) break;
-      digits[d] = 0;
+      if (++ws.digits[d] < arities[static_cast<std::size_t>(targets[d])]) break;
+      ws.digits[d] = 0;
     }
   }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace
@@ -411,13 +611,32 @@ Result<Vector> FactorConditionalJoint(
     const std::vector<int>& targets,
     const std::vector<std::pair<int, int>>& evidence, std::size_t limit,
     InferenceBackend backend, EliminationStats* stats) {
+  Vector out;
+  PF_RETURN_NOT_OK(FactorConditionalJointInto(factors, arities, targets,
+                                              evidence, limit, backend, stats,
+                                              &out));
+  return out;
+}
+
+Status FactorConditionalJointInto(
+    const std::vector<Factor>& factors, const std::vector<int>& arities,
+    const std::vector<int>& targets,
+    const std::vector<std::pair<int, int>>& evidence, std::size_t limit,
+    InferenceBackend backend, EliminationStats* stats, Vector* out) {
   PF_RETURN_NOT_OK(ValidateQuery(arities, targets, evidence));
   if (backend == InferenceBackend::kEnumeration) {
-    return EnumerationConditionalJoint(factors, arities, targets, evidence,
-                                       limit);
+    PF_ASSIGN_OR_RETURN(Vector mass,
+                        EnumerationConditionalJoint(factors, arities, targets,
+                                                    evidence, limit));
+    *out = std::move(mass);
+    return Status::OK();
   }
-  return EliminationConditionalJoint(factors, arities, targets, evidence,
-                                     limit, stats);
+  return EliminationConditionalJointInto(factors, arities, targets, evidence,
+                                         limit, stats, out);
+}
+
+std::size_t EliminationScratchRetainedBytes() {
+  return TlsWorkspace().arena.retained_bytes();
 }
 
 }  // namespace pf

@@ -84,6 +84,22 @@ Result<Vector> FactorConditionalJoint(
     InferenceBackend backend = InferenceBackend::kAuto,
     EliminationStats* stats = nullptr);
 
+/// \brief FactorConditionalJoint writing into a caller-retained vector
+/// (capacity reused). With the elimination backend, every intermediate —
+/// reduced tables, clique products, min-fill scratch — lives in a
+/// per-thread retained arena/pool, so a warm thread answers repeated
+/// queries with ZERO heap allocations. Results are identical to
+/// FactorConditionalJoint.
+Status FactorConditionalJointInto(
+    const std::vector<Factor>& factors, const std::vector<int>& arities,
+    const std::vector<int>& targets,
+    const std::vector<std::pair<int, int>>& evidence, std::size_t limit,
+    InferenceBackend backend, EliminationStats* stats, Vector* out);
+
+/// Bytes retained by the CALLING thread's elimination workspace arena (the
+/// reuse pool behind the zero-allocation steady state). Diagnostic.
+std::size_t EliminationScratchRetainedBytes();
+
 }  // namespace pf
 
 #endif  // PUFFERFISH_GRAPHICAL_ELIMINATION_H_

@@ -130,6 +130,42 @@ Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrExtend(
       key, std::make_shared<const MechanismPlan>(std::move(plan).value()));
 }
 
+std::vector<CachedPlan> AnalysisCache::ExportPlans() const {
+  std::vector<CachedPlan> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(plans_.size());
+  // Walk the FIFO queue, not the map: insertion order round-trips through
+  // a snapshot, so a restored cache evicts in the same order the original
+  // would have.
+  for (const Key& key : insertion_order_) {
+    auto it = plans_.find(key);
+    if (it == plans_.end()) continue;  // Evicted after enqueue; stale entry.
+    CachedPlan entry;
+    entry.fingerprint = key.fingerprint;
+    entry.epsilon_bits = key.epsilon_bits;
+    entry.kind = key.kind;
+    entry.plan = it->second;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::size_t AnalysisCache::ImportPlans(const std::vector<CachedPlan>& entries) {
+  std::size_t inserted = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const CachedPlan& entry : entries) {
+    if (entry.plan == nullptr) continue;
+    const Key key{entry.fingerprint, entry.epsilon_bits, entry.kind};
+    auto [it, fresh] = plans_.emplace(key, entry.plan);
+    (void)it;
+    if (!fresh) continue;
+    insertion_order_.push_back(key);
+    EvictIfFull();
+    ++inserted;
+  }
+  return inserted;
+}
+
 void AnalysisCache::EvictIfFull() {
   if (max_entries_ == 0) return;
   while (plans_.size() > max_entries_ && !insertion_order_.empty()) {

@@ -12,11 +12,24 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "pufferfish/mechanism.h"
 
 namespace pf {
+
+/// \brief One cache entry in exportable form: the full cache key plus the
+/// shared plan. Produced by AnalysisCache::ExportPlans and consumed by
+/// ImportPlans; pufferfish/plan_store.h serializes vectors of these to a
+/// warm-restart snapshot.
+struct CachedPlan {
+  std::uint64_t fingerprint = 0;
+  /// Raw bit pattern of the analysis epsilon (DoubleBits).
+  std::uint64_t epsilon_bits = 0;
+  MechanismKind kind = MechanismKind::kLaplaceDp;
+  std::shared_ptr<const MechanismPlan> plan;
+};
 
 /// \brief Thread-safe cache of MechanismPlans keyed by
 /// (Mechanism::Fingerprint(), epsilon).
@@ -64,6 +77,21 @@ class AnalysisCache {
   /// mechanisms without resumable support behave exactly like GetOrAnalyze.
   Result<std::shared_ptr<const MechanismPlan>> GetOrExtend(
       const Mechanism& mechanism, double epsilon);
+
+  /// \brief Snapshot of every resident plan in insertion (eviction) order,
+  /// with its full cache key. The shared_ptrs alias the cached plans, so
+  /// the export is cheap and consistent even while other threads keep
+  /// hitting the cache. Resumable chain state is NOT exported — it is
+  /// O(T) mutable scan state; a restored cache re-seeds chains cold on the
+  /// first append (see GetOrExtend).
+  std::vector<CachedPlan> ExportPlans() const;
+
+  /// \brief Inserts entries that are not already resident (existing keys
+  /// keep their incumbent plan — a live cache is fresher than a snapshot),
+  /// respecting max_entries_ with the usual FIFO eviction. Entries with a
+  /// null plan are skipped. Returns the number of plans actually inserted.
+  /// Neither hit nor miss counters move: an import is neither.
+  std::size_t ImportPlans(const std::vector<CachedPlan>& entries);
 
   Stats stats() const;
   std::size_t size() const;

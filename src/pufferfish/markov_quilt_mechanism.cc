@@ -6,6 +6,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/arena.h"
 #include "common/parallel.h"
 #include "graphical/moral_graph.h"
 #include "pufferfish/framework.h"
@@ -179,23 +180,27 @@ Result<double> QuiltMaxInfluenceFactors(
   const int i = quilt.target;
   const int arity = arities[static_cast<std::size_t>(i)];
   double influence = 0.0;
+  // Conditional distribution of the quilt variables for each value of X_i.
+  // The slots (and the evidence pair) are hoisted and the conditionals are
+  // computed in place, so the per-theta inner loop issues its elimination
+  // queries without heap allocations beyond the warm thread workspace.
+  std::vector<Vector> cond(static_cast<std::size_t>(arity));
+  std::vector<char> feasible(static_cast<std::size_t>(arity), 0);
+  std::vector<std::pair<int, int>> evidence{{i, 0}};
   for (const std::vector<Factor>& factors : theta_factors) {
-    // Conditional distribution of the quilt variables for each value of X_i.
-    std::vector<Vector> cond;
-    std::vector<bool> feasible;
     for (int a = 0; a < arity; ++a) {
-      Result<Vector> c = FactorConditionalJoint(factors, arities, quilt.quilt,
-                                                {{i, a}}, limit, backend, stats);
+      evidence[0].second = a;
+      const Status c = FactorConditionalJointInto(
+          factors, arities, quilt.quilt, evidence, limit, backend, stats,
+          &cond[static_cast<std::size_t>(a)]);
       if (!c.ok()) {
-        if (c.status().code() == StatusCode::kFailedPrecondition) {
-          cond.emplace_back();
-          feasible.push_back(false);  // P(X_i = a) = 0: not a live secret.
+        if (c.code() == StatusCode::kFailedPrecondition) {
+          feasible[static_cast<std::size_t>(a)] = 0;  // P(X_i=a) = 0.
           continue;
         }
-        return c.status();
+        return c;
       }
-      cond.push_back(std::move(c).value());
-      feasible.push_back(true);
+      feasible[static_cast<std::size_t>(a)] = 1;
     }
     for (int a = 0; a < arity; ++a) {
       if (!feasible[static_cast<std::size_t>(a)]) continue;
@@ -263,6 +268,7 @@ Result<MqmAnalysis> AnalyzeMarkovQuiltMechanismWithQuilts(
   // still reports the lowest-index error deterministically.
   std::vector<Result<QuiltScore>> scores(n, Status::Internal("not computed"));
   std::vector<EliminationStats> stats(n);
+  const std::size_t arena_blocks_before = Arena::TotalBlockAllocations();
   std::atomic<bool> failed{false};
   ParallelFor(options.num_threads, n, [&](std::size_t i) {
     if (failed.load(std::memory_order_relaxed)) return;
@@ -287,7 +293,10 @@ Result<MqmAnalysis> AnalyzeMarkovQuiltMechanismWithQuilts(
   analysis.total_nodes = n;
   analysis.scored_nodes = n;
   analysis.induced_width = merged.induced_width;
-  analysis.peak_factor_bytes = merged.peak_factor_bytes;
+  analysis.memory.peak_bytes = merged.peak_factor_bytes;
+  analysis.memory.arena_retained_bytes = Arena::TotalRetainedBytes();
+  analysis.memory.mallocs =
+      Arena::TotalBlockAllocations() - arena_blocks_before;
   analysis.treewidth_bound =
       MinFillWidth(UnionMoralGraph(thetas).adjacency());
   return analysis;
@@ -347,6 +356,7 @@ Result<MqmAnalysis> AnalyzeMarkovQuiltMechanism(
     class_of[i] = cls;
   }
   // Phase 3: score one representative per class, in parallel.
+  const std::size_t arena_blocks_before = Arena::TotalBlockAllocations();
   const std::size_t num_classes = representative.size();
   std::vector<Result<CanonicalScore>> scored(
       num_classes, Status::Internal("not computed"));
@@ -376,7 +386,10 @@ Result<MqmAnalysis> AnalyzeMarkovQuiltMechanism(
   analysis.total_nodes = n;
   analysis.scored_nodes = num_classes;
   analysis.induced_width = merged.induced_width;
-  analysis.peak_factor_bytes = merged.peak_factor_bytes;
+  analysis.memory.peak_bytes = merged.peak_factor_bytes;
+  analysis.memory.arena_retained_bytes = Arena::TotalRetainedBytes();
+  analysis.memory.mallocs =
+      Arena::TotalBlockAllocations() - arena_blocks_before;
   analysis.treewidth_bound = MinFillWidth(graph.adjacency());
   return analysis;
 }

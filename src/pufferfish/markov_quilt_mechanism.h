@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "common/memory_stats.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "graphical/bayesian_network.h"
@@ -63,9 +64,16 @@ struct MqmAnalysis {
   /// Min-fill induced width of the (union) moral graph — the treewidth
   /// upper bound the mechanism-selection policy screens against.
   std::size_t treewidth_bound = 0;
-  /// Peak bytes of simultaneously live factor tables in any single
-  /// influence inference. 0 under the enumeration backend.
-  std::size_t peak_factor_bytes = 0;
+  /// Memory accounting of the analysis. `peak_bytes`: peak bytes of
+  /// simultaneously live factor tables in any single influence inference
+  /// (0 under the enumeration backend). `arena_retained_bytes`: bytes held
+  /// by the per-thread elimination workspace arenas for reuse.
+  /// `mallocs`: arena block allocations during the analysis — 0 once the
+  /// workspaces are warm. The latter two are read from process-wide arena
+  /// counters, so concurrent unrelated analyses can inflate them; the
+  /// steady-state zero of `mallocs` is exact when this analysis runs
+  /// alone.
+  MemoryStats memory;
   /// Work saved by the node-class dedup: total_nodes / scored_nodes.
   double dedup_ratio() const {
     return scored_nodes == 0

@@ -50,10 +50,16 @@ class ExactEvaluator {
   // between calls the evaluator is immutable and thread-safe. May be called
   // again with a larger distance to extend.
   void Prepare(std::size_t max_distance, ThreadPool* pool) {
+    // Steady-state fast path: Prepare always builds a contiguous prefix of
+    // distances, so once 1..max_distance exist the request is a no-op — in
+    // particular it builds no distance/todo vectors, which keeps a
+    // delta-append ExtendTo allocation-free.
+    if (max_distance <= contiguous_prepared_) return;
     std::vector<std::size_t> distances;
     distances.reserve(max_distance);
     for (std::size_t t = 1; t <= max_distance; ++t) distances.push_back(t);
     PrepareDistances(distances, pool);
+    contiguous_prepared_ = max_distance;
   }
 
   // As Prepare, but builds maximization tables only for the listed
@@ -65,6 +71,7 @@ class ExactEvaluator {
     // The power chain is sequential in n; each multiply is row-parallel.
     while (powers_.size() <= max_distance) {
       powers_.push_back(ParallelMultiply(powers_.back(), p_, pool));
+      ++growth_events_;
     }
     if (left_tables_.size() <= max_distance) {
       left_tables_.resize(max_distance + 1);
@@ -86,6 +93,7 @@ class ExactEvaluator {
     } else {
       for (std::size_t idx = 0; idx < todo.size(); ++idx) build(idx);
     }
+    growth_events_ += 2 * todo.size();
     max_distance_ = max_distance;
   }
 
@@ -93,6 +101,9 @@ class ExactEvaluator {
   std::size_t num_states() const { return k_; }
   bool free_initial() const { return free_initial_; }
   const Matrix& transition() const { return p_; }
+  // Monotone count of power/table matrices materialized so far; callers
+  // diff it around a pass to attribute growth (MemoryStats::mallocs).
+  std::size_t growth_events() const { return growth_events_; }
 
   // Doubles resident in the prepared powers and tables (ladder accounting).
   std::size_t StoredDoubles() const {
@@ -113,23 +124,31 @@ class ExactEvaluator {
     std::vector<char> feasible;
   };
 
-  // Context for an explicit-initial node with marginal vector m = P(X_i).
-  NodeContext ContextFromMarginal(std::size_t i, const Vector& m) const {
-    NodeContext ctx;
-    ctx.node = i;
-    ctx.term1 = Matrix(k_, k_, 0.0);
+  // Context for an explicit-initial node with marginal vector m = P(X_i),
+  // written into caller-retained storage (capacity reused: a warm ctx is
+  // rebuilt with zero allocations).
+  void ContextFromMarginalInto(std::size_t i, const Vector& m,
+                               NodeContext* ctx) const {
+    ctx->node = i;
+    ctx->term1.ResizeUninitialized(k_, k_);
     for (std::size_t x = 0; x < k_; ++x) {
       for (std::size_t xp = 0; xp < k_; ++xp) {
-        if (x == xp) continue;
-        if (m[x] > 0.0 && m[xp] > 0.0) {
-          ctx.term1(x, xp) = std::log(m[xp] / m[x]);
+        if (x == xp) {
+          ctx->term1(x, xp) = 0.0;
+        } else if (m[x] > 0.0 && m[xp] > 0.0) {
+          ctx->term1(x, xp) = std::log(m[xp] / m[x]);
         } else {
-          ctx.term1(x, xp) = -kInf;  // Pair filtered by feasibility anyway.
+          ctx->term1(x, xp) = -kInf;  // Pair filtered by feasibility anyway.
         }
       }
     }
-    ctx.feasible.assign(k_, 0);
-    for (std::size_t x = 0; x < k_; ++x) ctx.feasible[x] = m[x] > 0.0 ? 1 : 0;
+    ctx->feasible.assign(k_, 0);
+    for (std::size_t x = 0; x < k_; ++x) ctx->feasible[x] = m[x] > 0.0 ? 1 : 0;
+  }
+
+  NodeContext ContextFromMarginal(std::size_t i, const Vector& m) const {
+    NodeContext ctx;
+    ContextFromMarginalInto(i, m, &ctx);
     return ctx;
   }
 
@@ -137,13 +156,16 @@ class ExactEvaluator {
   // over initial distributions of the marginal log-ratio term equals the
   // max over rows z of log P^i(z, x') / P^i(z, x) (Appendix C.4), +inf on
   // support mismatch; a state is feasible iff some row reaches it.
-  NodeContext ContextFromPower(std::size_t i, const Matrix& pi) const {
-    NodeContext ctx;
-    ctx.node = i;
-    ctx.term1 = Matrix(k_, k_, 0.0);
+  void ContextFromPowerInto(std::size_t i, const Matrix& pi,
+                            NodeContext* ctx) const {
+    ctx->node = i;
+    ctx->term1.ResizeUninitialized(k_, k_);
     for (std::size_t x = 0; x < k_; ++x) {
       for (std::size_t xp = 0; xp < k_; ++xp) {
-        if (x == xp) continue;
+        if (x == xp) {
+          ctx->term1(x, xp) = 0.0;
+          continue;
+        }
         double best = -kInf;
         for (std::size_t z = 0; z < k_; ++z) {
           const double num = pi(z, xp);
@@ -155,18 +177,23 @@ class ExactEvaluator {
           }
           best = std::max(best, std::log(num / den));
         }
-        ctx.term1(x, xp) = best;
+        ctx->term1(x, xp) = best;
       }
     }
-    ctx.feasible.assign(k_, 0);
+    ctx->feasible.assign(k_, 0);
     for (std::size_t x = 0; x < k_; ++x) {
       for (std::size_t z = 0; z < k_; ++z) {
         if (pi(z, x) > 0.0) {
-          ctx.feasible[x] = 1;
+          ctx->feasible[x] = 1;
           break;
         }
       }
     }
+  }
+
+  NodeContext ContextFromPower(std::size_t i, const Matrix& pi) const {
+    NodeContext ctx;
+    ContextFromPowerInto(i, pi, &ctx);
     return ctx;
   }
 
@@ -280,6 +307,10 @@ class ExactEvaluator {
   const std::size_t k_;
   const bool free_initial_;
   std::size_t max_distance_ = 0;
+  // Largest d such that Prepare built the full prefix 1..d (the fast-path
+  // guard); PrepareDistances alone leaves gaps and does not advance it.
+  std::size_t contiguous_prepared_ = 0;
+  std::size_t growth_events_ = 0;
   std::vector<Matrix> powers_;
   // Indexed by distance; slot 0 unused.
   std::vector<Matrix> left_tables_;
@@ -318,17 +349,31 @@ class NodeValueStream {
   const Vector& marginal() const { return marginal_; }
   const Matrix& power() const { return power_; }
 
-  // Doubles resident in the streaming cursor (current + previous value).
+  // Doubles resident in the streaming cursor (current + previous value +
+  // the rotation scratch). Deterministic in the total advance count, so
+  // extended and cold cursors at the same position report the same figure.
   std::size_t StoredDoubles() const {
     return free_initial_
                ? power_.rows() * power_.cols() +
-                     prev_power_.rows() * prev_power_.cols()
-               : marginal_.size() + prev_marginal_.size();
+                     prev_power_.rows() * prev_power_.cols() +
+                     scratch_power_.rows() * scratch_power_.cols()
+               : marginal_.size() + prev_marginal_.size() +
+                     scratch_marginal_.size();
   }
+
+  // Monotone count of buffer-growth events (MemoryStats::mallocs input):
+  // after the first two advances every buffer exists and rotation makes
+  // further advances allocation-free.
+  std::size_t growth_events() const { return growth_events_; }
 
   // Steps to the next node's value. The pool (used only by the free-initial
   // matrix multiply, which is thread-count invariant) is passed per call so
   // a retained cursor never outlives the pool it was created under.
+  //
+  // The next value is computed into a retained scratch buffer, then the
+  // three buffers rotate (prev <- current <- next, retired prev becomes the
+  // scratch): after two advances the cursor holds all the storage it will
+  // ever need and stepping allocates nothing, in any period state.
   void Advance(ThreadPool* pool = nullptr) {
     if (period_ == 1) return;
     if (period_ == 2) {
@@ -340,32 +385,35 @@ class NodeValueStream {
       return;
     }
     if (free_initial_) {
-      Matrix next = ParallelMultiply(power_, p_, pool);
-      if (next == power_) {
+      if (scratch_power_.rows() == 0) ++growth_events_;
+      ParallelMultiplyInto(power_, p_, pool, &scratch_power_);
+      if (scratch_power_ == power_) {
         period_ = 1;
         return;
       }
-      if (next == prev_power_) period_ = 2;
-      prev_power_ = std::move(power_);
-      power_ = std::move(next);
+      if (scratch_power_ == prev_power_) period_ = 2;
+      std::swap(prev_power_, power_);
+      std::swap(power_, scratch_power_);
     } else {
-      Vector next = p_.ApplyLeft(marginal_);
-      if (next == marginal_) {
+      if (scratch_marginal_.empty()) ++growth_events_;
+      p_.ApplyLeftInto(marginal_, &scratch_marginal_);
+      if (scratch_marginal_ == marginal_) {
         period_ = 1;
         return;
       }
-      if (next == prev_marginal_) period_ = 2;
-      prev_marginal_ = std::move(marginal_);
-      marginal_ = std::move(next);
+      if (scratch_marginal_ == prev_marginal_) period_ = 2;
+      std::swap(prev_marginal_, marginal_);
+      std::swap(marginal_, scratch_marginal_);
     }
   }
 
  private:
   const Matrix& p_;
-  Vector marginal_, prev_marginal_;
-  Matrix power_, prev_power_;
+  Vector marginal_, prev_marginal_, scratch_marginal_;
+  Matrix power_, prev_power_, scratch_power_;
   bool free_initial_;
   std::size_t period_ = 0;
+  std::size_t growth_events_ = 0;
 };
 
 // Largest endpoint distance any quilt in the Lemma 4.6 family (capped at
@@ -426,11 +474,34 @@ QuiltCand NodeWinner(const NodeScore& s, std::size_t length, double epsilon) {
   return trivial;
 }
 
-// Materializes a candidate's quilt at a concrete node and length.
+// Materializes a candidate's quilt at a concrete node and length into
+// caller-retained storage (vector capacity reused — the reduce hot path
+// re-materializes every pass without allocating). Field-for-field what
+// TrivialQuilt / ChainQuilt produce; candidates come from in-range family
+// loops, so the ChainQuilt validation is vacuous here.
+void MaterializeQuiltInto(const QuiltCand& cand, int node, std::size_t length,
+                          MarkovQuilt* out) {
+  out->target = node;
+  out->quilt.clear();
+  out->nearby.clear();
+  out->remote.clear();
+  if (cand.a == 0 && cand.b == 0) {
+    out->nearby_count = length;  // TrivialQuilt: X_N = everything.
+    return;
+  }
+  if (cand.a > 0) out->quilt.push_back(node - cand.a);
+  if (cand.b > 0) out->quilt.push_back(node + cand.b);
+  const int near_lo = cand.a > 0 ? node - cand.a + 1 : 0;
+  const int near_hi =
+      cand.b > 0 ? node + cand.b - 1 : static_cast<int>(length) - 1;
+  out->nearby_count = static_cast<std::size_t>(near_hi - near_lo + 1);
+}
+
 MarkovQuilt MaterializeQuilt(const QuiltCand& cand, int node,
                              std::size_t length) {
-  if (cand.a == 0 && cand.b == 0) return TrivialQuilt(node, length);
-  return ChainQuilt(length, node, cand.a, cand.b).ValueOrDie();
+  MarkovQuilt out;
+  MaterializeQuiltInto(cand, node, length, &out);
+  return out;
 }
 
 // sigma_i = min over the Lemma 4.6 family (capped at max_nearby) of the
@@ -517,14 +588,6 @@ std::vector<NodeScore> ScoreBlock(const ExactEvaluator& eval,
     for (std::size_t j = 0; j < n; ++j) score_one(j);
   }
   return scores;
-}
-
-// True iff the quilt is two-sided with both endpoints strictly inside the
-// chain (the precondition for the Lemma C.4 middle-node shortcut).
-bool IsInteriorTwoSided(const MarkovQuilt& quilt, std::size_t length) {
-  if (quilt.quilt.size() != 2) return false;
-  return quilt.quilt.front() >= 0 &&
-         quilt.quilt.back() <= static_cast<int>(length) - 1;
 }
 
 // One dedup class: nodes sharing (stream value, boundary-clip distances).
@@ -647,6 +710,10 @@ struct DedupScanState {
   // Overflow fold of the (non-resumable) cold scan that produced this
   // state; participates in the reduce.
   OverflowFold fold;
+  // Heap-acquisition events of the CURRENT pass (reset by AnalyzeThetaAt):
+  // class creations, node-index growth, compactions, score-block scratch.
+  // Zero on a steady-state append — the invariant the hot path maintains.
+  std::size_t pass_mallocs = 0;
   ChainMqmResult result;
 };
 
@@ -664,6 +731,7 @@ bool ClassifyNodes(DedupScanState& st, const ExactEvaluator& eval,
   const std::size_t tail = length - 1;
   const std::size_t max_classes = MaxClasses(ell);
   NodeValueStream& stream = *st.stream;
+  if (length > st.node_class.capacity()) ++st.pass_mallocs;
   st.node_class.resize(length, kNoClass);
 
   // Overflow nodes (class store at capacity) buffer their contexts and
@@ -749,10 +817,12 @@ bool ClassifyNodes(DedupScanState& st, const ExactEvaluator& eval,
         found = static_cast<std::uint32_t>(st.classes.size());
         st.classes.push_back(std::move(cls));
         st.index[h].push_back(found);
+        ++st.pass_mallocs;
       } else if (allow_overflow) {
         // Class store full: buffer for blocked parallel scoring.
         st.resumable = false;
         pending.push_back(PendingNode{i, ContextFromStream(eval, stream, i)});
+        ++st.pass_mallocs;
         if (pending.size() >= pending_block) flush_pending();
       } else {
         return false;  // Append path: fall back to a cold scan.
@@ -783,6 +853,9 @@ void ScoreUnscoredClasses(DedupScanState& st, const ExactEvaluator& eval,
   for (std::uint32_t c = 0; c < st.classes.size(); ++c) {
     if (!st.classes[c].scored) todo.push_back(c);
   }
+  // An all-scored store (the steady-state append) allocates nothing here:
+  // the empty todo/scores vectors never touch the heap.
+  if (!todo.empty()) st.pass_mallocs += 1 + todo.size();
   std::vector<NodeScore> scores = ScoreBlock(
       eval, length, todo.size(), options.epsilon, options.max_nearby, pool,
       [&](std::size_t j) {
@@ -809,8 +882,15 @@ void ScoreUnscoredClasses(DedupScanState& st, const ExactEvaluator& eval,
 // an append.
 void ReduceDedup(DedupScanState& st, const ExactEvaluator& eval,
                  std::size_t length, const ChainMqmOptions& options) {
-  ChainMqmResult result;
+  // Built directly in st.result (every field overwritten; the quilt's
+  // vector capacity is reused) so the per-append re-reduce allocates
+  // nothing. memory.mallocs is attributed by AnalyzeThetaAt, which sees
+  // the whole pass.
+  ChainMqmResult& result = st.result;
   result.sigma_max = -kInf;
+  result.worst_node = 0;
+  result.influence = 0.0;
+  result.used_stationary_shortcut = false;
   bool have_classed = false;
   QuiltCand best_cand;
   for (const NodeClass& cls : st.classes) {
@@ -834,14 +914,18 @@ void ReduceDedup(DedupScanState& st, const ExactEvaluator& eval,
     result.influence = st.fold.best.influence;
     best_cand = st.fold.best;
   }
-  result.active_quilt = MaterializeQuilt(best_cand, result.worst_node, length);
+  MaterializeQuiltInto(best_cand, result.worst_node, length,
+                       &result.active_quilt);
   result.total_nodes = length;
   result.scored_nodes = st.classes.size() + st.fold.count;
-  result.ladder_peak_bytes =
+  result.memory.peak_bytes =
       sizeof(double) *
       (eval.StoredDoubles() + st.stream->StoredDoubles() +
        st.class_value_doubles + st.fold.pending_peak_doubles);
-  st.result = result;
+  result.memory.arena_retained_bytes =
+      sizeof(double) * (eval.StoredDoubles() + st.stream->StoredDoubles() +
+                        st.class_value_doubles);
+  result.memory.mallocs = 0;
 }
 
 }  // namespace
@@ -930,6 +1014,7 @@ bool AppendDedupScan(DedupScanState& st, const ExactEvaluator& eval,
       found = static_cast<std::uint32_t>(st.classes.size());
       st.classes.push_back(std::move(cls));
       st.index[h].push_back(found);
+      ++st.pass_mallocs;
     }
     --st.classes[old_id].member_count;
     // Re-joining a class that emptied makes this node its lowest member
@@ -965,6 +1050,7 @@ bool AppendDedupScan(DedupScanState& st, const ExactEvaluator& eval,
     }
   }
   if (any_empty) {
+    st.pass_mallocs += 2;  // remap + kept (plus the index rebuild below).
     std::vector<std::uint32_t> remap(st.classes.size(), kNoClass);
     std::vector<NodeClass> kept;
     kept.reserve(st.classes.size());
@@ -1044,9 +1130,15 @@ ChainMqmResult ScanExhaustive(const ExactEvaluator& eval,
   result.active_quilt = MaterializeQuilt(best_cand, result.worst_node, length);
   result.total_nodes = length;
   result.scored_nodes = length;
-  result.ladder_peak_bytes =
+  result.memory.peak_bytes =
       sizeof(double) *
       (eval.StoredDoubles() + stream->StoredDoubles() + peak_context_doubles);
+  // Only the evaluator outlives the exhaustive pass; the stream and the
+  // context blocks are per-call. One malloc event per node context, plus
+  // the cursor's growth (an event count, not a precise tally — this path
+  // is the non-incremental reference).
+  result.memory.arena_retained_bytes = sizeof(double) * eval.StoredDoubles();
+  result.memory.mallocs = length + stream->growth_events();
   return result;
 }
 
@@ -1092,6 +1184,9 @@ struct ThetaState {
   // current middle node; middles are monotone in length).
   std::unique_ptr<NodeValueStream> mid_stream;
   std::size_t mid_pos = 0;
+  // Retained scratch for the shortcut's per-pass middle-node context
+  // (capacity reused — a warm shortcut pass builds it without allocating).
+  ExactEvaluator::NodeContext ctx_scratch;
 
   std::unique_ptr<DedupScanState> scan;
   ChainMqmResult result;
@@ -1115,6 +1210,14 @@ struct ThetaState {
 // used_stationary_shortcut) match a cold analysis at `length`.
 void AnalyzeThetaAt(ThetaState& st, std::size_t length,
                     const ChainMqmOptions& options, LazyPool* lazy) {
+  // Growth attribution for MemoryStats::mallocs: diff the retained
+  // components' monotone counters around the pass. A steady-state append
+  // leaves every counter unchanged — the zero the hot path guarantees.
+  const std::size_t eval_growth_before = st.eval.growth_events();
+  const NodeValueStream* scan_stream_before =
+      st.scan != nullptr ? st.scan->stream.get() : nullptr;
+  const std::size_t scan_stream_growth_before =
+      scan_stream_before != nullptr ? scan_stream_before->growth_events() : 0;
   const std::size_t family_distance =
       FamilyMaxDistance(length, options.max_nearby);
   // The table build is the one O(ell * k^3) step; request the pool only
@@ -1129,34 +1232,50 @@ void AnalyzeThetaAt(ThetaState& st, std::size_t length,
     // argument applies verbatim to exact influences: each Eq. (5) term is
     // nonnegative after adding the marginal term).
     const std::size_t mid = length / 2;
+    std::size_t pass_mallocs = st.eval.growth_events() - eval_growth_before;
     if (st.mid_stream == nullptr) {
       st.mid_stream = st.MakeStream();
       st.mid_pos = 0;
+      ++pass_mallocs;
     }
+    const std::size_t mid_growth_before = st.mid_stream->growth_events();
     while (st.mid_pos < mid) {
       st.mid_stream->Advance();
       ++st.mid_pos;
     }
-    const NodeScore mid_score =
-        ScoreNode(st.eval, length,
-                  ContextFromStream(st.eval, *st.mid_stream, mid),
-                  options.epsilon, options.max_nearby);
+    pass_mallocs += st.mid_stream->growth_events() - mid_growth_before;
+    if (st.ctx_scratch.feasible.empty()) ++pass_mallocs;
+    if (st.mid_stream->free_initial()) {
+      st.eval.ContextFromPowerInto(mid, st.mid_stream->power(),
+                                   &st.ctx_scratch);
+    } else {
+      st.eval.ContextFromMarginalInto(mid, st.mid_stream->marginal(),
+                                      &st.ctx_scratch);
+    }
+    const NodeScore mid_score = ScoreNode(st.eval, length, st.ctx_scratch,
+                                          options.epsilon, options.max_nearby);
     const QuiltCand w = NodeWinner(mid_score, length, options.epsilon);
-    const MarkovQuilt quilt =
-        MaterializeQuilt(w, static_cast<int>(mid), length);
-    if (IsInteriorTwoSided(quilt, length) || quilt.quilt.empty()) {
-      ChainMqmResult result;
+    // Materialize into the retained result slot; decide interior-ness from
+    // the offsets directly (what IsInteriorTwoSided read off the vector).
+    const bool two_sided_interior =
+        w.a > 0 && w.b > 0 && static_cast<int>(mid) - w.a >= 0 &&
+        static_cast<int>(mid) + w.b <= static_cast<int>(length) - 1;
+    const bool trivial = w.a == 0 && w.b == 0;
+    if (two_sided_interior || trivial) {
+      ChainMqmResult& result = st.result;
       result.sigma_max = w.score;
       result.worst_node = static_cast<int>(mid);
-      result.active_quilt = quilt;
+      MaterializeQuiltInto(w, static_cast<int>(mid), length,
+                           &result.active_quilt);
       result.influence = w.influence;
       result.used_stationary_shortcut = true;
       result.total_nodes = length;
       result.scored_nodes = 1;
-      result.ladder_peak_bytes =
+      result.memory.peak_bytes =
           sizeof(double) *
           (st.eval.StoredDoubles() + st.mid_stream->StoredDoubles());
-      st.result = result;
+      result.memory.arena_retained_bytes = result.memory.peak_bytes;
+      result.memory.mallocs = pass_mallocs;
       return;
     }
     // One-sided optimum at the middle: fall through to the full scan.
@@ -1165,6 +1284,8 @@ void AnalyzeThetaAt(ThetaState& st, std::size_t length,
     auto stream = st.MakeStream();
     st.result =
         ScanExhaustive(st.eval, stream.get(), length, options, lazy->get());
+    st.result.memory.mallocs +=
+        st.eval.growth_events() - eval_growth_before;
     return;
   }
   if (st.scan == nullptr || !st.scan->resumable ||
@@ -1173,6 +1294,7 @@ void AnalyzeThetaAt(ThetaState& st, std::size_t length,
     ColdDedupScan(*st.scan, st.eval, length, options, lazy->get(),
                   [&] { return st.MakeStream(); });
   } else if (st.scan->length < length) {
+    st.scan->pass_mallocs = 0;
     // Small appends run poolless (the work is O(max_nearby + delta), far
     // below thread-spawn cost); bulk appends fan out like a cold scan.
     constexpr std::size_t kParallelAppendThreshold = 1024;
@@ -1184,8 +1306,20 @@ void AnalyzeThetaAt(ThetaState& st, std::size_t length,
       ColdDedupScan(*st.scan, st.eval, length, options, lazy->get(),
                     [&] { return st.MakeStream(); });
     }
+  } else {
+    // st.scan->length == length: the stored result is already current.
+    st.scan->pass_mallocs = 0;
   }
-  // st.scan->length == length: the stored result is current.
+  // Attribute the pass's growth: scan-local events plus the evaluator and
+  // stream deltas (a cold rebuild replaced the stream — count its whole
+  // history, it grew from nothing this pass).
+  const NodeValueStream* scan_stream_after = st.scan->stream.get();
+  st.scan->result.memory.mallocs =
+      st.scan->pass_mallocs +
+      (st.eval.growth_events() - eval_growth_before) +
+      (scan_stream_after->growth_events() -
+       (scan_stream_after == scan_stream_before ? scan_stream_growth_before
+                                                : 0));
   st.result = st.scan->result;
 }
 
@@ -1209,20 +1343,24 @@ struct ChainMqmAnalysis::Impl {
   void RunAt(std::size_t new_length) {
     // Lazy: a steady-state small append never pays thread spawn/join.
     LazyPool lazy(options.num_threads);
-    ChainMqmResult worst;
-    worst.sigma_max = -kInf;
-    std::size_t total_nodes = 0, scored_nodes = 0, ladder_peak = 0;
+    // Reduce via a pointer, then copy once into the retained result slot —
+    // vector capacity is reused, so a warm RunAt allocates nothing.
+    const ChainMqmResult* worst = nullptr;
+    std::size_t total_nodes = 0, scored_nodes = 0;
+    MemoryStats memory;
     for (auto& st : states) {
       AnalyzeThetaAt(*st, new_length, options, &lazy);
       total_nodes += st->result.total_nodes;
       scored_nodes += st->result.scored_nodes;
-      ladder_peak = std::max(ladder_peak, st->result.ladder_peak_bytes);
-      if (st->result.sigma_max > worst.sigma_max) worst = st->result;
+      memory.MergeMax(st->result.memory);
+      if (worst == nullptr || st->result.sigma_max > worst->sigma_max) {
+        worst = &st->result;
+      }
     }
-    worst.total_nodes = total_nodes;
-    worst.scored_nodes = scored_nodes;
-    worst.ladder_peak_bytes = ladder_peak;
-    result = worst;
+    result = *worst;
+    result.total_nodes = total_nodes;
+    result.scored_nodes = scored_nodes;
+    result.memory = memory;
     length = new_length;
   }
 };

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/memory_stats.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "graphical/markov_chain.h"
@@ -80,14 +81,27 @@ struct ChainMqmResult {
   /// sigma_i evaluations actually performed: one per dedup class (plus the
   /// single middle node under the stationary shortcut).
   std::size_t scored_nodes = 0;
-  /// Peak bytes resident in the streamed power ladder, the per-distance
-  /// maximization tables, and the dedup class store (max over Theta). In
+  /// Memory accounting of the analysis pass (merged over Theta:
+  /// peak/retained maxed, mallocs summed).
+  ///
+  /// `peak_bytes`: peak bytes resident in the streamed power ladder, the
+  /// per-distance maximization tables, and the dedup class store. In
   /// free-initial mode this is O(k^2 * max(256, max_nearby)) — the class
   /// store caps at max(256, 4 * max_nearby) entries — and in particular
   /// length-independent, where the pre-optimization path materialized
   /// O(T * k^2). (The scan's per-node class-index array, 4 bytes per
   /// node, is not counted here.)
-  std::size_t ladder_peak_bytes = 0;
+  ///
+  /// `arena_retained_bytes`: the subset retained across ExtendTo calls by
+  /// the resumable analysis (evaluator tables, stream cursor, class-store
+  /// values) — the reuse pool behind the zero-allocation append path.
+  ///
+  /// `mallocs`: tracked heap-acquisition events during the pass (class
+  /// creations, table builds, cursor-buffer growths, node-index growth).
+  /// Exactly 0 on a steady-state ExtendTo append — the hot loop reuses
+  /// retained buffers only; a positive count on cold/fallback passes is an
+  /// event count, not a precise malloc tally.
+  MemoryStats memory;
   /// Work saved by the dedup scan: total_nodes / scored_nodes (1.0 when
   /// every node was scored).
   double dedup_ratio() const {
@@ -113,7 +127,7 @@ struct ChainMqmResult {
 /// Guarantees:
 ///  - ExtendTo(T') is BIT-identical to a cold analysis at T' — sigma_max,
 ///    worst node, active quilt, influence, shortcut flag, and the dedup
-///    diagnostics (scored_nodes, ladder_peak_bytes) — for every chain
+///    diagnostics (scored_nodes, memory.peak_bytes) — for every chain
 ///    variant (stationary / non-stationary / free-initial), shortcut
 ///    setting, and thread count. Chained extensions (T -> T+1 -> ... ->
 ///    T+delta) equal the one-shot analysis at T+delta.

@@ -136,7 +136,7 @@ void ExpectPlansBitIdentical(const MechanismPlan& got,
   EXPECT_EQ(got.chain.influence, want.chain.influence);
   EXPECT_EQ(got.chain.active_quilt.quilt, want.chain.active_quilt.quilt);
   EXPECT_EQ(got.chain.scored_nodes, want.chain.scored_nodes);
-  EXPECT_EQ(got.chain.ladder_peak_bytes, want.chain.ladder_peak_bytes);
+  EXPECT_EQ(got.chain.memory.peak_bytes, want.chain.memory.peak_bytes);
 }
 
 TEST(AnalysisCacheTest, GetOrExtendChainsPlansAcrossLengths) {

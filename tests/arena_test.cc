@@ -1,0 +1,123 @@
+// Lifetime and accounting rules of the analysis arena (see the header
+// comment in common/arena.h — this file pins them).
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pf {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(1 << 10);
+  double* a = arena.AllocDoubles(16);
+  double* b = arena.AllocDoubles(16);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 16, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 16, 0u);
+  // Writes through one pointer never land in the other's range.
+  for (int i = 0; i < 16; ++i) a[i] = 1.0;
+  for (int i = 0; i < 16; ++i) b[i] = 2.0;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a[i], 1.0);
+}
+
+TEST(ArenaTest, ResetRetainsBlocksAndStopsAllocating) {
+  Arena arena(1 << 10);
+  // Warm up: force a couple of block acquisitions.
+  for (int round = 0; round < 4; ++round) {
+    arena.AllocDoubles(300);
+    arena.AllocDoubles(300);
+    arena.Reset();
+  }
+  const std::size_t warm_blocks = arena.block_allocations();
+  const std::size_t warm_retained = arena.retained_bytes();
+  EXPECT_GT(warm_blocks, 0u);
+  EXPECT_GT(warm_retained, 0u);
+  // Steady state: the identical burst after Reset reuses retained blocks —
+  // zero new heap blocks, retained bytes unchanged.
+  for (int round = 0; round < 8; ++round) {
+    arena.Reset();
+    arena.AllocDoubles(300);
+    arena.AllocDoubles(300);
+  }
+  EXPECT_EQ(arena.block_allocations(), warm_blocks);
+  EXPECT_EQ(arena.retained_bytes(), warm_retained);
+  EXPECT_EQ(arena.in_use_bytes(), 2 * 300 * sizeof(double));
+}
+
+TEST(ArenaTest, CheckpointRewindBoundsNestedScratch) {
+  Arena arena(1 << 10);
+  arena.AllocDoubles(10);
+  const std::size_t outer = arena.in_use_bytes();
+  const Arena::Checkpoint cp = arena.Save();
+  for (int step = 0; step < 100; ++step) {
+    arena.AllocDoubles(64);
+    arena.Rewind(cp);
+    // In-use bytes return to the checkpoint every step, so nested scratch
+    // never accumulates across steps.
+    EXPECT_EQ(arena.in_use_bytes(), outer);
+  }
+  // Peak reflects one step's scratch, not 100 steps' worth.
+  EXPECT_LT(arena.peak_bytes(), outer + 2 * 64 * sizeof(double));
+}
+
+TEST(ArenaTest, RewoundStorageIsReusedNotReallocated) {
+  Arena arena(1 << 12);
+  const Arena::Checkpoint cp = arena.Save();
+  double* first = arena.AllocDoubles(32);
+  arena.Rewind(cp);
+  const std::size_t blocks = arena.block_allocations();
+  double* second = arena.AllocDoubles(32);
+  EXPECT_EQ(first, second);  // Same bump cursor, same storage.
+  EXPECT_EQ(arena.block_allocations(), blocks);
+}
+
+TEST(ArenaTest, OversizedRequestGetsOwnBlock) {
+  Arena arena(1 << 8);  // 256-byte blocks.
+  double* big = arena.AllocDoubles(1000);  // 8000 bytes >> block size.
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0, 1000 * sizeof(double));
+  EXPECT_GE(arena.retained_bytes(), 1000 * sizeof(double));
+}
+
+TEST(ArenaTest, ReleaseDropsRetainedBytesToZero) {
+  Arena arena(1 << 10);
+  arena.AllocDoubles(100);
+  EXPECT_GT(arena.retained_bytes(), 0u);
+  arena.Release();
+  EXPECT_EQ(arena.retained_bytes(), 0u);
+  EXPECT_EQ(arena.in_use_bytes(), 0u);
+  // The arena is still usable after Release (it just re-acquires blocks).
+  double* p = arena.AllocDoubles(10);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0;
+  EXPECT_EQ(p[0], 1.0);
+}
+
+TEST(ArenaTest, PeakIsHighWaterMarkAcrossResets) {
+  Arena arena(1 << 10);
+  arena.AllocDoubles(500);
+  const std::size_t peak = arena.peak_bytes();
+  EXPECT_GE(peak, 500 * sizeof(double));
+  arena.Reset();
+  arena.AllocDoubles(10);
+  EXPECT_EQ(arena.peak_bytes(), peak);  // Reset does not lower the mark.
+}
+
+TEST(ArenaTest, ProcessWideCountersAggregateArenas) {
+  const std::uint64_t blocks_before = Arena::TotalBlockAllocations();
+  const std::uint64_t retained_before = Arena::TotalRetainedBytes();
+  {
+    Arena arena(1 << 10);
+    arena.AllocDoubles(100);
+    EXPECT_GT(Arena::TotalBlockAllocations(), blocks_before);
+    EXPECT_GT(Arena::TotalRetainedBytes(), retained_before);
+  }
+  // Destruction returns the retained bytes to the process-wide total.
+  EXPECT_EQ(Arena::TotalRetainedBytes(), retained_before);
+}
+
+}  // namespace
+}  // namespace pf

@@ -1,0 +1,61 @@
+// Guards for the benchmark helpers — in particular that DoNotOptimize
+// binds by const reference (the mutable-lvalue variant clobbered a
+// benchmark counter under GCC 12 once; see bench_parallel_analyze.cc).
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <utility>
+
+namespace pf {
+namespace bench {
+namespace {
+
+// The signature guard: DoNotOptimize must accept const lvalues (a
+// mutable-reference parameter would fail to compile here) and rvalues,
+// and return void.
+static_assert(
+    std::is_void_v<decltype(DoNotOptimize(std::declval<const double&>()))>,
+    "DoNotOptimize must take const references");
+static_assert(std::is_void_v<decltype(DoNotOptimize(std::declval<int>()))>,
+              "DoNotOptimize must accept rvalues");
+
+struct NonCopyable {
+  explicit NonCopyable(int v) : value(v) {}
+  NonCopyable(const NonCopyable&) = delete;
+  NonCopyable& operator=(const NonCopyable&) = delete;
+  int value;
+};
+
+TEST(BenchUtilTest, DoNotOptimizeBindsWithoutCopying) {
+  // Only the address escapes, so non-copyable types pass straight through.
+  const NonCopyable guarded(42);
+  DoNotOptimize(guarded);
+  EXPECT_EQ(guarded.value, 42);
+}
+
+TEST(BenchUtilTest, DoNotOptimizeDoesNotClobberCounters) {
+  // The regression shape: a counter accumulated in a benchmark loop and
+  // read after it. The const-ref escape must leave the value intact.
+  double counter = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    counter += i;
+    DoNotOptimize(counter);
+  }
+  EXPECT_DOUBLE_EQ(counter, 5050.0);
+  DoNotOptimize(counter + 1.0);  // Rvalue temporaries bind too.
+  EXPECT_DOUBLE_EQ(counter, 5050.0);
+}
+
+TEST(BenchUtilTest, MeanAbsErrorTracksLaplaceScale) {
+  Rng rng(1234);
+  // E|Laplace(scale)| = scale; a loose band is enough to catch a wiring
+  // mistake (wrong scale, wrong trial count).
+  const double mean = MeanAbsError(2.0, 20000, &rng);
+  EXPECT_NEAR(mean, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pf

@@ -236,7 +236,7 @@ TEST(PrivacyEngineTest, AnalyzeStatsSurfaceDedupAndLadder) {
   EXPECT_GT(stats.scored_nodes, 0u);
   EXPECT_LT(stats.scored_nodes, stats.total_nodes);
   EXPECT_GT(stats.dedup_ratio, 1.0);
-  EXPECT_GT(stats.ladder_peak_bytes, 0u);
+  EXPECT_GT(stats.memory.peak_bytes, 0u);
   // Served from the plan cache: a second call must not re-analyze.
   const auto before = engine->cache_stats();
   EXPECT_TRUE(engine->AnalyzeStats(1.0).ok());
@@ -329,7 +329,7 @@ TEST(PrivacyEngineTest, LargeStructuredNetworksRouteToMqmGeneral) {
   EXPECT_GT(stats.dedup_ratio, 1.0);
   EXPECT_EQ(stats.treewidth_bound, 1u);
   EXPECT_GE(stats.induced_width, 1u);
-  EXPECT_GT(stats.peak_factor_bytes, 0u);
+  EXPECT_GT(stats.memory.peak_bytes, 0u);
 
   // The analysis is cached: serving a release re-uses the plan.
   SessionOptions session_options;

@@ -222,5 +222,69 @@ TEST(ParallelMultiplyTest, ThreadCountInvariant) {
   }
 }
 
+// -------------------------------------------------------- SIMD dispatch --
+
+Matrix RandomStochastic(std::size_t k, Rng* rng) {
+  Matrix m(k, k);
+  for (std::size_t r = 0; r < k; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      m(r, c) = 0.05 + rng->Uniform();
+      row_sum += m(r, c);
+    }
+    for (std::size_t c = 0; c < k; ++c) m(r, c) /= row_sum;
+  }
+  return m;
+}
+
+/// RAII guard so a failing assertion can't leave the process-wide dispatch
+/// level pinned for later tests.
+struct SimdLevelGuard {
+  SimdLevel saved = ActiveSimdLevel();
+  ~SimdLevelGuard() { SetSimdLevel(saved); }
+};
+
+TEST(SimdDispatchTest, OverrideClampsToDetectedLevel) {
+  SimdLevelGuard guard;
+  SetSimdLevel(SimdLevel::kPortable);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kPortable);
+  // Requesting AVX2 activates it only where the CPU has it; elsewhere the
+  // request clamps back to portable instead of crashing on dispatch.
+  SetSimdLevel(SimdLevel::kAvx2);
+  EXPECT_EQ(ActiveSimdLevel(), DetectedSimdLevel());
+}
+
+TEST(SimdDispatchTest, AllLevelsBitIdenticalToNaiveOnStochastic) {
+  // The summation-order contract: every dispatch level accumulates k-terms
+  // in the same ascending order, so on stochastic matrices (no
+  // negative-zero products) the kernels agree with the naive reference
+  // BIT-for-bit — at widths covering the AVX2 kernel's 16-column main
+  // loop, its 4-column tail, and scalar remainders.
+  SimdLevelGuard guard;
+  Rng rng(23);
+  for (const std::size_t k : {4u, 16u, 32u, 33u, 64u}) {
+    const Matrix a = RandomStochastic(k, &rng);
+    const Matrix b = RandomStochastic(k, &rng);
+    const Matrix naive = MultiplyNaive(a, b);
+    SetSimdLevel(SimdLevel::kPortable);
+    EXPECT_EQ(MultiplyBlocked(a, b), naive) << "portable, k=" << k;
+    SetSimdLevel(SimdLevel::kAvx2);  // Clamped on non-AVX2 hosts.
+    EXPECT_EQ(MultiplyBlocked(a, b), naive)
+        << SimdLevelName(ActiveSimdLevel()) << ", k=" << k;
+  }
+}
+
+TEST(SimdDispatchTest, PowersStayBitIdenticalAcrossLevels) {
+  // Chains of products (the power-ladder workload) accumulate any kernel
+  // divergence exponentially; pin that the two levels walk in lockstep.
+  SimdLevelGuard guard;
+  Rng rng(29);
+  const Matrix p = RandomStochastic(32, &rng);
+  SetSimdLevel(SimdLevel::kPortable);
+  const Matrix portable = p.Power(12);
+  SetSimdLevel(SimdLevel::kAvx2);
+  EXPECT_EQ(p.Power(12), portable);
+}
+
 }  // namespace
 }  // namespace pf

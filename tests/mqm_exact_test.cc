@@ -289,7 +289,7 @@ TEST(MqmExactDedupTest, StatsReportCollapsedScan) {
   EXPECT_GT(r.scored_nodes, 0u);
   EXPECT_LT(r.scored_nodes, 500u);  // Mixing time + boundary classes only.
   EXPECT_GT(r.dedup_ratio(), 10.0);
-  EXPECT_GT(r.ladder_peak_bytes, 0u);
+  EXPECT_GT(r.memory.peak_bytes, 0u);
 }
 
 TEST(MqmExactDedupTest, FreeInitialLadderMemoryIsLengthIndependent) {
@@ -301,10 +301,10 @@ TEST(MqmExactDedupTest, FreeInitialLadderMemoryIsLengthIndependent) {
   options.max_nearby = 8;
   const std::size_t short_bytes =
       MqmExactAnalyzeFreeInitial({p}, 2000, options).ValueOrDie()
-          .ladder_peak_bytes;
+          .memory.peak_bytes;
   const std::size_t long_bytes =
       MqmExactAnalyzeFreeInitial({p}, 20000, options).ValueOrDie()
-          .ladder_peak_bytes;
+          .memory.peak_bytes;
   EXPECT_GT(short_bytes, 0u);
   EXPECT_EQ(short_bytes, long_bytes);
 }

@@ -134,7 +134,7 @@ TEST(MqmGeneralScaleTest, HundredNodeTreeAnalyzesUnderTheOldGuard) {
   EXPECT_EQ(analysis.active.size(), 100u);
   EXPECT_EQ(analysis.treewidth_bound, 1u);
   EXPECT_LT(analysis.scored_nodes, 40u);  // Dedup collapses most of the tree.
-  EXPECT_GT(analysis.peak_factor_bytes, 0u);
+  EXPECT_GT(analysis.memory.peak_bytes, 0u);
 }
 
 TEST(MqmGeneralTest, StatsAreFilledAndConsistent) {
@@ -150,7 +150,7 @@ TEST(MqmGeneralTest, StatsAreFilledAndConsistent) {
   EXPECT_GE(analysis.dedup_ratio(), 1.0);
   EXPECT_GE(analysis.induced_width, 1u);
   EXPECT_GE(analysis.treewidth_bound, 2u);
-  EXPECT_GT(analysis.peak_factor_bytes, 0u);
+  EXPECT_GT(analysis.memory.peak_bytes, 0u);
   // A non-square grid has no factor-graph symmetry at all: every node is
   // its own class, and the analysis says so rather than guessing.
   const BayesianNetwork skew =

@@ -1,7 +1,7 @@
 // Streaming bit-identity suite: ChainMqmAnalysis::ExtendTo(T') must equal
 // a cold analysis at T' — sigma_max, worst node, active quilt, influence,
 // shortcut flag, AND the dedup diagnostics (scored_nodes /
-// ladder_peak_bytes, which certify that the retained class store ends up
+// memory.peak_bytes, which certify that the retained class store ends up
 // in exactly the state a cold scan builds) — across stationary /
 // non-stationary / free-initial chains, shortcut on/off, and thread
 // counts; plus chained extensions equal the one-shot analysis.
@@ -28,7 +28,7 @@ void ExpectBitIdentical(const ChainMqmResult& got,
   EXPECT_EQ(got.used_stationary_shortcut, want.used_stationary_shortcut);
   EXPECT_EQ(got.total_nodes, want.total_nodes);
   EXPECT_EQ(got.scored_nodes, want.scored_nodes);
-  EXPECT_EQ(got.ladder_peak_bytes, want.ladder_peak_bytes);
+  EXPECT_EQ(got.memory.peak_bytes, want.memory.peak_bytes);
 }
 
 const Matrix kBinary{{0.9, 0.1}, {0.4, 0.6}};
@@ -241,6 +241,31 @@ TEST(MqmStreamingTest, ExtendIsIncrementallyCheap) {
   ASSERT_TRUE(analysis.ExtendTo(5001).ok());
   const std::size_t after = analysis.result().scored_nodes;
   EXPECT_LE(after, before + options.max_nearby + 2);
+}
+
+TEST(MqmStreamingTest, SteadyStateAppendAllocatesNothing) {
+  // The zero-allocation hot path: once the chain is far past its mixing
+  // transient (the marginal stream has gone period-1) and the class store
+  // holds every boundary class, a +1 append only swaps retained buffers
+  // and re-joins existing classes — memory.mallocs must be EXACTLY zero.
+  const MarkovChain chain =
+      MarkovChain::Make({1.0, 0.0}, kBinary).ValueOrDie();
+  ChainMqmOptions options;
+  options.epsilon = 1.0;
+  options.max_nearby = 8;
+  options.allow_stationary_shortcut = false;
+  ChainMqmAnalysis analysis =
+      ChainMqmAnalysis::Analyze({chain}, 5000, options).ValueOrDie();
+  // Two warm-up appends absorb any one-time growth (scratch buffers,
+  // class-store headroom) left over from the cold analysis.
+  ASSERT_TRUE(analysis.ExtendTo(5001).ok());
+  ASSERT_TRUE(analysis.ExtendTo(5002).ok());
+  for (std::size_t target = 5003; target <= 5010; ++target) {
+    ASSERT_TRUE(analysis.ExtendTo(target).ok());
+    EXPECT_EQ(analysis.result().memory.mallocs, 0u)
+        << "append to T=" << target << " allocated";
+    EXPECT_GT(analysis.result().memory.arena_retained_bytes, 0u);
+  }
 }
 
 }  // namespace

@@ -16,6 +16,13 @@ std::size_t RoundUp(std::size_t bytes) {
 // Process-wide instrumentation: every arena folds its block events here so
 // stats reporting can aggregate the thread_local subsystem arenas without
 // enumerating threads.
+//
+// memory_order_relaxed is correct here (audited under TSan — see
+// tests/tsan_stress_test.cc ArenaProcessWideCountersBalance): the counters
+// are monotone statistics read only by stats reporting; no other memory is
+// published through them, so no acquire/release pairing exists to break.
+// fetch_add/fetch_sub are still atomic RMWs, so counts are never lost —
+// relaxed only permits reads to observe a momentarily stale total.
 std::atomic<std::uint64_t>& TotalBlocks() {
   static std::atomic<std::uint64_t> total{0};
   return total;

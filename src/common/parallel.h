@@ -9,18 +9,22 @@
 //  2. No exceptions cross the pool boundary (Status/Result style): worker
 //     bodies must not throw; per-index Result slots carry errors instead.
 //  3. Zero dependencies beyond <thread>.
+//
+// The locking discipline is machine-checked: every shared field is
+// PF_GUARDED_BY(mutex_) and the clang CI leg compiles with
+// -Wthread-safety -Werror (see common/thread_annotations.h).
 #ifndef PUFFERFISH_COMMON_PARALLEL_H_
 #define PUFFERFISH_COMMON_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace pf {
 
@@ -56,10 +60,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       shutdown_ = true;
     }
-    wake_workers_.notify_all();
+    wake_workers_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 
@@ -68,30 +72,31 @@ class ThreadPool {
   /// \brief Runs fn(i) for every i in [0, n), distributing indices over the
   /// pool (the calling thread participates). Blocks until all n indices
   /// complete. fn must not recursively call ParallelFor on the same pool.
-  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn)
+      PF_EXCLUDES(mutex_) {
     if (n == 0) return;
     if (num_threads_ == 1 || n == 1) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
-    std::unique_lock<std::mutex> loop_lock(loop_mutex_);  // One loop at a time.
+    MutexLock loop_lock(loop_mutex_);  // One loop at a time.
     auto job = std::make_shared<Job>();
     job->fn = fn;
     job->end = n;
     job->pending.store(n, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       current_job_ = job;
       ++job_serial_;
     }
-    wake_workers_.notify_all();
+    wake_workers_.NotifyAll();
     RunJob(*job);
     {
       // Wait for stragglers still inside fn on worker threads.
-      std::unique_lock<std::mutex> lock(mutex_);
-      job->done.wait(lock, [&job] {
-        return job->pending.load(std::memory_order_acquire) == 0;
-      });
+      MutexLock lock(mutex_);
+      while (job->pending.load(std::memory_order_acquire) != 0) {
+        job->done.Wait(mutex_);
+      }
       current_job_.reset();
     }
   }
@@ -102,31 +107,33 @@ class ThreadPool {
     std::size_t end = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> pending{0};
-    std::condition_variable done;
+    CondVar done;
   };
 
-  void RunJob(Job& job) {
+  void RunJob(Job& job) PF_EXCLUDES(mutex_) {
     while (true) {
       const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job.end) break;
       job.fn(i);
       if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        job.done.notify_all();
+        // Lock-then-notify so the waiter cannot miss the wakeup between
+        // its predicate check and its Wait.
+        MutexLock lock(mutex_);
+        job.done.NotifyAll();
       }
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() PF_EXCLUDES(mutex_) {
     std::uint64_t seen_serial = 0;
     while (true) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_workers_.wait(lock, [this, seen_serial] {
-          return shutdown_ ||
-                 (current_job_ != nullptr && job_serial_ != seen_serial);
-        });
+        MutexLock lock(mutex_);
+        while (!shutdown_ &&
+               (current_job_ == nullptr || job_serial_ == seen_serial)) {
+          wake_workers_.Wait(mutex_);
+        }
         if (shutdown_) return;
         seen_serial = job_serial_;
         job = current_job_;
@@ -138,12 +145,14 @@ class ThreadPool {
   const std::size_t num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex loop_mutex_;
-  std::mutex mutex_;
-  std::condition_variable wake_workers_;
-  std::shared_ptr<Job> current_job_;
-  std::uint64_t job_serial_ = 0;
-  bool shutdown_ = false;
+  /// Serializes whole ParallelFor calls (never held together with mutex_).
+  Mutex loop_mutex_;
+  /// Guards the job hand-off state below.
+  Mutex mutex_;
+  CondVar wake_workers_;
+  std::shared_ptr<Job> current_job_ PF_GUARDED_BY(mutex_);
+  std::uint64_t job_serial_ PF_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ PF_GUARDED_BY(mutex_) = false;
 };
 
 /// \brief One-shot helper: runs fn(i) for i in [0, n) on `num_threads`

@@ -30,7 +30,13 @@ enum class StatusCode {
 /// Mirrors the Arrow/RocksDB idiom: functions that can fail return a Status
 /// (or a Result<T>, below) instead of throwing. Statuses are cheap to copy
 /// when OK (empty message).
-class Status {
+///
+/// [[nodiscard]] on the class makes EVERY function returning a Status by
+/// value warn when the caller drops it (-Werror=unused-result build-wide):
+/// an ignored Status is a swallowed failure. The rare call site that
+/// legitimately does not care (e.g. best-effort cleanup) says so with an
+/// explicit `(void)` cast and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -103,7 +109,7 @@ class Status {
 ///   Use(m.value());
 /// \endcode
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

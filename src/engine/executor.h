@@ -6,18 +6,17 @@
 #ifndef PUFFERFISH_ENGINE_EXECUTOR_H_
 #define PUFFERFISH_ENGINE_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/thread_annotations.h"
 
 namespace pf {
 
@@ -40,12 +39,16 @@ class Executor {
   Executor& operator=(const Executor&) = delete;
 
   ~Executor() {
+    // Move the worker handles out under the lock (joining while holding
+    // mutex_ would deadlock against workers draining the queue).
+    std::vector<std::thread> workers;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       shutdown_ = true;
+      workers = std::move(workers_);
     }
-    wake_.notify_all();
-    for (std::thread& w : workers_) w.join();
+    wake_.NotifyAll();
+    for (std::thread& w : workers) w.join();
   }
 
   std::size_t num_threads() const { return num_threads_; }
@@ -58,7 +61,7 @@ class Executor {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (workers_.empty() && !shutdown_) {
         workers_.reserve(num_threads_);
         for (std::size_t t = 0; t < num_threads_; ++t) {
@@ -67,17 +70,19 @@ class Executor {
       }
       queue_.emplace_back([task] { (*task)(); });
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
     return future;
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() PF_EXCLUDES(mutex_) {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        MutexLock lock(mutex_);
+        while (!shutdown_ && queue_.empty()) {
+          wake_.Wait(mutex_);
+        }
         if (queue_.empty()) return;  // shutdown_ and nothing left to drain.
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -87,11 +92,13 @@ class Executor {
   }
 
   const std::size_t num_threads_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;  // Empty until the first Submit.
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  std::deque<std::function<void()>> queue_ PF_GUARDED_BY(mutex_);
+  /// Empty until the first Submit; the destructor moves the handles out
+  /// under the lock before joining.
+  std::vector<std::thread> workers_ PF_GUARDED_BY(mutex_);
+  bool shutdown_ PF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pf

@@ -173,16 +173,22 @@ ChainUnifiedOptions ChainOptions(const EngineOptions& options,
   return chain;
 }
 
+/// make_unique with the Mechanism upcast folded in, so BuildMechanism's
+/// returns stay a single implicit conversion away from Result.
+template <typename M, typename... Args>
+std::unique_ptr<Mechanism> MakeMechanism(Args&&... args) {
+  return std::make_unique<M>(std::forward<Args>(args)...);
+}
+
 Result<std::unique_ptr<Mechanism>> BuildMechanism(const ModelSpec& model,
                                                   const EngineOptions& options,
                                                   MechanismKind kind,
                                                   std::size_t num_threads) {
   switch (kind) {
     case MechanismKind::kLaplaceDp:
-      return std::unique_ptr<Mechanism>(
-          new LaplaceDpUnified(model.sensitivity));
+      return MakeMechanism<LaplaceDpUnified>(model.sensitivity);
     case MechanismKind::kGroupDp:
-      return std::unique_ptr<Mechanism>(new GroupDpUnified(model.sensitivity));
+      return MakeMechanism<GroupDpUnified>(model.sensitivity);
     case MechanismKind::kGk16: {
       std::vector<Matrix> transitions = model.transitions;
       if (transitions.empty()) {
@@ -191,40 +197,37 @@ Result<std::unique_ptr<Mechanism>> BuildMechanism(const ModelSpec& model,
           transitions.push_back(theta.transition());
         }
       }
-      return std::unique_ptr<Mechanism>(
-          new Gk16Unified(std::move(transitions), model.length));
+      return MakeMechanism<Gk16Unified>(std::move(transitions), model.length);
     }
     case MechanismKind::kWasserstein:
-      return std::unique_ptr<Mechanism>(
-          new WassersteinUnified(model.pairs, options.wasserstein_backend));
+      return MakeMechanism<WassersteinUnified>(model.pairs,
+                                               options.wasserstein_backend);
     case MechanismKind::kMqmGeneral: {
       MqmAnalyzeOptions mqm;
       mqm.max_quilt_size = options.max_quilt_size;
       mqm.num_threads = num_threads;
       mqm.backend = options.network_backend;
       mqm.separator = options.network_separator;
-      return std::unique_ptr<Mechanism>(
-          new MqmGeneralUnified(model.networks, mqm));
+      return MakeMechanism<MqmGeneralUnified>(model.networks, mqm);
     }
     case MechanismKind::kMqmExact: {
       const ChainUnifiedOptions chain =
           ChainOptions(options, options.exact_max_nearby, num_threads);
       if (model.kind == ModelSpec::Kind::kChainClassFreeInitial) {
-        return std::unique_ptr<Mechanism>(new MqmExactFreeInitialUnified(
-            model.transitions, model.length, chain));
+        return MakeMechanism<MqmExactFreeInitialUnified>(
+            model.transitions, model.length, chain);
       }
-      return std::unique_ptr<Mechanism>(
-          new MqmExactUnified(model.chains, model.length, chain));
+      return MakeMechanism<MqmExactUnified>(model.chains, model.length, chain);
     }
     case MechanismKind::kMqmApprox: {
       const ChainUnifiedOptions chain =
           ChainOptions(options, options.approx_max_nearby, num_threads);
       if (model.kind == ModelSpec::Kind::kChainSummary) {
-        return std::unique_ptr<Mechanism>(
-            new MqmApproxUnified(model.summary, model.length, chain));
+        return MakeMechanism<MqmApproxUnified>(model.summary, model.length,
+                                               chain);
       }
-      return std::unique_ptr<Mechanism>(
-          new MqmApproxUnified(model.chains, model.length, chain));
+      return MakeMechanism<MqmApproxUnified>(model.chains, model.length,
+                                             chain);
     }
   }
   return Status::Internal("unhandled mechanism kind");
@@ -296,7 +299,12 @@ namespace {
 /// several draws are folded with a high-resolution timestamp and ASLR'd
 /// address bits.
 std::uint64_t RandomSeedBase() {
-  std::random_device rd;
+  // lint:allow(unseeded-randomness): this seeds the per-engine SESSION-seed
+  // sequence, which must be distinct across engines/restarts — identical
+  // noise streams would let an observer cancel the noise (see
+  // SessionOptions::seed). Release noise itself stays deterministic per
+  // (session seed, ticket).
+  std::random_device rd;  // lint:allow(unseeded-randomness)
   std::uint64_t base = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
   base = SplitMix64(base ^ static_cast<std::uint64_t>(
                                std::chrono::high_resolution_clock::now()
@@ -312,33 +320,34 @@ PrivacyEngine::PrivacyEngine(ModelSpec model, EngineOptions options,
                              std::size_t num_threads)
     : model_(std::move(model)),
       options_(options),
+      num_states_(model_.num_states),
       mechanism_(std::move(mechanism)),
       cache_(options_.cache_capacity),
       executor_(num_threads),
       session_seed_state_(RandomSeedBase()) {}
 
 MechanismKind PrivacyEngine::mechanism_kind() const {
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  MutexLock lock(model_mutex_);
   return mechanism_->kind();
 }
 
 std::shared_ptr<const Mechanism> PrivacyEngine::mechanism() const {
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  MutexLock lock(model_mutex_);
   return mechanism_;
 }
 
 std::size_t PrivacyEngine::record_length() const {
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  MutexLock lock(model_mutex_);
   return model_.length;
 }
 
 Status PrivacyEngine::AppendObservations(std::size_t delta) {
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  MutexLock lock(model_mutex_);
   return SetRecordLengthLocked(model_.length + delta);
 }
 
 Status PrivacyEngine::SetRecordLength(std::size_t new_length) {
-  std::lock_guard<std::mutex> lock(model_mutex_);
+  MutexLock lock(model_mutex_);
   return SetRecordLengthLocked(new_length);
 }
 
@@ -370,7 +379,7 @@ Status PrivacyEngine::SetRecordLengthLocked(std::size_t new_length) {
   // never re-insert an entry compiled against the old length.
   model_generation_.fetch_add(1, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> compiled_lock(compiled_mutex_);
+    MutexLock compiled_lock(compiled_mutex_);
     compiled_.clear();
     compiled_order_.clear();
   }
@@ -422,7 +431,9 @@ Result<std::unique_ptr<PrivacyEngine>> PrivacyEngine::Create(
   const std::size_t num_threads = ResolveThreadCount(options.num_threads);
   PF_ASSIGN_OR_RETURN(std::unique_ptr<Mechanism> mechanism,
                       BuildMechanism(model, options, kind, num_threads));
-  return std::unique_ptr<PrivacyEngine>(new PrivacyEngine(
+  // lint:allow(naked-new-delete): private constructor, make_unique cannot
+  // reach it; ownership is taken on the same expression.
+  return std::unique_ptr<PrivacyEngine>(new PrivacyEngine(  // lint:allow(naked-new-delete)
       std::move(model), options, std::move(mechanism), num_threads));
 }
 
@@ -440,7 +451,7 @@ Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
   std::size_t model_length = 0;
   std::uint64_t generation = 0;
   {
-    std::lock_guard<std::mutex> lock(model_mutex_);
+    MutexLock lock(model_mutex_);
     mechanism = mechanism_;
     model_length = model_.length;
     generation = model_generation_.load(std::memory_order_relaxed);
@@ -465,17 +476,17 @@ Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
           ? spec.CacheKey()
           : "@w" + std::to_string(window_length) + "/" + spec.CacheKey();
   {
-    std::lock_guard<std::mutex> lock(compiled_mutex_);
+    MutexLock lock(compiled_mutex_);
     auto it = compiled_.find(key);
     if (it != compiled_.end()) return it->second;
   }
   PF_ASSIGN_OR_RETURN(
       VectorQuery query,
-      CompileQuerySpec(spec, model_.num_states, compile_length));
+      CompileQuerySpec(spec, num_states_, compile_length));
   PF_ASSIGN_OR_RETURN(std::shared_ptr<const MechanismPlan> plan,
                       cache_.GetOrExtend(*mechanism, spec.epsilon));
   CompiledQuery compiled{std::move(query), std::move(plan)};
-  std::lock_guard<std::mutex> lock(compiled_mutex_);
+  MutexLock lock(compiled_mutex_);
   if (model_generation_.load(std::memory_order_acquire) != generation) {
     // The model was hot-swapped while we compiled: serve the (still
     // self-consistent) result but do not cache it under the new model.
@@ -500,7 +511,7 @@ Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
 
 std::unique_ptr<Session> PrivacyEngine::CreateSession(
     const SessionOptions& options) {
-  return std::unique_ptr<Session>(new Session(this, options));
+  return std::make_unique<Session>(this, options);
 }
 
 std::unique_ptr<Session> PrivacyEngine::CreateSession() {

@@ -24,7 +24,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -32,6 +31,7 @@
 
 #include "common/memory_stats.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/executor.h"
 #include "engine/query_spec.h"
 #include "graphical/bayesian_network.h"
@@ -162,7 +162,7 @@ class PrivacyEngine {
   /// diagnostics). Snapshots stay valid across hot-swaps.
   std::shared_ptr<const Mechanism> mechanism() const;
 
-  std::size_t num_states() const { return model_.num_states; }
+  std::size_t num_states() const { return num_states_; }
   /// Current record length T (grows under AppendObservations).
   std::size_t record_length() const;
   const EngineOptions& options() const { return options_; }
@@ -281,17 +281,27 @@ class PrivacyEngine {
   PrivacyEngine(ModelSpec model, EngineOptions options,
                 std::unique_ptr<Mechanism> mechanism, std::size_t num_threads);
 
-  /// Body of SetRecordLength; caller holds model_mutex_.
-  Status SetRecordLengthLocked(std::size_t new_length);
+  /// Body of SetRecordLength.
+  Status SetRecordLengthLocked(std::size_t new_length)
+      PF_REQUIRES(model_mutex_);
 
+  /// Lock order: model_mutex_ before compiled_mutex_ (the hot-swap path
+  /// nests them that way); nothing acquires model_mutex_ while holding
+  /// compiled_mutex_.
+  ///
   /// model_.length and mechanism_ are the only mutable model state; both
   /// are guarded by model_mutex_ (everything else in model_ is immutable
-  /// after Create). model_generation_ tags compiled-cache entries so a
-  /// Compile racing a hot-swap can never insert a stale entry.
-  mutable std::mutex model_mutex_;
-  ModelSpec model_;
+  /// after Create — immutable fields read on unlocked paths are
+  /// snapshotted into const members below). model_generation_ tags
+  /// compiled-cache entries so a Compile racing a hot-swap can never
+  /// insert a stale entry.
+  mutable Mutex model_mutex_;
+  ModelSpec model_ PF_GUARDED_BY(model_mutex_);
   const EngineOptions options_;
-  std::shared_ptr<const Mechanism> mechanism_;
+  /// Snapshot of model_.num_states (immutable after Create), readable
+  /// without model_mutex_.
+  const std::size_t num_states_;
+  std::shared_ptr<const Mechanism> mechanism_ PF_GUARDED_BY(model_mutex_);
   /// Atomic so the compiled-cache insert can re-check it without nesting
   /// model_mutex_ inside compiled_mutex_ (the swap path nests the other
   /// way). Written only under model_mutex_.
@@ -299,12 +309,13 @@ class PrivacyEngine {
   AnalysisCache cache_;
   Executor executor_;
 
-  mutable std::mutex compiled_mutex_;
-  std::unordered_map<std::string, CompiledQuery> compiled_;
+  mutable Mutex compiled_mutex_;
+  std::unordered_map<std::string, CompiledQuery> compiled_
+      PF_GUARDED_BY(compiled_mutex_);
   /// FIFO eviction order for compiled_ (bounded by options_.cache_capacity
   /// like the plan cache: compiled entries pin their plans, so an
   /// unbounded map would defeat the plan cache's memory bound).
-  std::deque<std::string> compiled_order_;
+  std::deque<std::string> compiled_order_ PF_GUARDED_BY(compiled_mutex_);
   std::atomic<std::uint64_t> session_seed_state_;
 };
 

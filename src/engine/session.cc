@@ -174,7 +174,7 @@ Result<ReleaseResult> Session::Release(const QuerySpec& spec,
                       engine_->Compile(spec));
   std::uint64_t ticket = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     PF_ASSIGN_OR_RETURN(ticket, ChargeLocked(*compiled.plan));
   }
   return Execute(compiled, data, seed_, ticket);
@@ -189,7 +189,7 @@ Result<ReleaseResult> Session::Release(const QuerySpec& spec,
   const StateSequence slice = SliceWindow(data, span.first, span.second);
   std::uint64_t ticket = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     PF_ASSIGN_OR_RETURN(ticket, ChargeLocked(*compiled.plan));
   }
   return Execute(compiled, slice, seed_, ticket);
@@ -214,7 +214,7 @@ std::future<Result<ReleaseResult>> Session::Submit(const QuerySpec& spec,
       SliceWindow(data, span.value().first, span.value().second));
   std::uint64_t ticket = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Result<std::uint64_t> charged = ChargeLocked(*compiled.value().plan);
     if (!charged.ok()) return ReadyError(charged.status());
     ticket = charged.value();
@@ -230,7 +230,7 @@ std::future<Result<ReleaseResult>> Session::Submit(
   if (!compiled.ok()) return ReadyError(compiled.status());
   std::uint64_t ticket = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Result<std::uint64_t> charged = ChargeLocked(*compiled.value().plan);
     if (!charged.ok()) return ReadyError(charged.status());
     ticket = charged.value();
@@ -259,17 +259,17 @@ std::vector<std::future<Result<ReleaseResult>>> Session::SubmitBatch(
 }
 
 double Session::EpsilonSpent() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return accountant_.TotalEpsilon();
 }
 
 double Session::EpsilonRemaining() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return std::max(0.0, options_.epsilon_budget - accountant_.TotalEpsilon());
 }
 
 std::size_t Session::num_releases() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return accountant_.num_releases();
 }
 

@@ -15,12 +15,12 @@
 #include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/privacy_engine.h"
 #include "engine/query_spec.h"
 #include "pufferfish/composition.h"
@@ -147,8 +147,9 @@ class Session {
  private:
   /// Charges one release: refuses quilt mismatches (FailedPrecondition)
   /// and budget overruns (ResourceExhausted), else records it and returns
-  /// the assigned ticket. Caller holds mutex_.
-  Result<std::uint64_t> ChargeLocked(const MechanismPlan& plan);
+  /// the assigned ticket.
+  Result<std::uint64_t> ChargeLocked(const MechanismPlan& plan)
+      PF_REQUIRES(mutex_);
 
   /// The noise task body shared by Release and Submit.
   static Result<ReleaseResult> Execute(const PrivacyEngine::CompiledQuery& q,
@@ -161,9 +162,9 @@ class Session {
   /// Resolved noise seed (options_.seed or engine-assigned).
   const std::uint64_t seed_;
 
-  mutable std::mutex mutex_;
-  CompositionAccountant accountant_;
-  std::uint64_t next_ticket_ = 0;
+  mutable Mutex mutex_;
+  CompositionAccountant accountant_ PF_GUARDED_BY(mutex_);
+  std::uint64_t next_ticket_ PF_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pf

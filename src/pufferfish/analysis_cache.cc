@@ -18,7 +18,7 @@ std::shared_ptr<const MechanismPlan> AnalysisCache::TryGetPlan(
     const Key& key) {
   std::shared_ptr<const MechanismPlan> found;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = plans_.find(key);
     // Key equality already implies bit-identical epsilon (epsilon_bits is
     // a key field).
@@ -53,7 +53,7 @@ std::shared_ptr<const MechanismPlan> AnalysisCache::StorePlan(
   std::shared_ptr<const MechanismPlan> winner;
   bool raced = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto [it, inserted] = plans_.emplace(key, std::move(plan));
     winner = it->second;
     raced = !inserted;
@@ -91,7 +91,7 @@ Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrExtend(
   const Key chain_key{prefix, DoubleBits(epsilon), mechanism.kind()};
   std::shared_ptr<ChainEntry> entry;
   {
-    std::lock_guard<std::mutex> lock(chains_mutex_);
+    MutexLock lock(chains_mutex_);
     auto it = chains_.find(chain_key);
     if (it != chains_.end()) {
       entry = it->second;
@@ -110,7 +110,7 @@ Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrExtend(
       }
     }
   }
-  std::lock_guard<std::mutex> entry_lock(entry->mutex);
+  MutexLock entry_lock(entry->mutex);
   const bool can_extend = entry->analysis != nullptr &&
                           entry->analysis->length() <= target_length;
   if (!can_extend) {
@@ -132,7 +132,7 @@ Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrExtend(
 
 std::vector<CachedPlan> AnalysisCache::ExportPlans() const {
   std::vector<CachedPlan> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   out.reserve(plans_.size());
   // Walk the FIFO queue, not the map: insertion order round-trips through
   // a snapshot, so a restored cache evicts in the same order the original
@@ -152,7 +152,7 @@ std::vector<CachedPlan> AnalysisCache::ExportPlans() const {
 
 std::size_t AnalysisCache::ImportPlans(const std::vector<CachedPlan>& entries) {
   std::size_t inserted = 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const CachedPlan& entry : entries) {
     if (entry.plan == nullptr) continue;
     const Key key{entry.fingerprint, entry.epsilon_bits, entry.kind};
@@ -183,17 +183,17 @@ AnalysisCache::Stats AnalysisCache::stats() const {
 }
 
 std::size_t AnalysisCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return plans_.size();
 }
 
 void AnalysisCache::Clear() {
   {
-    std::lock_guard<std::mutex> lock(chains_mutex_);
+    MutexLock lock(chains_mutex_);
     chains_.clear();
     chains_order_.clear();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   plans_.clear();
   insertion_order_.clear();
   hits_.store(0, std::memory_order_relaxed);

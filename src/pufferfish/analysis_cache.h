@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "pufferfish/mechanism.h"
 
 namespace pf {
@@ -124,16 +124,15 @@ class AnalysisCache {
     }
   };
 
-  /// Evicts the oldest entries until size < max_entries_. Caller holds
-  /// mutex_.
-  void EvictIfFull();
+  /// Evicts the oldest entries until size < max_entries_.
+  void EvictIfFull() PF_REQUIRES(mutex_);
 
   /// One retained resumable analysis, chained by prefix fingerprint. The
   /// per-entry mutex serializes extensions (ExtendTo mutates) without
   /// blocking the plan map or other chains.
   struct ChainEntry {
-    std::mutex mutex;
-    std::unique_ptr<ResumableAnalysis> analysis;
+    Mutex mutex;
+    std::unique_ptr<ResumableAnalysis> analysis PF_GUARDED_BY(mutex);
   };
 
   /// The exact-key hit path shared by GetOrAnalyze and GetOrExtend:
@@ -146,16 +145,19 @@ class AnalysisCache {
       const Key& key, std::shared_ptr<const MechanismPlan> plan);
 
   const std::size_t max_entries_;
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, std::shared_ptr<const MechanismPlan>, KeyHash> plans_;
-  std::deque<Key> insertion_order_;  // FIFO eviction queue.
+  mutable Mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const MechanismPlan>, KeyHash> plans_
+      PF_GUARDED_BY(mutex_);
+  /// FIFO eviction queue.
+  std::deque<Key> insertion_order_ PF_GUARDED_BY(mutex_);
 
   /// Resumable analyses keyed like plans but by PREFIX fingerprint (length
   /// removed). Entries hold O(T) scan state, so the store is bounded by
   /// max_entries_ with the same FIFO rule.
-  mutable std::mutex chains_mutex_;
-  std::unordered_map<Key, std::shared_ptr<ChainEntry>, KeyHash> chains_;
-  std::deque<Key> chains_order_;
+  mutable Mutex chains_mutex_;
+  std::unordered_map<Key, std::shared_ptr<ChainEntry>, KeyHash> chains_
+      PF_GUARDED_BY(chains_mutex_);
+  std::deque<Key> chains_order_ PF_GUARDED_BY(chains_mutex_);
 
   // Lock-free counters: stats() and the hot hit path never contend on
   // mutex_ beyond the map lookup itself.

@@ -32,8 +32,11 @@ namespace pf {
 /// and no release that truly exceeds the budget is ever admitted. The rule
 /// is a pure function of its arguments: the same ledger history admits the
 /// same release everywhere, deterministically.
-bool ComposedBudgetAdmits(std::size_t num_releases, double max_epsilon,
-                          double budget);
+///
+/// [[nodiscard]]: an admission check whose answer is dropped is a budget
+/// bug by construction — callers must branch on it before releasing.
+[[nodiscard]] bool ComposedBudgetAdmits(std::size_t num_releases,
+                                        double max_epsilon, double budget);
 
 /// \brief Tracks repeated MQM releases over the same database and reports
 /// the composed privacy guarantee of Theorem 4.4.
@@ -65,7 +68,7 @@ class CompositionAccountant {
   /// release (vacuously true for an empty ledger). Lets a budget ledger
   /// *refuse* a Theorem 4.4 violation up front instead of detecting it
   /// after the fact via ActiveQuiltsConsistent().
-  bool MatchesActiveQuilt(const MarkovQuilt& quilt) const;
+  [[nodiscard]] bool MatchesActiveQuilt(const MarkovQuilt& quilt) const;
 
   /// \brief RecordRelease that *refuses* an active-quilt mismatch with
   /// FailedPrecondition (ledger untouched) instead of recording it as

@@ -82,6 +82,12 @@ struct MechanismPlan {
   /// Times this exact plan was served from an AnalysisCache instead of
   /// being recomputed (0 for a freshly analyzed plan). Shared across copies
   /// of the plan.
+  ///
+  /// Concurrency (audited under TSan, tests/tsan_stress_test.cc): the
+  /// counter is a plain atomic with the default seq_cst ordering; it is a
+  /// pure statistic, never used to publish other data, so no load/store
+  /// ordering relationship with the plan contents is required or implied —
+  /// readers racing a hit simply see a count that is at most one behind.
   std::uint64_t cache_hit_count() const {
     return cache_hits == nullptr ? 0 : cache_hits->load();
   }

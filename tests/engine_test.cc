@@ -274,6 +274,28 @@ TEST(PrivacyEngineTest, AppendObservationsExtendsCachedAnalyses) {
             cold_plan.plan->chain.scored_nodes);
 }
 
+TEST(PrivacyEngineTest, NumStatesIsStableAcrossModelMutations) {
+  // Regression: Compile used to read model_.num_states outside model_mutex_
+  // — formally a data race against AppendObservations/SetRecordLength even
+  // though those never change the state count. The fix snapshots the
+  // (immutable-after-Create) count into the const num_states_ member; this
+  // pins the accessor's value across every model mutation path so the
+  // snapshot can never drift from the model.
+  auto engine = PrivacyEngine::Create(ShortChainModel(100)).ValueOrDie();
+  const std::size_t states = engine->num_states();
+  EXPECT_GT(states, 0u);
+
+  ASSERT_TRUE(engine->AppendObservations(25).ok());
+  EXPECT_EQ(engine->num_states(), states);
+
+  ASSERT_TRUE(engine->SetRecordLength(40).ok());
+  EXPECT_EQ(engine->num_states(), states);
+
+  // Histogram validation (which consumes the snapshot) still enforces the
+  // true state count after the mutations.
+  EXPECT_TRUE(engine->Compile(QuerySpec::Mean(1.0)).ok());
+}
+
 TEST(PrivacyEngineTest, AppendCanCrossThePolicyCutoff) {
   EngineOptions options;
   options.approx_length_cutoff = 150;

@@ -1,0 +1,31 @@
+#include "common/deadline.h"
+
+#include <string>
+
+namespace pf {
+namespace {
+
+Deadline& ThreadDeadline() {
+  thread_local Deadline current;
+  return current;
+}
+
+}  // namespace
+
+const Deadline& CurrentDeadline() { return ThreadDeadline(); }
+
+DeadlineScope::DeadlineScope(const Deadline& deadline)
+    : saved_(ThreadDeadline()) {
+  ThreadDeadline() = deadline;
+}
+
+DeadlineScope::~DeadlineScope() { ThreadDeadline() = saved_; }
+
+Status CheckDeadline(const char* what) {
+  const Deadline& d = ThreadDeadline();
+  if (d.infinite()) return Status::OK();
+  if (!d.expired()) return Status::OK();
+  return Status::DeadlineExceeded(std::string("deadline expired in ") + what);
+}
+
+}  // namespace pf

@@ -1,0 +1,107 @@
+// Deadlines and cooperative cancellation.
+//
+// A pf::Deadline is a value type wrapping a steady_clock time point (or
+// "infinite" — the default). Requests carry one through RequestOptions /
+// Submit; long-running analysis loops (power ladder, dedup scans, variable
+// elimination) call CheckDeadline() at bounded checkpoints and return
+// Status::DeadlineExceeded instead of blocking a ticket forever.
+//
+// Propagation is via a thread-local "current deadline" installed by the
+// RAII DeadlineScope. ThreadPool::ParallelFor re-installs the caller's
+// deadline inside worker threads, so checkpoints deep in parallel kernels
+// see the same deadline as the submitting thread without every call chain
+// having to thread a Deadline parameter through.
+#ifndef PUFFERFISH_COMMON_DEADLINE_H_
+#define PUFFERFISH_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace pf {
+
+/// \brief A point in time after which a request should give up.
+///
+/// Value type, cheap to copy. Default-constructed deadlines are infinite
+/// (never expire), so plumbing one through an API is free for callers that
+/// don't care.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite deadline: never expires.
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now (clamped at 0).
+  static Deadline After(std::int64_t ms) {
+    Deadline d;
+    d.when_ = Clock::now() + std::chrono::milliseconds(ms < 0 ? 0 : ms);
+    d.infinite_ = false;
+    return d;
+  }
+
+  /// Deadline at an absolute steady_clock time point.
+  static Deadline At(Clock::time_point when) {
+    Deadline d;
+    d.when_ = when;
+    d.infinite_ = false;
+    return d;
+  }
+
+  /// A deadline that is already expired (useful in tests).
+  static Deadline Expired() { return After(0); }
+
+  /// Infinite deadline, spelled explicitly.
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return infinite_; }
+
+  /// True iff the deadline has passed. Infinite deadlines never expire.
+  bool expired() const { return !infinite_ && Clock::now() >= when_; }
+
+  /// Milliseconds remaining; 0 if expired, a large sentinel if infinite.
+  std::int64_t remaining_ms() const {
+    if (infinite_) return kInfiniteMs;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    when_ - Clock::now())
+                    .count();
+    return left < 0 ? 0 : left;
+  }
+
+  static constexpr std::int64_t kInfiniteMs = INT64_C(0x7fffffffffffffff);
+
+ private:
+  Clock::time_point when_{};
+  bool infinite_ = true;
+};
+
+/// Returns the deadline currently installed on this thread (infinite if
+/// none). See DeadlineScope.
+const Deadline& CurrentDeadline();
+
+/// \brief RAII guard installing `deadline` as this thread's current
+/// deadline; restores the previous one on destruction (scopes nest — the
+/// innermost deadline wins, which is correct because an enclosing request
+/// re-checks its own deadline after the nested scope unwinds).
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(const Deadline& deadline);
+  ~DeadlineScope();
+
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  Deadline saved_;
+};
+
+/// \brief Cooperative cancellation checkpoint: returns
+/// Status::DeadlineExceeded naming `what` if this thread's current deadline
+/// has expired, OK otherwise. Cheap when no deadline is installed (one
+/// thread-local bool test, no clock read).
+Status CheckDeadline(const char* what);
+
+}  // namespace pf
+
+#endif  // PUFFERFISH_COMMON_DEADLINE_H_

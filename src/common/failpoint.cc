@@ -1,0 +1,133 @@
+#include "common/failpoint.h"
+
+namespace pf {
+namespace {
+
+// SplitMix64 step — the same generator the library uses for seeding
+// elsewhere; one independent stream per armed site.
+std::uint64_t SplitMix64Next(std::uint64_t& state) {
+  std::uint64_t z = (state += UINT64_C(0x9E3779B97F4A7C15));
+  z = (z ^ (z >> 30)) * UINT64_C(0xBF58476D1CE4E5B9);
+  z = (z ^ (z >> 27)) * UINT64_C(0x94D049BB133111EB);
+  return z ^ (z >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double ToUnitDouble(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  // Leaked on purpose: sites may be evaluated during static destruction of
+  // other translation units, so the registry must never be destroyed. The
+  // constructor is private, which rules out make_unique.
+  static FailpointRegistry* registry =
+      new FailpointRegistry();  // lint:allow(naked-new-delete): leaked
+                                // process-lifetime singleton, private ctor.
+  return *registry;
+}
+
+FailpointRegistry::Site& FailpointRegistry::SiteLocked(
+    const std::string& name) {
+  return sites_[name];
+}
+
+void FailpointRegistry::Arm(const std::string& name) {
+  MutexLock lock(mu_);
+  Site& s = SiteLocked(name);
+  s.mode = Mode::kAlways;
+}
+
+void FailpointRegistry::ArmOnce(const std::string& name) {
+  MutexLock lock(mu_);
+  Site& s = SiteLocked(name);
+  s.mode = Mode::kOnce;
+}
+
+void FailpointRegistry::ArmAfter(const std::string& name, std::uint64_t n) {
+  MutexLock lock(mu_);
+  Site& s = SiteLocked(name);
+  s.mode = Mode::kAfter;
+  s.after = n;
+}
+
+void FailpointRegistry::ArmProbability(const std::string& name, double p,
+                                       std::uint64_t seed) {
+  MutexLock lock(mu_);
+  Site& s = SiteLocked(name);
+  s.mode = Mode::kProbability;
+  s.probability = p;
+  s.rng = seed;
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = sites_.find(name);
+  if (it != sites_.end()) it->second.mode = Mode::kOff;
+}
+
+void FailpointRegistry::DisarmAll() {
+  MutexLock lock(mu_);
+  for (auto& [name, site] : sites_) {
+    site.mode = Mode::kOff;
+    site.after = 0;
+    site.probability = 0.0;
+    site.hits = 0;
+    site.fires = 0;
+  }
+}
+
+std::vector<std::string> FailpointRegistry::Registered() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) names.push_back(name);
+  return names;
+}
+
+std::uint64_t FailpointRegistry::Hits(const std::string& name) const {
+  MutexLock lock(mu_);
+  auto it = sites_.find(name);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FailpointRegistry::Fires(const std::string& name) const {
+  MutexLock lock(mu_);
+  auto it = sites_.find(name);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+Status FailpointRegistry::Evaluate(const std::string& name) {
+  MutexLock lock(mu_);
+  Site& s = SiteLocked(name);  // Registers the site on first evaluation.
+  ++s.hits;
+  bool fire = false;
+  switch (s.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kOnce:
+      fire = true;
+      s.mode = Mode::kOff;
+      break;
+    case Mode::kAfter:
+      if (s.after > 0) {
+        --s.after;
+      } else {
+        fire = true;
+      }
+      break;
+    case Mode::kProbability:
+      fire = ToUnitDouble(SplitMix64Next(s.rng)) < s.probability;
+      break;
+  }
+  if (!fire) return Status::OK();
+  ++s.fires;
+  return Status::Internal("failpoint " + name + " fired");
+}
+
+}  // namespace pf

@@ -1,0 +1,125 @@
+// Named, seeded failpoints for deterministic fault injection in tests.
+//
+// A failpoint is a named site on a fallible path:
+//
+//   Status PlanStore::Save(...) {
+//     PF_FAILPOINT("plan_store.write");   // may return an injected error
+//     ...
+//   }
+//
+// In normal builds the macro compiles to nothing — zero code, zero branch.
+// Configured with -DPF_FAILPOINTS=ON (the CI `failpoints` leg), each site
+// registers itself in a process-wide registry on first evaluation, and
+// tests arm sites by name:
+//
+//   FailpointRegistry::Instance().ArmOnce("plan_store.write");      // fire 1x
+//   FailpointRegistry::Instance().ArmAfter("plan_store.write", 3);  // skip 3
+//   FailpointRegistry::Instance().ArmProbability("...", 0.5, seed); // p=0.5
+//
+// Armed sites return Status::Internal("failpoint <name> fired"), which the
+// host function propagates like any real failure — so the sweep test can
+// enumerate Registered() and prove every site yields a typed non-OK Status
+// with no crash, leak, or race (the registry is thread-safe; probability
+// mode uses its own seeded SplitMix64 stream, never global RNG state).
+//
+// Arming a name before its site has ever executed is fine: Arm creates the
+// entry, the site attaches on first evaluation. The registry is modeled on
+// the fail-rs / RocksDB SyncPoint idiom.
+#ifndef PUFFERFISH_COMMON_FAILPOINT_H_
+#define PUFFERFISH_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace pf {
+
+/// True when this build compiles failpoint sites (-DPF_FAILPOINTS=ON).
+/// Tests that require injection skip themselves when this is false.
+#ifdef PF_FAILPOINTS
+inline constexpr bool kFailpointsEnabled = true;
+#else
+inline constexpr bool kFailpointsEnabled = false;
+#endif
+
+/// \brief Process-wide registry of failpoint sites. Thread-safe; all
+/// state (arming config, hit/fire counters, RNG stream) lives under one
+/// mutex — failpoints sit on failure paths, never on hot loops.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  /// Fire on every evaluation until disarmed.
+  void Arm(const std::string& name);
+  /// Fire exactly once, then auto-disarm.
+  void ArmOnce(const std::string& name);
+  /// Skip the next `n` evaluations, then fire on every one after.
+  void ArmAfter(const std::string& name, std::uint64_t n);
+  /// Fire each evaluation independently with probability `p`, driven by a
+  /// SplitMix64 stream seeded with `seed` (deterministic given the
+  /// sequence of evaluations; the global RNG discipline is untouched).
+  void ArmProbability(const std::string& name, double p, std::uint64_t seed);
+
+  /// Stop `name` from firing (counters and registration are kept).
+  void Disarm(const std::string& name);
+  /// Disarm every site and reset all counters. Tests call this in
+  /// SetUp/TearDown so armings never leak across test cases.
+  void DisarmAll();
+
+  /// Names of every site that has registered (been evaluated) or been
+  /// armed, sorted — the sweep test's work list.
+  std::vector<std::string> Registered() const;
+
+  /// Times the site was evaluated / times it actually fired.
+  std::uint64_t Hits(const std::string& name) const;
+  std::uint64_t Fires(const std::string& name) const;
+
+  /// The call PF_FAILPOINT expands to. Registers `name` on first use;
+  /// returns an injected error iff the site is armed and its mode says
+  /// fire, OK otherwise.
+  Status Evaluate(const std::string& name);
+
+ private:
+  FailpointRegistry() = default;
+
+  enum class Mode { kOff, kAlways, kOnce, kAfter, kProbability };
+
+  struct Site {
+    Mode mode = Mode::kOff;
+    std::uint64_t after = 0;    // remaining skips in kAfter mode
+    double probability = 0.0;   // kProbability
+    std::uint64_t rng = 0;      // SplitMix64 state, kProbability
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  Site& SiteLocked(const std::string& name) PF_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  // std::map keeps Registered() sorted for free and iterators stable.
+  std::map<std::string, Site> sites_ PF_GUARDED_BY(mu_);
+};
+
+}  // namespace pf
+
+/// \brief Failpoint site: in PF_FAILPOINTS builds, evaluates the named
+/// site and returns the injected Status from the enclosing function if it
+/// fires; otherwise (and in all normal builds) does nothing. Use only in
+/// functions returning Status or Result<T> (the injected Status converts).
+#ifdef PF_FAILPOINTS
+#define PF_FAILPOINT(name)                                                  \
+  do {                                                                      \
+    ::pf::Status _fp_st = ::pf::FailpointRegistry::Instance().Evaluate(name); \
+    if (!_fp_st.ok()) return _fp_st;                                        \
+  } while (0)
+#else
+#define PF_FAILPOINT(name) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // PUFFERFISH_COMMON_FAILPOINT_H_

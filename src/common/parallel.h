@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/thread_annotations.h"
 
 namespace pf {
@@ -72,6 +73,11 @@ class ThreadPool {
   /// \brief Runs fn(i) for every i in [0, n), distributing indices over the
   /// pool (the calling thread participates). Blocks until all n indices
   /// complete. fn must not recursively call ParallelFor on the same pool.
+  ///
+  /// The calling thread's current deadline (common/deadline.h) is
+  /// re-installed inside the workers for the duration of fn, so cooperative
+  /// CheckDeadline checkpoints deep in parallel kernels observe the
+  /// submitting request's deadline.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn)
       PF_EXCLUDES(mutex_) {
     if (n == 0) return;
@@ -81,7 +87,15 @@ class ThreadPool {
     }
     MutexLock loop_lock(loop_mutex_);  // One loop at a time.
     auto job = std::make_shared<Job>();
-    job->fn = fn;
+    const Deadline caller_deadline = CurrentDeadline();
+    if (caller_deadline.infinite()) {
+      job->fn = fn;
+    } else {
+      job->fn = [fn, caller_deadline](std::size_t i) {
+        DeadlineScope scope(caller_deadline);
+        fn(i);
+      };
+    }
     job->end = n;
     job->pending.store(n, std::memory_order_relaxed);
     {

@@ -23,6 +23,15 @@ enum class StatusCode {
   kNumericalError,
   kNotSupported,
   kInternal,
+  /// A deadline attached to the request expired before the operation
+  /// finished; cooperative checkpoints in the analysis loops return this
+  /// instead of blocking a ticket forever (see common/deadline.h).
+  kDeadlineExceeded,
+  /// The service refused the request under overload (queue full, cold
+  /// analysis shed); transient by design — the caller should retry after
+  /// load drops, unlike kResourceExhausted (a spent privacy budget, which
+  /// never recovers).
+  kUnavailable,
 };
 
 /// \brief Outcome of a fallible operation: either OK or a code plus message.
@@ -68,6 +77,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -78,6 +93,16 @@ class [[nodiscard]] Status {
   std::string ToString() const {
     if (ok()) return "OK";
     return CodeName(code_) + ": " + msg_;
+  }
+
+  /// \brief Same code, with `context` prepended to the message — the
+  /// cause-chaining idiom for nested failures. A load error surfacing
+  /// through cache and engine reads
+  /// "warm-restart load: plan snapshot: checksum mismatch", so one message
+  /// carries the whole path from symptom to root cause. No-op on OK.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + msg_);
   }
 
   static std::string CodeName(StatusCode code) {
@@ -91,6 +116,8 @@ class [[nodiscard]] Status {
       case StatusCode::kNumericalError: return "NumericalError";
       case StatusCode::kNotSupported: return "NotSupported";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }
@@ -161,7 +188,9 @@ class [[nodiscard]] Result {
   [[noreturn]] void DieOnError() const {
     std::fprintf(stderr, "ValueOrDie on error Result: %s\n",
                  status_.ToString().c_str());
-    std::abort();
+    // lint:allow(no-abort): ValueOrDie's documented contract IS to abort;
+    // the value-or-die rule already keeps it out of library serving paths.
+    std::abort();  // lint:allow(no-abort)
   }
 
   std::optional<T> value_;

@@ -3,37 +3,116 @@
 // loop at a time). Submitted tasks are independent requests — the engine
 // dispatches compiled (query, plan) pairs here, and determinism comes from
 // the *tasks* (per-ticket RNG seeds), not from the scheduler.
+//
+// Admission control: the queue is bounded (ExecutorOptions::max_queue_depth)
+// and admission is explicit. Callers first TryAcquire() a queue-slot
+// Permit — refused with Status::Unavailable when the queue is full — and
+// only then commit side effects (e.g. charging a privacy-budget ledger)
+// before Submit(permit, fn). That ordering is what guarantees a shed
+// request never debits epsilon: the refusal happens before any charge.
 #ifndef PUFFERFISH_ENGINE_EXECUTOR_H_
 #define PUFFERFISH_ENGINE_EXECUTOR_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 
 namespace pf {
 
-/// \brief Fixed pool of workers draining a FIFO task queue.
+/// Configuration for an Executor.
+struct ExecutorOptions {
+  /// Worker count; 0 = hardware concurrency (library-wide convention).
+  std::size_t num_threads = 0;
+  /// Maximum tasks waiting in the queue before TryAcquire sheds with
+  /// Unavailable. 0 = unbounded (the pre-admission-control behavior,
+  /// kept for tools that would rather block memory than shed).
+  std::size_t max_queue_depth = 1024;
+};
+
+/// \brief Fixed pool of workers draining a bounded FIFO task queue.
 ///
 /// Tasks must not throw (Status/Result style, as everywhere in the
 /// library); a task's error travels inside its returned Result, never as an
 /// exception through the future. The destructor drains the queue: every
-/// submitted task runs before shutdown, so futures never dangle.
+/// admitted task runs before shutdown, so futures never dangle.
 class Executor {
  public:
-  /// Remembers the pool size (0 = hardware concurrency, the library-wide
-  /// convention — see common/parallel.h); workers are spawned lazily on
-  /// the first Submit, so engines used only for synchronous
-  /// Compile/Release never pay for idle threads.
+  /// \brief Move-only RAII hold on one queue slot, acquired via
+  /// TryAcquire(). Passing it to Submit transfers the slot to the queued
+  /// task (released when a worker dequeues the task); destroying an unused
+  /// Permit returns the slot immediately. Never outlive the Executor.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept : exec_(other.exec_) {
+      other.exec_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept {
+      if (this != &other) {
+        Release();
+        exec_ = other.exec_;
+        other.exec_ = nullptr;
+      }
+      return *this;
+    }
+    ~Permit() { Release(); }
+
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+
+    /// True iff this permit still holds a slot.
+    bool valid() const { return exec_ != nullptr; }
+
+   private:
+    friend class Executor;
+    explicit Permit(Executor* exec) : exec_(exec) {}
+    void Release() {
+      if (exec_ != nullptr) {
+        exec_->ReleaseSlot();
+        exec_ = nullptr;
+      }
+    }
+    /// Hands slot ownership to the caller (the queued task) without
+    /// releasing it.
+    Executor* Detach() {
+      Executor* e = exec_;
+      exec_ = nullptr;
+      return e;
+    }
+    Executor* exec_ = nullptr;
+  };
+
+  /// Admission counters, all monotonically increasing. Invariant:
+  /// submitted == admitted + shed (each TryAcquire resolves one way).
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+  };
+
+  explicit Executor(const ExecutorOptions& options)
+      : num_threads_(ResolveThreadCount(options.num_threads)),
+        max_queue_depth_(options.max_queue_depth) {}
+
+  /// Convenience: pool of `num_threads` (0 = hardware concurrency) with the
+  /// default queue bound. Workers are spawned lazily on the first Submit,
+  /// so engines used only for synchronous Compile/Release never pay for
+  /// idle threads.
   explicit Executor(std::size_t num_threads)
-      : num_threads_(ResolveThreadCount(num_threads)) {}
+      : Executor(ExecutorOptions{num_threads, ExecutorOptions().max_queue_depth}) {}
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
@@ -52,12 +131,59 @@ class Executor {
   }
 
   std::size_t num_threads() const { return num_threads_; }
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
 
-  /// \brief Enqueues `fn` and returns a future for its result. fn must be
-  /// invocable with no arguments and must not throw.
+  /// Tasks currently holding queue slots (waiting or permit-held, not yet
+  /// dequeued). The engine's cold-analysis shed policy reads this.
+  std::size_t queue_depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.admitted = admitted_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// \brief Tries to reserve one queue slot. Returns Unavailable (a
+  /// transient, retry-after-load-drops refusal) when max_queue_depth tasks
+  /// already hold slots. Acquire the permit BEFORE charging budgets or
+  /// other side effects so a shed request leaves no trace.
+  Result<Permit> TryAcquire() {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (max_queue_depth_ > 0) {
+      std::size_t cur = depth_.load(std::memory_order_relaxed);
+      while (true) {
+        if (cur >= max_queue_depth_) {
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          return Status::Unavailable(
+              "executor queue full (depth " + std::to_string(cur) + " >= " +
+              std::to_string(max_queue_depth_) + "); retry after load drops");
+        }
+        if (depth_.compare_exchange_weak(cur, cur + 1,
+                                         std::memory_order_relaxed)) {
+          break;
+        }
+      }
+    } else {
+      depth_.fetch_add(1, std::memory_order_relaxed);
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Permit(this);
+  }
+
+  /// \brief Enqueues `fn` under a previously acquired permit and returns a
+  /// future for its result. fn must be invocable with no arguments and must
+  /// not throw. The permit's slot is released when a worker dequeues the
+  /// task.
   template <typename F>
-  auto Submit(F&& fn) -> std::future<decltype(fn())> {
+  auto Submit(Permit permit, F&& fn) -> std::future<decltype(fn())> {
     using R = decltype(fn());
+    assert(permit.valid() && "Submit requires a valid permit");
+    assert(permit.exec_ == this && "permit belongs to a different Executor");
+    permit.Detach();  // Slot ownership moves to the queued task.
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
@@ -74,7 +200,20 @@ class Executor {
     return future;
   }
 
+  /// \brief One-shot admission + enqueue: sheds with Unavailable when the
+  /// queue is full, otherwise returns the task's future. Use the
+  /// TryAcquire/Submit(permit) split instead when side effects (budget
+  /// charges) must land between admission and enqueue.
+  template <typename F>
+  auto Submit(F&& fn) -> Result<std::future<decltype(fn())>> {
+    auto permit = TryAcquire();
+    if (!permit.ok()) return permit.status();
+    return Submit(std::move(permit).value(), std::forward<F>(fn));
+  }
+
  private:
+  void ReleaseSlot() { depth_.fetch_sub(1, std::memory_order_relaxed); }
+
   void WorkerLoop() PF_EXCLUDES(mutex_) {
     while (true) {
       std::function<void()> task;
@@ -87,11 +226,17 @@ class Executor {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
+      ReleaseSlot();  // The dequeued task no longer occupies queue depth.
       task();
     }
   }
 
   const std::size_t num_threads_;
+  const std::size_t max_queue_depth_;
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
   Mutex mutex_;
   CondVar wake_;
   std::deque<std::function<void()>> queue_ PF_GUARDED_BY(mutex_);

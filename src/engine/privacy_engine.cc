@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/fingerprint.h"
 #include "common/parallel.h"
 #include "engine/session.h"
@@ -323,7 +324,7 @@ PrivacyEngine::PrivacyEngine(ModelSpec model, EngineOptions options,
       num_states_(model_.num_states),
       mechanism_(std::move(mechanism)),
       cache_(options_.cache_capacity),
-      executor_(num_threads),
+      executor_(ExecutorOptions{num_threads, options_.max_queue_depth}),
       session_seed_state_(RandomSeedBase()) {}
 
 MechanismKind PrivacyEngine::mechanism_kind() const {
@@ -414,8 +415,14 @@ Status PrivacyEngine::SaveAnalyses(const std::string& path) const {
 }
 
 Result<std::size_t> PrivacyEngine::LoadAnalyses(const std::string& path) {
-  PF_ASSIGN_OR_RETURN(std::vector<CachedPlan> entries, LoadPlanSnapshot(path));
-  return cache_.ImportPlans(entries);
+  PF_FAILPOINT("engine.load_analyses");
+  Result<std::vector<CachedPlan>> entries = LoadPlanSnapshot(path);
+  if (!entries.ok()) {
+    // Chain the context: the caller sees the whole failure path in one
+    // message ("warm-restart load: plan snapshot: checksum mismatch").
+    return entries.status().WithContext("warm-restart load");
+  }
+  return cache_.ImportPlans(entries.value());
 }
 
 std::uint64_t PrivacyEngine::NextSessionSeed() {
@@ -444,6 +451,19 @@ Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
 
 Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
     const QuerySpec& spec, std::size_t window_length) {
+  return Compile(spec, window_length, RequestOptions{});
+}
+
+Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
+    const QuerySpec& spec, std::size_t window_length,
+    const RequestOptions& request) {
+  // Refuse an already-dead request before doing any work (and, in the
+  // Session flow, before the budget ledger is charged).
+  if (request.deadline.expired()) {
+    return Status::DeadlineExceeded("request deadline already expired")
+        .WithContext("compile " + spec.CacheKey());
+  }
+  PF_FAILPOINT("engine.compile");
   // Snapshot the mutable model state once; the compiled entry is tagged
   // with the generation so a hot-swap racing this compile can never be
   // served a stale (wrong-length) entry later.
@@ -483,9 +503,46 @@ Result<PrivacyEngine::CompiledQuery> PrivacyEngine::Compile(
   PF_ASSIGN_OR_RETURN(
       VectorQuery query,
       CompileQuerySpec(spec, num_states_, compile_length));
-  PF_ASSIGN_OR_RETURN(std::shared_ptr<const MechanismPlan> plan,
-                      cache_.GetOrExtend(*mechanism, spec.epsilon));
-  CompiledQuery compiled{std::move(query), std::move(plan)};
+  // Overload policy, applied only when the plan is not already resident
+  // (warm traffic is never shed): the caller opted out of cold analyses,
+  // or the executor queue is past the shed threshold. Both refusals are
+  // transient — a retry succeeds once the plan is cached or load drops.
+  if (!cache_.Contains(*mechanism, spec.epsilon)) {
+    if (!request.allow_cold_analysis) {
+      return Status::Unavailable(
+                 "plan not cached and the request disallows cold analysis")
+          .WithContext("compile " + spec.CacheKey());
+    }
+    const std::size_t shed_depth = options_.shed_cold_queue_depth;
+    if (shed_depth > 0 && executor_.queue_depth() >= shed_depth) {
+      return Status::Unavailable(
+                 "cold analysis shed under load (queue depth " +
+                 std::to_string(executor_.queue_depth()) + " >= " +
+                 std::to_string(shed_depth) + "); retry after load drops")
+          .WithContext("compile " + spec.CacheKey());
+    }
+  }
+  // Effective analysis deadline: the per-request deadline tightened by the
+  // engine-wide analysis timeout. Installed thread-locally for the
+  // duration of the (possibly long) sigma analysis; ParallelFor carries it
+  // into pool workers, so the checkpoints deep in the analysis loops see
+  // it.
+  Deadline analysis_deadline = request.deadline;
+  if (options_.analysis_timeout_ms > 0) {
+    const Deadline timeout = Deadline::After(options_.analysis_timeout_ms);
+    if (analysis_deadline.infinite() ||
+        timeout.remaining_ms() < analysis_deadline.remaining_ms()) {
+      analysis_deadline = timeout;
+    }
+  }
+  Result<std::shared_ptr<const MechanismPlan>> plan = [&] {
+    DeadlineScope scope(analysis_deadline);
+    return cache_.GetOrExtend(*mechanism, spec.epsilon);
+  }();
+  if (!plan.ok()) {
+    return plan.status().WithContext("compile " + spec.CacheKey());
+  }
+  CompiledQuery compiled{std::move(query), std::move(plan).value()};
   MutexLock lock(compiled_mutex_);
   if (model_generation_.load(std::memory_order_acquire) != generation) {
     // The model was hot-swapped while we compiled: serve the (still

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/memory_stats.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -122,6 +123,35 @@ struct EngineOptions {
   std::size_t network_width_cutoff = 16;
   /// Backend for the W_inf computation (Algorithm 1 models).
   WassersteinBackend wasserstein_backend = WassersteinBackend::kQuantile;
+  /// Executor queue bound: submissions beyond this many waiting tasks are
+  /// shed with Unavailable (see ExecutorOptions::max_queue_depth; 0 =
+  /// unbounded).
+  std::size_t max_queue_depth = 1024;
+  /// Cold-analysis fast-fail: when > 0 and the executor queue is at least
+  /// this deep, a Compile whose plan is NOT already cached is shed with
+  /// Unavailable instead of running a cold sigma analysis — warm (cached)
+  /// traffic keeps serving at full speed under overload, and cold requests
+  /// recover as soon as the queue drains. 0 disables the policy.
+  std::size_t shed_cold_queue_depth = 0;
+  /// Upper bound in milliseconds on any single sigma analysis launched by
+  /// Compile/AnalyzeStats, enforced at the cooperative checkpoints in the
+  /// analysis loops (DeadlineExceeded past it). Combines with a per-request
+  /// deadline (the tighter one wins). 0 = no engine-wide bound.
+  std::int64_t analysis_timeout_ms = 0;
+};
+
+/// \brief Per-request serving constraints, carried through Compile and
+/// Session::Submit/Release. Default-constructed options impose nothing.
+struct RequestOptions {
+  /// Give up past this point: refused up front (before any budget charge)
+  /// when already expired, and honored mid-analysis at the cooperative
+  /// checkpoints (power ladder, node scans, variable elimination).
+  Deadline deadline;
+  /// When false the request is only willing to be served from cached
+  /// plans: a Compile that would need a cold sigma analysis returns
+  /// Unavailable immediately (the caller's own fast-fail knob, independent
+  /// of EngineOptions::shed_cold_queue_depth).
+  bool allow_cold_analysis = true;
 };
 
 /// \brief The mechanism the policy picks for `model` under `options`
@@ -205,6 +235,17 @@ class PrivacyEngine {
   /// record is InvalidArgument.
   Result<CompiledQuery> Compile(const QuerySpec& spec,
                                 std::size_t window_length);
+
+  /// \brief Compile under per-request constraints: an already-expired
+  /// deadline is refused with DeadlineExceeded before any work, a deadline
+  /// (or EngineOptions::analysis_timeout_ms) expiring mid-analysis cancels
+  /// it at the next checkpoint, and cold analyses are shed with
+  /// Unavailable under the overload policy (see RequestOptions and
+  /// EngineOptions::shed_cold_queue_depth). Failure messages chain context
+  /// back to the root cause.
+  Result<CompiledQuery> Compile(const QuerySpec& spec,
+                                std::size_t window_length,
+                                const RequestOptions& request);
 
   /// \brief Opens a per-tenant session with its own privacy budget and RNG
   /// seed. The engine must outlive the session.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/fingerprint.h"
 #include "common/random.h"
 
@@ -100,7 +101,31 @@ Session::Session(PrivacyEngine* engine, const SessionOptions& options)
     : engine_(engine),
       options_(options),
       seed_(options.seed.has_value() ? *options.seed
-                                     : engine->NextSessionSeed()) {}
+                                     : engine->NextSessionSeed()),
+      in_flight_(std::make_shared<std::atomic<std::size_t>>(0)) {}
+
+Status Session::AdmitInFlight() {
+  const std::size_t cap = options_.max_in_flight;
+  if (cap == 0) {
+    in_flight_->fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  std::size_t current = in_flight_->load(std::memory_order_relaxed);
+  while (true) {
+    if (current >= cap) {
+      return Status::Unavailable(
+          "session in-flight cap reached (" + std::to_string(current) +
+          " >= " + std::to_string(cap) +
+          "); retry after outstanding releases complete");
+    }
+    // CAS keeps the cap exact under concurrent Submit calls: a plain
+    // fetch_add could admit cap+1 tasks between the load and the bump.
+    if (in_flight_->compare_exchange_weak(current, current + 1,
+                                          std::memory_order_relaxed)) {
+      return Status::OK();
+    }
+  }
+}
 
 Result<std::uint64_t> Session::ChargeLocked(const MechanismPlan& plan) {
   // A plan that can never release (GK16 outside its spectral condition, a
@@ -144,6 +169,10 @@ Result<ReleaseResult> Session::Execute(const PrivacyEngine::CompiledQuery& q,
                                        const StateSequence& data,
                                        std::uint64_t seed,
                                        std::uint64_t ticket) {
+  // Fires after the charge (the body runs post-ticketing): the torture
+  // tests pin that an execute-side failure surfaces as a typed Status on
+  // the future, never a crash, and that the ledger stays consistent.
+  PF_FAILPOINT("session.execute");
   Vector truth = q.query.fn(data);
   if (q.query.dim != 0 && truth.size() != q.query.dim) {
     // Unlike the statically-detectable refusals in ChargeLocked, this can
@@ -195,6 +224,45 @@ Result<ReleaseResult> Session::Release(const QuerySpec& spec,
   return Execute(compiled, slice, seed_, ticket);
 }
 
+Result<ReleaseResult> Session::Release(const QuerySpec& spec,
+                                       const StateSequence& data,
+                                       const RequestOptions& request) {
+  // Compile() re-checks the deadline, but refusing here keeps the
+  // guarantee local: an expired ticket never reaches the charge path.
+  if (request.deadline.expired()) {
+    return Status::DeadlineExceeded(
+        "request deadline already expired; nothing was charged");
+  }
+  PF_ASSIGN_OR_RETURN(PrivacyEngine::CompiledQuery compiled,
+                      engine_->Compile(spec, 0, request));
+  std::uint64_t ticket = 0;
+  {
+    MutexLock lock(mutex_);
+    PF_ASSIGN_OR_RETURN(ticket, ChargeLocked(*compiled.plan));
+  }
+  return Execute(compiled, data, seed_, ticket);
+}
+
+Result<ReleaseResult> Session::Release(const QuerySpec& spec,
+                                       const StateSequence& data,
+                                       const DataWindow& window,
+                                       const RequestOptions& request) {
+  if (request.deadline.expired()) {
+    return Status::DeadlineExceeded(
+        "request deadline already expired; nothing was charged");
+  }
+  PF_ASSIGN_OR_RETURN(const auto span, ResolveWindow(window, data.size()));
+  PF_ASSIGN_OR_RETURN(PrivacyEngine::CompiledQuery compiled,
+                      engine_->Compile(spec, span.second, request));
+  const StateSequence slice = SliceWindow(data, span.first, span.second);
+  std::uint64_t ticket = 0;
+  {
+    MutexLock lock(mutex_);
+    PF_ASSIGN_OR_RETURN(ticket, ChargeLocked(*compiled.plan));
+  }
+  return Execute(compiled, slice, seed_, ticket);
+}
+
 std::future<Result<ReleaseResult>> Session::Submit(const QuerySpec& spec,
                                                    StateSequence data) {
   return Submit(spec,
@@ -204,40 +272,87 @@ std::future<Result<ReleaseResult>> Session::Submit(const QuerySpec& spec,
 std::future<Result<ReleaseResult>> Session::Submit(const QuerySpec& spec,
                                                    const StateSequence& data,
                                                    const DataWindow& window) {
+  return Submit(spec, data, window, RequestOptions{});
+}
+
+std::future<Result<ReleaseResult>> Session::Submit(
+    const QuerySpec& spec, const StateSequence& data, const DataWindow& window,
+    const RequestOptions& request) {
+  if (request.deadline.expired()) {
+    return ReadyError(Status::DeadlineExceeded(
+        "request deadline already expired; nothing was charged"));
+  }
   Result<std::pair<std::size_t, std::size_t>> span =
       ResolveWindow(window, data.size());
   if (!span.ok()) return ReadyError(span.status());
   Result<PrivacyEngine::CompiledQuery> compiled =
-      engine_->Compile(spec, span.value().second);
+      engine_->Compile(spec, span.value().second, request);
   if (!compiled.ok()) return ReadyError(compiled.status());
   auto slice = std::make_shared<const StateSequence>(
       SliceWindow(data, span.value().first, span.value().second));
-  std::uint64_t ticket = 0;
-  {
-    MutexLock lock(mutex_);
-    Result<std::uint64_t> charged = ChargeLocked(*compiled.value().plan);
-    if (!charged.ok()) return ReadyError(charged.status());
-    ticket = charged.value();
-  }
-  return engine_->executor().Submit(
-      [q = std::move(compiled).value(), data = std::move(slice),
-       seed = seed_, ticket] { return Execute(q, *data, seed, ticket); });
+  return SubmitCompiled(std::move(compiled).value(), std::move(slice));
 }
 
 std::future<Result<ReleaseResult>> Session::Submit(
     const QuerySpec& spec, std::shared_ptr<const StateSequence> data) {
-  Result<PrivacyEngine::CompiledQuery> compiled = engine_->Compile(spec);
+  return Submit(spec, std::move(data), RequestOptions{});
+}
+
+std::future<Result<ReleaseResult>> Session::Submit(
+    const QuerySpec& spec, std::shared_ptr<const StateSequence> data,
+    const RequestOptions& request) {
+  if (request.deadline.expired()) {
+    return ReadyError(Status::DeadlineExceeded(
+        "request deadline already expired; nothing was charged"));
+  }
+  Result<PrivacyEngine::CompiledQuery> compiled =
+      engine_->Compile(spec, 0, request);
   if (!compiled.ok()) return ReadyError(compiled.status());
+  return SubmitCompiled(std::move(compiled).value(), std::move(data));
+}
+
+std::future<Result<ReleaseResult>> Session::SubmitCompiled(
+    PrivacyEngine::CompiledQuery q, std::shared_ptr<const StateSequence> data) {
+  // Admission strictly precedes accounting. The executor slot and the
+  // in-flight slot are both claimed before ChargeLocked, so a request shed
+  // here resolves to Unavailable with the ledger untouched; once the
+  // charge lands, hand-off cannot fail (Submit with a valid permit always
+  // enqueues), so a charged ticket always produces a release or a typed
+  // execute error — never a silently dropped debit.
+  Result<Executor::Permit> permit = engine_->executor().TryAcquire();
+  if (!permit.ok()) return ReadyError(permit.status());
+  Status admitted = AdmitInFlight();
+  if (!admitted.ok()) return ReadyError(std::move(admitted));
+  auto in_flight = in_flight_;
+#ifdef PF_FAILPOINTS
+  // Models a refusal between admission and the charge (e.g. a ledger
+  // backend outage): both slots must be returned and nothing charged.
+  {
+    Status injected = FailpointRegistry::Instance().Evaluate("session.charge");
+    if (!injected.ok()) {
+      in_flight->fetch_sub(1, std::memory_order_relaxed);
+      return ReadyError(std::move(injected));  // Permit released by ~Permit.
+    }
+  }
+#endif
   std::uint64_t ticket = 0;
   {
     MutexLock lock(mutex_);
-    Result<std::uint64_t> charged = ChargeLocked(*compiled.value().plan);
-    if (!charged.ok()) return ReadyError(charged.status());
+    Result<std::uint64_t> charged = ChargeLocked(*q.plan);
+    if (!charged.ok()) {
+      in_flight->fetch_sub(1, std::memory_order_relaxed);
+      return ReadyError(charged.status());  // Permit released by ~Permit.
+    }
     ticket = charged.value();
   }
   return engine_->executor().Submit(
-      [q = std::move(compiled).value(), data = std::move(data),
-       seed = seed_, ticket] { return Execute(q, *data, seed, ticket); });
+      std::move(permit).value(),
+      [q = std::move(q), data = std::move(data), seed = seed_, ticket,
+       in_flight = std::move(in_flight)] {
+        Result<ReleaseResult> result = Execute(q, *data, seed, ticket);
+        in_flight->fetch_sub(1, std::memory_order_relaxed);
+        return result;
+      });
 }
 
 std::vector<std::future<Result<ReleaseResult>>> Session::SubmitBatch(

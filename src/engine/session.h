@@ -11,6 +11,7 @@
 #ifndef PUFFERFISH_ENGINE_SESSION_H_
 #define PUFFERFISH_ENGINE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <limits>
@@ -38,6 +39,11 @@ struct SessionOptions {
   /// value, so identical streams must be something a caller asks for
   /// explicitly (reproducible experiments), never an accident.
   std::optional<std::uint64_t> seed;
+  /// Maximum concurrently in-flight asynchronous releases (admitted by
+  /// Submit but not yet completed). 0 (the default) is unlimited. At the
+  /// cap Submit refuses with Unavailable BEFORE charging the budget, so a
+  /// shed ticket never debits epsilon.
+  std::size_t max_in_flight = 0;
 };
 
 /// \brief A contiguous window of a (growing) record for sliding-window
@@ -108,6 +114,18 @@ class Session {
                                 const StateSequence& data,
                                 const DataWindow& window);
 
+  /// \brief As Release, under per-request constraints: an expired deadline
+  /// is refused with DeadlineExceeded before the budget is touched, a
+  /// deadline expiring mid-analysis cancels it at the next checkpoint, and
+  /// `allow_cold_analysis = false` sheds uncached plans with Unavailable.
+  Result<ReleaseResult> Release(const QuerySpec& spec,
+                                const StateSequence& data,
+                                const RequestOptions& request);
+  Result<ReleaseResult> Release(const QuerySpec& spec,
+                                const StateSequence& data,
+                                const DataWindow& window,
+                                const RequestOptions& request);
+
   /// \brief Asynchronous release: compilation and budget charging happen
   /// now (in call order — tickets and the ledger are deterministic), the
   /// query evaluation and noise draw run on the engine's executor. A spec
@@ -119,6 +137,15 @@ class Session {
   std::future<Result<ReleaseResult>> Submit(
       const QuerySpec& spec, std::shared_ptr<const StateSequence> data);
 
+  /// \brief Asynchronous release under per-request constraints. Admission
+  /// happens strictly before accounting: the executor slot and the
+  /// session's in-flight cap are claimed first, so a request shed with
+  /// Unavailable (queue full, in-flight cap, cold-shed policy) or refused
+  /// with DeadlineExceeded never debits epsilon.
+  std::future<Result<ReleaseResult>> Submit(
+      const QuerySpec& spec, std::shared_ptr<const StateSequence> data,
+      const RequestOptions& request);
+
   /// \brief Asynchronous sliding-window release: the window slice (O(W))
   /// and the budget charge happen now, in call order; evaluation and the
   /// noise draw run on the executor. Out-of-range windows return an
@@ -126,6 +153,11 @@ class Session {
   std::future<Result<ReleaseResult>> Submit(const QuerySpec& spec,
                                             const StateSequence& data,
                                             const DataWindow& window);
+  /// Sliding-window release under per-request constraints (see above).
+  std::future<Result<ReleaseResult>> Submit(const QuerySpec& spec,
+                                            const StateSequence& data,
+                                            const DataWindow& window,
+                                            const RequestOptions& request);
 
   /// Many queries against one database (the serving batch path); the
   /// database is wrapped once and shared by every task, not copied per
@@ -138,6 +170,10 @@ class Session {
       const QuerySpec& spec, const std::vector<StateSequence>& batch);
 
   double epsilon_budget() const { return options_.epsilon_budget; }
+  /// Asynchronous releases admitted but not yet completed.
+  std::size_t in_flight() const {
+    return in_flight_->load(std::memory_order_relaxed);
+  }
   /// Composed epsilon spent so far (K * max_k epsilon_k, Theorem 4.4).
   double EpsilonSpent() const;
   /// Budget still spendable (infinite for unmetered sessions).
@@ -151,6 +187,18 @@ class Session {
   Result<std::uint64_t> ChargeLocked(const MechanismPlan& plan)
       PF_REQUIRES(mutex_);
 
+  /// Claims one in-flight slot (CAS against max_in_flight); Unavailable at
+  /// the cap. The slot is returned by the task body on completion, or by
+  /// the submit path on any failure between admission and hand-off.
+  Status AdmitInFlight();
+
+  /// The admission + charge + hand-off tail shared by every Submit
+  /// overload, in the shed-before-charge order: executor permit, in-flight
+  /// slot, budget charge, then the task keeps the permit.
+  std::future<Result<ReleaseResult>> SubmitCompiled(
+      PrivacyEngine::CompiledQuery q,
+      std::shared_ptr<const StateSequence> data);
+
   /// The noise task body shared by Release and Submit.
   static Result<ReleaseResult> Execute(const PrivacyEngine::CompiledQuery& q,
                                        const StateSequence& data,
@@ -161,6 +209,10 @@ class Session {
   const SessionOptions options_;
   /// Resolved noise seed (options_.seed or engine-assigned).
   const std::uint64_t seed_;
+
+  /// Shared with task bodies so a completion can return its slot even if
+  /// it outlives the session object (futures may be drained after ~Session).
+  const std::shared_ptr<std::atomic<std::size_t>> in_flight_;
 
   mutable Mutex mutex_;
   CompositionAccountant accountant_ PF_GUARDED_BY(mutex_);

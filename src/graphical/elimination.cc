@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/arena.h"
+#include "common/deadline.h"
 
 namespace pf {
 
@@ -506,6 +507,10 @@ Status EliminationConditionalJointInto(
     stats->peak_factor_bytes = std::max(stats->peak_factor_bytes, live_bytes);
   }
   for (const int var : ws.order) {
+    // Each EliminateVarPooled is up to O(k^width) — the dominant cost on
+    // high-width networks — so the cancellation checkpoint sits per
+    // variable, bounding a deadline overrun to one elimination step.
+    PF_RETURN_NOT_OK(CheckDeadline("variable elimination"));
     bool present = false;
     for (const std::size_t wi : ws.working) {
       present = present || ws.pool[wi].Contains(var);

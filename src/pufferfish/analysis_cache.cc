@@ -1,5 +1,6 @@
 #include "pufferfish/analysis_cache.h"
 
+#include "common/failpoint.h"
 #include "common/fingerprint.h"
 
 namespace pf {
@@ -35,15 +36,24 @@ std::shared_ptr<const MechanismPlan> AnalysisCache::TryGetPlan(
   return found;
 }
 
+bool AnalysisCache::Contains(const Mechanism& mechanism,
+                             double epsilon) const {
+  const Key key{mechanism.Fingerprint(), DoubleBits(epsilon),
+                mechanism.kind()};
+  MutexLock lock(mutex_);
+  return plans_.find(key) != plans_.end();
+}
+
 Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrAnalyze(
     const Mechanism& mechanism, double epsilon) {
   const Key key{mechanism.Fingerprint(), DoubleBits(epsilon),
                 mechanism.kind()};
   if (auto found = TryGetPlan(key)) return found;
+  PF_FAILPOINT("analysis_cache.analyze");
   // Analyze outside the lock: analyses of different keys overlap, and a
   // duplicated analysis of the same key is merely wasted work, not an error.
   Result<MechanismPlan> plan = mechanism.Analyze(epsilon);
-  if (!plan.ok()) return plan.status();
+  if (!plan.ok()) return plan.status().WithContext("cold analysis");
   return StorePlan(key,
                    std::make_shared<const MechanismPlan>(std::move(plan).value()));
 }
@@ -117,14 +127,27 @@ Result<std::shared_ptr<const MechanismPlan>> AnalysisCache::GetOrExtend(
     // No retained analysis (or it is already past the target — records
     // only grow, so a longer entry means a different serving timeline):
     // seed the chain cold so future appends extend from here.
+    PF_FAILPOINT("analysis_cache.analyze");
     Result<std::unique_ptr<ResumableAnalysis>> fresh =
         mechanism.AnalyzeResumable(epsilon);
-    if (!fresh.ok()) return fresh.status();
+    if (!fresh.ok()) return fresh.status().WithContext("cold resumable analysis");
     entry->analysis = std::move(fresh).value();
   }
   const bool extended = entry->analysis->length() < target_length;
-  Result<MechanismPlan> plan = entry->analysis->ExtendTo(target_length);
-  if (!plan.ok()) return plan.status();
+  Status injected = Status::OK();
+#ifdef PF_FAILPOINTS
+  injected = FailpointRegistry::Instance().Evaluate("analysis_cache.extend");
+#endif
+  Result<MechanismPlan> plan =
+      injected.ok() ? entry->analysis->ExtendTo(target_length)
+                    : Result<MechanismPlan>(injected);
+  if (!plan.ok()) {
+    // A failed (or deadline-cancelled) extension may leave the retained
+    // scan state mid-stride; discard it so the NEXT caller re-seeds the
+    // chain cold instead of extending from a half-advanced analysis.
+    entry->analysis.reset();
+    return plan.status().WithContext("chain extension");
+  }
   if (extended) extensions_.fetch_add(1, std::memory_order_relaxed);
   return StorePlan(
       key, std::make_shared<const MechanismPlan>(std::move(plan).value()));

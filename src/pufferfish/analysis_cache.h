@@ -78,6 +78,12 @@ class AnalysisCache {
   Result<std::shared_ptr<const MechanismPlan>> GetOrExtend(
       const Mechanism& mechanism, double epsilon);
 
+  /// \brief True iff a plan for exactly (mechanism.Fingerprint(), epsilon)
+  /// is resident. A pure probe: no counters move, no analysis runs. The
+  /// engine's shed-cold policy uses this to distinguish warm requests
+  /// (always served) from cold ones (shed under overload).
+  bool Contains(const Mechanism& mechanism, double epsilon) const;
+
   /// \brief Snapshot of every resident plan in insertion (eviction) order,
   /// with its full cache key. The shared_ptrs alias the cached plans, so
   /// the export is cheap and consistent even while other threads keep

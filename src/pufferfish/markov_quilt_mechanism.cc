@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/arena.h"
+#include "common/deadline.h"
 #include "common/parallel.h"
 #include "graphical/moral_graph.h"
 #include "pufferfish/framework.h"
@@ -91,6 +92,10 @@ Result<QuiltScore> ScoreNodeFactors(
     InferenceBackend backend, EliminationStats* stats) {
   QuiltScore best;
   best.score = kInf;
+  // Per-quilt cancellation checkpoint: each influence evaluation can cost
+  // O(k^width), and ParallelFor re-installs the submitting request's
+  // deadline in the workers, so this fires inside the parallel node scan.
+  PF_RETURN_NOT_OK(CheckDeadline("quilt scoring"));
   for (const MarkovQuilt& quilt : quilt_set) {
     PF_ASSIGN_OR_RETURN(
         double e,

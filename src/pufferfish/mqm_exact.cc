@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/deadline.h"
 #include "common/fingerprint.h"
 #include "common/parallel.h"
 #include "pufferfish/framework.h"
@@ -48,28 +49,34 @@ class ExactEvaluator {
   // Builds powers P^0..P^max_distance and the left/right maximization
   // tables for distances 1..max_distance. Must be called before any query;
   // between calls the evaluator is immutable and thread-safe. May be called
-  // again with a larger distance to extend.
-  void Prepare(std::size_t max_distance, ThreadPool* pool) {
+  // again with a larger distance to extend. On DeadlineExceeded the
+  // evaluator stays valid (extend-only state: completed powers/tables are
+  // kept, max_distance_ is not advanced) — a retry simply resumes.
+  Status Prepare(std::size_t max_distance, ThreadPool* pool) {
     // Steady-state fast path: Prepare always builds a contiguous prefix of
     // distances, so once 1..max_distance exist the request is a no-op — in
     // particular it builds no distance/todo vectors, which keeps a
     // delta-append ExtendTo allocation-free.
-    if (max_distance <= contiguous_prepared_) return;
+    if (max_distance <= contiguous_prepared_) return Status::OK();
     std::vector<std::size_t> distances;
     distances.reserve(max_distance);
     for (std::size_t t = 1; t <= max_distance; ++t) distances.push_back(t);
-    PrepareDistances(distances, pool);
+    PF_RETURN_NOT_OK(PrepareDistances(distances, pool));
     contiguous_prepared_ = max_distance;
+    return Status::OK();
   }
 
   // As Prepare, but builds maximization tables only for the listed
   // distances — the single-quilt entry point needs just two of them.
-  void PrepareDistances(const std::vector<std::size_t>& distances,
-                        ThreadPool* pool) {
+  Status PrepareDistances(const std::vector<std::size_t>& distances,
+                          ThreadPool* pool) {
     std::size_t max_distance = max_distance_;
     for (std::size_t t : distances) max_distance = std::max(max_distance, t);
     // The power chain is sequential in n; each multiply is row-parallel.
+    // This is the O(T k^3) loop a cold long-chain analysis spends its time
+    // in, so it carries a cooperative cancellation checkpoint per power.
     while (powers_.size() <= max_distance) {
+      PF_RETURN_NOT_OK(CheckDeadline("power ladder"));
       powers_.push_back(ParallelMultiply(powers_.back(), p_, pool));
       ++growth_events_;
     }
@@ -95,6 +102,7 @@ class ExactEvaluator {
     }
     growth_events_ += 2 * todo.size();
     max_distance_ = max_distance;
+    return Status::OK();
   }
 
   std::size_t max_distance() const { return max_distance_; }
@@ -722,11 +730,13 @@ struct DedupScanState {
 // overflow allowed; the append path calls with begin = old length and
 // overflow forbidden (returns false so the caller falls back to a cold
 // scan — a bailed append leaves the state partially advanced, which is
-// fine because the fallback rebuilds it from scratch).
-bool ClassifyNodes(DedupScanState& st, const ExactEvaluator& eval,
-                   std::size_t begin, std::size_t length,
-                   const ChainMqmOptions& options, ThreadPool* pool,
-                   bool allow_overflow) {
+// fine because the fallback rebuilds it from scratch). An error Result
+// (DeadlineExceeded from the bounded checkpoint below) likewise leaves the
+// state mid-stride; callers must discard it.
+Result<bool> ClassifyNodes(DedupScanState& st, const ExactEvaluator& eval,
+                           std::size_t begin, std::size_t length,
+                           const ChainMqmOptions& options, ThreadPool* pool,
+                           bool allow_overflow) {
   const std::size_t ell = options.max_nearby;
   const std::size_t tail = length - 1;
   const std::size_t max_classes = MaxClasses(ell);
@@ -769,7 +779,14 @@ bool ClassifyNodes(DedupScanState& st, const ExactEvaluator& eval,
     pending.clear();
   };
 
+  // Checkpoint cadence for the O(T) streaming loop: frequent enough that a
+  // deadline overrun is bounded by ~4096 O(k^2) steps, rare enough that the
+  // clock read never shows up in the scan profile.
+  constexpr std::size_t kDeadlineStride = 4096;
   for (std::size_t i = begin; i < length; ++i) {
+    if ((i - begin) % kDeadlineStride == 0) {
+      PF_RETURN_NOT_OK(CheckDeadline("dedup node scan"));
+    }
     const std::size_t dl = std::min(i, ell);
     const std::size_t dr = std::min(tail - i, ell);
     const std::size_t period = stream.period();
@@ -937,17 +954,23 @@ void ReduceDedup(DedupScanState& st, const ExactEvaluator& eval,
 namespace {
 
 // A cold deduplicated scan at `length`: fresh stream, fresh class store.
-// make_stream() builds the mode-appropriate cursor.
+// make_stream() builds the mode-appropriate cursor. On error (deadline)
+// the state is mid-stride; the caller discards it.
 template <typename MakeStream>
-void ColdDedupScan(DedupScanState& st, const ExactEvaluator& eval,
-                   std::size_t length, const ChainMqmOptions& options,
-                   ThreadPool* pool, MakeStream make_stream) {
+Status ColdDedupScan(DedupScanState& st, const ExactEvaluator& eval,
+                     std::size_t length, const ChainMqmOptions& options,
+                     ThreadPool* pool, MakeStream make_stream) {
   st = DedupScanState{};
   st.stream = make_stream();
-  ClassifyNodes(st, eval, 0, length, options, pool, /*allow_overflow=*/true);
+  // With overflow allowed, classification only stops early on error.
+  PF_ASSIGN_OR_RETURN(const bool classified,
+                      ClassifyNodes(st, eval, 0, length, options, pool,
+                                    /*allow_overflow=*/true));
+  (void)classified;
   ScoreUnscoredClasses(st, eval, length, options, pool);
   ReduceDedup(st, eval, length, options);
   st.length = length;
+  return Status::OK();
 }
 
 // The append path: re-keys the O(max_nearby) right-boundary nodes whose
@@ -965,9 +988,10 @@ void ColdDedupScan(DedupScanState& st, const ExactEvaluator& eval,
 // depend on (value, dl, dr) only (see the NodeClass invariant). The
 // reduce then re-applies the only length-dependent term (the trivial
 // quilt) per node, in the same order with the same tie rules as cold.
-bool AppendDedupScan(DedupScanState& st, const ExactEvaluator& eval,
-                     std::size_t new_length, const ChainMqmOptions& options,
-                     ThreadPool* pool) {
+Result<bool> AppendDedupScan(DedupScanState& st, const ExactEvaluator& eval,
+                             std::size_t new_length,
+                             const ChainMqmOptions& options,
+                             ThreadPool* pool) {
   const std::size_t ell = options.max_nearby;
   const std::size_t old_length = st.length;
   const std::size_t max_classes = MaxClasses(ell);
@@ -1034,10 +1058,10 @@ bool AppendDedupScan(DedupScanState& st, const ExactEvaluator& eval,
   // key set is shift-invariant once the marginal has mixed), so compaction
   // — an O(T) node_class remap — almost never fires on the hot
   // delta-append path.
-  if (!ClassifyNodes(st, eval, old_length, new_length, options, pool,
-                     /*allow_overflow=*/false)) {
-    return false;
-  }
+  PF_ASSIGN_OR_RETURN(const bool classified,
+                      ClassifyNodes(st, eval, old_length, new_length, options,
+                                    pool, /*allow_overflow=*/false));
+  if (!classified) return false;
 
   // Phase C: compact away classes that lost their last member (stale
   // boundary keys a cold scan at new_length would never create), so the
@@ -1091,10 +1115,11 @@ bool AppendDedupScan(DedupScanState& st, const ExactEvaluator& eval,
 // long-chain benchmark's pre-optimization baseline. Not resumable — each
 // call streams from node 0 (the retained evaluator still amortizes the
 // table construction across extensions).
-ChainMqmResult ScanExhaustive(const ExactEvaluator& eval,
-                              NodeValueStream* stream, std::size_t length,
-                              const ChainMqmOptions& options,
-                              ThreadPool* pool) {
+Result<ChainMqmResult> ScanExhaustive(const ExactEvaluator& eval,
+                                      NodeValueStream* stream,
+                                      std::size_t length,
+                                      const ChainMqmOptions& options,
+                                      ThreadPool* pool) {
   const std::size_t threads = pool != nullptr ? pool->num_threads() : 1;
   const std::size_t block = std::max<std::size_t>(64, 4 * threads);
   std::vector<ExactEvaluator::NodeContext> contexts(
@@ -1104,6 +1129,9 @@ ChainMqmResult ScanExhaustive(const ExactEvaluator& eval,
   QuiltCand best_cand;
   std::size_t peak_context_doubles = 0;
   for (std::size_t start = 0; start < length; start += block) {
+    // Per-block checkpoint: a deadline overrun costs at most one scored
+    // block of O(block * k^2) work.
+    PF_RETURN_NOT_OK(CheckDeadline("exhaustive node scan"));
     const std::size_t n = std::min(block, length - start);
     std::size_t context_doubles = 0;
     for (std::size_t j = 0; j < n; ++j) {
@@ -1208,8 +1236,12 @@ struct ThetaState {
 // exactly — shortcut attempt first, full scan on fall-through — so the
 // mode decisions (and hence every result bit, including
 // used_stationary_shortcut) match a cold analysis at `length`.
-void AnalyzeThetaAt(ThetaState& st, std::size_t length,
-                    const ChainMqmOptions& options, LazyPool* lazy) {
+//
+// On error (deadline checkpoint fired) the retained state is left safe to
+// retry from: the extend-only evaluator keeps its completed prefix, and
+// any mid-stride dedup scan is discarded so the next call rebuilds cold.
+Status AnalyzeThetaAt(ThetaState& st, std::size_t length,
+                      const ChainMqmOptions& options, LazyPool* lazy) {
   // Growth attribution for MemoryStats::mallocs: diff the retained
   // components' monotone counters around the pass. A steady-state append
   // leaves every counter unchanged — the zero the hot path guarantees.
@@ -1222,9 +1254,10 @@ void AnalyzeThetaAt(ThetaState& st, std::size_t length,
       FamilyMaxDistance(length, options.max_nearby);
   // The table build is the one O(ell * k^3) step; request the pool only
   // when there is actually something to build.
-  st.eval.Prepare(family_distance,
-                  st.eval.max_distance() < family_distance ? lazy->get()
-                                                           : nullptr);
+  PF_RETURN_NOT_OK(
+      st.eval.Prepare(family_distance,
+                      st.eval.max_distance() < family_distance ? lazy->get()
+                                                               : nullptr));
   if (options.allow_stationary_shortcut && st.stationary_initial &&
       length >= 3) {
     // Stationary shortcut: the max-influence of every interior quilt is
@@ -1276,23 +1309,31 @@ void AnalyzeThetaAt(ThetaState& st, std::size_t length,
           (st.eval.StoredDoubles() + st.mid_stream->StoredDoubles());
       result.memory.arena_retained_bytes = result.memory.peak_bytes;
       result.memory.mallocs = pass_mallocs;
-      return;
+      return Status::OK();
     }
     // One-sided optimum at the middle: fall through to the full scan.
   }
   if (!options.dedup_nodes) {
     auto stream = st.MakeStream();
-    st.result =
-        ScanExhaustive(st.eval, stream.get(), length, options, lazy->get());
+    PF_ASSIGN_OR_RETURN(
+        st.result,
+        ScanExhaustive(st.eval, stream.get(), length, options, lazy->get()));
     st.result.memory.mallocs +=
         st.eval.growth_events() - eval_growth_before;
-    return;
+    return Status::OK();
   }
+  // Deadline-safety of the scan-state mutations below: every early error
+  // return resets st.scan, so a cancelled analysis can never leave a
+  // half-advanced scan to be extended by the next caller.
   if (st.scan == nullptr || !st.scan->resumable ||
       st.scan->length > length) {
     st.scan = std::make_unique<DedupScanState>();
-    ColdDedupScan(*st.scan, st.eval, length, options, lazy->get(),
-                  [&] { return st.MakeStream(); });
+    Status cold = ColdDedupScan(*st.scan, st.eval, length, options,
+                                lazy->get(), [&] { return st.MakeStream(); });
+    if (!cold.ok()) {
+      st.scan = nullptr;
+      return cold;
+    }
   } else if (st.scan->length < length) {
     st.scan->pass_mallocs = 0;
     // Small appends run poolless (the work is O(max_nearby + delta), far
@@ -1301,10 +1342,21 @@ void AnalyzeThetaAt(ThetaState& st, std::size_t length,
     ThreadPool* pool = length - st.scan->length >= kParallelAppendThreshold
                            ? lazy->get()
                            : nullptr;
-    if (!AppendDedupScan(*st.scan, st.eval, length, options, pool)) {
+    Result<bool> appended =
+        AppendDedupScan(*st.scan, st.eval, length, options, pool);
+    if (!appended.ok()) {
+      st.scan = nullptr;
+      return appended.status();
+    }
+    if (!appended.value()) {
       st.scan = std::make_unique<DedupScanState>();
-      ColdDedupScan(*st.scan, st.eval, length, options, lazy->get(),
-                    [&] { return st.MakeStream(); });
+      Status cold =
+          ColdDedupScan(*st.scan, st.eval, length, options, lazy->get(),
+                        [&] { return st.MakeStream(); });
+      if (!cold.ok()) {
+        st.scan = nullptr;
+        return cold;
+      }
     }
   } else {
     // st.scan->length == length: the stored result is already current.
@@ -1321,6 +1373,7 @@ void AnalyzeThetaAt(ThetaState& st, std::size_t length,
        (scan_stream_after == scan_stream_before ? scan_stream_growth_before
                                                 : 0));
   st.result = st.scan->result;
+  return Status::OK();
 }
 
 }  // namespace
@@ -1340,7 +1393,9 @@ struct ChainMqmAnalysis::Impl {
 
   // Runs every theta at `new_length` and reduces across the class (worst
   // sigma wins; the first theta attaining it, like the one-shot scan).
-  void RunAt(std::size_t new_length) {
+  // On error (deadline) the retained result and length are unchanged —
+  // per-theta state is retry-safe (see AnalyzeThetaAt).
+  Status RunAt(std::size_t new_length) {
     // Lazy: a steady-state small append never pays thread spawn/join.
     LazyPool lazy(options.num_threads);
     // Reduce via a pointer, then copy once into the retained result slot —
@@ -1349,7 +1404,7 @@ struct ChainMqmAnalysis::Impl {
     std::size_t total_nodes = 0, scored_nodes = 0;
     MemoryStats memory;
     for (auto& st : states) {
-      AnalyzeThetaAt(*st, new_length, options, &lazy);
+      PF_RETURN_NOT_OK(AnalyzeThetaAt(*st, new_length, options, &lazy));
       total_nodes += st->result.total_nodes;
       scored_nodes += st->result.scored_nodes;
       memory.MergeMax(st->result.memory);
@@ -1362,6 +1417,7 @@ struct ChainMqmAnalysis::Impl {
     result.scored_nodes = scored_nodes;
     result.memory = memory;
     length = new_length;
+    return Status::OK();
   }
 };
 
@@ -1409,7 +1465,7 @@ Result<ChainMqmAnalysis> ChainMqmAnalysis::Analyze(
     }
     impl->states.push_back(std::move(st));
   }
-  impl->RunAt(length);
+  PF_RETURN_NOT_OK(impl->RunAt(length));
   return ChainMqmAnalysis(std::move(impl));
 }
 
@@ -1434,7 +1490,7 @@ Result<ChainMqmAnalysis> ChainMqmAnalysis::AnalyzeFreeInitial(
     impl->states.push_back(
         std::make_unique<ThetaState>(nullptr, p, /*free_initial=*/true));
   }
-  impl->RunAt(length);
+  PF_RETURN_NOT_OK(impl->RunAt(length));
   return ChainMqmAnalysis(std::move(impl));
 }
 
@@ -1446,8 +1502,7 @@ Status ChainMqmAnalysis::ExtendTo(std::size_t new_length) {
         std::to_string(new_length) + "; create a new analysis to shrink");
   }
   if (new_length == impl_->length) return Status::OK();
-  impl_->RunAt(new_length);
-  return Status::OK();
+  return impl_->RunAt(new_length);
 }
 
 // ---------------------------------------------------- one-shot entry points
@@ -1476,7 +1531,7 @@ Result<double> ChainQuiltInfluenceExact(const MarkovChain& theta,
   std::vector<std::size_t> distances;
   if (a > 0) distances.push_back(static_cast<std::size_t>(a));
   if (b > 0 && b != a) distances.push_back(static_cast<std::size_t>(b));
-  eval.PrepareDistances(distances, nullptr);
+  PF_RETURN_NOT_OK(eval.PrepareDistances(distances, nullptr));
   NodeValueStream stream(theta.transition(), theta.initial());
   for (int t = 0; t < quilt.target; ++t) stream.Advance();
   return EvaluateQuilt(

@@ -7,6 +7,13 @@
 #include <memory>
 #include <utility>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/failpoint.h"
+
 namespace pf {
 namespace {
 
@@ -295,31 +302,101 @@ Result<std::vector<CachedPlan>> DecodePlanSnapshot(const std::string& bytes) {
   return entries;
 }
 
+namespace {
+
+// Failpoint evaluation usable mid-function (where the PF_FAILPOINT macro's
+// direct return would skip cleanup like fclose/remove).
+Status EvalFailpoint(const char* name) {
+#ifdef PF_FAILPOINTS
+  return FailpointRegistry::Instance().Evaluate(name);
+#else
+  (void)name;
+  return Status::OK();
+#endif
+}
+
+// fsyncs the directory containing `path` so the rename that just landed in
+// it survives a power cut (POSIX: rename durability requires syncing the
+// parent directory's entry, not just the file). No-op on Windows.
+Status SyncParentDir(const std::string& path) {
+  PF_FAILPOINT("plan_store.sync_dir");
+#ifndef _WIN32
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("plan snapshot: cannot open directory " + dir);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    return Status::Internal("plan snapshot: directory sync of " + dir +
+                            " failed");
+  }
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
 Status SavePlanSnapshot(const std::string& path,
                         const std::vector<CachedPlan>& entries) {
   const std::string bytes = EncodePlanSnapshot(entries);
-  // Temp-file + rename: readers never observe a partially written
-  // snapshot, and a crash mid-save leaves the previous one intact.
+  // Temp-file + fsync(file) + rename + fsync(dir): readers never observe a
+  // partially written snapshot, a crash mid-save leaves the previous one
+  // intact, and a power cut after return cannot surface a zero-length or
+  // torn file (both the data and the directory entry are durable).
   const std::string tmp = path + ".tmp";
+  PF_FAILPOINT("plan_store.open");
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("plan snapshot: cannot open " + tmp);
   }
-  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool flushed = std::fflush(f) == 0;
+  // From here every failure path must fclose and remove the tmp file —
+  // injected or real, a failed save leaves no debris (the torture test
+  // asserts this).
+  Status st = EvalFailpoint("plan_store.write");
+  if (st.ok() && std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    st = Status::Internal("plan snapshot: short write to " + tmp);
+  }
+  if (st.ok()) st = EvalFailpoint("plan_store.flush");
+  if (st.ok() && std::fflush(f) != 0) {
+    st = Status::Internal("plan snapshot: flush of " + tmp + " failed");
+  }
+  if (st.ok()) st = EvalFailpoint("plan_store.sync");
+#ifndef _WIN32
+  if (st.ok() && ::fsync(::fileno(f)) != 0) {
+    st = Status::Internal("plan snapshot: fsync of " + tmp + " failed");
+  }
+#endif
   const bool closed = std::fclose(f) == 0;
-  if (written != bytes.size() || !flushed || !closed) {
-    std::remove(tmp.c_str());
-    return Status::Internal("plan snapshot: short write to " + tmp);
+  if (st.ok() && !closed) {
+    st = Status::Internal("plan snapshot: close of " + tmp + " failed");
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (!st.ok()) {
     std::remove(tmp.c_str());
-    return Status::Internal("plan snapshot: rename to " + path + " failed");
+    return st;
   }
-  return Status::OK();
+  // Simulated kill between the durable tmp write and the rename: the tmp
+  // file is deliberately left behind (exactly what a crash leaves), and
+  // the published snapshot at `path` is untouched.
+  PF_FAILPOINT("plan_store.crash_before_rename");
+  Status rn = EvalFailpoint("plan_store.rename");
+  if (rn.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    rn = Status::Internal("plan snapshot: rename to " + path + " failed");
+  }
+  if (!rn.ok()) {
+    std::remove(tmp.c_str());
+    return rn;
+  }
+  return SyncParentDir(path);
 }
 
 Result<std::vector<CachedPlan>> LoadPlanSnapshot(const std::string& path) {
+  PF_FAILPOINT("plan_store.load.open");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("plan snapshot: cannot open " + path);
@@ -328,8 +405,10 @@ Result<std::vector<CachedPlan>> LoadPlanSnapshot(const std::string& path) {
   char buf[1 << 16];
   std::size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
-  const bool read_error = std::ferror(f) != 0;
+  bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  const Status injected = EvalFailpoint("plan_store.load.read");
+  if (!injected.ok()) read_error = true;
   if (read_error) {
     return Status::Internal("plan snapshot: read error on " + path);
   }

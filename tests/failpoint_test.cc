@@ -1,0 +1,191 @@
+// FailpointRegistry unit tests: arming modes, counters, determinism of the
+// probability stream, thread safety, and the compile-away contract of the
+// PF_FAILPOINT macro. The registry itself exists in every build (it is
+// ordinary code); only the *sites* compile to nothing without
+// -DPF_FAILPOINTS=ON, so everything here except the macro test runs in
+// both configurations.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pf {
+namespace {
+
+class FailpointTest : public testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteNeverFires) {
+  auto& reg = FailpointRegistry::Instance();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(reg.Evaluate("fp_test.unarmed").ok());
+  }
+  EXPECT_EQ(reg.Hits("fp_test.unarmed"), 10u);
+  EXPECT_EQ(reg.Fires("fp_test.unarmed"), 0u);
+}
+
+TEST_F(FailpointTest, ArmFiresEveryTimeUntilDisarmed) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.Arm("fp_test.always");
+  for (int i = 0; i < 5; ++i) {
+    const Status st = reg.Evaluate("fp_test.always");
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInternal);
+    // The site name travels in the message so a sweep failure names its
+    // injection point.
+    EXPECT_NE(st.message().find("fp_test.always"), std::string::npos);
+  }
+  reg.Disarm("fp_test.always");
+  EXPECT_TRUE(reg.Evaluate("fp_test.always").ok());
+  EXPECT_EQ(reg.Hits("fp_test.always"), 6u);
+  EXPECT_EQ(reg.Fires("fp_test.always"), 5u);
+}
+
+TEST_F(FailpointTest, ArmOnceFiresExactlyOnce) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.ArmOnce("fp_test.once");
+  EXPECT_FALSE(reg.Evaluate("fp_test.once").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(reg.Evaluate("fp_test.once").ok());
+  }
+  EXPECT_EQ(reg.Fires("fp_test.once"), 1u);
+}
+
+TEST_F(FailpointTest, ArmAfterSkipsThenFires) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.ArmAfter("fp_test.after", 3);
+  EXPECT_TRUE(reg.Evaluate("fp_test.after").ok());
+  EXPECT_TRUE(reg.Evaluate("fp_test.after").ok());
+  EXPECT_TRUE(reg.Evaluate("fp_test.after").ok());
+  EXPECT_FALSE(reg.Evaluate("fp_test.after").ok());
+  EXPECT_FALSE(reg.Evaluate("fp_test.after").ok());
+  EXPECT_EQ(reg.Fires("fp_test.after"), 2u);
+}
+
+TEST_F(FailpointTest, ProbabilityStreamIsDeterministicPerSeed) {
+  auto& reg = FailpointRegistry::Instance();
+  constexpr int kDraws = 256;
+  auto run = [&](std::uint64_t seed) {
+    reg.DisarmAll();
+    reg.ArmProbability("fp_test.prob", 0.5, seed);
+    std::vector<bool> fired;
+    fired.reserve(kDraws);
+    for (int i = 0; i < kDraws; ++i) {
+      fired.push_back(!reg.Evaluate("fp_test.prob").ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> a = run(42);
+  const std::vector<bool> b = run(42);
+  const std::vector<bool> c = run(43);
+  EXPECT_EQ(a, b) << "same seed must replay the same fire sequence";
+  EXPECT_NE(a, c) << "different seeds should diverge";
+  // p = 0.5 over 256 draws: both outcomes must occur (probability of a
+  // constant sequence is 2^-255).
+  int fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, kDraws);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroAndOneAreDegenerate) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.ArmProbability("fp_test.p0", 0.0, 7);
+  reg.ArmProbability("fp_test.p1", 1.0, 7);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(reg.Evaluate("fp_test.p0").ok());
+    EXPECT_FALSE(reg.Evaluate("fp_test.p1").ok());
+  }
+}
+
+TEST_F(FailpointTest, ArmBeforeFirstEvaluationRegistersTheSite) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.ArmOnce("fp_test.preregistered");
+  const std::vector<std::string> names = reg.Registered();
+  bool found = false;
+  for (const std::string& n : names) found |= (n == "fp_test.preregistered");
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(reg.Evaluate("fp_test.preregistered").ok());
+}
+
+TEST_F(FailpointTest, RegisteredIsSorted) {
+  auto& reg = FailpointRegistry::Instance();
+  (void)reg.Evaluate("fp_test.zz").ok();
+  (void)reg.Evaluate("fp_test.aa").ok();
+  const std::vector<std::string> names = reg.Registered();
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LE(names[i - 1], names[i]);
+  }
+}
+
+TEST_F(FailpointTest, DisarmAllResetsCounters) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.Arm("fp_test.reset");
+  EXPECT_FALSE(reg.Evaluate("fp_test.reset").ok());
+  reg.DisarmAll();
+  EXPECT_EQ(reg.Hits("fp_test.reset"), 0u);
+  EXPECT_EQ(reg.Fires("fp_test.reset"), 0u);
+  EXPECT_TRUE(reg.Evaluate("fp_test.reset").ok());
+}
+
+// Concurrent evaluation of one probability-armed site: the registry must
+// stay consistent (hits == total evaluations, fires <= hits) with no data
+// race — this test is part of the TSan CI leg's coverage.
+TEST_F(FailpointTest, ConcurrentEvaluationKeepsCountersConsistent) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.ArmProbability("fp_test.race", 0.5, 99);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<std::uint64_t> observed_fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!reg.Evaluate("fp_test.race").ok()) {
+          observed_fires.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.Hits("fp_test.race"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.Fires("fp_test.race"), observed_fires.load());
+  EXPECT_GT(reg.Fires("fp_test.race"), 0u);
+  EXPECT_LT(reg.Fires("fp_test.race"), reg.Hits("fp_test.race"));
+}
+
+// The macro contract: a PF_FAILPOINT site returns the injected error from
+// its enclosing function in PF_FAILPOINTS builds and compiles to nothing
+// otherwise.
+Status FunctionWithSite() {
+  PF_FAILPOINT("fp_test.macro_site");
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, MacroInjectsIffFailpointsBuild) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.Arm("fp_test.macro_site");
+  const Status st = FunctionWithSite();
+  if (kFailpointsEnabled) {
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInternal);
+    EXPECT_EQ(reg.Fires("fp_test.macro_site"), 1u);
+  } else {
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(reg.Hits("fp_test.macro_site"), 0u)
+        << "site must compile away entirely in normal builds";
+  }
+}
+
+}  // namespace
+}  // namespace pf

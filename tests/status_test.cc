@@ -30,6 +30,29 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
   EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DeadlineExceeded("x").ToString(), "DeadlineExceeded: x");
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
+}
+
+TEST(StatusTest, WithContextChainsMessagesAndKeepsTheCode) {
+  const Status root = Status::InvalidArgument("checksum mismatch");
+  const Status chained = root.WithContext("plan snapshot");
+  EXPECT_EQ(chained.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(chained.message(), "plan snapshot: checksum mismatch");
+  // Chains compose outward: each layer prepends its own context.
+  const Status twice = chained.WithContext("warm-restart load");
+  EXPECT_EQ(twice.message(),
+            "warm-restart load: plan snapshot: checksum mismatch");
+  EXPECT_EQ(twice.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, WithContextOnOkIsANoOp) {
+  const Status ok = Status::OK().WithContext("ignored");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
 }
 
 TEST(ResultTest, HoldsValue) {

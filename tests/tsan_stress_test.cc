@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -238,6 +239,7 @@ TEST(TsanStressTest, ThreadPoolParallelForChurn) {
 
 // Executor: lazy worker spawn racing a flood of submits from several
 // threads, then a drain-on-destruct while futures are still outstanding.
+// The queue bound is wider than the flood, so nothing sheds here.
 TEST(TsanStressTest, ExecutorSubmitFloodAndDrain) {
   std::vector<std::future<int>> futures;
   Mutex futures_mutex;
@@ -248,12 +250,17 @@ TEST(TsanStressTest, ExecutorSubmitFloodAndDrain) {
       submitters.emplace_back([&, s] {
         for (int i = 0; i < 50; ++i) {
           auto future = executor.Submit([s, i] { return s * 1000 + i; });
+          ASSERT_TRUE(future.ok()) << future.status().ToString();
           MutexLock lock(futures_mutex);
-          futures.push_back(std::move(future));
+          futures.push_back(std::move(future).value());
         }
       });
     }
     for (std::thread& t : submitters) t.join();
+    const Executor::Stats stats = executor.stats();
+    EXPECT_EQ(stats.submitted, 150u);
+    EXPECT_EQ(stats.admitted, 150u);
+    EXPECT_EQ(stats.shed, 0u);
     // ~Executor drains the queue: every future below must be ready.
   }
   ASSERT_EQ(futures.size(), 150u);
@@ -264,6 +271,59 @@ TEST(TsanStressTest, ExecutorSubmitFloodAndDrain) {
     for (int i = 0; i < 50; ++i) expected += static_cast<std::uint64_t>(s * 1000 + i);
   }
   EXPECT_EQ(sum, expected);
+}
+
+// Admission control under contention: a deliberately tiny queue bound with
+// slow tasks forces real shedding while several threads hammer TryAcquire.
+// The accounting invariant submitted == admitted + shed must hold exactly —
+// every TryAcquire resolves to exactly one of the two outcomes, with no
+// double-count and no lost update — and every admitted task's future must
+// resolve (the drain-on-destruct guarantee is not weakened by shedding).
+TEST(TsanStressTest, ExecutorBoundedQueueAdmissionInvariant) {
+  std::atomic<std::uint64_t> ran{0};
+  std::uint64_t admitted_count = 0;
+  std::uint64_t shed_count = 0;
+  Executor::Stats stats;
+  {
+    ExecutorOptions options;
+    options.num_threads = 2;
+    options.max_queue_depth = 4;
+    Executor executor(options);
+    std::vector<std::future<int>> futures;
+    Mutex futures_mutex;
+    std::atomic<std::uint64_t> shed_seen{0};
+    std::vector<std::thread> submitters;
+    for (std::size_t s = 0; s < kThreads; ++s) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 40; ++i) {
+          Result<Executor::Permit> permit = executor.TryAcquire();
+          if (!permit.ok()) {
+            ASSERT_EQ(permit.status().code(), StatusCode::kUnavailable);
+            shed_seen.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::yield();  // Back off; let workers drain.
+            continue;
+          }
+          auto future = executor.Submit(std::move(permit).value(), [&ran] {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            return static_cast<int>(ran.fetch_add(1) & 0x7fffffff);
+          });
+          MutexLock lock(futures_mutex);
+          futures.push_back(std::move(future));
+        }
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+    stats = executor.stats();
+    admitted_count = futures.size();
+    shed_count = shed_seen.load();
+    for (auto& f : futures) f.wait();
+  }
+  EXPECT_EQ(stats.admitted, admitted_count);
+  EXPECT_EQ(stats.shed, shed_count);
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.shed);
+  EXPECT_GT(stats.shed, 0u) << "queue bound of 4 never shed; the stress is "
+                               "not exercising admission control";
+  EXPECT_EQ(ran.load(), admitted_count);
 }
 
 // Arena process-wide counters: arenas created, grown, and released on

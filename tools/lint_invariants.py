@@ -30,6 +30,11 @@ compiler nor clang-tidy checks:
                         through the capability-annotated pf::Mutex /
                         MutexLock / CondVar wrappers so the clang
                         -Wthread-safety leg can see every critical section.
+  no-abort              No abort()/exit()/_Exit()/quick_exit() in src/:
+                        every fallible serving path reports a typed Status
+                        (DeadlineExceeded, Unavailable, Internal, ...) the
+                        caller can handle or retry — a library that aborts
+                        takes the whole serving process down with it.
 
 A violating line can be exempted with an inline marker naming the rule and
 a justification, which reviewers can grep for:
@@ -163,6 +168,12 @@ RULES = [
         lambda p: in_src(p) and p != "src/common/thread_annotations.h",
         "locking goes through the capability-annotated pf::Mutex wrappers "
         "(common/thread_annotations.h) so -Wthread-safety sees it",
+    ),
+    Rule(
+        "no-abort",
+        r"\b(?:std::)?(?:abort|_Exit|quick_exit)\s*\(|\b(?:std::)?exit\s*\(",
+        in_src,
+        "fallible serving paths return typed Status, never kill the process",
     ),
 ]
 

@@ -24,7 +24,7 @@ FailpointRegistry& FailpointRegistry::Instance() {
   // other translation units, so the registry must never be destroyed. The
   // constructor is private, which rules out make_unique.
   static FailpointRegistry* registry =
-      new FailpointRegistry();  // lint:allow(naked-new-delete): leaked
+      new FailpointRegistry();  // pf:allow(naked-new-delete): leaked
                                 // process-lifetime singleton, private ctor.
   return *registry;
 }

@@ -159,7 +159,10 @@ class ThreadPool {
   const std::size_t num_threads_;
   std::vector<std::thread> workers_;
 
-  /// Serializes whole ParallelFor calls (never held together with mutex_).
+  /// Serializes whole ParallelFor calls. Nests OUTSIDE mutex_: ParallelFor
+  /// holds loop_mutex_ across the job's publish/drain critical sections, so
+  /// the global order is loop_mutex_ before mutex_ (see docs/LOCK_ORDER.md;
+  /// the lock-order pass of tools/pf_analyzer derives and checks this).
   Mutex loop_mutex_;
   /// Guards the job hand-off state below.
   Mutex mutex_;

@@ -83,10 +83,10 @@ Result<std::size_t> Rng::TryCategorical(const Vector& probs) {
 }
 
 std::size_t Rng::Categorical(const Vector& probs) {
-  // lint:allow(value-or-die): Categorical's documented contract IS to abort
+  // pf:allow(value-or-die): Categorical's documented contract IS to abort
   // on invalid weights (see random.h / PR 4); callers that must not abort
   // use TryCategorical and handle the Status.
-  return TryCategorical(probs).ValueOrDie();  // lint:allow(value-or-die)
+  return TryCategorical(probs).ValueOrDie();  // pf:allow(value-or-die)
 }
 
 Vector Rng::UniformSimplex(std::size_t k) {

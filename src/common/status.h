@@ -188,9 +188,9 @@ class [[nodiscard]] Result {
   [[noreturn]] void DieOnError() const {
     std::fprintf(stderr, "ValueOrDie on error Result: %s\n",
                  status_.ToString().c_str());
-    // lint:allow(no-abort): ValueOrDie's documented contract IS to abort;
+    // pf:allow(no-abort): ValueOrDie's documented contract IS to abort;
     // the value-or-die rule already keeps it out of library serving paths.
-    std::abort();  // lint:allow(no-abort)
+    std::abort();  // pf:allow(no-abort)
   }
 
   std::optional<T> value_;

@@ -300,12 +300,12 @@ namespace {
 /// several draws are folded with a high-resolution timestamp and ASLR'd
 /// address bits.
 std::uint64_t RandomSeedBase() {
-  // lint:allow(unseeded-randomness): this seeds the per-engine SESSION-seed
+  // pf:allow(unseeded-randomness): this seeds the per-engine SESSION-seed
   // sequence, which must be distinct across engines/restarts — identical
   // noise streams would let an observer cancel the noise (see
   // SessionOptions::seed). Release noise itself stays deterministic per
   // (session seed, ticket).
-  std::random_device rd;  // lint:allow(unseeded-randomness)
+  std::random_device rd;  // pf:allow(unseeded-randomness)
   std::uint64_t base = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
   base = SplitMix64(base ^ static_cast<std::uint64_t>(
                                std::chrono::high_resolution_clock::now()
@@ -438,9 +438,9 @@ Result<std::unique_ptr<PrivacyEngine>> PrivacyEngine::Create(
   const std::size_t num_threads = ResolveThreadCount(options.num_threads);
   PF_ASSIGN_OR_RETURN(std::unique_ptr<Mechanism> mechanism,
                       BuildMechanism(model, options, kind, num_threads));
-  // lint:allow(naked-new-delete): private constructor, make_unique cannot
+  // pf:allow(naked-new-delete): private constructor, make_unique cannot
   // reach it; ownership is taken on the same expression.
-  return std::unique_ptr<PrivacyEngine>(new PrivacyEngine(  // lint:allow(naked-new-delete)
+  return std::unique_ptr<PrivacyEngine>(new PrivacyEngine(  // pf:allow(naked-new-delete)
       std::move(model), options, std::move(mechanism), num_threads));
 }
 

@@ -186,8 +186,13 @@ Result<ReleaseResult> Session::Execute(const PrivacyEngine::CompiledQuery& q,
                             " (epsilon was charged)");
   }
   Rng rng(MixSeed(seed, ticket));
-  PF_ASSIGN_OR_RETURN(
-      Vector noisy, ReleaseVector(*q.plan, truth, q.query.lipschitz, &rng));
+  // The charge is structurally upstream: Execute only runs with a `ticket`
+  // already issued by ChargeLocked (every caller is a Release overload or
+  // the SubmitCompiled task body, both of which charge before invoking
+  // it), so no in-function charge can or should dominate this release.
+  // pf:allow(budget-flow): ticket proves the charge happened upstream
+  PF_ASSIGN_OR_RETURN(Vector noisy, ReleaseVector(*q.plan, truth,
+                                                  q.query.lipschitz, &rng));
   ReleaseResult result;
   result.value = std::move(noisy);
   result.epsilon = q.plan->epsilon;

@@ -1,0 +1,43 @@
+// pf_analyzer fixture: MUST trip [determinism] (clean twin:
+// determinism_good.cc). Run with `--pin-files determinism_` so this file
+// counts as bit-exact-pinned code.
+
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+double SumUnordered(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& kv : weights) {  // Hash-order iteration feeds the sum.
+    sum += kv.second;
+  }
+  return sum;
+}
+
+double SumLocalUnordered() {
+  std::unordered_map<int, double> acc;
+  acc[1] = 0.5;
+  double sum = 0.0;
+  for (const auto& kv : acc) {  // Local unordered container, same bug.
+    sum += kv.second;
+  }
+  return sum;
+}
+
+int WallClockSeed() {
+  return static_cast<int>(time(nullptr));  // Result depends on run time.
+}
+
+double UnseededDraw() {
+  std::mt19937 gen;  // Default-constructed engine: unseeded.
+  return 0.0;
+}
+
+double EntropyDraw() {
+  std::random_device rd;  // Nondeterministic by design.
+  return static_cast<double>(rd());
+}
+
+double Contracted(double x, double y, double z) {
+  return __builtin_fma(x, y, z);  // Breaks the pinned mul-then-add order.
+}

@@ -1,0 +1,32 @@
+// pf_analyzer fixture: clean twin of determinism_bad.cc — MUST NOT trip
+// [determinism] even when pinned via `--pin-files determinism_`.
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+double SumOrdered(const std::map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& kv : weights) {  // std::map: deterministic key order.
+    sum += kv.second;
+  }
+  return sum;
+}
+
+double SumVector(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) {  // Index order is the pinned order.
+    sum += x;
+  }
+  return sum;
+}
+
+double SeededDraw(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);  // Explicitly seeded: reproducible.
+  return static_cast<double>(gen());
+}
+
+double MulThenAdd(double x, double y, double z) {
+  return x * y + z;  // Pinned order; -ffp-contract=off keeps it two ops.
+}

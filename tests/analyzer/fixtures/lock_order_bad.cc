@@ -1,0 +1,33 @@
+// pf_analyzer fixture: MUST trip [lock-order] (clean twin:
+// lock_order_good.cc). Two functions acquire the same two mutexes in
+// opposite orders — the classic AB/BA deadlock — and one function
+// re-acquires a non-recursive mutex it already holds.
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+
+struct Accounts {
+  Mutex ledger_mutex_;
+  Mutex audit_mutex_;
+
+  void Post() {
+    MutexLock ledger(ledger_mutex_);
+    MutexLock audit(audit_mutex_);  // ledger -> audit
+  }
+
+  void Reconcile() {
+    MutexLock audit(audit_mutex_);
+    MutexLock ledger(ledger_mutex_);  // audit -> ledger: cycle with Post().
+  }
+
+  void DoublePost() {
+    MutexLock first(ledger_mutex_);
+    MutexLock again(ledger_mutex_);  // Relock of a non-recursive mutex.
+  }
+};

@@ -1,0 +1,31 @@
+// pf_analyzer fixture: clean twin of lock_order_bad.cc — MUST NOT trip
+// [lock-order]. Both paths acquire ledger before audit, so the derived
+// graph has one edge and no cycle.
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex& m);
+};
+
+struct Accounts {
+  Mutex ledger_mutex_;
+  Mutex audit_mutex_;
+
+  void Post() {
+    MutexLock ledger(ledger_mutex_);
+    MutexLock audit(audit_mutex_);  // ledger -> audit
+  }
+
+  void Reconcile() {
+    MutexLock ledger(ledger_mutex_);
+    MutexLock audit(audit_mutex_);  // Same order: acyclic.
+  }
+
+  void AuditOnly() {
+    MutexLock audit(audit_mutex_);  // Single lock: no edge at all.
+  }
+};

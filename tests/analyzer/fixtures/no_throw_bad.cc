@@ -1,0 +1,43 @@
+// pf_analyzer fixture: MUST trip [no-throw] (clean twin:
+// no_throw_good.cc). One violation per check: throw, try/catch, .at(),
+// undominated ValueOrDie, stoi, and a fallible-verb API hiding its
+// failure path (the last needs `--all-files-in-scope`).
+
+#include <map>
+#include <string>
+
+struct Res {
+  bool ok() const;
+  int ValueOrDie() const;
+};
+
+struct Codec {
+  int ParseHeader(const std::string& s);  // Fallible verb, returns int.
+};
+
+int ThrowBad(int x) {
+  if (x < 0) {
+    throw x;  // Exceptions are outside the error model.
+  }
+  return x;
+}
+
+int CatchBad(int x) {
+  try {
+    return ThrowBad(x);
+  } catch (...) {
+    return -1;
+  }
+}
+
+int AtBad(const std::map<int, int>& m) {
+  return m.at(3);  // Throws std::out_of_range on a miss.
+}
+
+int DieBad(const Res& r) {
+  return r.ValueOrDie();  // No dominating r.ok() check.
+}
+
+int StoiBad(const std::string& s) {
+  return std::stoi(s);  // Throws on malformed input.
+}

@@ -1,0 +1,48 @@
+// pf_analyzer fixture: clean twin of no_throw_bad.cc — MUST NOT trip
+// [no-throw] even with `--all-files-in-scope`.
+
+#include <map>
+#include <string>
+
+struct Status {};
+
+struct Res {
+  bool ok() const;
+  int ValueOrDie() const;
+};
+
+struct Codec {
+  Status ParseHeader(const std::string& s);  // Fallible verb -> Status.
+};
+
+int NoThrowGood(int x) {
+  if (x < 0) {
+    return -1;  // Errors are values, not exceptions.
+  }
+  return x;
+}
+
+int FindGood(const std::map<int, int>& m) {
+  auto it = m.find(3);
+  if (it == m.end()) {
+    return 0;  // Handle the miss; nothing can throw.
+  }
+  return it->second;
+}
+
+int DieGood(const Res& r) {
+  if (!r.ok()) {
+    return -1;  // The ok() check dominates every ValueOrDie path.
+  }
+  return r.ValueOrDie();
+}
+
+int DieGoodBranchy(const Res& r, bool verbose) {
+  if (!r.ok()) {
+    return -1;
+  }
+  if (verbose) {
+    return r.ValueOrDie() + 1;  // Still dominated through the branch.
+  }
+  return r.ValueOrDie();
+}

@@ -1,247 +1,27 @@
 #!/usr/bin/env python3
-"""Repo-invariant linter: greppable contracts the toolchain cannot express.
+"""Compatibility shim: the invariant rules now live in tools/pf_analyzer.
 
-Each rule enforces a correctness invariant of the library that neither the
-compiler nor clang-tidy checks:
+The six text rules (unseeded-randomness, fast-math-fma, naked-new-delete,
+value-or-die, raw-mutex, no-abort) were folded into the pf_analyzer rule
+registry (tools/pf_analyzer/passes/text_rules.py) alongside its semantic
+passes, sharing one CLI, one findings format, and one suppression syntax
+(`pf:allow(<rule>)`; the old `lint:allow` spelling still works).
 
-  unseeded-randomness   No rand()/srand()/std::random_device in src/: every
-                        noise draw flows through pf::Rng with an explicit
-                        seed, which is what makes releases bit-identical
-                        under any thread count and reproducible per ticket.
-  fast-math-fma         No -ffast-math / FMA contraction (std::fma,
-                        __builtin_fma*, *_fmadd_*/_fmsub_* intrinsics) in
-                        src/ or build flags: the matrix/factor kernels pin a
-                        summation order (ascending-k, mul then add) so the
-                        SIMD paths stay bit-identical to the scalar
-                        reference (see common/matrix.h).
-  naked-new-delete      No naked new/delete expressions outside
-                        src/common/arena.cc: scratch goes through the Arena,
-                        ownership through make_unique/make_shared. (A `new`
-                        immediately wrapped by a factory needs an explicit
-                        allow marker naming why make_unique cannot be used,
-                        e.g. a private constructor.)
-  value-or-die          No .ValueOrDie() in library code (src/): it aborts
-                        the process, so a path reachable from user input
-                        must propagate Status/Result instead. Tests, bench,
-                        and examples may use it freely.
-  raw-mutex             No std::mutex / std::lock_guard / std::unique_lock /
-                        std::condition_variable outside
-                        src/common/thread_annotations.h: all locking goes
-                        through the capability-annotated pf::Mutex /
-                        MutexLock / CondVar wrappers so the clang
-                        -Wthread-safety leg can see every critical section.
-  no-abort              No abort()/exit()/_Exit()/quick_exit() in src/:
-                        every fallible serving path reports a typed Status
-                        (DeadlineExceeded, Unavailable, Internal, ...) the
-                        caller can handle or retry — a library that aborts
-                        takes the whole serving process down with it.
+This wrapper forwards to `pf_analyzer --regex-only` — exactly the old
+behavior (text rules, no C++ parse, no libclang needed) with the old exit
+codes (0 clean, 1 violations, 2 error) — so existing invocations and CI
+steps keep working. Prefer calling the analyzer directly:
 
-A violating line can be exempted with an inline marker naming the rule and
-a justification, which reviewers can grep for:
-
-    std::random_device rd;  // lint:allow(unseeded-randomness): <why>
-
-Usage:
-    tools/lint_invariants.py               # lint the default tree
-    tools/lint_invariants.py FILE...       # lint only FILE... (CI's
-                                           # changed-files mode)
-    tools/lint_invariants.py --list-rules
-
-Exit status: 0 clean, 1 violations, 2 usage error.
+    python3 tools/pf_analyzer                  # all rules (semantic + text)
+    python3 tools/pf_analyzer --regex-only     # what this shim runs
 """
 
-import argparse
 import os
-import re
 import sys
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
-
-CXX_EXTENSIONS = (".cc", ".cpp", ".h", ".hpp")
-
-
-def strip_code(line):
-    """Removes string/char literals and // comments from one line.
-
-    Block comments are handled by the caller (stateful across lines). The
-    result keeps column positions approximately by replacing literals with
-    spaces, which is enough for line-granularity reporting.
-    """
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        c = line[i]
-        if c == '"' or c == "'":
-            quote = c
-            out.append(" ")
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    i += 1
-                    break
-                i += 1
-            continue
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break  # Rest of line is a comment.
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def code_lines(text):
-    """Yields (lineno, raw_line, code_only_line) with comments/strings gone."""
-    in_block_comment = False
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw
-        if in_block_comment:
-            end = line.find("*/")
-            if end < 0:
-                yield lineno, raw, ""
-                continue
-            line = " " * (end + 2) + line[end + 2:]
-            in_block_comment = False
-        # Strip complete /* ... */ spans, then a trailing unterminated one.
-        line = strip_code(line)
-        while True:
-            start = line.find("/*")
-            if start < 0:
-                break
-            end = line.find("*/", start + 2)
-            if end < 0:
-                line = line[:start]
-                in_block_comment = True
-                break
-            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
-        yield lineno, raw, line
-
-
-class Rule:
-    def __init__(self, name, pattern, applies, why):
-        self.name = name
-        self.pattern = re.compile(pattern)
-        self.applies = applies  # predicate over repo-relative path
-        self.why = why
-
-
-def in_src(path):
-    return path.startswith("src/") and path.endswith(CXX_EXTENSIONS)
-
-
-RULES = [
-    Rule(
-        "unseeded-randomness",
-        r"std::random_device|\b(?:std::)?s?rand\s*\(",
-        in_src,
-        "determinism: noise must come from explicitly seeded pf::Rng",
-    ),
-    Rule(
-        "fast-math-fma",
-        r"-ffast-math|__builtin_fmaf?\b|std::fmaf?\b|_mm\d*_fn?m(?:add|sub)_|\bvfmaq?\b",
-        lambda p: in_src(p) or os.path.basename(p) == "CMakeLists.txt",
-        "pinned summation order: FMA contraction breaks SIMD/scalar "
-        "bit-identity",
-    ),
-    Rule(
-        "naked-new-delete",
-        r"(?<![\w.:])new\s+[A-Za-z_:(]|(?<![\w.:])delete(?:\s*\[\s*\])?\s+[A-Za-z_(*]",
-        lambda p: in_src(p) and p != "src/common/arena.cc",
-        "ownership goes through Arena / make_unique / make_shared",
-    ),
-    Rule(
-        "value-or-die",
-        r"\.ValueOrDie\s*\(",
-        in_src,
-        "library paths reachable from user input must propagate "
-        "Status/Result, not abort",
-    ),
-    Rule(
-        "raw-mutex",
-        r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
-        r"unique_lock|shared_lock|scoped_lock|condition_variable(?:_any)?)\b"
-        r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>",
-        lambda p: in_src(p) and p != "src/common/thread_annotations.h",
-        "locking goes through the capability-annotated pf::Mutex wrappers "
-        "(common/thread_annotations.h) so -Wthread-safety sees it",
-    ),
-    Rule(
-        "no-abort",
-        r"\b(?:std::)?(?:abort|_Exit|quick_exit)\s*\(|\b(?:std::)?exit\s*\(",
-        in_src,
-        "fallible serving paths return typed Status, never kill the process",
-    ),
-]
-
-
-def default_targets():
-    targets = []
-    for base in ("src",):
-        for dirpath, _, filenames in os.walk(os.path.join(REPO_ROOT, base)):
-            for name in sorted(filenames):
-                if name.endswith(CXX_EXTENSIONS):
-                    targets.append(os.path.join(dirpath, name))
-    targets.append(os.path.join(REPO_ROOT, "CMakeLists.txt"))
-    return targets
-
-
-def lint_file(path, relpath, violations):
-    try:
-        with open(path, "r", encoding="utf-8", errors="replace") as f:
-            text = f.read()
-    except OSError as e:
-        print(f"error: cannot read {relpath}: {e}", file=sys.stderr)
-        return
-    rules = [r for r in RULES if r.applies(relpath)]
-    if not rules:
-        return
-    for lineno, raw, code in code_lines(text):
-        allowed = set(ALLOW_RE.findall(raw))
-        for rule in rules:
-            if rule.name in allowed:
-                continue
-            if rule.pattern.search(code):
-                violations.append(
-                    f"{relpath}:{lineno}: [{rule.name}] {raw.strip()}\n"
-                    f"    invariant: {rule.why}"
-                )
-
-
-def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("files", nargs="*", help="files to lint (default: src/ + CMakeLists.txt)")
-    parser.add_argument("--list-rules", action="store_true")
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for rule in RULES:
-            print(f"{rule.name}: {rule.why}")
-        return 0
-
-    targets = [os.path.abspath(f) for f in args.files] or default_targets()
-    violations = []
-    for path in targets:
-        relpath = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
-        if not os.path.isfile(path):
-            continue  # Changed-files mode may name deleted files.
-        lint_file(path, relpath, violations)
-
-    if violations:
-        print(f"lint_invariants: {len(violations)} violation(s)\n")
-        for v in violations:
-            print(v)
-        print(
-            "\nAn intentional exception needs an inline marker with a "
-            "justification:\n    ... // lint:allow(<rule>): <why this is sound>"
-        )
-        return 1
-    print(f"lint_invariants: clean ({len(targets)} file(s))")
-    return 0
-
+from pf_analyzer.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main(["--regex-only"] + sys.argv[1:]))

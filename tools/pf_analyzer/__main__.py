@@ -1,0 +1,12 @@
+import os
+import sys
+
+if __package__ in (None, ""):
+    # Invoked as `python3 tools/pf_analyzer`: put tools/ on the path so the
+    # package imports resolve, then re-dispatch through the package.
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from pf_analyzer.cli import main
+else:
+    from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,282 @@
+"""libclang frontend: lowers real clang ASTs into the shared IR.
+
+When python `clang.cindex` plus a libclang shared library are available
+(CI installs clang-14 + python3-clang; locally set PF_LIBCLANG to the
+.so), this frontend re-parses each translation unit with its real compile
+flags from compile_commands.json and REPLACES the syntax frontend's
+function bodies with AST-accurate ones: calls are resolved through
+overloads and macros, range-for loops carry the deduced range type, and
+template noise disappears.
+
+Everything else in the model — fields, method declarations, annotations,
+pf:allow markers, raw text — always comes from the syntax frontend, which
+runs first on every file. If libclang is missing or a file fails to
+parse, that file simply keeps its syntax-frontend functions: the analyzer
+degrades, never breaks.
+"""
+
+import os
+
+_cindex = None
+_load_error = ""
+
+
+def _try_load():
+    global _cindex, _load_error
+    if _cindex is not None:
+        return _cindex
+    try:
+        from clang import cindex
+    except ImportError as e:
+        _load_error = f"python clang bindings unavailable ({e})"
+        return None
+    lib = os.environ.get("PF_LIBCLANG", "")
+    candidates = [lib] if lib else [
+        "/usr/lib/llvm-14/lib/libclang-14.so.1",
+        "/usr/lib/llvm-14/lib/libclang.so.1",
+        "/usr/lib/x86_64-linux-gnu/libclang-14.so.1",
+        "libclang.so",
+    ]
+    for cand in candidates:
+        if not cand:
+            continue
+        try:
+            if os.sep in cand and not os.path.exists(cand):
+                continue
+            cindex.Config.set_library_file(cand)
+            cindex.Index.create()
+            _cindex = cindex
+            return _cindex
+        except Exception as e:  # cindex raises LibclangError and others.
+            _load_error = f"cannot load libclang ({e})"
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.library_file = None
+            except Exception:
+                pass
+    return None
+
+
+def available() -> bool:
+    return _try_load() is not None
+
+
+def load_error() -> str:
+    return _load_error
+
+
+def _text(cursor, file_lines) -> str:
+    """Source text of a cursor's extent, flattened to one line."""
+    try:
+        ext = cursor.extent
+        sl, sc = ext.start.line, ext.start.column
+        el, ec = ext.end.line, ext.end.column
+        if sl == el:
+            return file_lines[sl - 1][sc - 1:ec - 1]
+        parts = [file_lines[sl - 1][sc - 1:]]
+        parts += file_lines[sl:el - 1]
+        parts.append(file_lines[el - 1][:ec - 1])
+        return " ".join(p.strip() for p in parts)
+    except Exception:
+        return ""
+
+
+def _qualified(cursor) -> str:
+    parts = []
+    c = cursor
+    while c is not None and c.spelling:
+        parts.append(c.spelling)
+        c = c.semantic_parent
+        if c is not None and c.kind.name == "TRANSLATION_UNIT":
+            break
+    return "::".join(reversed(parts))
+
+
+def parse_file(relpath, abspath, flags, model, repo_root):
+    """Replaces `model`'s functions for relpath with clang-lowered ones.
+
+    Returns True on success; on any failure the model is left untouched.
+    """
+    cindex = _try_load()
+    if cindex is None:
+        return False
+    from .ir import Call, Decl, Function, Stmt
+
+    K = cindex.CursorKind
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(abspath, args=list(flags) + ["-fsyntax-only"])
+    except Exception:
+        return False
+    text = model.file_text.get(relpath, "")
+    file_lines = text.splitlines()
+
+    # Keep the syntax-frontend metadata for functions we are replacing.
+    old_by_name = {}
+    for fn in model.functions:
+        if fn.file == relpath:
+            old_by_name.setdefault(fn.name, fn)
+
+    def lower_expr_calls(cursor, out_calls):
+        try:
+            if cursor.kind == K.CALL_EXPR and cursor.spelling:
+                recv = ""
+                children = list(cursor.get_children())
+                if children and children[0].kind == K.MEMBER_REF_EXPR:
+                    inner = list(children[0].get_children())
+                    if inner:
+                        recv = _text(inner[0], file_lines)
+                qual = (recv + "." + cursor.spelling) if recv else cursor.spelling
+                out_calls.append(Call(
+                    name=cursor.spelling, qualified=qual, receiver=recv,
+                    arg_text=_text(cursor, file_lines),
+                    line=cursor.location.line))
+            for ch in cursor.get_children():
+                lower_expr_calls(ch, out_calls)
+        except Exception:
+            pass
+
+    def lower_decls(cursor, out_decls):
+        try:
+            if cursor.kind == K.VAR_DECL:
+                init = ""
+                for ch in cursor.get_children():
+                    if ch.kind.is_expression():
+                        init = _text(ch, file_lines)
+                out_decls.append(Decl(
+                    name=cursor.spelling,
+                    type_text=cursor.type.spelling,
+                    init_text=init, line=cursor.location.line))
+            for ch in cursor.get_children():
+                lower_decls(ch, out_decls)
+        except Exception:
+            pass
+
+    def lower_stmt(cursor):
+        k = cursor.kind
+        line = cursor.location.line
+        if k == K.COMPOUND_STMT:
+            return Stmt(kind="block", line=line,
+                        body=[s for s in map(lower_stmt, cursor.get_children())
+                              if s is not None])
+        if k == K.IF_STMT:
+            children = list(cursor.get_children())
+            cond = children[0] if children else None
+            then = children[1] if len(children) > 1 else None
+            els = children[2] if len(children) > 2 else None
+            head_calls = []
+            if cond is not None:
+                lower_expr_calls(cond, head_calls)
+            s = Stmt(kind="if", line=line,
+                     head_text=_text(cond, file_lines) if cond is not None else "",
+                     calls=head_calls)
+            if then is not None:
+                low = lower_stmt(then)
+                s.body = low.body if low and low.kind == "block" else ([low] if low else [])
+            if els is not None:
+                low = lower_stmt(els)
+                s.orelse = low.body if low and low.kind == "block" else ([low] if low else [])
+            return s
+        if k in (K.FOR_STMT, K.WHILE_STMT, K.DO_STMT, K.CXX_FOR_RANGE_STMT):
+            children = list(cursor.get_children())
+            body_cursor = children[-1] if children else None
+            head_calls, head_decls = [], []
+            for ch in children[:-1]:
+                lower_expr_calls(ch, head_calls)
+                lower_decls(ch, head_decls)
+            head = _text(cursor, file_lines)
+            head = head.split("{", 1)[0]
+            s = Stmt(kind="loop", line=line, head_text=head,
+                     calls=head_calls, decls=head_decls)
+            if k == K.CXX_FOR_RANGE_STMT and len(children) >= 2:
+                # The range initializer's deduced type, for the
+                # unordered-iteration check.
+                for ch in children:
+                    if ch.kind.is_expression():
+                        s.decls.append(Decl(
+                            name="<range>", type_text=ch.type.spelling,
+                            init_text="", line=line))
+                        break
+            if body_cursor is not None:
+                low = lower_stmt(body_cursor)
+                s.body = low.body if low and low.kind == "block" else ([low] if low else [])
+            return s
+        if k == K.SWITCH_STMT:
+            children = list(cursor.get_children())
+            s = Stmt(kind="switch", line=line)
+            if children:
+                low = lower_stmt(children[-1])
+                s.body = low.body if low and low.kind == "block" else ([low] if low else [])
+            return s
+        if k == K.RETURN_STMT:
+            calls = []
+            lower_expr_calls(cursor, calls)
+            return Stmt(kind="return", line=line, calls=calls,
+                        text=_text(cursor, file_lines))
+        if k == K.BREAK_STMT:
+            return Stmt(kind="break", line=line)
+        if k == K.CONTINUE_STMT:
+            return Stmt(kind="continue", line=line)
+        if k == K.GOTO_STMT:
+            return Stmt(kind="goto", line=line)
+        if k == K.CXX_TRY_STMT:
+            calls = [Call(name="try", qualified="try", receiver="",
+                          arg_text="", line=line)]
+            body = []
+            for ch in cursor.get_children():
+                low = lower_stmt(ch)
+                if low is not None:
+                    body.append(low)
+            return Stmt(kind="block", line=line, calls=calls, body=body)
+        # Everything else: a simple statement carrying calls + decls.
+        calls, decls = [], []
+        lower_expr_calls(cursor, calls)
+        lower_decls(cursor, decls)
+        return Stmt(kind="simple", line=line, calls=calls, decls=decls,
+                    text=_text(cursor, file_lines))
+
+    new_functions = []
+    try:
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in (K.FUNCTION_DECL, K.CXX_METHOD,
+                                   K.CONSTRUCTOR, K.DESTRUCTOR):
+                continue
+            if not cursor.is_definition():
+                continue
+            loc_file = cursor.location.file
+            if loc_file is None:
+                continue
+            loc_rel = os.path.relpath(
+                os.path.normpath(loc_file.name), repo_root).replace(os.sep, "/")
+            if loc_rel != relpath:
+                continue
+            body = None
+            for ch in cursor.get_children():
+                if ch.kind == K.COMPOUND_STMT:
+                    body = ch
+            if body is None:
+                continue
+            cls = ""
+            parent = cursor.semantic_parent
+            if parent is not None and parent.kind.name in (
+                    "CLASS_DECL", "STRUCT_DECL", "CLASS_TEMPLATE"):
+                cls = parent.spelling
+            lowered = lower_stmt(body)
+            old = old_by_name.get(cursor.spelling)
+            new_functions.append(Function(
+                name=cursor.spelling,
+                qualified=_qualified(cursor),
+                cls=cls, file=relpath, line=cursor.location.line,
+                body=lowered.body if lowered else [],
+                requires=list(old.requires) if old else [],
+                params_text=old.params_text if old else "",
+                return_type=cursor.result_type.spelling,
+                is_public=old.is_public if old else True))
+    except Exception:
+        return False
+    if not new_functions:
+        return False
+    model.functions = [f for f in model.functions if f.file != relpath]
+    model.functions.extend(new_functions)
+    model.frontend[relpath] = "clang"
+    return True

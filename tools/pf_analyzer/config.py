@@ -1,0 +1,37 @@
+"""Analyzer configuration: which code each pass holds to which contract.
+
+Kept as data (not flags) so the invariants' scope is reviewable in one
+place; the CLI can extend pinned files and widen scope for fixtures.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+
+def _default_pinned() -> List[str]:
+    # The bit-exact-pinned surfaces: exact MQM scoring, elimination, the
+    # matrix/factor kernels. Paths are substring-matched.
+    return [
+        "pufferfish/mqm_exact",
+        "pufferfish/markov_quilt_mechanism",
+        "graphical/elimination",
+        "graphical/factor",
+        "common/matrix",
+        "common/eigen",
+    ]
+
+
+@dataclass
+class AnalyzerConfig:
+    # budget-flow applies to the serving classes that touch the ledger.
+    budget_classes: Set[str] = field(
+        default_factory=lambda: {"Session", "PrivacyEngine"})
+    # determinism applies to files matching these substrings.
+    pinned_files: List[str] = field(default_factory=_default_pinned)
+    # no-throw signature discipline applies to public APIs in these layers.
+    status_api_files: List[str] = field(
+        default_factory=lambda: ["src/engine/", "src/pufferfish/"])
+    # Fixture mode: every file is in scope for every class-scoped pass.
+    all_files_in_scope: bool = False
+    # When set, the lock-order pass writes the generated doc here.
+    lock_order_doc: str = ""

@@ -1,0 +1,26 @@
+"""Rule registry: one name -> runner map for semantic passes + text rules.
+
+Semantic passes need a parsed SourceModel (either frontend); text rules
+only need file_text, so they also run under --regex-only.
+"""
+
+from . import budget_flow, determinism, lock_order, no_throw, text_rules
+
+# name -> (runner(model, config) -> [Finding], why, semantic?)
+REGISTRY = {
+    "budget-flow": (budget_flow.run, budget_flow.WHY, True),
+    "determinism": (determinism.run, determinism.WHY, True),
+    "lock-order": (lock_order.run, lock_order.WHY, True),
+    "no-throw": (no_throw.run, no_throw.WHY, True),
+}
+
+for _rule in text_rules.TEXT_RULES:
+    REGISTRY[_rule.name] = (text_rules.make_runner(_rule), _rule.why, False)
+
+
+def rule_names(semantic=None):
+    names = []
+    for name, (_, _, is_semantic) in REGISTRY.items():
+        if semantic is None or is_semantic == semantic:
+            names.append(name)
+    return names

@@ -1,0 +1,57 @@
+"""Path-sensitive fact propagation over the Stmt tree.
+
+The engine computes, at every statement, the set of string facts that are
+established on EVERY path from function entry to that statement — i.e.
+dominance in the sense the budget-flow and no-throw passes need ("a charge
+call dominates this release site", "an .ok() check dominates this
+ValueOrDie"). Join is set intersection over non-terminating branches; a
+branch that always returns does not constrain the join (the usual
+`if (!ok) return st;` early-exit shape keeps its facts).
+
+Loop and switch bodies may execute zero times, so facts established inside
+them do not escape; facts from an if/loop HEAD (the condition is evaluated
+on every path that reaches and leaves the statement) do.
+"""
+
+from typing import Callable, Set
+
+from ..ir import Stmt
+
+
+def scan(stmts, facts: Set[str], fact_fn: Callable[[Stmt], Set[str]],
+         visit: Callable[[Stmt, Set[str]], None]):
+    """Walks `stmts` with starting `facts`.
+
+    fact_fn(stmt) -> facts the statement itself establishes (from its own
+    calls/decls — head calls for if/loop/switch, everything for simple).
+    visit(stmt, pre_facts) is called on every statement with the facts
+    established strictly before it.
+
+    Returns (facts_after, terminated).
+    """
+    facts = set(facts)
+    for s in stmts:
+        visit(s, facts)
+        facts |= fact_fn(s)
+        if s.kind == "return":
+            return facts, True
+        if s.kind in ("break", "continue", "goto"):
+            return facts, True
+        if s.kind == "block":
+            facts, term = scan(s.body, facts, fact_fn, visit)
+            if term:
+                return facts, True
+        elif s.kind == "if":
+            f_then, t_then = scan(s.body, facts, fact_fn, visit)
+            f_else, t_else = scan(s.orelse, facts, fact_fn, visit)
+            if t_then and t_else:
+                return facts | (f_then & f_else), True
+            if t_then:
+                facts = f_else
+            elif t_else:
+                facts = f_then
+            else:
+                facts = f_then & f_else
+        elif s.kind in ("loop", "switch"):
+            scan(s.body, facts, fact_fn, visit)  # Body facts do not escape.
+    return facts, False

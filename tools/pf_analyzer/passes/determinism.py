@@ -1,0 +1,189 @@
+"""determinism: the bit-exact-pinned analysis code must be free of
+nondeterminism sources.
+
+The library's contract (PR 1/3/6) is that scoring, elimination, and the
+matrix/factor kernels produce bit-identical results for any thread count,
+any platform, and any run. This pass flags, in the pinned files:
+
+  * iteration over `unordered_map`/`unordered_set` — bucket order is
+    implementation- and seed-dependent, so an iteration feeding a
+    reduction (sum, max, first-wins dedup) silently breaks bit-identity.
+    Keyed lookups (`find`, `operator[]`, `count`) are fine.
+  * unseeded randomness: `rand()`, `srand()`, `std::random_device`,
+    default-constructed engines — noise must flow through pf::Rng with an
+    explicit seed.
+  * wall-clock reads: `time()`, `clock()`, `*_clock::now()` — scoring must
+    not depend on when it runs.
+  * unordered/parallel reductions: `std::reduce`, `std::transform_reduce`,
+    `std::execution::*` — their summation order is unspecified.
+  * explicit FMA: `std::fma`, `__builtin_fma*`, `*_fmadd_*` intrinsics —
+    contraction changes the pinned mul-then-add summation order (the SIMD
+    kernels use explicit mul+add so they stay bit-identical to scalar).
+"""
+
+import re
+from typing import List
+
+from ..findings import Finding
+from ..ir import Function, SourceModel, Stmt, walk_stmts
+
+WHY = ("bit-exact analysis paths must be deterministic: no hash-order "
+      "iteration, unseeded RNG, clock reads, or FMA/reordered reductions")
+
+_UNORDERED_RE = re.compile(r"unordered_(map|set|multimap|multiset)")
+_WALLCLOCK_CALLS = {"time", "clock", "gettimeofday", "localtime", "gmtime"}
+_RNG_CALLS = {"rand", "srand", "random_device"}
+_RNG_TYPES = re.compile(
+    r"\b(random_device|mt19937(_64)?|default_random_engine|minstd_rand0?)\b")
+_UNORDERED_REDUCE = {"reduce", "transform_reduce"}
+_FMA_RE = re.compile(r"\b(std\s*::\s*fmaf?|__builtin_fmaf?|_mm\d*_fn?m(add|sub)_\w+|vfmaq?_\w+)\b")
+
+
+def _pinned(path: str, config) -> bool:
+    if config.all_files_in_scope:
+        return True
+    return any(frag in path for frag in config.pinned_files)
+
+
+def _split_params(params_text: str) -> List[str]:
+    """Splits a parameter list on top-level commas (template-argument and
+    parenthesized commas don't separate parameters)."""
+    out, depth, cur = [], 0, []
+    for ch in params_text:
+        if ch in "<([":
+            depth += 1
+        elif ch in ">)]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        out.append("".join(cur))
+    return out
+
+
+def _resolve_type(expr: str, fn: Function, model: SourceModel) -> str:
+    """Best-effort declared type of an expression like `st.index` or
+    `buckets`: checks locals, then parameters, then known class fields."""
+    expr = expr.strip()
+    # Last member component resolves against the field table.
+    parts = re.split(r"->|\.", expr)
+    leaf = parts[-1].strip().split("[")[0].strip()
+    root = parts[0].strip().split("[")[0].strip()
+    for s in walk_stmts(fn.body):
+        for d in s.decls:
+            if d.name == root and len(parts) == 1:
+                return d.type_text
+    # Parameter types (textual: "const unordered_map<K,V>& m, int x").
+    for param in _split_params(fn.params_text):
+        toks = param.strip().split()
+        if toks and toks[-1].lstrip("*&") == root and len(parts) == 1:
+            return param
+    if len(parts) > 1:
+        f = model.find_field(leaf, fn.cls)
+        if f is not None:
+            return f.type_text
+    f = model.find_field(root, fn.cls)
+    if f is not None and len(parts) == 1:
+        return f.type_text
+    return ""
+
+
+def _check_range_for(stmt: Stmt, fn: Function, model: SourceModel,
+                     findings: List[Finding]):
+    head = stmt.head_text
+    if ":" not in head:
+        return
+    # Range-for: `decl : range-expr`. Skip `for (init; cond; step)` (has ;).
+    if ";" in head:
+        return
+    range_expr = head.rsplit(":", 1)[1].strip()
+    # A clang-lowered loop carries the resolved range type directly.
+    resolved = ""
+    for d in stmt.decls:
+        if d.name == "<range>":
+            resolved = d.type_text
+    if not resolved:
+        resolved = _resolve_type(range_expr, fn, model)
+    if _UNORDERED_RE.search(resolved) or _UNORDERED_RE.search(range_expr):
+        findings.append(Finding(
+            rule="determinism", file=fn.file, line=stmt.line,
+            message=(f"iteration over unordered container `{range_expr}` "
+                     f"(type `{' '.join(resolved.split())}`) in {fn.qualified}: "
+                     f"bucket order is nondeterministic — iterate a sorted "
+                     f"view or keyed order instead"),
+            why=WHY, function=fn.qualified,
+            snippet=f"unordered-iter {range_expr} in {fn.qualified}"))
+
+
+def run(model: SourceModel, config) -> List[Finding]:
+    findings: List[Finding] = []
+    for fn in model.functions:
+        if not _pinned(fn.file, config):
+            continue
+        for stmt in walk_stmts(fn.body):
+            if stmt.kind == "loop":
+                _check_range_for(stmt, fn, model, findings)
+            for c in stmt.calls:
+                if c.name in _WALLCLOCK_CALLS and not c.receiver:
+                    findings.append(Finding(
+                        rule="determinism", file=fn.file, line=c.line,
+                        message=(f"wall-clock read `{c.qualified}(...)` in "
+                                 f"{fn.qualified}: pinned analysis must not "
+                                 f"depend on when it runs"),
+                        why=WHY, function=fn.qualified,
+                        snippet=f"wallclock {c.qualified} in {fn.qualified}"))
+                elif c.name == "now" and "clock" in c.qualified:
+                    findings.append(Finding(
+                        rule="determinism", file=fn.file, line=c.line,
+                        message=(f"clock read `{c.qualified}(...)` in "
+                                 f"{fn.qualified}: pinned analysis must not "
+                                 f"depend on when it runs"),
+                        why=WHY, function=fn.qualified,
+                        snippet=f"wallclock {c.qualified} in {fn.qualified}"))
+                if c.name in _RNG_CALLS:
+                    findings.append(Finding(
+                        rule="determinism", file=fn.file, line=c.line,
+                        message=(f"unseeded randomness `{c.qualified}(...)` "
+                                 f"in {fn.qualified}: draws must come from "
+                                 f"an explicitly seeded pf::Rng"),
+                        why=WHY, function=fn.qualified,
+                        snippet=f"unseeded-rng {c.qualified} in {fn.qualified}"))
+                if c.name in _UNORDERED_REDUCE and "std" in c.qualified:
+                    findings.append(Finding(
+                        rule="determinism", file=fn.file, line=c.line,
+                        message=(f"`{c.qualified}(...)` in {fn.qualified} "
+                                 f"has unspecified reduction order — use a "
+                                 f"sequential loop with the pinned order"),
+                        why=WHY, function=fn.qualified,
+                        snippet=f"unordered-reduce {c.qualified} in {fn.qualified}"))
+            for d in stmt.decls:
+                if _RNG_TYPES.search(d.type_text) and not d.init_text:
+                    findings.append(Finding(
+                        rule="determinism", file=fn.file, line=d.line,
+                        message=(f"default-constructed random engine "
+                                 f"`{d.type_text} {d.name}` in {fn.qualified} "
+                                 f"is unseeded"),
+                        why=WHY, function=fn.qualified,
+                        snippet=f"unseeded-engine {d.name} in {fn.qualified}"))
+                if _RNG_TYPES.search(d.type_text) and "random_device" in d.type_text:
+                    findings.append(Finding(
+                        rule="determinism", file=fn.file, line=d.line,
+                        message=(f"std::random_device `{d.name}` in "
+                                 f"{fn.qualified}: entropy reads are "
+                                 f"nondeterministic by design"),
+                        why=WHY, function=fn.qualified,
+                        snippet=f"random-device {d.name} in {fn.qualified}"))
+            text = stmt.text + " " + stmt.head_text
+            m = _FMA_RE.search(text)
+            if m:
+                findings.append(Finding(
+                    rule="determinism", file=fn.file, line=stmt.line,
+                    message=(f"FMA construct `{m.group(0)}` in {fn.qualified} "
+                             f"contracts the pinned mul-then-add summation "
+                             f"order"),
+                    why=WHY, function=fn.qualified,
+                    snippet=f"fma {m.group(0)} in {fn.qualified}"))
+    return findings

@@ -1,0 +1,139 @@
+"""no-throw / status-discipline: fallible APIs speak Status, not exceptions.
+
+The library is built -fno-exceptions-style by policy (PR 4/7): every
+fallible public API returns `Status` / `Result<T>`, and error paths flow
+through PF_RETURN_IF_ERROR / PF_ASSIGN_OR_RETURN. This pass flags:
+
+  * `throw` / `try` / `catch` anywhere in the tree — exceptions are not
+    part of the error model and would fly through the no-except executor.
+  * `.at(...)` container access — throws std::out_of_range; use find() or
+    a checked helper returning Status.
+  * `ValueOrDie()` not dominated by an `.ok()` check on the same object —
+    dies on error paths the caller might legitimately hit. (The syntax
+    frontend tracks the receiver textually; a preceding `x.ok()` check on
+    every path satisfies the rule.)
+  * `std::stoi`-family conversions — throw on malformed input.
+  * fallible-verb heuristic: public method declarations named like
+    fallible operations (Load/Save/Parse/...) whose return type is not
+    Status/Result/bool/future — the signature hides the failure path.
+"""
+
+import re
+from typing import List, Set
+
+from ..findings import Finding
+from ..ir import Function, SourceModel, Stmt, walk_stmts
+from . import dataflow
+
+WHY = ("fallible APIs must return Status/Result and never throw: "
+       "exceptions would cross the no-except executor boundary and kill "
+       "the process")
+
+_STOI_FAMILY = {"stoi", "stol", "stoll", "stoul", "stoull", "stof", "stod",
+                "stold"}
+_FALLIBLE_VERB = re.compile(
+    r"^(Load|Save|Parse|Append|Analyze|Compile|Extend|Validate)")
+_OK_RETURN = re.compile(r"\b(?:Status\b|Result\s*<|future\s*<|bool\b)")
+
+
+def _fmt_type(text: str) -> str:
+    return re.sub(r"\s*(::|<|>|,)\s*", lambda m: m.group(1) + (
+        " " if m.group(1) == "," else ""), " ".join(text.split()))
+
+
+def _check_value_or_die(fn: Function, findings: List[Finding]):
+    """Flags ValueOrDie calls whose receiver has no dominating .ok()."""
+
+    def facts(stmt: Stmt) -> Set[str]:
+        out = set()
+        for c in stmt.calls:
+            if c.name == "ok" and c.receiver:
+                out.add(f"ok:{c.receiver}")
+        # `if (!st.ok()) return;` establishes ok on the fallthrough; the
+        # dataflow engine handles the branch join, we just emit the fact.
+        return out
+
+    def visit(stmt: Stmt, pre: Set[str]):
+        for c in stmt.calls:
+            if c.name != "ValueOrDie":
+                continue
+            if f"ok:{c.receiver}" in pre:
+                continue
+            # An .ok() check in the same statement (e.g. the enclosing if
+            # condition, or `CHECK(x.ok()); x.ValueOrDie()`) also counts.
+            if any(cc.name == "ok" and cc.receiver == c.receiver
+                   for cc in stmt.calls):
+                continue
+            findings.append(Finding(
+                rule="no-throw", file=fn.file, line=c.line,
+                message=(f"`{c.receiver}.ValueOrDie()` in {fn.qualified} is "
+                         f"not dominated by an `{c.receiver}.ok()` check — "
+                         f"it aborts on error paths; branch on ok() or use "
+                         f"PF_ASSIGN_OR_RETURN"),
+                why=WHY, function=fn.qualified,
+                snippet=f"valueordie {c.receiver} in {fn.qualified}"))
+
+    dataflow.scan(fn.body, set(), facts, visit)
+
+
+def run(model: SourceModel, config) -> List[Finding]:
+    findings: List[Finding] = []
+    for fn in model.functions:
+        for stmt in walk_stmts(fn.body):
+            for c in stmt.calls:
+                # The body parser records try/catch blocks as marker calls.
+                if c.name in ("try", "catch"):
+                    findings.append(Finding(
+                        rule="no-throw", file=fn.file, line=c.line,
+                        message=(f"`{c.name}` block in {fn.qualified}: "
+                                 f"exceptions are outside the error model — "
+                                 f"return Status instead"),
+                        why=WHY, function=fn.qualified,
+                        snippet=f"{c.name} in {fn.qualified}"))
+                if c.name == "at" and c.receiver:
+                    findings.append(Finding(
+                        rule="no-throw", file=fn.file, line=c.line,
+                        message=(f"`{c.receiver}.at(...)` in {fn.qualified} "
+                                 f"throws std::out_of_range on a missing "
+                                 f"key — use find() and handle the miss"),
+                        why=WHY, function=fn.qualified,
+                        snippet=f"at {c.receiver} in {fn.qualified}"))
+                if c.name in _STOI_FAMILY:
+                    findings.append(Finding(
+                        rule="no-throw", file=fn.file, line=c.line,
+                        message=(f"`{c.qualified}(...)` in {fn.qualified} "
+                                 f"throws on malformed input — use "
+                                 f"std::from_chars and return Status"),
+                        why=WHY, function=fn.qualified,
+                        snippet=f"stoi {c.qualified} in {fn.qualified}"))
+            text = stmt.text + " " + stmt.head_text
+            if re.search(r"\bthrow\b", text):
+                findings.append(Finding(
+                    rule="no-throw", file=fn.file, line=stmt.line,
+                    message=(f"`throw` in {fn.qualified}: exceptions are "
+                             f"outside the error model — return Status"),
+                    why=WHY, function=fn.qualified,
+                    snippet=f"throw in {fn.qualified}"))
+        _check_value_or_die(fn, findings)
+
+    # Signature discipline on public declarations in the serving layers.
+    for md in model.method_decls:
+        if not md.is_public or not md.cls:
+            continue
+        if not config.all_files_in_scope and not any(
+                frag in md.file for frag in config.status_api_files):
+            continue
+        if not _FALLIBLE_VERB.match(md.name):
+            continue
+        if _OK_RETURN.search(md.return_type):
+            continue
+        if not md.return_type.strip():
+            continue  # Constructors / unparsed returns.
+        findings.append(Finding(
+            rule="no-throw", file=md.file, line=md.line,
+            message=(f"public fallible API `{md.cls}::{md.name}` returns "
+                     f"`{_fmt_type(md.return_type)}` — fallible operations "
+                     f"must surface failure via Status/Result"),
+            why=WHY, function=f"{md.cls}::{md.name}",
+            snippet=f"fallible-sig {md.cls}::{md.name}"))
+    return findings

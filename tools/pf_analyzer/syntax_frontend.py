@@ -1,0 +1,705 @@
+"""The builtin frontend: lowers C++ to the pass IR without libclang.
+
+This is the fallback for hosts without clang python bindings (and the
+engine behind --syntax-only). It is a structural parser, not a compiler:
+it tracks namespace/class scopes, records fields and method declarations
+(with PF_* annotations), and parses function bodies into the Stmt tree the
+passes do path reasoning over. Lambda bodies are inlined into their
+enclosing function — calls inside a lambda attach to the statement that
+creates it, which is the conservative choice for dominance checks.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ir import Call, Decl, FieldInfo, Function, MethodDecl, SourceModel, Stmt
+from .lexer import tokenize
+
+_KEYWORDS = {
+    "if", "else", "while", "for", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "sizeof", "alignof", "decltype",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "new", "delete", "throw", "try", "catch", "noexcept", "static_assert",
+    "assert", "typedef", "using", "template", "typename", "operator",
+    "co_return", "co_await", "co_yield", "alignas", "_Static_assert",
+}
+
+_NOT_FUNCTION_NAMES = _KEYWORDS | {
+    "PF_GUARDED_BY", "PF_PT_GUARDED_BY", "PF_REQUIRES", "PF_EXCLUDES",
+    "PF_ACQUIRE", "PF_RELEASE", "PF_TRY_ACQUIRE", "PF_ASSERT_CAPABILITY",
+    "PF_RETURN_CAPABILITY", "PF_CAPABILITY", "PF_THREAD_ANNOTATION_",
+    # Fundamental types: `std::function<void()>` must not read as `void(`.
+    "void", "int", "bool", "char", "double", "float", "auto", "wchar_t",
+    "char8_t", "char16_t", "char32_t",
+}
+
+_TYPE_KEYWORDS = {
+    "const", "constexpr", "mutable", "static", "inline", "volatile",
+    "virtual", "explicit", "friend", "unsigned", "signed", "long", "short",
+    "extern", "thread_local", "register",
+}
+
+
+def _flatten(tokens) -> str:
+    out = []
+    for kind, text, _ in tokens:
+        if kind == "pp":
+            continue
+        out.append(text)
+    return " ".join(out)
+
+
+def _match_forward(tokens, i, open_tok, close_tok):
+    """tokens[i] == open_tok; returns index just past the matching close."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i][1]
+        if t == open_tok:
+            depth += 1
+        elif t == close_tok:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+class _Parser:
+    def __init__(self, relpath: str, text: str):
+        self.relpath = relpath
+        self.tokens, self.allows = tokenize(text)
+        self.functions: List[Function] = []
+        self.fields: List[FieldInfo] = []
+        self.method_decls: List[MethodDecl] = []
+
+    # -- scope walk ---------------------------------------------------------
+
+    def parse(self):
+        self._parse_scope(0, len(self.tokens), namespaces=[], cls="",
+                          access_public=True)
+
+    def _parse_scope(self, i, end, namespaces, cls, access_public):
+        """Parses declarations in [i, end); returns index past `end`."""
+        toks = self.tokens
+        while i < end:
+            kind, text, line = toks[i]
+            if kind == "pp":
+                i += 1
+                continue
+            if text == "}":
+                return i + 1
+            if text == ";":
+                i += 1
+                continue
+            # Access specifiers inside a class body.
+            if cls and text in ("public", "private", "protected") and \
+                    i + 1 < end and toks[i + 1][1] == ":":
+                access_public = text == "public"
+                i += 2
+                continue
+            # Collect one declaration chunk up to `;` or a body `{`.
+            chunk_start = i
+            j = i
+            saw_paren_group = False
+            template_depth = 0
+            while j < end:
+                t = toks[j][1]
+                k = toks[j][0]
+                if k == "pp":
+                    j += 1
+                    continue
+                if t == "template" and j + 1 < end and toks[j + 1][1] == "<":
+                    # Skip the template parameter list wholesale.
+                    depth = 0
+                    j += 1
+                    while j < end:
+                        if toks[j][1] == "<":
+                            depth += 1
+                        elif toks[j][1] == ">":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        elif toks[j][1] == ">>":
+                            depth -= 2
+                            if depth <= 0:
+                                break
+                        j += 1
+                    j += 1
+                    continue
+                if t == "(":
+                    j = _match_forward(toks, j, "(", ")")
+                    saw_paren_group = True
+                    continue
+                if t == "[":
+                    j = _match_forward(toks, j, "[", "]")
+                    continue
+                if t in (";", "{", "}"):
+                    break
+                if t == "=" and j + 1 < end and toks[j + 1][1] == "{":
+                    # Brace initializer at declaration scope: consume it as
+                    # part of the chunk, then continue to the `;`.
+                    j = _match_forward(toks, j + 1, "{", "}")
+                    continue
+                j += 1
+            if j >= end:
+                return end
+            chunk = toks[chunk_start:j]
+            t = toks[j][1]
+            if t == "}":
+                return j + 1
+            if t == ";":
+                self._handle_decl_chunk(chunk, cls, namespaces, access_public,
+                                        saw_paren_group)
+                i = j + 1
+                continue
+            # t == "{": what kind of block?
+            words = [x[1] for x in chunk if x[0] == "id"]
+            if "namespace" in words:
+                name = words[-1] if words[-1] != "namespace" else ""
+                close = self._parse_scope(j + 1, end, namespaces + [name],
+                                          "", True)
+                i = close
+                continue
+            if words[:1] == ["enum"]:
+                i = _match_forward(toks, j, "{", "}")
+                continue
+            if self._is_class_chunk(chunk):
+                cname = self._class_name(chunk)
+                struct_like = "struct" in words
+                close = self._parse_scope(j + 1, end, namespaces, cname,
+                                          struct_like)
+                i = close
+                continue
+            if saw_paren_group and self._looks_like_function(chunk):
+                i = self._parse_function(chunk, j, end, namespaces, cls,
+                                         access_public)
+                continue
+            # Unrecognized brace owner (array init, extern "C", ...): if it
+            # carries an `=`, skip the initializer; else recurse
+            # transparently so nothing inside is missed.
+            if any(x[1] == "=" for x in chunk):
+                i = _match_forward(toks, j, "{", "}")
+            else:
+                i = self._parse_scope(j + 1, end, namespaces, cls,
+                                      access_public)
+
+    # -- chunk classification -----------------------------------------------
+
+    @staticmethod
+    def _is_class_chunk(chunk) -> bool:
+        ids = [x[1] for x in chunk if x[0] == "id"]
+        if not ids or ids[0] not in ("class", "struct", "union"):
+            # `typedef struct {...}` etc.
+            if ids[:2] and ids[0] == "typedef" and ids[1] in ("struct", "union"):
+                return True
+            return False
+        return True
+
+    @staticmethod
+    def _class_name(chunk) -> str:
+        ids = [x for x in chunk if x[0] == "id"]
+        name = ""
+        skip_next = False
+        for idx, (_, text, _) in enumerate(ids):
+            if skip_next:
+                skip_next = False
+                continue
+            if text in ("class", "struct", "union", "typedef", "final",
+                        "alignas"):
+                continue
+            if text.startswith("PF_") or text.isupper():
+                continue  # Attribute-like macro (PF_CAPABILITY("mutex")).
+            name = text
+            break
+        # Stop at the base-clause colon: name precedes it anyway.
+        return name
+
+    @staticmethod
+    def _looks_like_function(chunk) -> bool:
+        """True when the chunk reads `...name(params) quals` — i.e. the
+        last parenthesized group is attached to a plausible function name
+        (or to a PF_/noexcept/const qualifier trailing one)."""
+        # Find the token index of the last `(` group's opener at top level.
+        name = _declarator_name(chunk)
+        return name is not None and name not in _KEYWORDS
+
+
+def _declarator_name(chunk) -> Optional[str]:
+    """The function name of a `ret name(args) quals` chunk, or None.
+
+    The FIRST plausible `id(` group wins: later groups belong to trailing
+    annotation macros or a constructor's member-init list
+    (`Session::Session(...) : engine_(engine), ...`), never the declarator.
+    """
+    i = 0
+    n = len(chunk)
+    while i < n:
+        kind, text, _ = chunk[i]
+        if text == "(":
+            prev = None
+            j = i - 1
+            while j >= 0 and chunk[j][0] == "pp":
+                j -= 1
+            if j >= 0 and chunk[j][0] == "id":
+                prev = chunk[j][1]
+            if prev == "operator" or (prev and prev in _NOT_FUNCTION_NAMES):
+                prev = None
+            if prev:
+                return prev
+            i = _match_forward(chunk, i, "(", ")")
+            continue
+        i += 1
+    return None
+
+
+def _annotation_args(chunk, macro: str) -> List[str]:
+    """Arguments of every `macro(...)` occurrence in a token chunk."""
+    out = []
+    i = 0
+    n = len(chunk)
+    while i < n:
+        if chunk[i][0] == "id" and chunk[i][1] == macro and i + 1 < n and \
+                chunk[i + 1][1] == "(":
+            close = _match_forward(chunk, i + 1, "(", ")")
+            arg = "".join(t for _, t, _ in chunk[i + 2 : close - 1])
+            out.append(arg)
+            i = close
+            continue
+        i += 1
+    return out
+
+
+class _BodyParser:
+    """Parses one function body token range into a Stmt list."""
+
+    def __init__(self, tokens):
+        self.toks = tokens
+        self.n = len(tokens)
+
+    def parse_block(self, i) -> Tuple[List[Stmt], int]:
+        """i points just past `{`; returns (stmts, index past `}`)."""
+        stmts: List[Stmt] = []
+        toks = self.toks
+        while i < self.n:
+            kind, text, line = toks[i]
+            if kind == "pp":
+                i += 1
+                continue
+            if text == "}":
+                return stmts, i + 1
+            if text == ";":
+                i += 1
+                continue
+            if text == "{":
+                body, i = self.parse_block(i + 1)
+                stmts.append(Stmt("block", line, body=body))
+                continue
+            if text == "if":
+                stmt, i = self._parse_if(i)
+                stmts.append(stmt)
+                continue
+            if text in ("for", "while"):
+                head_end = i + 1
+                head = []
+                if head_end < self.n and toks[head_end][1] == "(":
+                    close = _match_forward(toks, head_end, "(", ")")
+                    head = toks[head_end + 1 : close - 1]
+                    head_end = close
+                body, i = self._parse_substmt(head_end)
+                s = Stmt("loop", line, head_text=_flatten(head), body=body)
+                self._extract(head, s)
+                stmts.append(s)
+                continue
+            if text == "do":
+                body, i = self._parse_substmt(i + 1)
+                # Consume `while (...);`
+                if i < self.n and toks[i][1] == "while":
+                    close = _match_forward(toks, i + 1, "(", ")")
+                    head = toks[i + 2 : close - 1]
+                    s = Stmt("loop", line, head_text=_flatten(head), body=body)
+                    self._extract(head, s)
+                    i = close
+                    if i < self.n and toks[i][1] == ";":
+                        i += 1
+                else:
+                    s = Stmt("loop", line, body=body)
+                # A do-while body runs at least once: model as block + loop
+                # so dominance treats the body as executed.
+                stmts.append(Stmt("block", line, body=body))
+                stmts.append(s)
+                continue
+            if text == "switch":
+                close = _match_forward(toks, i + 1, "(", ")")
+                head = toks[i + 2 : close - 1]
+                body, i = self._parse_substmt(close)
+                s = Stmt("switch", line, head_text=_flatten(head), body=body)
+                self._extract(head, s)
+                stmts.append(s)
+                continue
+            if text == "return":
+                j = self._find_semi(i + 1)
+                s = Stmt("return", line, text=_flatten(toks[i + 1 : j]))
+                self._extract(toks[i + 1 : j], s)
+                stmts.append(s)
+                i = j + 1
+                continue
+            if text in ("break", "continue"):
+                stmts.append(Stmt(text, line))
+                i += 1
+                continue
+            if text in ("case", "default"):
+                # Skip to the label colon; the statements follow normally.
+                while i < self.n and toks[i][1] != ":":
+                    i += 1
+                i += 1
+                continue
+            if text in ("try", "catch", "else"):
+                # `try {` / `catch (...) {` / stray else: treat the attached
+                # block transparently.
+                j = i + 1
+                if j < self.n and toks[j][1] == "(":
+                    j = _match_forward(toks, j, "(", ")")
+                if j < self.n and toks[j][1] == "{":
+                    body, i = self.parse_block(j + 1)
+                    s = Stmt("block", line, body=body)
+                    s.calls.append(Call(text, text, "", "", line))
+                    stmts.append(s)
+                else:
+                    i = j
+                continue
+            # Simple statement.
+            stmt, i = self._parse_simple(i)
+            stmts.append(stmt)
+        return stmts, i
+
+    def _parse_if(self, i) -> Tuple[Stmt, int]:
+        toks = self.toks
+        line = toks[i][2]
+        close = _match_forward(toks, i + 1, "(", ")")
+        head = toks[i + 2 : close - 1]
+        body, i = self._parse_substmt(close)
+        s = Stmt("if", line, head_text=_flatten(head), body=body)
+        self._extract(head, s)
+        if i < self.n and toks[i][1] == "else":
+            if i + 1 < self.n and toks[i + 1][1] == "if":
+                nested, i = self._parse_if(i + 1)
+                s.orelse = [nested]
+            else:
+                s.orelse, i = self._parse_substmt(i + 1)
+        return s, i
+
+    def _parse_substmt(self, i) -> Tuple[List[Stmt], int]:
+        """One statement-or-block as a statement list."""
+        toks = self.toks
+        while i < self.n and toks[i][0] == "pp":
+            i += 1
+        if i >= self.n:
+            return [], i
+        if toks[i][1] == "{":
+            return self.parse_block(i + 1)
+        if toks[i][1] == ";":
+            return [], i + 1
+        if toks[i][1] in ("if",):
+            s, i = self._parse_if(i)
+            return [s], i
+        if toks[i][1] == "return":
+            j = self._find_semi(i + 1)
+            s = Stmt("return", toks[i][2], text=_flatten(toks[i + 1 : j]))
+            self._extract(toks[i + 1 : j], s)
+            return [s], j + 1
+        if toks[i][1] in ("for", "while", "switch", "do", "break", "continue"):
+            # Recurse through parse_block machinery on a synthetic block.
+            stmts, i = self._parse_bounded(i)
+            return stmts, i
+        s, i = self._parse_simple(i)
+        return [s], i
+
+    def _parse_bounded(self, i):
+        """Parses exactly one structured statement starting at i by
+        delegating to parse_block logic."""
+        # Cheap trick: parse as if a block of one statement.
+        toks = self.toks
+        text = toks[i][1]
+        if text in ("break", "continue"):
+            j = i + 1
+            if j < self.n and toks[j][1] == ";":
+                j += 1
+            return [Stmt(text, toks[i][2])], j
+        # for/while/switch/do with a substatement:
+        saved = []
+        if text in ("for", "while", "switch"):
+            close = _match_forward(toks, i + 1, "(", ")")
+            head = toks[i + 2 : close - 1]
+            body, j = self._parse_substmt(close)
+            kind = "switch" if text == "switch" else "loop"
+            s = Stmt(kind, toks[i][2], head_text=_flatten(head), body=body)
+            self._extract(head, s)
+            return [s], j
+        if text == "do":
+            body, j = self._parse_substmt(i + 1)
+            if j < self.n and toks[j][1] == "while":
+                close = _match_forward(toks, j + 1, "(", ")")
+                j = close
+                if j < self.n and toks[j][1] == ";":
+                    j += 1
+            return [Stmt("block", toks[i][2], body=body),
+                    Stmt("loop", toks[i][2], body=body)], j
+        return saved, i + 1
+
+    def _find_semi(self, i) -> int:
+        toks = self.toks
+        depth = 0
+        while i < self.n:
+            t = toks[i][1]
+            if t in ("(", "[", "{"):
+                close = {"(": ")", "[": "]", "{": "}"}[t]
+                i = _match_forward(toks, i, t, close)
+                continue
+            if t == ";" and depth == 0:
+                return i
+            if t == "}":
+                return i  # Malformed; stop at scope end.
+            i += 1
+        return self.n
+
+    def _parse_simple(self, i) -> Tuple[Stmt, int]:
+        j = self._find_semi(i)
+        toks = self.toks[i:j]
+        line = self.toks[i][2] if i < self.n else 0
+        s = Stmt("simple", line, text=_flatten(toks))
+        self._extract(toks, s)
+        self._extract_decl(toks, s)
+        return s, j + 1
+
+    # -- call / decl extraction ---------------------------------------------
+
+    def _extract(self, toks, stmt: Stmt):
+        """Extracts calls from a token run (including nested/lambda code)."""
+        n = len(toks)
+        for k in range(n - 1):
+            kind, text, line = toks[k]
+            if kind != "id" or toks[k + 1][1] != "(":
+                continue
+            if text in _NOT_FUNCTION_NAMES:
+                continue
+            # Backward scan for the qualifier/receiver chain.
+            parts = [text]
+            j = k - 1
+            receiver_tokens: List[str] = []
+            while j >= 1:
+                sep = toks[j][1]
+                if sep in ("::", ".", "->"):
+                    prev_kind, prev_text, _ = toks[j - 1]
+                    if prev_text == ")":
+                        # Receiver ends in a call: skip back over the group.
+                        depth = 0
+                        jj = j - 1
+                        while jj >= 0:
+                            if toks[jj][1] == ")":
+                                depth += 1
+                            elif toks[jj][1] == "(":
+                                depth -= 1
+                                if depth == 0:
+                                    break
+                            jj -= 1
+                        seg = "".join(t for _, t, _ in toks[max(jj - 1, 0) : j])
+                        receiver_tokens.insert(0, seg)
+                        parts.insert(0, seg + sep)
+                        j = jj - 2
+                        continue
+                    if prev_kind == "id":
+                        receiver_tokens.insert(0, prev_text + sep)
+                        parts.insert(0, prev_text + sep)
+                        j -= 2
+                        continue
+                break
+            qualified = "".join(parts)
+            receiver = "".join(receiver_tokens).rstrip(":.->")
+            close = _match_forward(toks, k + 1, "(", ")")
+            arg_text = " ".join(t for _, t, _ in toks[k + 2 : close - 1])
+            stmt.calls.append(Call(text, qualified, receiver, arg_text, line))
+
+    def _extract_decl(self, toks, stmt: Stmt):
+        """Detects `Type name(init);` / `Type name = init;` declarations."""
+        # Strip leading cv/storage keywords.
+        i = 0
+        n = len(toks)
+        while i < n and toks[i][0] == "id" and toks[i][1] in _TYPE_KEYWORDS:
+            i += 1
+        # Type: (id ::)* id [<...>] [*&]*
+        type_parts = []
+        start = i
+        while i < n:
+            kind, text, _ = toks[i]
+            if kind == "id" and text not in _KEYWORDS:
+                type_parts.append(text)
+                i += 1
+                if i < n and toks[i][1] == "<":
+                    close = self._match_angle(toks, i)
+                    if close is None:
+                        return
+                    type_parts.append(
+                        "<" + " ".join(t for _, t, _ in toks[i + 1 : close - 1]) + ">")
+                    i = close
+                if i < n and toks[i][1] == "::":
+                    type_parts.append("::")
+                    i += 1
+                    continue
+                break
+            return
+        while i < n and toks[i][1] in ("*", "&", "&&", "const"):
+            type_parts.append(toks[i][1])
+            i += 1
+        if i >= n or toks[i][0] != "id" or len(type_parts) == 0:
+            return
+        name = toks[i][1]
+        if name in _KEYWORDS:
+            return
+        i += 1
+        if i >= n:
+            init = ""
+        elif toks[i][1] == "(":
+            close = _match_forward(toks, i, "(", ")")
+            init = " ".join(t for _, t, _ in toks[i + 1 : close - 1])
+        elif toks[i][1] in ("=", "{"):
+            init = " ".join(t for _, t, _ in toks[i + 1 :])
+        else:
+            return
+        stmt.decls.append(
+            Decl(name, " ".join(type_parts), init, toks[start][2]))
+
+    @staticmethod
+    def _match_angle(toks, i) -> Optional[int]:
+        depth = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i][1]
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i + 1
+            elif t in (";", "{"):
+                return None
+            i += 1
+        return None
+
+
+# -- declaration handling ----------------------------------------------------
+
+
+def _parser_handle_decl(self: _Parser, chunk, cls, namespaces, access_public,
+                        saw_paren_group):
+    if not chunk:
+        return
+    line = chunk[0][2]
+    words = [x[1] for x in chunk if x[0] == "id"]
+    if not words or words[0] in ("using", "typedef", "friend", "template"):
+        return
+    # A chunk whose only paren groups are annotation macros (e.g.
+    # `Foo field_ PF_GUARDED_BY(mutex_);`) is a field, not a method decl.
+    if saw_paren_group and _declarator_name(chunk) is not None:
+        name = _declarator_name(chunk)
+        if name and cls:
+            requires = _annotation_args(chunk, "PF_REQUIRES")
+            excludes = _annotation_args(chunk, "PF_EXCLUDES")
+            ret = _return_type_text(chunk, name)
+            self.method_decls.append(
+                MethodDecl(cls, name, self.relpath, line, ret, requires,
+                           excludes, access_public))
+        return
+    if cls:
+        # Field: last id before `=`/`{`/PF_GUARDED_BY/`;` is the name.
+        guarded = _annotation_args(chunk, "PF_GUARDED_BY")
+        name = None
+        type_parts = []
+        stop = {"=", "{"}
+        for kind, text, _ in chunk:
+            if text in stop:
+                break
+            if kind == "id" and text == "PF_GUARDED_BY":
+                break
+            if kind == "id" and text not in _TYPE_KEYWORDS:
+                if name is not None:
+                    type_parts.append(name)
+                name = text
+            elif kind == "punct" and text in ("<", ">", "::", "*", "&", ","):
+                if name is not None:
+                    type_parts.append(name)
+                    name = None
+                type_parts.append(text)
+        if name:
+            self.fields.append(
+                FieldInfo(cls, name, " ".join(type_parts), self.relpath,
+                          line, guarded[0] if guarded else ""))
+
+
+def _return_type_text(chunk, name: str) -> str:
+    parts = []
+    for kind, text, _ in chunk:
+        if kind == "id" and text == name:
+            break
+        if kind == "pp":
+            continue
+        parts.append(text)
+    return " ".join(parts)
+
+
+def _parser_parse_function(self: _Parser, chunk, brace_i, end, namespaces,
+                           cls, access_public):
+    toks = self.tokens
+    name = _declarator_name(chunk)
+    line = chunk[0][2]
+    # Explicit qualification in the declarator: `Type Cls::Name(...)`.
+    decl_cls = cls
+    for k in range(len(chunk) - 2):
+        if chunk[k][0] == "id" and chunk[k + 1][1] == "::" and \
+                chunk[k + 2][0] == "id" and chunk[k + 2][1] == name and \
+                k + 3 < len(chunk) and chunk[k + 3][1] == "(":
+            decl_cls = chunk[k][1]
+    del end  # Unused; kept for signature symmetry.
+    requires = _annotation_args(chunk, "PF_REQUIRES")
+    # Parameter text: first top-level group following the name.
+    params = ""
+    for k in range(len(chunk) - 1):
+        if chunk[k][0] == "id" and chunk[k][1] == name and \
+                chunk[k + 1][1] == "(":
+            close = _match_forward(chunk, k + 1, "(", ")")
+            params = " ".join(t for _, t, _ in chunk[k + 2 : close - 1])
+            break
+    close = _match_forward(toks, brace_i, "{", "}")
+    body_toks = toks[brace_i + 1 : close - 1]
+    end_line = body_toks[-1][2] if body_toks else line
+    parser = _BodyParser(body_toks + [("punct", "}", end_line)])
+    stmts, _ = parser.parse_block(0)
+    qualified = "::".join([n for n in namespaces if n] +
+                          ([decl_cls] if decl_cls else []) + [name or "?"])
+    fn = Function(
+        name=name or "?", qualified=qualified, cls=decl_cls,
+        file=self.relpath, line=line, body=stmts, requires=requires,
+        params_text=params,
+        return_type=_return_type_text(chunk, name or "?"),
+        is_public=access_public)
+    self.functions.append(fn)
+    return close
+
+
+_Parser._handle_decl_chunk = _parser_handle_decl
+_Parser._parse_function = _parser_parse_function
+
+
+def parse_file(relpath: str, text: str, model: SourceModel):
+    """Parses one file into `model` (builtin frontend)."""
+    p = _Parser(relpath, text)
+    p.parse()
+    model.functions.extend(p.functions)
+    model.fields.extend(p.fields)
+    model.method_decls.extend(p.method_decls)
+    model.allows[relpath] = {k: set(v) for k, v in p.allows.items()}
+    model.file_text[relpath] = text
+    model.frontend[relpath] = "syntax"

@@ -77,6 +77,20 @@ double AddLaplaceNoise(double value, double scale, Rng* rng);
 /// that are Lipschitz in L1 over the whole vector).
 Vector AddLaplaceNoise(const Vector& value, double scale, Rng* rng);
 
+/// In-place variant over a raw buffer (the columnar serving path's noise
+/// primitive): values[i] += Lap(scale) for i in [0, n), drawing exactly the
+/// sequence the Vector overload would — a row noised here is bit-identical
+/// to AddLaplaceNoise(row_as_vector, scale, rng).
+void AddLaplaceNoise(double* values, std::size_t n, double scale, Rng* rng);
+
+/// \brief The per-ticket noise-stream seed shared by the scalar and
+/// columnar serving paths: SplitMix64 over (session seed, ticket). Each
+/// ticket gets an independent, reproducible stream regardless of which
+/// executor thread — or which serving path — draws from it, which is the
+/// whole bit-identity story: a query released columnar under ticket t adds
+/// exactly the noise the scalar path would have added under ticket t.
+std::uint64_t TicketNoiseSeed(std::uint64_t seed, std::uint64_t ticket);
+
 }  // namespace pf
 
 #endif  // PUFFERFISH_COMMON_RANDOM_H_

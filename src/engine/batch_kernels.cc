@@ -1,0 +1,324 @@
+#include "engine/batch_kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/matrix.h"
+#include "common/random.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PF_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace pf {
+
+namespace {
+
+void AggregatePortable(const int* data, std::size_t n,
+                       const AggregateSpec& spec, AggregateStats* stats) {
+  const int k = static_cast<int>(spec.k);
+  std::int64_t sum = 0;
+  bool oor = false;
+  std::int64_t* counts = stats->counts;
+  std::int64_t* matches = stats->match_counts;
+  const std::size_t num_match = spec.match_states.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    const int v = data[t];
+    sum += v;
+    if (k > 0) {
+      if (v >= 0 && v < k) {
+        ++counts[v];
+      } else {
+        oor = true;
+      }
+    }
+    for (std::size_t m = 0; m < num_match; ++m) {
+      matches[m] += (v == spec.match_states[m]) ? 1 : 0;
+    }
+  }
+  stats->sum = sum;  // The sum is free alongside the pass; always report it.
+  stats->out_of_range = oor;
+}
+
+#ifdef PF_SIMD_X86
+// AVX2 aggregate: 8 int32 lanes per step. The state sum widens each half
+// to int64 lanes (exact — no overflow below 2^63), the range check ORs a
+// per-lane out-of-bounds mask into a sticky accumulator, and each match
+// target keeps 8 int32 lane counters (cmpeq yields -1 per matching lane;
+// subtracting accumulates +1). The histogram itself stays scalar over the
+// already-loaded block — 8 dependent memory increments don't vectorize,
+// and the loads are the expensive part. Everything is integer arithmetic,
+// so the result is bit-identical to the portable kernel by construction.
+__attribute__((target("avx2"))) void AggregateAvx2(const int* data,
+                                                   std::size_t n,
+                                                   const AggregateSpec& spec,
+                                                   AggregateStats* stats) {
+  const int k = static_cast<int>(spec.k);
+  std::int64_t* counts = stats->counts;
+  std::int64_t* matches = stats->match_counts;
+  const std::size_t num_match = spec.match_states.size();
+
+  __m256i sum_lo = _mm256_setzero_si256();
+  __m256i sum_hi = _mm256_setzero_si256();
+  __m256i oor_acc = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i kvec = _mm256_set1_epi32(k);
+  // Per-target 8-lane match counters (int32; safe for n < 2^31 per lane,
+  // far beyond any record this engine serves).
+  __m256i match_acc[8];
+  const std::size_t vec_match = num_match <= 8 ? num_match : 8;
+  __m256i match_target[8];
+  for (std::size_t m = 0; m < vec_match; ++m) {
+    match_acc[m] = _mm256_setzero_si256();
+    match_target[m] = _mm256_set1_epi32(spec.match_states[m]);
+  }
+
+  std::size_t t = 0;
+  for (; t + 8 <= n; t += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + t));
+    // Widen to 2x4 int64 lanes and accumulate the sum exactly.
+    sum_lo = _mm256_add_epi64(
+        sum_lo, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)));
+    sum_hi = _mm256_add_epi64(
+        sum_hi, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1)));
+    if (k > 0) {
+      // out-of-range lane = (v < 0) | (v >= k).
+      const __m256i neg = _mm256_cmpgt_epi32(zero, v);
+      const __m256i high = _mm256_cmpgt_epi32(kvec, v);  // v < k per lane
+      oor_acc = _mm256_or_si256(
+          oor_acc, _mm256_or_si256(neg, _mm256_andnot_si256(high, _mm256_set1_epi32(-1))));
+      // Histogram over the in-register block, scalar increments.
+      for (int lane = 0; lane < 8; ++lane) {
+        const int s = data[t + lane];
+        if (s >= 0 && s < k) ++counts[s];
+      }
+    }
+    for (std::size_t m = 0; m < vec_match; ++m) {
+      match_acc[m] = _mm256_sub_epi32(match_acc[m],
+                                      _mm256_cmpeq_epi32(v, match_target[m]));
+    }
+    for (std::size_t m = vec_match; m < num_match; ++m) {
+      const int target = spec.match_states[m];
+      for (int lane = 0; lane < 8; ++lane) {
+        matches[m] += (data[t + lane] == target) ? 1 : 0;
+      }
+    }
+  }
+
+  // Horizontal reductions (integer adds — order-free).
+  alignas(32) std::int64_t lanes64[4];
+  std::int64_t sum = 0;
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes64), sum_lo);
+  sum += lanes64[0] + lanes64[1] + lanes64[2] + lanes64[3];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes64), sum_hi);
+  sum += lanes64[0] + lanes64[1] + lanes64[2] + lanes64[3];
+  bool oor = _mm256_movemask_epi8(oor_acc) != 0;
+  for (std::size_t m = 0; m < vec_match; ++m) {
+    alignas(32) std::int32_t lanes32[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes32), match_acc[m]);
+    for (int lane = 0; lane < 8; ++lane) matches[m] += lanes32[lane];
+  }
+
+  // Scalar tail.
+  for (; t < n; ++t) {
+    const int v = data[t];
+    sum += v;
+    if (k > 0) {
+      if (v >= 0 && v < k) {
+        ++counts[v];
+      } else {
+        oor = true;
+      }
+    }
+    for (std::size_t m = 0; m < num_match; ++m) {
+      matches[m] += (v == spec.match_states[m]) ? 1 : 0;
+    }
+  }
+
+  stats->sum = sum;
+  stats->out_of_range = oor;
+}
+
+__attribute__((target("avx2"))) void ClipScalesAvx2(const double* lipschitz,
+                                                    const double* sigmas,
+                                                    std::size_t n,
+                                                    double* scales) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(scales + i, _mm256_mul_pd(_mm256_loadu_pd(lipschitz + i),
+                                               _mm256_loadu_pd(sigmas + i)));
+  }
+  for (; i < n; ++i) scales[i] = lipschitz[i] * sigmas[i];
+}
+#endif  // PF_SIMD_X86
+
+// ---- BatchLaplaceNoise ---------------------------------------------------
+//
+// An exact replica of libstdc++'s std::mt19937_64
+// (std::mersenne_twister_engine<uint64_t, 64, 312, 156, 31,
+// 0xb5026f5aa96619e9, 29, 0x5555555555555555, 17, 0x71d67fffeda60000, 37,
+// 0xfff7eee000000000, 43, 6364136223846793005>) with the states of
+// kNoiseLanes rows kept lane-major: the seeding recurrence and the twist
+// are strictly serial per generator (each word depends on the previous),
+// but independent across rows, so interleaving them lets the multiply
+// chains pipeline instead of stalling — roughly a lane-count speedup on
+// the state setup that dominates per-ticket noise cost. The per-draw
+// conversion replicates uniform_real_distribution<double>(0, 1): one
+// tempered 64-bit output divided by 2^64, with generate_canonical's
+// below-1.0 clamp. Pinned bit-for-bit against std:: by
+// BatchLaplaceNoiseMatchesPerRowRngBitForBit and the scalar-vs-columnar
+// serving suite.
+
+constexpr std::size_t kMtN = 312;
+constexpr std::size_t kMtM = 156;
+constexpr std::uint64_t kMtMatrixA = 0xb5026f5aa96619e9ULL;
+constexpr std::uint64_t kMtUpperMask = 0xffffffff80000000ULL;
+constexpr std::uint64_t kMtLowerMask = 0x000000007fffffffULL;
+constexpr std::uint64_t kMtInitMult = 6364136223846793005ULL;
+constexpr std::size_t kNoiseLanes = 8;
+
+/// State words of kNoiseLanes independent engines, word-index major so the
+/// interleaved loops touch consecutive memory across lanes.
+struct MtLaneBlock {
+  std::uint64_t state[kMtN][kNoiseLanes];
+};
+
+inline std::uint64_t MtTemper(std::uint64_t y) {
+  y ^= (y >> 29) & 0x5555555555555555ULL;
+  y ^= (y << 17) & 0x71d67fffeda60000ULL;
+  y ^= (y << 37) & 0xfff7eee000000000ULL;
+  y ^= (y >> 43);
+  return y;
+}
+
+/// One twist step from state words x_k, x_{k+1}, x_{k+m} (branchless form
+/// of the (y & 1) ? matrix_a : 0 conditional).
+inline std::uint64_t MtTwistWord(std::uint64_t xk, std::uint64_t xk1,
+                                 std::uint64_t xkm) {
+  const std::uint64_t y = (xk & kMtUpperMask) | (xk1 & kMtLowerMask);
+  return xkm ^ (y >> 1) ^ (kMtMatrixA & (0 - (y & 1ULL)));
+}
+
+void MtSeedLanes(MtLaneBlock* mt, const std::uint64_t* seeds,
+                 std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) mt->state[0][l] = seeds[l];
+  for (std::size_t i = 1; i < kMtN; ++i) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::uint64_t prev = mt->state[i - 1][l];
+      mt->state[i][l] =
+          kMtInitMult * (prev ^ (prev >> 62)) + static_cast<std::uint64_t>(i);
+    }
+  }
+}
+
+void MtTwistLanes(MtLaneBlock* mt, std::size_t lanes) {
+  auto& s = mt->state;
+  for (std::size_t k = 0; k < kMtN - kMtM; ++k) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      s[k][l] = MtTwistWord(s[k][l], s[k + 1][l], s[k + kMtM][l]);
+    }
+  }
+  for (std::size_t k = kMtN - kMtM; k < kMtN - 1; ++k) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      s[k][l] = MtTwistWord(s[k][l], s[k + 1][l], s[k + kMtM - kMtN][l]);
+    }
+  }
+  for (std::size_t l = 0; l < lanes; ++l) {
+    s[kMtN - 1][l] = MtTwistWord(s[kMtN - 1][l], s[0][l], s[kMtM - 1][l]);
+  }
+}
+
+/// Retwist a single lane in place (stride kNoiseLanes words). Cold path:
+/// only a row needing more than 312 draws — a vector row wider than the
+/// state, or a redraw cascade — reaches it.
+void MtTwistStrided(std::uint64_t* lane0) {
+  auto at = [lane0](std::size_t i) -> std::uint64_t& {
+    return lane0[i * kNoiseLanes];
+  };
+  for (std::size_t k = 0; k < kMtN - kMtM; ++k) {
+    at(k) = MtTwistWord(at(k), at(k + 1), at(k + kMtM));
+  }
+  for (std::size_t k = kMtN - kMtM; k < kMtN - 1; ++k) {
+    at(k) = MtTwistWord(at(k), at(k + 1), at(k + kMtM - kMtN));
+  }
+  at(kMtN - 1) = MtTwistWord(at(kMtN - 1), at(0), at(kMtM - 1));
+}
+
+/// uniform_real_distribution<double>(0, 1) on a 64-bit engine output,
+/// libstdc++ generate_canonical semantics: one division by 2^64, and the
+/// result clamped to the largest double below 1.0 when the conversion of x
+/// to double rounds up to 2^64 (x within 512 of the top of the range).
+inline double MtUnitDraw(std::uint64_t x) {
+  const double u = static_cast<double>(x) / 18446744073709551616.0;
+  return u >= 1.0 ? 1.0 - std::numeric_limits<double>::epsilon() / 2.0 : u;
+}
+
+}  // namespace
+
+void AggregateStates(const int* data, std::size_t n, const AggregateSpec& spec,
+                     AggregateStats* stats) {
+  assert(spec.k == 0 || stats->counts != nullptr);
+  assert(spec.match_states.empty() || stats->match_counts != nullptr);
+  for (std::size_t i = 0; i < spec.k; ++i) stats->counts[i] = 0;
+  for (std::size_t m = 0; m < spec.match_states.size(); ++m) {
+    stats->match_counts[m] = 0;
+  }
+  stats->sum = 0;
+  stats->out_of_range = false;
+  if (n == 0) return;
+#ifdef PF_SIMD_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    AggregateAvx2(data, n, spec, stats);
+    return;
+  }
+#endif
+  AggregatePortable(data, n, spec, stats);
+}
+
+void ClipScales(const double* lipschitz, const double* sigmas, std::size_t n,
+                double* scales) {
+#ifdef PF_SIMD_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    ClipScalesAvx2(lipschitz, sigmas, n, scales);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) scales[i] = lipschitz[i] * sigmas[i];
+}
+
+void BatchLaplaceNoise(double* values, const std::size_t* offsets,
+                       const double* scales, const std::uint64_t* seeds,
+                       std::size_t rows) {
+  MtLaneBlock mt;  // ~20 KB: one group of engine states, reused per group.
+  for (std::size_t base = 0; base < rows; base += kNoiseLanes) {
+    const std::size_t lanes = std::min(kNoiseLanes, rows - base);
+    MtSeedLanes(&mt, seeds + base, lanes);
+    MtTwistLanes(&mt, lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t r = base + l;
+      double* out = values + offsets[r];
+      const std::size_t n = offsets[r + 1] - offsets[r];
+      const double scale = scales[r];
+      std::size_t p = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        // Rng::Laplace's boundary redraw: u = 0 maps to log(0), so the
+        // scalar path discards it; discard the same draws here.
+        double u;
+        do {
+          if (p == kMtN) {
+            MtTwistStrided(&mt.state[0][l]);
+            p = 0;
+          }
+          u = MtUnitDraw(MtTemper(mt.state[p][l]));
+          ++p;
+        } while (u == 0.0);
+        out[j] += LaplaceInverseCdf(u, scale);
+      }
+    }
+  }
+}
+
+}  // namespace pf

@@ -2,21 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/failpoint.h"
-#include "common/fingerprint.h"
 #include "common/random.h"
 
 namespace pf {
 
 namespace {
-
-/// Splitmix64 over (seed, ticket): each ticket gets an independent,
-/// reproducible noise stream regardless of which executor thread runs it.
-std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t ticket) {
-  return SplitMix64(seed + 0x9E3779B97F4A7C15u * ticket);
-}
 
 /// The quilt identity a release is accounted under. Chain mechanisms use
 /// their active quilt (the Theorem 4.4 object; the stationary search makes
@@ -57,36 +52,18 @@ std::future<Result<ReleaseResult>> ReadyError(Status status) {
   return promise.get_future();
 }
 
-/// Resolves a DataWindow against a record of `size` observations into a
-/// concrete (offset, length) slice; empty or out-of-range windows are
-/// refused here, before anything is charged.
-Result<std::pair<std::size_t, std::size_t>> ResolveWindow(
-    const DataWindow& window, std::size_t size) {
-  std::size_t offset = window.offset;
-  std::size_t length = window.length;
-  if (window.from_end) {
-    if (length == 0 || length > size) {
-      return Status::InvalidArgument(
-          "suffix window of " + std::to_string(length) +
-          " observations does not fit a record of " + std::to_string(size));
-    }
-    offset = size - length;
-  } else {
-    if (offset >= size) {
-      return Status::InvalidArgument(
-          "window offset " + std::to_string(offset) +
-          " is outside the record of " + std::to_string(size));
-    }
-    if (length == 0) length = size - offset;
-    // Overflow-safe form of offset + length > size (offset < size here).
-    if (length > size - offset) {
-      return Status::InvalidArgument(
-          "window [" + std::to_string(offset) + ", " +
-          std::to_string(offset + length) + ") exceeds the record of " +
-          std::to_string(size));
-    }
-  }
-  return std::make_pair(offset, length);
+std::future<Result<BatchReleaseResult>> ReadyBatchError(Status status) {
+  std::promise<Result<BatchReleaseResult>> promise;
+  promise.set_value(Result<BatchReleaseResult>(std::move(status)));
+  return promise.get_future();
+}
+
+/// Structural equality of what the ledger hashes (QuiltSignature encodes
+/// exactly target, quilt, and nearby_count): true iff two plans' releases
+/// would ledger under the same active quilt.
+bool SameQuiltIdentity(const MarkovQuilt& a, const MarkovQuilt& b) {
+  return a.target == b.target && a.nearby_count == b.nearby_count &&
+         a.quilt == b.quilt;
 }
 
 StateSequence SliceWindow(const StateSequence& data, std::size_t offset,
@@ -185,7 +162,7 @@ Result<ReleaseResult> Session::Execute(const PrivacyEngine::CompiledQuery& q,
                             std::to_string(q.query.dim) +
                             " (epsilon was charged)");
   }
-  Rng rng(MixSeed(seed, ticket));
+  Rng rng(TicketNoiseSeed(seed, ticket));
   // The charge is structurally upstream: Execute only runs with a `ticket`
   // already issued by ChargeLocked (every caller is a Release overload or
   // the SubmitCompiled task body, both of which charge before invoking
@@ -217,7 +194,7 @@ Result<ReleaseResult> Session::Release(const QuerySpec& spec,
 Result<ReleaseResult> Session::Release(const QuerySpec& spec,
                                        const StateSequence& data,
                                        const DataWindow& window) {
-  PF_ASSIGN_OR_RETURN(const auto span, ResolveWindow(window, data.size()));
+  PF_ASSIGN_OR_RETURN(const auto span, ResolveDataWindow(window, data.size()));
   PF_ASSIGN_OR_RETURN(PrivacyEngine::CompiledQuery compiled,
                       engine_->Compile(spec, span.second));
   const StateSequence slice = SliceWindow(data, span.first, span.second);
@@ -256,7 +233,7 @@ Result<ReleaseResult> Session::Release(const QuerySpec& spec,
     return Status::DeadlineExceeded(
         "request deadline already expired; nothing was charged");
   }
-  PF_ASSIGN_OR_RETURN(const auto span, ResolveWindow(window, data.size()));
+  PF_ASSIGN_OR_RETURN(const auto span, ResolveDataWindow(window, data.size()));
   PF_ASSIGN_OR_RETURN(PrivacyEngine::CompiledQuery compiled,
                       engine_->Compile(spec, span.second, request));
   const StateSequence slice = SliceWindow(data, span.first, span.second);
@@ -288,7 +265,7 @@ std::future<Result<ReleaseResult>> Session::Submit(
         "request deadline already expired; nothing was charged"));
   }
   Result<std::pair<std::size_t, std::size_t>> span =
-      ResolveWindow(window, data.size());
+      ResolveDataWindow(window, data.size());
   if (!span.ok()) return ReadyError(span.status());
   Result<PrivacyEngine::CompiledQuery> compiled =
       engine_->Compile(spec, span.value().second, request);
@@ -362,11 +339,27 @@ std::future<Result<ReleaseResult>> Session::SubmitCompiled(
 
 std::vector<std::future<Result<ReleaseResult>>> Session::SubmitBatch(
     const std::vector<QuerySpec>& specs, const StateSequence& data) {
-  // One wrapped copy shared by every task instead of one copy per query.
+  // One wrapped copy shared by every task instead of one copy per query,
+  // and one compile per unique spec shape instead of one cache probe per
+  // row: a 1k-row batch of one shape builds its cache key once.
   auto shared = std::make_shared<const StateSequence>(data);
+  std::unordered_map<std::string, Result<PrivacyEngine::CompiledQuery>>
+      compiled_by_key;
   std::vector<std::future<Result<ReleaseResult>>> futures;
   futures.reserve(specs.size());
-  for (const QuerySpec& spec : specs) futures.push_back(Submit(spec, shared));
+  for (const QuerySpec& spec : specs) {
+    std::string key = spec.CacheKey();
+    auto it = compiled_by_key.find(key);
+    if (it == compiled_by_key.end()) {
+      it = compiled_by_key.emplace(std::move(key), engine_->Compile(spec))
+               .first;
+    }
+    if (!it->second.ok()) {
+      futures.push_back(ReadyError(it->second.status()));
+      continue;
+    }
+    futures.push_back(SubmitCompiled(it->second.value(), shared));
+  }
   return futures;
 }
 
@@ -376,6 +369,133 @@ std::vector<std::future<Result<ReleaseResult>>> Session::SubmitBatch(
   futures.reserve(batch.size());
   for (const StateSequence& data : batch) futures.push_back(Submit(spec, data));
   return futures;
+}
+
+Result<std::uint64_t> Session::ChargeBatchLocked(
+    const CompiledBatchPlan& plan) {
+  const std::size_t rows = plan.num_rows();
+  // Every unique plan must be releasable before anything is recorded
+  // (mirrors ChargeLocked): a batch containing one inapplicable row would
+  // otherwise burn budget on releases that can never be produced.
+  for (const CompiledBatchQuery& q : plan.compiled) {
+    const MechanismPlan& mp = *q.plan;
+    if (!mp.applicable) {
+      return Status::FailedPrecondition(
+          std::string(MechanismKindName(mp.kind)) +
+          " is inapplicable for this model class (no finite noise scale); "
+          "the batch was refused whole and nothing was charged");
+    }
+    if (!std::isfinite(mp.sigma) || mp.sigma < 0.0) {
+      return Status::FailedPrecondition(
+          "plan has no finite noise scale; the batch was refused whole and "
+          "nothing was charged");
+    }
+  }
+  // Theorem 4.4's precondition, checked structurally across the batch
+  // before touching the ledger: every row must release under one active
+  // quilt. The accountant re-checks the (single) batch quilt against the
+  // ledger's recorded identity inside RecordBatchStrict.
+  const MarkovQuilt quilt = PlanActiveQuilt(*plan.compiled.front().plan);
+  for (std::size_t u = 1; u < plan.compiled.size(); ++u) {
+    if (!SameQuiltIdentity(quilt, PlanActiveQuilt(*plan.compiled[u].plan))) {
+      return Status::FailedPrecondition(
+          "batch mixes active quilts (rows would compose under different "
+          "Theorem 4.4 objects); the batch was refused whole and nothing "
+          "was charged");
+    }
+  }
+  // Price the WHOLE batch as one composed charge: K existing releases plus
+  // `rows` new ones compose to (K + rows) * max epsilon. Admitting the
+  // batch at the composed level is equivalent to admitting each row
+  // sequentially (every intermediate composed level is bounded by the
+  // final one), so columnar and scalar submission admit exactly the same
+  // prefixes of work.
+  std::vector<double> epsilons;
+  epsilons.reserve(rows);
+  double batch_max = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double eps =
+        plan.compiled[plan.logical.row_to_unique[r]].plan->epsilon;
+    epsilons.push_back(eps);
+    batch_max = std::max(batch_max, eps);
+  }
+  const double max_epsilon = std::max(accountant_.MaxEpsilon(), batch_max);
+  const double budget = options_.epsilon_budget;
+  if (!ComposedBudgetAdmits(accountant_.num_releases() + rows, max_epsilon,
+                            budget)) {
+    const double prospective =
+        static_cast<double>(accountant_.num_releases() + rows) * max_epsilon;
+    return Status::ResourceExhausted(
+        "privacy budget exhausted: this batch of " + std::to_string(rows) +
+        " releases would compose to epsilon " + std::to_string(prospective) +
+        " > budget " + std::to_string(budget) + "; nothing was charged");
+  }
+  PF_RETURN_NOT_OK(accountant_.RecordBatchStrict(epsilons, quilt));
+  const std::uint64_t first = next_ticket_;
+  next_ticket_ += rows;
+  return first;
+}
+
+std::future<Result<BatchReleaseResult>> Session::SubmitColumnar(
+    const BatchQuerySpec& batch, const StateSequence& data) {
+  return SubmitColumnar(batch, data, RequestOptions{});
+}
+
+std::future<Result<BatchReleaseResult>> Session::SubmitColumnar(
+    const BatchQuerySpec& batch, const StateSequence& data,
+    const RequestOptions& request) {
+  if (request.deadline.expired()) {
+    return ReadyBatchError(Status::DeadlineExceeded(
+        "request deadline already expired; nothing was charged"));
+  }
+  // Compile (all-or-nothing, one engine compile per unique shape) before
+  // claiming any serving resources: a batch that cannot compile should not
+  // occupy an executor slot.
+  Result<CompiledBatchPlan> compiled =
+      CompileBatchPlan(engine_, batch, data.size(), request);
+  if (!compiled.ok()) return ReadyBatchError(compiled.status());
+  // Admission strictly precedes accounting, in the same order as
+  // SubmitCompiled: executor permit, in-flight slot, THEN the batch
+  // charge. A batch shed at either gate resolves to Unavailable with the
+  // ledger untouched; once the charge lands, hand-off cannot fail.
+  Result<Executor::Permit> permit = engine_->executor().TryAcquire();
+  if (!permit.ok()) return ReadyBatchError(permit.status());
+  Status admitted = AdmitInFlight();
+  if (!admitted.ok()) return ReadyBatchError(std::move(admitted));
+  auto in_flight = in_flight_;
+#ifdef PF_FAILPOINTS
+  // Same refusal window as the scalar path: a ledger outage between
+  // admission and the charge returns both slots and charges nothing.
+  {
+    Status injected = FailpointRegistry::Instance().Evaluate("session.charge");
+    if (!injected.ok()) {
+      in_flight->fetch_sub(1, std::memory_order_relaxed);
+      return ReadyBatchError(std::move(injected));  // Permit self-releases.
+    }
+  }
+#endif
+  std::uint64_t first_ticket = 0;
+  {
+    MutexLock lock(mutex_);
+    Result<std::uint64_t> charged = ChargeBatchLocked(compiled.value());
+    if (!charged.ok()) {
+      in_flight->fetch_sub(1, std::memory_order_relaxed);
+      return ReadyBatchError(charged.status());  // Permit self-releases.
+    }
+    first_ticket = charged.value();
+  }
+  auto plan = std::make_shared<const CompiledBatchPlan>(
+      std::move(compiled).value());
+  auto shared = std::make_shared<const StateSequence>(data);
+  return engine_->executor().Submit(
+      std::move(permit).value(),
+      [plan = std::move(plan), shared = std::move(shared), seed = seed_,
+       first_ticket, in_flight = std::move(in_flight)] {
+        Result<BatchReleaseResult> result =
+            ExecuteBatchPlan(*plan, *shared, seed, first_ticket);
+        in_flight->fetch_sub(1, std::memory_order_relaxed);
+        return result;
+      });
 }
 
 double Session::EpsilonSpent() const {

@@ -22,6 +22,7 @@
 #include "common/matrix.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "engine/batch_plan.h"
 #include "engine/privacy_engine.h"
 #include "engine/query_spec.h"
 #include "pufferfish/composition.h"
@@ -46,37 +47,9 @@ struct SessionOptions {
   std::size_t max_in_flight = 0;
 };
 
-/// \brief A contiguous window of a (growing) record for sliding-window
-/// queries: resolved against the database size at submit time. The engine
-/// compiles the query against the WINDOW length (a window query is exactly
-/// that much more sensitive per in-window record), while the plan — and
-/// hence the Theorem 4.4 active quilt the release is ledgered under — is
-/// the full model's, so suffix queries of any width compose in one ledger.
-struct DataWindow {
-  /// First observation index (ignored when from_end is set).
-  std::size_t offset = 0;
-  /// Number of observations; 0 means "from offset to the end".
-  std::size_t length = 0;
-  /// Take the LAST `length` observations (the streaming suffix query).
-  bool from_end = false;
-
-  /// The last n observations.
-  static DataWindow Last(std::size_t n) {
-    DataWindow w;
-    w.length = n;
-    w.from_end = true;
-    return w;
-  }
-  /// Observations [offset, offset + length).
-  static DataWindow Range(std::size_t offset, std::size_t length) {
-    DataWindow w;
-    w.offset = offset;
-    w.length = length;
-    return w;
-  }
-  /// The whole record.
-  static DataWindow All() { return DataWindow{}; }
-};
+// DataWindow lives in engine/batch_plan.h (shared by the scalar windowed
+// overloads below and the columnar batch frontend); it is re-exported here
+// so existing includes of session.h keep compiling.
 
 /// One released query: the noisy value plus its accounting facts.
 struct ReleaseResult {
@@ -161,13 +134,33 @@ class Session {
 
   /// Many queries against one database (the serving batch path); the
   /// database is wrapped once and shared by every task, not copied per
-  /// query.
+  /// query. Identical (kind, parameters, epsilon) specs are compiled once
+  /// per call — a 1k-row batch of one shape does one compile-cache lookup,
+  /// not 1k.
   std::vector<std::future<Result<ReleaseResult>>> SubmitBatch(
       const std::vector<QuerySpec>& specs, const StateSequence& data);
 
   /// One query against many databases (per-subject fan-out).
   std::vector<std::future<Result<ReleaseResult>>> SubmitBatch(
       const QuerySpec& spec, const std::vector<StateSequence>& batch);
+
+  /// \brief The columnar batch path: admits, prices the WHOLE batch under
+  /// one Theorem 4.4 composed charge, and returns a single future over a
+  /// struct-of-arrays result batch. All-or-nothing, unlike SubmitBatch's
+  /// per-row futures: a batch that fails to compile, mixes active quilts,
+  /// would overrun the budget, or is shed (queue full, in-flight cap,
+  /// cold-shed policy) is refused whole and debits NOTHING. Admission
+  /// strictly precedes accounting, exactly like Submit. Row i releases
+  /// under ticket first + i, drawing from the same per-ticket noise stream
+  /// the scalar path would — released values are bit-identical to
+  /// submitting the same specs scalar, in order, at any thread count and
+  /// SimdLevel, while skipping the per-row dispatch/future/allocation
+  /// overhead (see bench_batch_serving).
+  std::future<Result<BatchReleaseResult>> SubmitColumnar(
+      const BatchQuerySpec& batch, const StateSequence& data);
+  std::future<Result<BatchReleaseResult>> SubmitColumnar(
+      const BatchQuerySpec& batch, const StateSequence& data,
+      const RequestOptions& request);
 
   double epsilon_budget() const { return options_.epsilon_budget; }
   /// Asynchronous releases admitted but not yet completed.
@@ -185,6 +178,14 @@ class Session {
   /// and budget overruns (ResourceExhausted), else records it and returns
   /// the assigned ticket.
   Result<std::uint64_t> ChargeLocked(const MechanismPlan& plan)
+      PF_REQUIRES(mutex_);
+
+  /// \brief Charges a whole columnar batch atomically: every unique plan
+  /// must be releasable, every row must share one active quilt (with each
+  /// other and the ledger), and the composed level (K + rows) * max epsilon
+  /// must fit the budget — else the whole batch is refused and nothing is
+  /// recorded. Returns the first of `rows` contiguous tickets.
+  Result<std::uint64_t> ChargeBatchLocked(const CompiledBatchPlan& plan)
       PF_REQUIRES(mutex_);
 
   /// Claims one in-flight slot (CAS against max_in_flight); Unavailable at

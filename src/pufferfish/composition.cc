@@ -67,6 +67,28 @@ Status CompositionAccountant::RecordReleaseStrict(
   return Status::OK();
 }
 
+Status CompositionAccountant::RecordBatchStrict(
+    const std::vector<double>& epsilons, const MarkovQuilt& active_quilt) {
+  // Validate everything BEFORE mutating: all-or-nothing is the contract.
+  for (double epsilon : epsilons) {
+    PF_RETURN_NOT_OK(ValidatePrivacyParams({epsilon}));
+  }
+  if (epsilons.empty()) return Status::OK();
+  const std::string sig = QuiltSignature(active_quilt);
+  if (!epsilons_.empty() && sig != first_signature_) {
+    return Status::FailedPrecondition(
+        "batch refused: its active quilt differs from the ledger's earlier "
+        "releases, so Theorem 4.4 composition does not apply; serve it from "
+        "a separate session");
+  }
+  if (epsilons_.empty()) first_signature_ = sig;
+  epsilons_.insert(epsilons_.end(), epsilons.begin(), epsilons.end());
+  for (double epsilon : epsilons) {
+    if (epsilon > max_epsilon_) max_epsilon_ = epsilon;
+  }
+  return Status::OK();
+}
+
 double CompositionAccountant::TotalEpsilon() const {
   return static_cast<double>(epsilons_.size()) * max_epsilon_;
 }

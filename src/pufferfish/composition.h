@@ -76,6 +76,16 @@ class CompositionAccountant {
   /// signature once for check and record.
   Status RecordReleaseStrict(double epsilon, const MarkovQuilt& active_quilt);
 
+  /// \brief Atomic batch variant of RecordReleaseStrict: records every
+  /// release in `epsilons` (all sharing `active_quilt` — the caller
+  /// verifies that, Theorem 4.4's precondition) or none of them. Any
+  /// invalid epsilon (InvalidArgument) or a quilt mismatch with the
+  /// ledger's earlier releases (FailedPrecondition) refuses the whole
+  /// batch with the ledger untouched — the columnar serving path relies on
+  /// this so a refused batch never debits partial epsilon.
+  Status RecordBatchStrict(const std::vector<double>& epsilons,
+                           const MarkovQuilt& active_quilt);
+
   /// Forgets all recorded releases.
   void Reset();
 

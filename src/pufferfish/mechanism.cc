@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/fingerprint.h"
+#include "engine/batch_kernels.h"
 
 namespace pf {
 
@@ -79,6 +80,39 @@ Result<std::vector<Vector>> ReleaseBatch(const MechanismPlan& plan,
   const double scale = lipschitz * plan.sigma;
   for (const Vector& v : values) out.push_back(AddLaplaceNoise(v, scale, rng));
   return out;
+}
+
+Status ReleaseBatchColumnar(
+    const std::vector<std::shared_ptr<const MechanismPlan>>& plans,
+    std::uint64_t seed, RecordBatch* batch) {
+  // All validation before any noise: a refused batch must leave the truth
+  // values untouched so the caller can surface the error without having
+  // half-released anything.
+  for (const auto& plan : plans) {
+    if (plan == nullptr) return Status::InvalidArgument("null plan in batch");
+    PF_RETURN_NOT_OK(CheckReleasable(*plan, /*lipschitz=*/0.0));
+  }
+  const std::size_t rows = batch->num_rows();
+  const double* scales = batch->noise_scales();
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (!std::isfinite(scales[r]) || scales[r] < 0.0) {
+      return Status::FailedPrecondition(
+          "row " + std::to_string(r) + " has no finite noise scale");
+    }
+  }
+  // One interleaved noise pass (engine/batch_kernels): bit-identical to
+  // seeding a per-row Rng(TicketNoiseSeed(seed, ticket)) and calling
+  // AddLaplaceNoise row by row, but with the generator setup pipelined
+  // across rows — the per-ticket mt19937_64 init is the scalar serving
+  // path's dominant cost.
+  const std::uint64_t* tickets = batch->tickets();
+  std::vector<std::uint64_t> seeds(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    seeds[r] = TicketNoiseSeed(seed, tickets[r]);
+  }
+  BatchLaplaceNoise(batch->values(), batch->offsets(), scales, seeds.data(),
+                    rows);
+  return Status::OK();
 }
 
 // -------------------------------------------------------------- LaplaceDP --

@@ -29,6 +29,7 @@
 
 #include "baselines/gk16.h"
 #include "common/random.h"
+#include "common/record_batch.h"
 #include "common/status.h"
 #include "graphical/bayesian_network.h"
 #include "graphical/markov_chain.h"
@@ -190,6 +191,21 @@ Result<Vector> ReleaseBatch(const MechanismPlan& plan,
 Result<std::vector<Vector>> ReleaseBatch(const MechanismPlan& plan,
                                          const std::vector<Vector>& values,
                                          double lipschitz, Rng* rng);
+
+/// \brief Columnar batch release — the noise half of the columnar serving
+/// path. `batch` arrives with truth values, per-row noise scales
+/// (lipschitz * sigma, the clip kernel's output), and tickets populated;
+/// row r gains independent Laplace(noise_scales()[r]) noise per coordinate
+/// drawn from Rng(TicketNoiseSeed(seed, tickets()[r])) — the same
+/// per-ticket stream the scalar serving path uses, so a row released here
+/// is bit-identical to the scalar release of the same query under the same
+/// ticket, at any thread count. `plans` holds the distinct plans the rows
+/// release under, validated exactly like Release (an inapplicable plan or
+/// non-finite scale refuses the whole batch before ANY noise lands — a
+/// half-noised batch is not a release state this layer permits).
+Status ReleaseBatchColumnar(
+    const std::vector<std::shared_ptr<const MechanismPlan>>& plans,
+    std::uint64_t seed, RecordBatch* batch);
 
 // ----------------------------------------------------------------------
 // The seven mechanisms, ported onto the engine.

@@ -1,0 +1,360 @@
+// The columnar plan frontend: BatchQuerySpec parsing into the logical plan
+// (window resolution, row-to-unique projection, per-call compile dedupe),
+// lowering to physical kernel nodes (shared aggregation passes, match-state
+// dedupe, the 1/T derive constants), Explain() output, and ExecuteBatchPlan's
+// bit-exact contract against the scalar query + noise primitives.
+#include "engine/batch_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "common/random.h"
+#include "engine/engine.h"
+#include "graphical/markov_chain.h"
+
+namespace pf {
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+MarkovChain PlanChain() {
+  return MarkovChain::Make({0.5, 0.5}, Matrix{{0.8, 0.2}, {0.3, 0.7}})
+      .ValueOrDie();
+}
+
+std::unique_ptr<PrivacyEngine> PlanEngine(std::size_t length) {
+  return PrivacyEngine::Create(ModelSpec::ChainClass({PlanChain()}, length))
+      .ValueOrDie();
+}
+
+StateSequence PlanData(std::size_t length) {
+  StateSequence data(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    data[i] = static_cast<int>((i / 3) % 2);
+  }
+  return data;
+}
+
+// ------------------------------------------------------ window resolution --
+
+TEST(ResolveDataWindowTest, ResolvesAllRangeAndSuffix) {
+  auto all = ResolveDataWindow(DataWindow::All(), 20).ValueOrDie();
+  EXPECT_EQ(all.first, 0u);
+  EXPECT_EQ(all.second, 20u);
+  auto range = ResolveDataWindow(DataWindow::Range(4, 8), 20).ValueOrDie();
+  EXPECT_EQ(range.first, 4u);
+  EXPECT_EQ(range.second, 8u);
+  auto suffix = ResolveDataWindow(DataWindow::Last(6), 20).ValueOrDie();
+  EXPECT_EQ(suffix.first, 14u);
+  EXPECT_EQ(suffix.second, 6u);
+}
+
+TEST(ResolveDataWindowTest, RefusesOutOfRangeWindows) {
+  EXPECT_FALSE(ResolveDataWindow(DataWindow::Last(21), 20).ok());
+  EXPECT_FALSE(ResolveDataWindow(DataWindow::Range(20, 1), 20).ok());
+  EXPECT_FALSE(ResolveDataWindow(DataWindow::Range(15, 6), 20).ok());
+  EXPECT_FALSE(ResolveDataWindow(DataWindow::Last(0), 20).ok());
+}
+
+// ------------------------------------------------------------ compilation --
+
+TEST(BatchPlanTest, ProjectsRowsOntoUniqueQueriesAndWindows) {
+  auto engine = PlanEngine(24);
+  BatchQuerySpec batch;
+  // 6 rows, but only 3 unique (window, spec) pairs over 2 windows.
+  batch.Add(QuerySpec::Sum(0.5))
+      .Add(QuerySpec::Sum(0.5))
+      .Add(QuerySpec::Mean(0.5))
+      .Add(QuerySpec::Sum(0.5), DataWindow::Last(8))
+      .Add(QuerySpec::Sum(0.5), DataWindow::Last(8))
+      .Add(QuerySpec::Sum(0.5));
+  const CompiledBatchPlan plan =
+      CompileBatchPlan(engine.get(), batch, 24).ValueOrDie();
+  EXPECT_EQ(plan.num_rows(), 6u);
+  ASSERT_EQ(plan.logical.windows.size(), 2u);
+  ASSERT_EQ(plan.logical.unique.size(), 3u);
+  EXPECT_EQ(plan.compiled.size(), 3u);
+  EXPECT_TRUE(plan.logical.windows[0].full_record);
+  EXPECT_EQ(plan.logical.windows[1].offset, 16u);
+  EXPECT_EQ(plan.logical.windows[1].length, 8u);
+  // Row projection keeps submission order: rows 0,1,5 share unique 0.
+  EXPECT_EQ(plan.logical.row_to_unique[0], 0u);
+  EXPECT_EQ(plan.logical.row_to_unique[1], 0u);
+  EXPECT_EQ(plan.logical.row_to_unique[2], 1u);
+  EXPECT_EQ(plan.logical.row_to_unique[3], 2u);
+  EXPECT_EQ(plan.logical.row_to_unique[5], 0u);
+  EXPECT_EQ(plan.logical.unique[0].num_rows, 3u);
+  // All rows are scalar kinds: one value each.
+  EXPECT_EQ(plan.logical.total_values, 6u);
+  // Full-record rows take the model's T; windowed rows the window's.
+  EXPECT_EQ(plan.logical.unique[0].compile_length, 24u);
+  EXPECT_EQ(plan.logical.unique[2].compile_length, 8u);
+}
+
+TEST(BatchPlanTest, LoweringSharesAggregatesAndDedupesMatchStates) {
+  auto engine = PlanEngine(24);
+  BatchQuerySpec batch;
+  batch.Add(QuerySpec::Sum(0.5))
+      .Add(QuerySpec::Mean(0.5))
+      .Add(QuerySpec::StateFrequency(1, 0.5))
+      .Add(QuerySpec::StateFrequency(0, 0.5))
+      .Add(QuerySpec::StateFrequency(1, 0.25))  // Same state, new epsilon.
+      .Add(QuerySpec::CountHistogram(0.5));
+  const CompiledBatchPlan plan =
+      CompileBatchPlan(engine.get(), batch, 24).ValueOrDie();
+  // One window -> one aggregation pass feeding every built-in derive.
+  ASSERT_EQ(plan.physical.aggregates.size(), 1u);
+  const AggregateSpec& agg = plan.physical.aggregates[0].spec;
+  EXPECT_TRUE(agg.need_sum);
+  EXPECT_EQ(agg.k, 2u);  // CountHistogram wants the per-state counts.
+  // Two distinct match states despite three StateFrequency uniques.
+  ASSERT_EQ(agg.match_states.size(), 2u);
+  EXPECT_EQ(agg.match_states[0], 1);
+  EXPECT_EQ(agg.match_states[1], 0);
+  ASSERT_EQ(plan.physical.derives.size(), 6u);
+  EXPECT_EQ(plan.physical.derives[0].op, PhysicalBatchPlan::DeriveOp::kSum);
+  EXPECT_EQ(plan.physical.derives[1].op, PhysicalBatchPlan::DeriveOp::kMean);
+  EXPECT_TRUE(BitEqual(plan.physical.derives[1].inv, 1.0 / 24.0));
+  EXPECT_EQ(plan.physical.derives[2].match_index, 0u);
+  EXPECT_EQ(plan.physical.derives[3].match_index, 1u);
+  EXPECT_EQ(plan.physical.derives[4].match_index, 0u);
+  EXPECT_EQ(plan.physical.derives[5].op,
+            PhysicalBatchPlan::DeriveOp::kCountHistogram);
+}
+
+TEST(BatchPlanTest, CustomQueriesLowerToEvaluateNodes) {
+  auto engine = PlanEngine(24);
+  BatchQuerySpec batch;
+  batch.Add(QuerySpec::CustomScalar(
+      "first-obs", [](const StateSequence& d) { return double(d[0]); }, 1.0,
+      0.5));
+  const CompiledBatchPlan plan =
+      CompileBatchPlan(engine.get(), batch, 24).ValueOrDie();
+  EXPECT_TRUE(plan.physical.aggregates.empty());
+  ASSERT_EQ(plan.physical.derives.size(), 1u);
+  EXPECT_EQ(plan.physical.derives[0].op,
+            PhysicalBatchPlan::DeriveOp::kEvaluate);
+  EXPECT_EQ(plan.physical.derives[0].aggregate_index, kNoNode);
+}
+
+TEST(BatchPlanTest, RefusesEmptyBatchAndChainsRowContext) {
+  auto engine = PlanEngine(24);
+  EXPECT_EQ(CompileBatchPlan(engine.get(), BatchQuerySpec{}, 24)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  BatchQuerySpec bad;
+  bad.Add(QuerySpec::Sum(0.5))
+      .Add(QuerySpec::Sum(0.5), DataWindow::Last(99));  // Does not fit.
+  const auto refused = CompileBatchPlan(engine.get(), bad, 24);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(refused.status().message().find("batch row 1"), std::string::npos)
+      << refused.status().ToString();
+}
+
+TEST(BatchPlanTest, ExplainShowsBothPlanLevels) {
+  auto engine = PlanEngine(24);
+  BatchQuerySpec batch;
+  batch.Add(QuerySpec::Sum(0.5))
+      .Add(QuerySpec::Sum(0.5))
+      .Add(QuerySpec::FrequencyHistogram(0.5), DataWindow::Last(8));
+  const CompiledBatchPlan plan =
+      CompileBatchPlan(engine.get(), batch, 24).ValueOrDie();
+  const std::string text = plan.Explain();
+  EXPECT_NE(text.find("3 rows -> 2 unique queries over 2 windows"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("project -> window -> clip -> noise"),
+            std::string::npos);
+  EXPECT_NE(text.find("(full record)"), std::string::npos);
+  EXPECT_NE(text.find("(x2 rows)"), std::string::npos);
+  EXPECT_NE(text.find("aggregate(w"), std::string::npos);
+  EXPECT_NE(text.find("hist[k=2]"), std::string::npos);
+  EXPECT_NE(text.find("clip: scales[r]"), std::string::npos);
+  EXPECT_NE(text.find("noise: Laplace"), std::string::npos) << text;
+}
+
+// -------------------------------------------------------------- execution --
+
+// ExecuteBatchPlan against the primitives it promises to reproduce: truth
+// from the scalar compiled query, noise from the per-ticket streams. This
+// pins the contract at the plan level; batch_serving_test pins the same
+// thing end-to-end through Session.
+TEST(BatchPlanTest, ExecuteMatchesScalarPrimitivesBitForBit) {
+  const std::size_t kLength = 24;
+  auto engine = PlanEngine(kLength);
+  const StateSequence data = PlanData(kLength);
+  BatchQuerySpec batch;
+  batch.Add(QuerySpec::Sum(0.5))
+      .Add(QuerySpec::Mean(0.5))
+      .Add(QuerySpec::FrequencyHistogram(0.5))
+      .Add(QuerySpec::Mean(0.5), DataWindow::Last(8));
+  const CompiledBatchPlan plan =
+      CompileBatchPlan(engine.get(), batch, kLength).ValueOrDie();
+  const std::uint64_t kSeed = 1234;
+  const std::uint64_t kFirstTicket = 5;
+  const BatchReleaseResult result =
+      ExecuteBatchPlan(plan, data, kSeed, kFirstTicket).ValueOrDie();
+  ASSERT_EQ(result.batch.num_rows(), 4u);
+
+  for (std::size_t r = 0; r < 4; ++r) {
+    const std::size_t u = plan.logical.row_to_unique[r];
+    const VectorQuery& q = plan.compiled[u].query;
+    const LogicalBatchPlan::Window& win =
+        plan.logical.windows[plan.logical.unique[u].window_index];
+    const StateSequence slice(
+        data.begin() + static_cast<std::ptrdiff_t>(win.offset),
+        data.begin() + static_cast<std::ptrdiff_t>(win.offset + win.length));
+    Vector expected = q.fn(slice);
+    Rng rng(TicketNoiseSeed(kSeed, kFirstTicket + r));
+    AddLaplaceNoise(expected.data(), expected.size(),
+                    q.lipschitz * plan.compiled[u].plan->sigma, &rng);
+    ASSERT_EQ(result.batch.row_size(r), expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_TRUE(BitEqual(result.batch.row(r)[j], expected[j]))
+          << "row " << r << " coord " << j;
+    }
+    EXPECT_EQ(result.batch.tickets()[r], kFirstTicket + r);
+    EXPECT_TRUE(BitEqual(result.batch.epsilons()[r],
+                         plan.compiled[u].plan->epsilon));
+    EXPECT_TRUE(BitEqual(result.batch.noise_scales()[r],
+                         q.lipschitz * plan.compiled[u].plan->sigma));
+  }
+}
+
+TEST(BatchPlanTest, ExecuteRefusesMismatchedRecordSize) {
+  auto engine = PlanEngine(24);
+  BatchQuerySpec batch;
+  batch.Add(QuerySpec::Sum(0.5));
+  const CompiledBatchPlan plan =
+      CompileBatchPlan(engine.get(), batch, 24).ValueOrDie();
+  const auto refused = ExecuteBatchPlan(plan, PlanData(23), 1, 0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+}
+
+// A misdeclared custom query is only discoverable post-charge; it must
+// surface as a typed error, mirroring the scalar execute path.
+TEST(BatchPlanTest, ExecuteSurfacesDimensionContractViolation) {
+  auto engine = PlanEngine(24);
+  BatchQuerySpec batch;
+  batch.Add(QuerySpec::CustomVector(
+      "liar", [](const StateSequence&) { return Vector{1.0}; }, 1.0,
+      /*dim=*/3, 0.5));
+  const CompiledBatchPlan plan =
+      CompileBatchPlan(engine.get(), batch, 24).ValueOrDie();
+  const auto failed = ExecuteBatchPlan(plan, PlanData(24), 1, 0);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_NE(failed.status().message().find("liar"), std::string::npos);
+}
+
+// -------------------------------------------------------- kernel identity --
+
+// The SimdLevel dispatch seam: both aggregation kernels must produce the
+// same integers on awkward sizes (tails, out-of-range states, repeated
+// match targets). Integer arithmetic has no rounding, so equality is exact
+// by construction — this guards the kernels' indexing, not their algebra.
+TEST(BatchKernelsTest, PortableAndActiveLevelsAgree) {
+  const std::size_t kSizes[] = {0, 1, 7, 8, 9, 31, 64, 100};
+  for (const std::size_t n : kSizes) {
+    std::vector<int> data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = static_cast<int>((i * 7 + 3) % 5) - (i % 11 == 0 ? 1 : 0);
+    }
+    AggregateSpec spec;
+    spec.k = 4;  // Values reach 4 and -1: both out of range.
+    spec.need_sum = true;
+    spec.match_states = {0, 2, 4, -1, 2};
+
+    const SimdLevel restore = ActiveSimdLevel();
+    std::vector<std::int64_t> counts_a(spec.k), matches_a(5);
+    AggregateStats a{};
+    a.counts = counts_a.data();
+    a.match_counts = matches_a.data();
+    SetSimdLevel(SimdLevel::kPortable);
+    AggregateStates(data.data(), n, spec, &a);
+
+    std::vector<std::int64_t> counts_b(spec.k), matches_b(5);
+    AggregateStats b{};
+    b.counts = counts_b.data();
+    b.match_counts = matches_b.data();
+    SetSimdLevel(DetectedSimdLevel());
+    AggregateStates(data.data(), n, spec, &b);
+    SetSimdLevel(restore);
+
+    EXPECT_EQ(a.sum, b.sum) << "n=" << n;
+    EXPECT_EQ(a.out_of_range, b.out_of_range) << "n=" << n;
+    EXPECT_EQ(counts_a, counts_b) << "n=" << n;
+    EXPECT_EQ(matches_a, matches_b) << "n=" << n;
+  }
+}
+
+TEST(BatchKernelsTest, ClipScalesMatchesScalarProductBitwise) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{7},
+                              std::size_t{33}}) {
+    std::vector<double> lipschitz(n), sigmas(n), portable(n), active(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      lipschitz[i] = 0.1 * static_cast<double>(i + 1) / 3.0;
+      sigmas[i] = 7.0 / static_cast<double>(i + 2);
+    }
+    const SimdLevel restore = ActiveSimdLevel();
+    SetSimdLevel(SimdLevel::kPortable);
+    ClipScales(lipschitz.data(), sigmas.data(), n, portable.data());
+    SetSimdLevel(DetectedSimdLevel());
+    ClipScales(lipschitz.data(), sigmas.data(), n, active.data());
+    SetSimdLevel(restore);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitEqual(portable[i], lipschitz[i] * sigmas[i]));
+      EXPECT_TRUE(BitEqual(portable[i], active[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(BatchKernelsTest, BatchLaplaceNoiseMatchesPerRowRngBitForBit) {
+  // The interleaved kernel against the scalar release loop it replicates:
+  // mixed row widths (scalars, histograms, an empty row, and one 700-wide
+  // row that forces the in-place retwist — more draws than the 312-word
+  // mt19937_64 state holds), mixed scales including zero, and enough rows
+  // to cover full lane groups plus a partial tail group.
+  const std::vector<std::size_t> widths = {1, 8, 0, 700, 1, 3, 1, 1,
+                                           2, 1, 5, 1,   1, 1, 1, 1, 1};
+  const std::size_t rows = widths.size();
+  std::vector<std::size_t> offsets(rows + 1, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    offsets[r + 1] = offsets[r] + widths[r];
+  }
+  const std::size_t total = offsets[rows];
+  std::vector<double> truth(total), scales(rows);
+  std::vector<std::uint64_t> seeds(rows);
+  for (std::size_t i = 0; i < total; ++i) {
+    truth[i] = 0.25 * static_cast<double>(i) - 3.0;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    scales[r] = (r == 5) ? 0.0 : 1.75 + 0.5 * static_cast<double>(r % 7);
+    seeds[r] = TicketNoiseSeed(/*seed=*/0xFEEDu, /*ticket=*/r * 37 + 1);
+  }
+
+  std::vector<double> expected = truth;
+  for (std::size_t r = 0; r < rows; ++r) {
+    Rng rng(seeds[r]);
+    AddLaplaceNoise(expected.data() + offsets[r], widths[r], scales[r], &rng);
+  }
+
+  std::vector<double> actual = truth;
+  BatchLaplaceNoise(actual.data(), offsets.data(), scales.data(), seeds.data(),
+                    rows);
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_TRUE(BitEqual(expected[i], actual[i])) << "value index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pf

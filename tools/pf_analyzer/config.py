@@ -18,6 +18,8 @@ def _default_pinned() -> List[str]:
         "graphical/factor",
         "common/matrix",
         "common/eigen",
+        "common/record_batch",
+        "engine/batch_kernels",
     ]
 
 

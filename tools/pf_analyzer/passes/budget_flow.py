@@ -6,7 +6,8 @@ The serving contract (PR 2 pricing, PR 8 shed-before-charge ordering):
   1. On every path through Session/PrivacyEngine that reaches a release
      site — a noise release (`ReleaseVector`), the shared task body
      (`Execute`), or an executor enqueue (`executor().Submit`) — a budget
-     charge (`ChargeLocked` / `RecordRelease*` / `ComposedBudgetAdmits`)
+     charge (`ChargeLocked` / `ChargeBatchLocked` / `RecordRelease*` /
+     `RecordBatchStrict` / `ComposedBudgetAdmits`)
      must already have happened. An uncharged path is a privacy bug: noise
      goes out without the ledger recording it.
 
@@ -31,7 +32,8 @@ WHY = ("every release must be dominated by a Theorem 4.4 budget charge, "
 
 RELEASE_CALLS = {"Execute", "ReleaseVector"}
 ENQUEUE_CALL = "Submit"  # Only on a receiver mentioning the executor.
-CHARGE_CALLS = {"ChargeLocked", "RecordRelease", "RecordReleaseStrict",
+CHARGE_CALLS = {"ChargeLocked", "ChargeBatchLocked", "RecordRelease",
+                "RecordReleaseStrict", "RecordBatchStrict",
                 "ComposedBudgetAdmits"}
 PERMIT_CALLS = {"TryAcquire", "AdmitInFlight"}
 
